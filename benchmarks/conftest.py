@@ -1,0 +1,32 @@
+"""Benchmark-harness configuration.
+
+Every module here regenerates one of the paper's evaluation artefacts
+(the detection table or one of figures 4-7) and prints the reproduced
+rows/series next to the paper's values.  ``pytest benchmarks/
+--benchmark-only`` runs them all.
+
+Set ``REPRO_BENCH_PROCS`` (comma-separated) to override the process
+sweep, e.g. ``REPRO_BENCH_PROCS=2,8 pytest benchmarks/`` for a quick
+pass.
+"""
+
+import os
+
+import pytest
+
+
+def _proc_sweep():
+    raw = os.environ.get("REPRO_BENCH_PROCS")
+    if raw:
+        return tuple(int(x) for x in raw.split(","))
+    return (2, 4, 8, 16, 32, 64)
+
+
+@pytest.fixture(scope="session")
+def proc_sweep():
+    return _proc_sweep()
+
+
+@pytest.fixture(scope="session")
+def bench_seed():
+    return 0

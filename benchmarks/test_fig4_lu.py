@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 4 — LU-MZ execution time vs processes.
+
+Paper shape: Base < HOME < MARMOT/ITC, all series falling (then
+flattening) as processes grow; HOME stays the cheapest checker at scale.
+Values are virtual-time units, not EC2 seconds.
+"""
+
+from repro.experiments import execution_time_figure
+
+
+def test_fig4_lu_mz_execution_time(benchmark, proc_sweep, bench_seed):
+    fig = benchmark.pedantic(
+        execution_time_figure,
+        args=("lu",),
+        kwargs={"procs": proc_sweep, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig.render())
+    base = fig.get("Base")
+    ys = base.ys()
+    # Strong scaling with a fixed serial fraction: time falls, then
+    # flattens — allow a 2% wobble in the flat tail.
+    for earlier, later in zip(ys, ys[1:]):
+        assert later <= earlier * 1.02, "base time must fall (or flatten) with P"
+    p_max = max(proc_sweep)
+    assert (
+        base.at(p_max)
+        < fig.get("HOME").at(p_max)
+        < fig.get("MARMOT").at(p_max)
+        < fig.get("ITC").at(p_max)
+    ), "tool ordering at scale must match the paper"
+    benchmark.extra_info["series"] = {
+        s.name: {str(p): round(v, 1) for p, v in s.points.items()}
+        for s in fig.series
+    }

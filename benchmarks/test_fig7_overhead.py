@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Figure 7 — average checking overhead (%) vs
+process count, averaged over LU/BT/SP.
+
+Paper bands: HOME 16-45%, Marmot 15-56%, ITC up to ~200%; every tool's
+overhead grows with the number of processes, and Marmot grows fastest
+(its central analysis process serializes).
+"""
+
+from repro.experiments import overhead_band, overhead_figure
+
+
+def test_fig7_average_overhead(benchmark, proc_sweep, bench_seed):
+    fig = benchmark.pedantic(
+        overhead_figure,
+        kwargs={"procs": proc_sweep, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig.render(fmt="{:.0f}%"))
+    print("paper bands: HOME 16-45%, MARMOT 15-56%, ITC up to ~200%")
+
+    home_lo, home_hi = overhead_band(fig, "HOME")
+    assert 10 <= home_lo <= 25, f"HOME low end {home_lo:.0f}% vs paper 16%"
+    assert 30 <= home_hi <= 55, f"HOME high end {home_hi:.0f}% vs paper 45%"
+
+    marmot_lo, marmot_hi = overhead_band(fig, "MARMOT")
+    assert 10 <= marmot_lo <= 30, f"MARMOT low end {marmot_lo:.0f}% vs paper 15%"
+    assert 35 <= marmot_hi <= 80, f"MARMOT high end {marmot_hi:.0f}% vs paper 56%"
+
+    itc_lo, itc_hi = overhead_band(fig, "ITC")
+    assert itc_hi >= 120, f"ITC high end {itc_hi:.0f}% vs paper ~200%"
+    assert itc_lo > max(home_hi, marmot_hi) or itc_lo > 70, (
+        "ITC must dominate the other tools"
+    )
+
+    for tool in ("HOME", "MARMOT", "ITC"):
+        ys = fig.get(tool).ys()
+        assert ys[0] < ys[-1], f"{tool} overhead must grow with process count"
+
+    benchmark.extra_info["bands"] = {
+        "HOME": [round(home_lo), round(home_hi)],
+        "MARMOT": [round(marmot_lo), round(marmot_hi)],
+        "ITC": [round(itc_lo), round(itc_hi)],
+    }

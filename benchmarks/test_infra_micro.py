@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the simulation infrastructure itself.
+
+These justify the implementation choices the guides call for (profile
+before optimizing): they track parser throughput, interpreter stepping
+rate and the offline analyses' cost on a fixed workload, so regressions
+in the substrate show up as benchmark deltas.
+"""
+
+import pytest
+
+from repro.analysis.dynamic_.hybrid import analyze
+from repro.analysis.static_ import run_static_analysis
+from repro.home import Home
+from repro.minilang import parse
+from repro.runtime import Interpreter, RunConfig
+from repro.workloads.npb import build_lu_mz, lu_mz_source
+
+
+@pytest.fixture(scope="module")
+def lu_source():
+    return lu_mz_source(inject=True)
+
+
+@pytest.fixture(scope="module")
+def lu_home_run():
+    home = Home()
+    program, static = home.prepare(build_lu_mz(inject=True))
+    config = home.run_config(nprocs=2, num_threads=2, seed=0)
+    return Interpreter(program, config).run()
+
+
+def test_parse_lu_benchmark(benchmark, lu_source):
+    program = benchmark(parse, lu_source)
+    assert program.name == "lu_mz"
+
+
+def test_static_analysis_lu(benchmark):
+    program = build_lu_mz(inject=True)
+    report = benchmark(run_static_analysis, program)
+    assert report.instrumentation.n_instrumented > 0
+
+
+def test_interpret_lu_base(benchmark):
+    def run():
+        return Interpreter(
+            build_lu_mz(inject=False), RunConfig(nprocs=2, num_threads=2)
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert not result.deadlocked
+
+
+def test_hybrid_analysis_lu(benchmark, lu_home_run):
+    reports = benchmark(analyze, lu_home_run.log)
+    assert reports[0].pairs

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate the paper's detection-count table (§V-B).
+
+Paper::
+
+    Benchmarks      HOME  ITC  Marmot
+    NPB-MZ LU (6)   6     5    5
+    NPB-MZ BT (6)   6     7    6
+    NPB-MZ SP (6)   6     6    5
+"""
+
+from repro.experiments import PAPER_TABLE1, run_table1, table1_data
+
+
+def test_table1_detection_counts(benchmark, bench_seed):
+    cells = benchmark.pedantic(
+        run_table1, kwargs={"seed": bench_seed}, rounds=1, iterations=1
+    )
+    table = table1_data(cells)
+    print()
+    print(table.render())
+    for (bench_name, tool), cell in cells.items():
+        expected = PAPER_TABLE1[(bench_name, tool)]
+        assert cell.score == expected, (
+            f"{bench_name}/{tool}: reproduced {cell.score}, paper {expected}"
+        )
+    benchmark.extra_info["cells"] = {
+        f"{b}/{t}": c.score for (b, t), c in cells.items()
+    }

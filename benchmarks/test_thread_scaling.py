@@ -1,0 +1,44 @@
+"""Study: checking overhead vs OpenMP team size.
+
+Reproduces the paper's stated reason for running everything at 2
+threads per process: "the overhead of Intel Thread Checker would be
+very high with number increasing of threads in processes".  ITC's
+per-access, per-thread instrumentation explodes with team size; HOME's
+monitored-variable filtering stays far cheaper at every size.
+"""
+
+from repro.experiments import (
+    DEFAULT_THREAD_SWEEP,
+    build_thread_sweep_program,
+    thread_overhead_figure,
+)
+
+
+def test_overhead_vs_thread_count(benchmark):
+    fig = benchmark.pedantic(
+        thread_overhead_figure,
+        args=(build_thread_sweep_program,),
+        kwargs={"threads": DEFAULT_THREAD_SWEEP, "nprocs": 4},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig.render(fmt="{:.0f}%"))
+
+    itc = fig.get("ITC")
+    home = fig.get("HOME")
+    t_min, t_max = min(DEFAULT_THREAD_SWEEP), max(DEFAULT_THREAD_SWEEP)
+
+    # ITC's overhead explodes with threads (the paper's complaint)...
+    assert itc.at(t_max) > 5 * itc.at(t_min)
+    assert itc.at(t_max) > 300
+    # ...and dominates HOME at every team size.
+    for t in DEFAULT_THREAD_SWEEP:
+        assert itc.at(t) > home.at(t)
+    # HOME remains the practical choice even at 8 threads.
+    assert itc.at(t_max) > 3 * home.at(t_max)
+
+    benchmark.extra_info["series"] = {
+        s.name: {str(t): round(v) for t, v in s.points.items()}
+        for s in fig.series
+    }

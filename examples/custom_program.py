@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Write, run and check your own hybrid program — end-to-end tour.
+
+Shows the full public API on a small user-written stencil code:
+
+1. parse + validate mini-language source;
+2. execute it on the simulator and read outputs/statistics;
+3. inspect the compile-time analysis (CFG, sites, instrumented source);
+4. check it with HOME and interpret the findings.
+
+Run:  python examples/custom_program.py
+"""
+
+from repro import check_program, parse, print_program, run_program, validate
+from repro.analysis.cfg import build_cfg
+from repro.analysis.static_ import run_static_analysis
+
+SOURCE = """
+program stencil;
+
+var grid[64];
+var halo[2];
+
+func relax(first, last) {
+    for (var i = first; i < last; i = i + 1) {
+        grid[i] = grid[i] + 1.0;
+        compute(1);
+    }
+    return 0;
+}
+
+func main() {
+    var provided = mpi_init_thread(MPI_THREAD_FUNNELED);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var size = mpi_comm_size(MPI_COMM_WORLD);
+    var span = 64 / size;
+    var first = rank * span;
+
+    for (var step = 0; step < 3; step = step + 1) {
+        omp parallel num_threads(2) {
+            omp for for (var i = first; i < first + span; i = i + 1) {
+                grid[i] = grid[i] + 0.5;
+                compute(1);
+            }
+            omp master {
+                if (size > 1) {
+                    var right = (rank + 1) % size;
+                    var left = (rank + size - 1) % size;
+                    mpi_send(halo, 1, right, 40 + step, MPI_COMM_WORLD);
+                    mpi_recv(halo, 1, left, 40 + step, MPI_COMM_WORLD);
+                }
+            }
+        }
+        var residual = mpi_allreduce(grid[first], MPI_SUM, MPI_COMM_WORLD);
+        omp barrier;
+    }
+    print("rank", rank, "done at", mpi_wtime());
+    mpi_finalize();
+}
+"""
+
+
+def main() -> None:
+    program = parse(SOURCE)
+    validate(program)
+    print(f"parsed program {program.name!r} "
+          f"({len(program.functions)} functions)")
+
+    cfg = build_cfg(program.main)
+    print(f"main() CFG: {len(cfg.nodes)} nodes, "
+          f"{len(cfg.mpi_nodes())} MPI call node(s)")
+
+    print()
+    print("### plain execution (2 ranks x 2 threads) ###")
+    result = run_program(program, nprocs=2, num_threads=2, seed=0)
+    for proc, thread, text in result.outputs:
+        print(f"  [rank {proc}] {text}")
+    print(f"  virtual time {result.makespan:.0f}, "
+          f"{result.stats['mpi_calls']} MPI calls, "
+          f"{result.stats['messages_sent']} messages")
+
+    print()
+    print("### compile-time analysis ###")
+    static = run_static_analysis(program)
+    print(static.summary())
+    print()
+    print("instrumented main() (excerpt):")
+    text = print_program(static.instrumented_program)
+    for line in text.splitlines():
+        if "hmpi_" in line or "mpi_monitor_setup" in line:
+            print(f"  {line.strip()}")
+
+    print()
+    print("### HOME check ###")
+    report = check_program(program, nprocs=2, num_threads=2)
+    print(report.summary())
+    assert len(report.violations) == 0, (
+        "funneled master-guarded communication is thread-safe"
+    )
+    print()
+    print("custom program OK: thread-safe by construction, HOME agrees.")
+
+
+if __name__ == "__main__":
+    main()

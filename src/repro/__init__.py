@@ -1,0 +1,77 @@
+"""repro — reproduction of *Detecting Thread-Safety Violations in Hybrid
+OpenMP/MPI Programs* (Ma, Wang, Krishnamoorthy; IEEE CLUSTER 2015).
+
+Public API tour
+---------------
+
+Front end::
+
+    from repro import parse, print_program
+    program = parse(source_text)
+
+Run a hybrid program on the simulator::
+
+    from repro import run_program
+    result = run_program(program, nprocs=2, num_threads=2, seed=0)
+
+Check it with HOME (the paper's tool)::
+
+    from repro import check_program
+    report = check_program(program, nprocs=2)
+    print(report.summary())
+
+Compare against the baseline models::
+
+    from repro.baselines import Marmot, IntelThreadChecker
+    Marmot().check(program, nprocs=2)
+
+Regenerate the paper's evaluation::
+
+    from repro.experiments import run_table1, execution_time_figure
+"""
+
+from .errors import (  # noqa: F401
+    AnalysisError,
+    DeadlockError,
+    LexError,
+    MiniLangError,
+    MPIUsageError,
+    ParseError,
+    ReproError,
+    RuntimeSimError,
+    SimAbort,
+    ToolError,
+    ValidationError,
+)
+from .home import Home, HomeOptions, check_program  # noqa: F401
+from .minilang import parse, print_program, validate  # noqa: F401
+from .runtime import ExecutionResult, RunConfig, run_program  # noqa: F401
+from .violations import Violation, ViolationReport  # noqa: F401
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "parse",
+    "print_program",
+    "validate",
+    "run_program",
+    "RunConfig",
+    "ExecutionResult",
+    "Home",
+    "HomeOptions",
+    "check_program",
+    "Violation",
+    "ViolationReport",
+    "ReproError",
+    "MiniLangError",
+    "LexError",
+    "ParseError",
+    "ValidationError",
+    "RuntimeSimError",
+    "SimAbort",
+    "DeadlockError",
+    "MPIUsageError",
+    "AnalysisError",
+    "ToolError",
+]

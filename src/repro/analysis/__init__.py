@@ -1,0 +1,5 @@
+"""Static and dynamic program analyses (the heart of HOME)."""
+
+from .cfg import CFG, CFGNode, build_cfg, build_program_cfgs  # noqa: F401
+
+__all__ = ["CFG", "CFGNode", "build_cfg", "build_program_cfgs"]

@@ -1,0 +1,51 @@
+"""Runtime (dynamic) analysis phase: vector clocks, happens-before,
+lockset, and the hybrid concurrency detector."""
+
+from .happensbefore import HBResult, compute_happens_before  # noqa: F401
+from .hybrid import (  # noqa: F401
+    ConcurrencyReport,
+    DetectorConfig,
+    MPICallRecord,
+    RacingPair,
+    analyze,
+    analyze_process,
+    collect_call_records,
+)
+from .lockset import (  # noqa: F401
+    AccessRecord,
+    EraserState,
+    LocationState,
+    LocksetAnalysis,
+)
+from .memraces import MemRace, find_memory_races  # noqa: F401
+from .msgrace import (  # noqa: F401
+    CrossProcessHB,
+    MessageRace,
+    find_message_races,
+    wildcard_races,
+)
+from .vectorclock import VectorClock, join_all  # noqa: F401
+
+__all__ = [
+    "VectorClock",
+    "join_all",
+    "HBResult",
+    "compute_happens_before",
+    "LocksetAnalysis",
+    "LocationState",
+    "AccessRecord",
+    "EraserState",
+    "DetectorConfig",
+    "ConcurrencyReport",
+    "MPICallRecord",
+    "RacingPair",
+    "analyze",
+    "analyze_process",
+    "collect_call_records",
+    "MemRace",
+    "find_memory_races",
+    "CrossProcessHB",
+    "MessageRace",
+    "find_message_races",
+    "wildcard_races",
+]

@@ -1,0 +1,134 @@
+"""Eraser-style lockset analysis (Savage et al., the paper's [21]).
+
+Tracks, for each shared location, the set of locks consistently held
+across all accesses.  A location whose candidate set becomes empty while
+accessed by multiple threads (with at least one write) is a potential
+race — *regardless of whether the racy interleaving actually happened*,
+which is exactly why HOME catches violations Marmot misses.
+
+Locations here are abstract keys: the hybrid detector uses
+``(proc, MonitoredKind)`` for HOME's monitored variables and
+``(proc, cell_id)`` for user memory (the ITC model).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+
+class EraserState(enum.Enum):
+    """The Eraser per-location state machine."""
+
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"            # read-shared after exclusive
+    SHARED_MODIFIED = "shared-modified"
+
+
+@dataclass
+class AccessRecord:
+    """One recorded access for later pairwise checks."""
+
+    seq: int
+    thread: int
+    is_write: bool
+    locks: FrozenSet[str]
+
+
+@dataclass
+class LocationState:
+    """Lockset bookkeeping for one shared location."""
+
+    key: Hashable
+    state: EraserState = EraserState.VIRGIN
+    candidate: Optional[FrozenSet[str]] = None  # None == universe
+    first_thread: Optional[int] = None
+    threads: Set[int] = field(default_factory=set)
+    writers: Set[int] = field(default_factory=set)
+    accesses: List[AccessRecord] = field(default_factory=list)
+
+    @property
+    def lockset_empty(self) -> bool:
+        return self.candidate is not None and len(self.candidate) == 0
+
+    @property
+    def is_race_candidate(self) -> bool:
+        """Eraser reports when a shared-modified location has empty lockset."""
+        return (
+            self.state == EraserState.SHARED_MODIFIED
+            and self.lockset_empty
+            and len(self.threads) >= 2
+        )
+
+
+class LocksetAnalysis:
+    """Streaming Eraser over (location, thread, locks, is_write) accesses."""
+
+    def __init__(self) -> None:
+        self.locations: Dict[Hashable, LocationState] = {}
+
+    def access(
+        self,
+        key: Hashable,
+        seq: int,
+        thread: int,
+        locks: FrozenSet[str],
+        is_write: bool,
+    ) -> LocationState:
+        loc = self.locations.get(key)
+        if loc is None:
+            loc = self.locations[key] = LocationState(key)
+        loc.accesses.append(AccessRecord(seq, thread, is_write, locks))
+        loc.threads.add(thread)
+        if is_write:
+            loc.writers.add(thread)
+
+        # State transitions (Eraser Fig. 2).
+        if loc.state == EraserState.VIRGIN:
+            loc.state = EraserState.EXCLUSIVE
+            loc.first_thread = thread
+        elif loc.state == EraserState.EXCLUSIVE:
+            if thread != loc.first_thread:
+                loc.state = (
+                    EraserState.SHARED_MODIFIED if is_write else EraserState.SHARED
+                )
+        elif loc.state == EraserState.SHARED and is_write:
+            loc.state = EraserState.SHARED_MODIFIED
+
+        # Candidate lockset refinement.  Unlike strict Eraser (which only
+        # starts refining once a location goes shared, trading missed
+        # two-access races for fewer initialization false positives), we
+        # refine from the very first access: the monitored variables HOME
+        # watches have no benign initialization phase, and the pairwise
+        # check must agree with the summary.
+        if loc.candidate is None:
+            loc.candidate = locks
+        else:
+            loc.candidate = loc.candidate & locks
+        return loc
+
+    def race_candidates(self) -> List[LocationState]:
+        return [loc for loc in self.locations.values() if loc.is_race_candidate]
+
+    def racy_pairs(self, key: Hashable) -> List[Tuple[AccessRecord, AccessRecord]]:
+        """Access pairs from different threads with disjoint locksets and
+        at least one write — the paper's ``IsPotentialLockSetRace(i, j)``."""
+        loc = self.locations.get(key)
+        if loc is None:
+            return []
+        out: List[Tuple[AccessRecord, AccessRecord]] = []
+        accesses = loc.accesses
+        for i in range(len(accesses)):
+            a = accesses[i]
+            for j in range(i + 1, len(accesses)):
+                b = accesses[j]
+                if a.thread == b.thread:
+                    continue
+                if not (a.is_write or b.is_write):
+                    continue
+                if a.locks & b.locks:
+                    continue
+                out.append((a, b))
+        return out

@@ -1,0 +1,102 @@
+"""Happens-before data-race detection on user memory accesses.
+
+This is what a general-purpose thread checker (the paper's ITC
+comparison) does: monitor *every* shared memory access in parallel
+regions and report unordered conflicting pairs.  HOME deliberately does
+not do this — it is the expensive path — but the ITC baseline model
+needs it, and it doubles as an ablation showing why monitored-variable
+filtering is so much cheaper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...events import EventLog, MemAccess
+from .happensbefore import HBResult, compute_happens_before
+
+
+@dataclass
+class MemRace:
+    """A conflicting, unordered access pair on one memory cell."""
+
+    proc: int
+    cell: int
+    index: int
+    var: str
+    seq_a: int
+    seq_b: int
+    thread_a: int
+    thread_b: int
+    callsite_a: int
+    callsite_b: int
+
+    def key(self) -> Tuple[int, int, int]:
+        """One finding per racy memory location (cell, element)."""
+        return (self.proc, self.cell, self.index)
+
+
+def find_memory_races(
+    log: EventLog,
+    proc: int,
+    lock_edges: bool = True,
+    ignored_locks=None,
+    use_lockset: bool = True,
+    max_pairs_per_cell: int = 4,
+) -> List[MemRace]:
+    """Conflicting unordered access pairs on shared cells of *proc*.
+
+    ``max_pairs_per_cell`` bounds the quadratic pair search per cell —
+    real detectors keep a bounded access history for the same reason.
+    Deduplication by (var, callsite pair) keeps reports readable.
+    """
+    accesses: Dict[tuple, List[MemAccess]] = {}
+    for event in log:
+        if type(event) is MemAccess and event.proc == proc:
+            accesses.setdefault((event.cell, event.index), []).append(event)
+    if not accesses:
+        return []
+
+    hb = compute_happens_before(
+        log, proc, lock_edges=lock_edges, ignored_locks=ignored_locks
+    )
+
+    races: List[MemRace] = []
+    seen_keys = set()
+    for (cell, _index), evs in accesses.items():
+        if len(evs) < 2:
+            continue
+        threads = {e.thread for e in evs}
+        if len(threads) < 2:
+            continue
+        found = 0
+        # Bounded pairwise scan: compare each access against a window of
+        # later accesses from other threads.
+        for i in range(len(evs)):
+            if found >= max_pairs_per_cell:
+                break
+            a = evs[i]
+            for j in range(i + 1, len(evs)):
+                b = evs[j]
+                if a.thread == b.thread:
+                    continue
+                if not (a.is_write or b.is_write):
+                    continue
+                if hb.ordered(a.seq, b.seq):
+                    continue
+                if use_lockset and not hb.disjoint_locks(a.seq, b.seq):
+                    continue
+                race = MemRace(
+                    proc=proc, cell=cell, index=_index, var=a.var,
+                    seq_a=a.seq, seq_b=b.seq,
+                    thread_a=a.thread, thread_b=b.thread,
+                    callsite_a=a.callsite, callsite_b=b.callsite,
+                )
+                if race.key() not in seen_keys:
+                    seen_keys.add(race.key())
+                    races.append(race)
+                    found += 1
+                if found >= max_pairs_per_cell:
+                    break
+    return races

@@ -1,0 +1,82 @@
+"""Vector clocks over process-local thread ids.
+
+Sparse dict-backed implementation: component absent == 0.  Used by the
+happens-before pass to order events of one process's threads (Lamport's
+partial order, as the paper cites).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+
+class VectorClock:
+    """An immutable-by-convention vector clock (copy before mutating)."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, components: Dict[int, int] | None = None) -> None:
+        self._c: Dict[int, int] = dict(components) if components else {}
+
+    # -- accessors -----------------------------------------------------------
+
+    def get(self, tid: int) -> int:
+        return self._c.get(tid, 0)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._c.items())
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._c)
+
+    # -- mutation (on copies) -------------------------------------------------
+
+    def tick(self, tid: int) -> "VectorClock":
+        """Return a copy with *tid*'s component incremented."""
+        out = self.copy()
+        out._c[tid] = out._c.get(tid, 0) + 1
+        return out
+
+    def join(self, other: "VectorClock") -> "VectorClock":
+        """Pointwise maximum."""
+        out = self.copy()
+        for tid, val in other._c.items():
+            if val > out._c.get(tid, 0):
+                out._c[tid] = val
+        return out
+
+    # -- ordering -----------------------------------------------------------
+
+    def leq(self, other: "VectorClock") -> bool:
+        """True iff self <= other pointwise."""
+        return all(val <= other._c.get(tid, 0) for tid, val in self._c.items())
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        """Strict Lamport order: self <= other and not other <= self."""
+        return self.leq(other) and not other.leq(self)
+
+    def concurrent(self, other: "VectorClock") -> bool:
+        return not self.leq(other) and not other.leq(self)
+
+    # -- dunder -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return {k: v for k, v in self._c.items() if v} == {
+            k: v for k, v in other._c.items() if v
+        }
+
+    def __hash__(self) -> int:
+        return hash(frozenset((k, v) for k, v in self._c.items() if v))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"t{t}:{v}" for t, v in sorted(self._c.items()))
+        return f"VC({inner})"
+
+
+def join_all(clocks: Iterable[VectorClock]) -> VectorClock:
+    out = VectorClock()
+    for clock in clocks:
+        out = out.join(clock)
+    return out

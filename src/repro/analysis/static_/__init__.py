@@ -1,0 +1,45 @@
+"""Compile-time (static) analysis phase of HOME."""
+
+from .candidates import (  # noqa: F401
+    StaticEnvelope,
+    ViolationCandidate,
+    candidate_summary,
+    envelope_of,
+    find_candidates,
+)
+from .checklist import Checklist, ChecklistEntry, build_checklist  # noqa: F401
+from .instrument import (  # noqa: F401
+    InstrumentationResult,
+    InstrumentPolicy,
+    instrument_program,
+)
+from .mpi_sites import MPISite, collect_sites  # noqa: F401
+from .report import StaticReport, run_static_analysis  # noqa: F401
+from .threadlevel import (  # noqa: F401
+    StaticWarning,
+    ThreadLevelInfo,
+    check_thread_level,
+    infer_thread_level,
+)
+
+__all__ = [
+    "MPISite",
+    "ViolationCandidate",
+    "StaticEnvelope",
+    "find_candidates",
+    "candidate_summary",
+    "envelope_of",
+    "collect_sites",
+    "instrument_program",
+    "InstrumentationResult",
+    "InstrumentPolicy",
+    "Checklist",
+    "ChecklistEntry",
+    "build_checklist",
+    "StaticWarning",
+    "ThreadLevelInfo",
+    "infer_thread_level",
+    "check_thread_level",
+    "StaticReport",
+    "run_static_analysis",
+]

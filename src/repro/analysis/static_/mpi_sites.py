@@ -1,0 +1,211 @@
+"""MPI call-site discovery.
+
+Finds every MPI call in a program, records its lexical context (OpenMP
+parallel nesting, enclosing criticals, enclosing function) and extracts
+statically known argument values.  Optionally propagates parallel
+context *interprocedurally* along the call graph: a function invoked
+from inside a parallel region executes on team threads, so its MPI
+sites are hybrid sites too (the paper lists this refinement as future
+work; it is implemented here behind a flag that defaults on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ...minilang import ast_nodes as A
+from ...mpi.constants import LANGUAGE_CONSTANTS
+
+#: Call names treated as MPI routines by the static pass.
+MPI_PREFIXES = ("mpi_", "hmpi_")
+
+#: MPI routines that are pure queries — never instrumented (no monitored
+#: variables are associated with them).
+QUERY_OPS = frozenset(
+    {
+        "mpi_comm_rank", "mpi_comm_size", "mpi_wtime",
+        "mpi_is_thread_main", "mpi_initialized",
+    }
+)
+
+
+@dataclass
+class MPISite:
+    """One static MPI call site."""
+
+    nid: int                      # CallExpr node id
+    op: str                       # canonical op name (mpi_*)
+    func: str                     # enclosing function
+    loc: str                      # "line:col"
+    in_parallel: bool             # lexically or interprocedurally hybrid
+    lexical_parallel: bool        # lexically inside omp parallel
+    criticals: Tuple[str, ...]    # enclosing critical-section names
+    in_master: bool               # lexically inside omp master/single
+    static_args: Dict[int, object] = field(default_factory=dict)
+    call_chain: Tuple[str, ...] = ()
+
+    @property
+    def instrumentable(self) -> bool:
+        return self.op not in QUERY_OPS
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        ctx = "hybrid" if self.in_parallel else "serial"
+        return f"{self.op} at {self.func}:{self.loc} [{ctx}]"
+
+
+def _static_value(expr: A.Expr) -> Optional[object]:
+    """Best-effort constant evaluation of an argument expression."""
+    if isinstance(expr, A.IntLit):
+        return expr.value
+    if isinstance(expr, A.FloatLit):
+        return expr.value
+    if isinstance(expr, A.BoolLit):
+        return expr.value
+    if isinstance(expr, A.StrLit):
+        return expr.value
+    if isinstance(expr, A.Name) and expr.ident in LANGUAGE_CONSTANTS:
+        return LANGUAGE_CONSTANTS[expr.ident]
+    if isinstance(expr, A.Unary) and expr.op == "-":
+        inner = _static_value(expr.operand)
+        if isinstance(inner, (int, float)):
+            return -inner
+    return None
+
+
+class _SiteCollector:
+    """Single-function walker tracking OpenMP lexical context."""
+
+    def __init__(self, func: A.FuncDef) -> None:
+        self.func = func
+        self.sites: List[MPISite] = []
+        self.calls_out: List[Tuple[str, bool]] = []  # (callee, in_parallel)
+        self._parallel_depth = 0
+        self._criticals: List[str] = []
+        self._master_depth = 0
+
+    def collect(self) -> None:
+        self._walk_stmt(self.func.body)
+
+    # -- expression side ------------------------------------------------------
+
+    def _walk_expr(self, expr: A.Expr) -> None:
+        if isinstance(expr, A.CallExpr):
+            for arg in expr.args:
+                self._walk_expr(arg)
+            name = expr.name
+            if name.startswith(MPI_PREFIXES) and name != "mpi_monitor_setup":
+                op = name[1:] if name.startswith("hmpi_") else name
+                self.sites.append(
+                    MPISite(
+                        nid=expr.nid,
+                        op=op,
+                        func=self.func.name,
+                        loc=f"{expr.loc.line}:{expr.loc.col}",
+                        in_parallel=self._parallel_depth > 0,
+                        lexical_parallel=self._parallel_depth > 0,
+                        criticals=tuple(self._criticals),
+                        in_master=self._master_depth > 0,
+                        static_args={
+                            i: v
+                            for i, arg in enumerate(expr.args)
+                            if (v := _static_value(arg)) is not None
+                        },
+                        call_chain=(self.func.name,),
+                    )
+                )
+            elif name == "thread_spawn" and expr.args and isinstance(expr.args[0], A.StrLit):
+                # Explicitly spawned threads run concurrently with their
+                # spawner: the target function executes in hybrid context.
+                self.calls_out.append((expr.args[0].value, True))
+            else:
+                self.calls_out.append((name, self._parallel_depth > 0))
+        else:
+            for child in expr.children():
+                if isinstance(child, A.Expr):
+                    self._walk_expr(child)
+
+    # -- statement side -----------------------------------------------------
+
+    def _walk_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.OmpParallel):
+            self._parallel_depth += 1
+            self._walk_stmt(stmt.body)
+            self._parallel_depth -= 1
+            return
+        if isinstance(stmt, A.OmpCritical):
+            self._criticals.append(stmt.name or "<anonymous>")
+            self._walk_stmt(stmt.body)
+            self._criticals.pop()
+            return
+        if isinstance(stmt, (A.OmpMaster, A.OmpSingle)):
+            self._master_depth += 1
+            self._walk_stmt(stmt.body)
+            self._master_depth -= 1
+            return
+        # Generic traversal: visit expressions, then sub-statements.
+        for child in stmt.children():
+            if isinstance(child, A.Expr):
+                self._walk_expr(child)
+            elif isinstance(child, A.Stmt):
+                self._walk_stmt(child)
+
+
+def collect_sites(
+    program: A.Program, interprocedural: bool = True
+) -> List[MPISite]:
+    """All MPI sites in *program*, with hybrid-context classification."""
+    per_func: Dict[str, _SiteCollector] = {}
+    for fn in program.functions:
+        collector = _SiteCollector(fn)
+        collector.collect()
+        per_func[fn.name] = collector
+
+    if interprocedural:
+        hybrid_funcs = _functions_reaching_parallel(program, per_func)
+        for fname, collector in per_func.items():
+            if fname in hybrid_funcs:
+                for site in collector.sites:
+                    if not site.in_parallel:
+                        site.in_parallel = True
+                        site.call_chain = tuple(sorted(hybrid_funcs[fname])) + (fname,)
+
+    sites: List[MPISite] = []
+    for collector in per_func.values():
+        sites.extend(collector.sites)
+    return sites
+
+
+def _functions_reaching_parallel(
+    program: A.Program, per_func: Dict[str, _SiteCollector]
+) -> Dict[str, Set[str]]:
+    """Functions transitively callable from inside a parallel region.
+
+    Returns a map callee -> set of direct hybrid callers (for reporting
+    the call chain).
+    """
+    graph = nx.DiGraph()
+    roots: Set[str] = set()
+    user_funcs = {fn.name for fn in program.functions}
+    for fname, collector in per_func.items():
+        for callee, in_par in collector.calls_out:
+            if callee not in user_funcs:
+                continue
+            graph.add_edge(fname, callee)
+            if in_par:
+                roots.add(callee)
+    hybrid: Dict[str, Set[str]] = {}
+    frontier = list(roots)
+    for root in roots:
+        hybrid.setdefault(root, set())
+    while frontier:
+        current = frontier.pop()
+        if current not in graph:
+            continue
+        for nxt in graph.successors(current):
+            if nxt not in hybrid:
+                hybrid[nxt] = {current}
+                frontier.append(nxt)
+    return hybrid

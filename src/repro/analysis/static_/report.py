@@ -1,0 +1,86 @@
+"""Static-analysis report aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ...minilang import ast_nodes as A
+from ..cfg import CFG, build_program_cfgs
+from .candidates import ViolationCandidate, candidate_summary, find_candidates
+from .checklist import Checklist, build_checklist
+from .instrument import InstrumentationResult, InstrumentPolicy, instrument_program
+from .mpi_sites import MPISite, collect_sites
+from .threadlevel import StaticWarning, ThreadLevelInfo, check_thread_level, infer_thread_level
+
+
+@dataclass
+class StaticReport:
+    """Everything the compile-time phase learned about a program."""
+
+    program_name: str
+    thread_level: ThreadLevelInfo
+    sites: List[MPISite]
+    warnings: List[StaticWarning]
+    checklist: Checklist
+    instrumentation: InstrumentationResult
+    cfgs: Dict[str, CFG] = field(default_factory=dict)
+    candidates: List[ViolationCandidate] = field(default_factory=list)
+
+    @property
+    def hybrid_sites(self) -> List[MPISite]:
+        return [s for s in self.sites if s.in_parallel]
+
+    @property
+    def instrumented_program(self) -> A.Program:
+        return self.instrumentation.program
+
+    def summary(self) -> str:
+        lines = [
+            f"static analysis of {self.program_name!r}:",
+            f"  declared thread level: {self.thread_level.level_name}",
+            f"  MPI call sites: {len(self.sites)} "
+            f"({len(self.hybrid_sites)} in hybrid context)",
+            f"  instrumented: {self.instrumentation.n_instrumented}, "
+            f"filtered out: {self.instrumentation.n_filtered} "
+            f"({self.instrumentation.reduction_ratio:.0%} reduction)",
+            f"  checklist entries: {len(self.checklist)}",
+        ]
+        if self.candidates:
+            counts = candidate_summary(self.candidates)
+            per_class = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+            lines.append(
+                f"  static violation candidates: {len(self.candidates)} "
+                f"({per_class})"
+            )
+        for w in self.warnings:
+            lines.append(f"  {w}")
+        return "\n".join(lines)
+
+
+def run_static_analysis(
+    program: A.Program,
+    policy: InstrumentPolicy = "hybrid-only",
+    interprocedural: bool = True,
+    with_cfgs: bool = True,
+) -> StaticReport:
+    """The full compile-time phase of HOME (paper Fig. 3, left column)."""
+    sites = collect_sites(program, interprocedural=interprocedural)
+    warnings = check_thread_level(program, sites)
+    instrumentation = instrument_program(
+        program, policy=policy, interprocedural=interprocedural
+    )
+    hybrid = [s for s in sites if s.in_parallel and s.instrumentable]
+    checklist = build_checklist(hybrid)
+    cfgs = build_program_cfgs(program) if with_cfgs else {}
+    candidates = find_candidates(sites)
+    return StaticReport(
+        program_name=program.name,
+        thread_level=infer_thread_level(program),
+        sites=sites,
+        warnings=warnings,
+        checklist=checklist,
+        instrumentation=instrumentation,
+        cfgs=cfgs,
+        candidates=candidates,
+    )

@@ -1,0 +1,18 @@
+"""Baseline checking-tool models: Marmot and the Intel Thread Checker."""
+
+from .base import BaseRunner, CheckingTool, ToolReport, call_records_from_events  # noqa: F401
+from .itc import IntelThreadChecker, itc_concurrency, itc_ignores_lock  # noqa: F401
+from .marmot import Marmot, observed_concurrency, observed_intervals  # noqa: F401
+
+__all__ = [
+    "CheckingTool",
+    "ToolReport",
+    "BaseRunner",
+    "Marmot",
+    "IntelThreadChecker",
+    "call_records_from_events",
+    "observed_concurrency",
+    "observed_intervals",
+    "itc_concurrency",
+    "itc_ignores_lock",
+]

@@ -1,0 +1,421 @@
+"""Command-line interface: ``home-check`` / ``python -m repro.cli``.
+
+Subcommands
+-----------
+
+``check FILE``
+    Run a checking tool (HOME by default) on a mini-language program.
+``static FILE``
+    Compile-time phase only: sites, warnings, instrumented source.
+``run FILE``
+    Execute a program on the simulator without any checking.
+``table1``
+    Regenerate the paper's detection-count table.
+``figure {4,5,6,7}``
+    Regenerate one of the paper's figures as a text table.
+``demo``
+    Run HOME over the built-in case studies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from . import errors
+from .baselines import BaseRunner, IntelThreadChecker, Marmot
+from .home import Home
+from .minilang import parse, print_program, validate
+
+TOOLS = {
+    "home": Home,
+    "marmot": Marmot,
+    "itc": IntelThreadChecker,
+    "base": BaseRunner,
+}
+
+
+def _load_program(path: str):
+    source = Path(path).read_text()
+    program = parse(source)
+    validate(program)
+    return program
+
+
+def _add_run_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--procs", type=int, default=2, help="MPI processes (default 2)")
+    p.add_argument("--threads", type=int, default=2, help="OpenMP threads per process")
+    p.add_argument("--seed", type=int, default=0, help="scheduler seed")
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    source = Path(args.file).read_text()
+    program = _load_program(args.file)
+    tool = TOOLS[args.tool]()
+    report = tool.check(
+        program, nprocs=args.procs, num_threads=args.threads, seed=args.seed
+    )
+    if args.format == "json":
+        from .violations.render import report_to_json
+
+        print(report_to_json(report.violations))
+        return 1 if len(report.violations) or report.deadlocked else 0
+    if args.excerpts:
+        from .violations.render import render_report
+
+        print(f"=== {tool.name} on {program.name} ===")
+        print(f"virtual execution time: {report.makespan:.0f}")
+        print(render_report(report.violations, source=source,
+                            with_fixes=args.fix_hints))
+    else:
+        print(report.summary())
+    if args.fix_hints and len(report.violations):
+        from .violations.fixes import suggest_fixes
+
+        print()
+        print("suggested fixes:")
+        for suggestion in suggest_fixes(report.violations):
+            print(f"  {suggestion}")
+    if args.msg_races:
+        from .analysis.dynamic_.msgrace import wildcard_races
+
+        races = wildcard_races(report.execution.log)
+        print()
+        if races:
+            print(f"{len(races)} nondeterministic message match(es) "
+                  "(DAMPI-style analysis):")
+            for race in races:
+                print(f"  {race}")
+        else:
+            print("no nondeterministic message matches (DAMPI-style analysis)")
+    if args.html:
+        from .violations.html import report_to_html
+
+        static_info = None
+        if report.static is not None:
+            static_info = {
+                "declared thread level": report.static.thread_level.level_name,
+                "MPI call sites": len(report.static.sites),
+                "hybrid sites": len(report.static.hybrid_sites),
+                "instrumented": report.static.instrumentation.n_instrumented,
+                "filtered out": report.static.instrumentation.n_filtered,
+                "static candidates": len(report.static.candidates),
+            }
+        page = report_to_html(
+            report.violations,
+            program_name=program.name,
+            tool_name=tool.name,
+            source=source,
+            run_info={
+                "processes": args.procs, "threads": args.threads,
+                "seed": args.seed,
+                "virtual time": f"{report.makespan:.0f}",
+            },
+            static_info=static_info,
+        )
+        Path(args.html).write_text(page)
+        print(f"HTML report written to {args.html}")
+    if args.save_trace:
+        from .events.serialize import dump_log
+
+        dump_log(
+            report.execution.log, args.save_trace,
+            metadata={
+                "program": program.name, "tool": tool.name,
+                "procs": args.procs, "threads": args.threads,
+                "seed": args.seed,
+            },
+        )
+        print(f"trace written to {args.save_trace}")
+    if args.verbose:
+        for warning in report.extras.get("static_warnings", []):
+            print(f"  {warning}")
+        for note in report.execution.notes:
+            print(f"  note: {note}")
+    return 1 if len(report.violations) or report.deadlocked else 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Offline re-analysis of a saved trace."""
+    from .analysis.dynamic_.hybrid import DetectorConfig, analyze
+    from .events.serialize import load_log
+    from .violations import match_violations
+
+    log, meta = load_log(args.trace)
+    detector = DetectorConfig(
+        use_lockset=not args.no_lockset,
+        use_hb=not args.no_hb,
+        lock_edges=not args.no_lock_edges,
+    )
+    reports = analyze(log, detector)
+    violations = match_violations(log, reports)
+    if meta:
+        origin = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        print(f"trace: {origin}")
+    print(f"events: {len(log)}")
+    print(violations.summary())
+    return 1 if len(violations) else 0
+
+
+def cmd_fix(args: argparse.Namespace) -> int:
+    """Check, auto-repair (serializing critical), verify, write result."""
+    from .minilang import print_program
+    from .violations.fixes import repair_and_verify, suggest_fixes
+
+    program = _load_program(args.file)
+    before, repair, after = repair_and_verify(
+        program, nprocs=args.procs, num_threads=args.threads, seed=args.seed
+    )
+    print(f"before: {len(before.violations)} finding(s)")
+    for v in before.violations:
+        print(f"  {v}")
+    if not len(before.violations):
+        print("nothing to fix")
+        return 0
+    print(f"repair: wrapped {repair.wrapped_statements} statement(s) in "
+          f"omp critical (home_repair); classes: "
+          f"{', '.join(repair.targeted_classes) or '<none repairable>'}")
+    print(f"after:  {len(after.violations)} finding(s)")
+    for v in after.violations:
+        print(f"  {v}")
+    remaining = set(after.violations.classes()) & set(repair.targeted_classes)
+    if remaining:
+        print(f"WARNING: repair did not clear: {', '.join(sorted(remaining))}")
+    if after.violations.classes():
+        print("remaining findings need structural fixes:")
+        for suggestion in suggest_fixes(after.violations):
+            print(f"  {suggestion}")
+    if args.output:
+        Path(args.output).write_text(print_program(repair.program))
+        print(f"repaired program written to {args.output}")
+    return 0 if not remaining else 1
+
+
+def cmd_static(args: argparse.Namespace) -> int:
+    from .analysis.static_ import run_static_analysis
+
+    program = _load_program(args.file)
+    report = run_static_analysis(program)
+    print(report.summary())
+    if args.dump:
+        print("\n// ---- instrumented program ----")
+        print(print_program(report.instrumented_program))
+    return 1 if report.warnings else 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from .runtime import run_program
+
+    program = _load_program(args.file)
+    result = run_program(
+        program,
+        nprocs=args.procs,
+        num_threads=args.threads,
+        seed=args.seed,
+        thread_level_mode="permissive" if args.permissive else "skip",
+    )
+    for proc, thread, text in result.outputs:
+        print(f"[rank {proc}.t{thread}] {text}")
+    print(result.summary())
+    if result.deadlocked:
+        print(result.deadlock.summary())
+        return 2
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from .experiments import run_table1, table1_data
+
+    cells = run_table1(nprocs=args.procs, threads=args.threads, seed=args.seed)
+    print(table1_data(cells).render())
+    mismatches = [c for c in cells.values() if not c.matches_paper]
+    if mismatches:
+        for c in mismatches:
+            print(
+                f"MISMATCH: {c.benchmark}/{c.tool} scored {c.score}, "
+                f"paper reports {c.paper_value}"
+            )
+        return 1
+    print("all cells match the paper's reported counts")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from .experiments import execution_time_figure, overhead_figure
+
+    procs = args.proc_list or [2, 4, 8, 16, 32, 64]
+    if args.number == 7:
+        fig = overhead_figure(procs=procs, seed=args.seed)
+        print(fig.render(fmt="{:.0f}%"))
+    else:
+        benchmark = {4: "lu", 5: "bt", 6: "sp"}[args.number]
+        fig = execution_time_figure(benchmark, procs=procs, seed=args.seed)
+        print(fig.render())
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Regenerate the paper's whole evaluation in one command."""
+    from .experiments import (
+        overhead_band,
+        overhead_figure,
+        execution_time_figure,
+        run_table1,
+        table1_data,
+    )
+
+    procs = (2, 4, 8) if args.quick else (2, 4, 8, 16, 32, 64)
+    print("=" * 68)
+    print("Table 1 — detected violations")
+    print("=" * 68)
+    cells = run_table1(seed=args.seed)
+    print(table1_data(cells).render())
+    mismatch = [c for c in cells.values() if not c.matches_paper]
+    print("-> all cells match the paper" if not mismatch
+          else f"-> {len(mismatch)} cell(s) mismatch the paper")
+    for number, benchmark in ((4, "lu"), (5, "bt"), (6, "sp")):
+        print()
+        print("=" * 68)
+        print(f"Figure {number} — {benchmark.upper()}-MZ execution time")
+        print("=" * 68)
+        print(execution_time_figure(benchmark, procs=procs, seed=args.seed).render())
+    print()
+    print("=" * 68)
+    print("Figure 7 — average overhead")
+    print("=" * 68)
+    fig7 = overhead_figure(procs=procs, seed=args.seed)
+    print(fig7.render(fmt="{:.0f}%"))
+    print()
+    for tool, paper in (("HOME", "16-45%"), ("MARMOT", "15-56%"),
+                        ("ITC", "up to ~200%")):
+        lo, hi = overhead_band(fig7, tool)
+        print(f"{tool:7s} reproduced {lo:.0f}%-{hi:.0f}%   (paper: {paper})")
+    return 0 if not mismatch else 1
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from .workloads.case_studies import (
+        case_study_1,
+        case_study_2,
+        case_study_2_fixed,
+        safe_funneled,
+    )
+
+    for builder in (case_study_1, case_study_2, case_study_2_fixed, safe_funneled):
+        program = builder()
+        report = Home().check(program, nprocs=2, num_threads=2, seed=args.seed)
+        print("=" * 64)
+        print(report.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="home-check",
+        description="HOME: thread-safety checking for hybrid MPI/OpenMP programs "
+        "(CLUSTER 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="run a checking tool on a program")
+    p.add_argument("file")
+    p.add_argument("--tool", choices=sorted(TOOLS), default="home")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.add_argument("--fix-hints", action="store_true",
+                   help="print remediation suggestions for findings")
+    p.add_argument("--save-trace", metavar="PATH",
+                   help="save the execution's event trace as JSON lines")
+    p.add_argument("--excerpts", action="store_true",
+                   help="show source excerpts at each finding")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--html", metavar="PATH",
+                   help="write a standalone HTML report")
+    p.add_argument("--msg-races", action="store_true",
+                   help="also report nondeterministic message matches "
+                        "(DAMPI-style wildcard-receive analysis)")
+    _add_run_args(p)
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("analyze", help="re-analyze a saved event trace")
+    p.add_argument("trace")
+    p.add_argument("--no-lockset", action="store_true")
+    p.add_argument("--no-hb", action="store_true")
+    p.add_argument("--no-lock-edges", action="store_true")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "fix", help="auto-repair concurrency findings (serializing critical)"
+    )
+    p.add_argument("file")
+    p.add_argument("-o", "--output", metavar="PATH",
+                   help="write the repaired program here")
+    _add_run_args(p)
+    p.set_defaults(func=cmd_fix)
+
+    p = sub.add_parser("static", help="compile-time analysis only")
+    p.add_argument("file")
+    p.add_argument("--dump", action="store_true", help="print the instrumented source")
+    p.set_defaults(func=cmd_static)
+
+    p = sub.add_parser("run", help="execute a program without checking")
+    p.add_argument("file")
+    p.add_argument(
+        "--permissive",
+        action="store_true",
+        help="execute thread-level-breaching MPI calls instead of skipping them",
+    )
+    _add_run_args(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("table1", help="regenerate the detection-count table")
+    _add_run_args(p)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("number", type=int, choices=(4, 5, 6, 7))
+    p.add_argument(
+        "--proc-list", type=int, nargs="+", default=None,
+        help="process counts to sweep (default: 2 4 8 16 32 64)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser(
+        "reproduce", help="regenerate the paper's full evaluation"
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="sweep only 2/4/8 processes")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser("demo", help="run HOME over the built-in case studies")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except errors.MiniLangError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # output piped into a pager/head that exited early
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

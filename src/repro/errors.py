@@ -1,0 +1,67 @@
+"""Exception hierarchy shared across the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch simulator-level failures without masking genuine Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class MiniLangError(ReproError):
+    """Base class for mini-language front-end errors."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.line = line
+        self.col = col
+        if line:
+            message = f"{message} (line {line}, col {col})"
+        super().__init__(message)
+
+
+class LexError(MiniLangError):
+    """Raised when the lexer encounters an invalid character or literal."""
+
+
+class ParseError(MiniLangError):
+    """Raised when the parser encounters an unexpected token."""
+
+
+class ValidationError(MiniLangError):
+    """Raised when a structurally invalid AST is validated."""
+
+
+class RuntimeSimError(ReproError):
+    """Base class for simulated-runtime errors."""
+
+
+class SimAbort(RuntimeSimError):
+    """A simulated program aborted (e.g. failing assertion, MPI misuse)."""
+
+
+class DeadlockError(RuntimeSimError):
+    """The scheduler found every live task blocked with no wake-up possible."""
+
+    def __init__(self, message: str, blocked: list | None = None) -> None:
+        super().__init__(message)
+        #: Diagnostic descriptions of the blocked tasks at deadlock time.
+        self.blocked = blocked or []
+
+
+class MPIUsageError(RuntimeSimError):
+    """An MPI routine was called in a way the (simulated) standard forbids."""
+
+
+class SchedulerError(RuntimeSimError):
+    """Internal scheduler invariant broke (a bug in the simulator itself)."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the static/dynamic analysis layers on malformed input."""
+
+
+class ToolError(ReproError):
+    """Raised by tool drivers (HOME / baselines) on misconfiguration."""

@@ -1,0 +1,41 @@
+"""Typed runtime events consumed by the dynamic analyses.
+
+The interpreter emits a single totally-ordered (by emission) stream of
+events per execution.  HOME's lockset and happens-before analyses, the
+Marmot model and the ITC model all consume subsets of this stream.
+"""
+
+from .event import (  # noqa: F401
+    BarrierEvent,
+    Event,
+    LockAcquire,
+    LockRelease,
+    MemAccess,
+    MonitoredKind,
+    MonitoredWrite,
+    MPICall,
+    ThreadBegin,
+    ThreadEnd,
+    ThreadFork,
+    ThreadJoin,
+)
+from .log import EventLog  # noqa: F401
+from .serialize import dump_log, load_log  # noqa: F401
+
+__all__ = [
+    "Event",
+    "MemAccess",
+    "MonitoredWrite",
+    "MonitoredKind",
+    "LockAcquire",
+    "LockRelease",
+    "BarrierEvent",
+    "ThreadBegin",
+    "ThreadEnd",
+    "ThreadFork",
+    "ThreadJoin",
+    "MPICall",
+    "EventLog",
+    "dump_log",
+    "load_log",
+]

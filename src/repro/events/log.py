@@ -1,0 +1,141 @@
+"""Append-only event log with typed query helpers.
+
+One :class:`EventLog` is produced per simulated execution.  The dynamic
+analyses are offline: they replay this log after the run terminates,
+which matches the paper's "StartExecLog(); // record all the arguments
+in log" wrapper design.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Tuple, Type, TypeVar
+
+from .event import (
+    BarrierEvent,
+    Event,
+    LockAcquire,
+    LockRelease,
+    MemAccess,
+    MonitoredWrite,
+    MPICall,
+    ThreadBegin,
+    ThreadEnd,
+    ThreadFork,
+    ThreadJoin,
+)
+
+E = TypeVar("E", bound=Event)
+
+
+class EventLog:
+    """Totally ordered (by emission) log of runtime events."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+        self._seq = itertools.count(0)
+
+    # -- recording -----------------------------------------------------------
+
+    def next_seq(self) -> int:
+        """Allocate the next emission sequence number."""
+        return next(self._seq)
+
+    def append(self, event: Event) -> None:
+        self._events.append(event)
+
+    def extend(self, events: Iterable[Event]) -> None:
+        self._events.extend(events)
+
+    # -- querying ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, idx: int) -> Event:
+        return self._events[idx]
+
+    def of_type(self, etype: Type[E]) -> List[E]:
+        """All events of exactly the given type, in emission order."""
+        return [e for e in self._events if type(e) is etype]
+
+    def for_process(self, proc: int) -> List[Event]:
+        return [e for e in self._events if e.proc == proc]
+
+    def processes(self) -> List[int]:
+        return sorted({e.proc for e in self._events})
+
+    def threads_of(self, proc: int) -> List[int]:
+        return sorted({e.thread for e in self._events if e.proc == proc})
+
+    def by_thread(self, proc: int) -> Dict[int, List[Event]]:
+        """Per-thread event streams of one process, each in program order."""
+        streams: Dict[int, List[Event]] = defaultdict(list)
+        for e in self._events:
+            if e.proc == proc:
+                streams[e.thread].append(e)
+        return dict(streams)
+
+    def monitored_writes(self, proc: int) -> List[MonitoredWrite]:
+        return [
+            e
+            for e in self._events
+            if type(e) is MonitoredWrite and e.proc == proc
+        ]
+
+    def mpi_calls(self, proc: int | None = None, phase: str = "begin") -> List[MPICall]:
+        return [
+            e
+            for e in self._events
+            if type(e) is MPICall
+            and e.phase == phase
+            and (proc is None or e.proc == proc)
+        ]
+
+    def mpi_call_intervals(self, proc: int) -> List[Tuple[MPICall, MPICall]]:
+        """(begin, end) pairs for each completed MPI call in *proc*.
+
+        Calls that never completed (e.g. blocked at deadlock) are paired
+        with ``None`` end markers and excluded here; the Marmot model
+        inspects unfinished calls separately via :meth:`unfinished_mpi_calls`.
+        """
+        begins: Dict[int, MPICall] = {}
+        pairs: List[Tuple[MPICall, MPICall]] = []
+        for e in self._events:
+            if type(e) is not MPICall or e.proc != proc:
+                continue
+            if e.phase == "begin":
+                begins[e.call_id] = e
+            else:
+                begin = begins.pop(e.call_id, None)
+                if begin is not None:
+                    pairs.append((begin, e))
+        return pairs
+
+    def unfinished_mpi_calls(self, proc: int) -> List[MPICall]:
+        """MPI calls that began but never ended (blocked forever)."""
+        begins: Dict[int, MPICall] = {}
+        for e in self._events:
+            if type(e) is not MPICall or e.proc != proc:
+                continue
+            if e.phase == "begin":
+                begins[e.call_id] = e
+            else:
+                begins.pop(e.call_id, None)
+        return list(begins.values())
+
+    # -- statistics ------------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts by type name (diagnostics / tests)."""
+        out: Dict[str, int] = defaultdict(int)
+        for e in self._events:
+            out[type(e).__name__] += 1
+        return dict(out)
+
+
+__all__ = ["EventLog"]

@@ -1,0 +1,132 @@
+"""Event-log serialization (JSON lines).
+
+HOME's dynamic phase is offline — it replays a recorded event stream —
+so traces are first-class artifacts: a run on one machine can be
+analyzed on another, archived next to a bug report, or re-analyzed
+with different detector settings without re-running the program.
+
+Format: one JSON object per line; first line is a header with the
+format version and run metadata, each following line one event with a
+``t`` (type) discriminator.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, TextIO, Union
+
+from ..errors import AnalysisError
+from .event import (
+    BarrierEvent,
+    Event,
+    LockAcquire,
+    LockRelease,
+    MemAccess,
+    MonitoredKind,
+    MonitoredWrite,
+    MPICall,
+    ThreadBegin,
+    ThreadEnd,
+    ThreadFork,
+    ThreadJoin,
+)
+from .log import EventLog
+
+FORMAT_VERSION = 1
+
+_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        MemAccess, MonitoredWrite, LockAcquire, LockRelease, BarrierEvent,
+        ThreadFork, ThreadJoin, ThreadBegin, ThreadEnd, MPICall,
+    )
+}
+
+
+def _event_to_dict(event: Event) -> Dict[str, Any]:
+    import dataclasses
+
+    out: Dict[str, Any] = {"t": type(event).__name__}
+    for f in dataclasses.fields(event):
+        value = getattr(event, f.name)
+        if isinstance(value, MonitoredKind):
+            value = value.name
+        elif isinstance(value, tuple):
+            value = list(value)
+        out[f.name] = value
+    return out
+
+
+def _event_from_dict(data: Dict[str, Any]) -> Event:
+    data = dict(data)
+    tname = data.pop("t", None)
+    cls = _TYPES.get(tname)
+    if cls is None:
+        raise AnalysisError(f"unknown event type {tname!r} in trace")
+    if cls is MonitoredWrite and "kind" in data:
+        data["kind"] = MonitoredKind[data["kind"]]
+    for key in ("children",):
+        if key in data and isinstance(data[key], list):
+            data[key] = tuple(data[key])
+    try:
+        return cls(**data)
+    except TypeError as err:
+        raise AnalysisError(f"malformed {tname} record: {err}") from err
+
+
+def dump_log(
+    log: EventLog,
+    target: Union[str, Path, TextIO],
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write *log* as JSON lines to a path or open text file."""
+    own = isinstance(target, (str, Path))
+    fh: TextIO = open(target, "w") if own else target  # type: ignore[arg-type]
+    try:
+        header = {"format": "repro-trace", "version": FORMAT_VERSION,
+                  "events": len(log)}
+        if metadata:
+            header["meta"] = metadata
+        fh.write(json.dumps(header) + "\n")
+        for event in log:
+            fh.write(json.dumps(_event_to_dict(event)) + "\n")
+    finally:
+        if own:
+            fh.close()
+
+
+def load_log(source: Union[str, Path, TextIO]):
+    """Read a trace written by :func:`dump_log`.
+
+    Returns ``(EventLog, metadata dict)``.
+    """
+    own = isinstance(source, (str, Path))
+    fh: TextIO = open(source) if own else source  # type: ignore[arg-type]
+    try:
+        header_line = fh.readline()
+        if not header_line.strip():
+            raise AnalysisError("empty trace file")
+        header = json.loads(header_line)
+        if header.get("format") != "repro-trace":
+            raise AnalysisError("not a repro trace file")
+        if header.get("version") != FORMAT_VERSION:
+            raise AnalysisError(
+                f"unsupported trace version {header.get('version')}"
+            )
+        log = EventLog()
+        max_seq = -1
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            event = _event_from_dict(json.loads(line))
+            log.append(event)
+            max_seq = max(max_seq, event.seq)
+        # keep the seq allocator consistent for appended events
+        for _ in range(max_seq + 1):
+            log.next_seq()
+        return log, header.get("meta", {})
+    finally:
+        if own:
+            fh.close()

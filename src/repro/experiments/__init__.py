@@ -1,0 +1,51 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from .figures import (  # noqa: F401
+    DEFAULT_PROCS,
+    DEFAULT_THREADS,
+    execution_time_figure,
+    measure_execution_times,
+    overhead_band,
+    overhead_figure,
+)
+from .schedules import (  # noqa: F401
+    DetectionRates,
+    detection_rates,
+    schedule_study,
+    study_table,
+)
+from .series import FigureData, Series, TableData  # noqa: F401
+from .threads import (  # noqa: F401
+    DEFAULT_THREAD_SWEEP,
+    build_thread_sweep_program,
+    thread_overhead_figure,
+)
+from .table1 import (  # noqa: F401
+    PAPER_TABLE1,
+    Table1Cell,
+    run_table1,
+    table1_data,
+)
+
+__all__ = [
+    "Series",
+    "FigureData",
+    "TableData",
+    "DEFAULT_PROCS",
+    "DEFAULT_THREADS",
+    "measure_execution_times",
+    "execution_time_figure",
+    "overhead_figure",
+    "overhead_band",
+    "run_table1",
+    "table1_data",
+    "Table1Cell",
+    "PAPER_TABLE1",
+    "DetectionRates",
+    "detection_rates",
+    "schedule_study",
+    "study_table",
+    "thread_overhead_figure",
+    "build_thread_sweep_program",
+    "DEFAULT_THREAD_SWEEP",
+]

@@ -1,0 +1,114 @@
+"""Regeneration of the paper's figures 4-7.
+
+* Figures 4/5/6 — execution time vs. number of MPI processes for
+  LU-MZ / BT-MZ / SP-MZ, four series each (Base, HOME, MARMOT, ITC),
+  with the injected violations present (the paper times the modified
+  benchmarks).
+* Figure 7 — average instrumentation overhead (%) vs. processes,
+  averaged over the three benchmarks, one series per tool.
+
+Absolute values are virtual-time units, not EC2 seconds — the *shape*
+(Base < HOME < MARMOT < ITC; overhead rising with process count; HOME
+in the paper's 16-45% band) is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..baselines import BaseRunner, CheckingTool, IntelThreadChecker, Marmot
+from ..home import Home
+from ..minilang import Program
+from ..workloads.npb import BENCHMARKS
+from .series import FigureData, Series
+
+#: The process counts of the paper's figures.
+DEFAULT_PROCS: Sequence[int] = (2, 4, 8, 16, 32, 64)
+
+#: Paper experiment setup: 2 OpenMP threads per process.
+DEFAULT_THREADS = 2
+
+
+def default_tools() -> List[CheckingTool]:
+    return [BaseRunner(), Home(), Marmot(), IntelThreadChecker()]
+
+
+def measure_execution_times(
+    program_builder: Callable[[], Program],
+    procs: Sequence[int] = DEFAULT_PROCS,
+    threads: int = DEFAULT_THREADS,
+    seed: int = 0,
+    tools: Optional[List[CheckingTool]] = None,
+) -> Dict[str, Dict[int, float]]:
+    """makespan[tool][nprocs] for each tool/process-count combination."""
+    tools = tools if tools is not None else default_tools()
+    out: Dict[str, Dict[int, float]] = {t.name: {} for t in tools}
+    for nprocs in procs:
+        program = program_builder()
+        for tool in tools:
+            report = tool.check(
+                program, nprocs=nprocs, num_threads=threads, seed=seed
+            )
+            out[tool.name][nprocs] = report.makespan
+    return out
+
+
+def execution_time_figure(
+    benchmark: str,
+    procs: Sequence[int] = DEFAULT_PROCS,
+    threads: int = DEFAULT_THREADS,
+    seed: int = 0,
+) -> FigureData:
+    """Figures 4 (lu), 5 (bt), 6 (sp): execution time vs processes."""
+    builder = BENCHMARKS[benchmark]
+    times = measure_execution_times(
+        lambda: builder(inject=True), procs, threads, seed
+    )
+    fig_no = {"lu": 4, "bt": 5, "sp": 6}[benchmark]
+    fig = FigureData(
+        title=f"Figure {fig_no}: {benchmark.upper()}-MZ hybrid MPI/OpenMP testing",
+        xlabel="processes",
+        ylabel="execution time (virtual units)",
+    )
+    for name, points in times.items():
+        fig.series.append(Series(name, dict(points)))
+    return fig
+
+
+def overhead_figure(
+    benchmarks: Iterable[str] = ("lu", "bt", "sp"),
+    procs: Sequence[int] = DEFAULT_PROCS,
+    threads: int = DEFAULT_THREADS,
+    seed: int = 0,
+) -> FigureData:
+    """Figure 7: average overhead (%) of each tool vs processes."""
+    acc: Dict[str, Dict[int, List[float]]] = {}
+    for benchmark in benchmarks:
+        builder = BENCHMARKS[benchmark]
+        times = measure_execution_times(
+            lambda: builder(inject=True), procs, threads, seed
+        )
+        base = times["Base"]
+        for tool_name, points in times.items():
+            if tool_name == "Base":
+                continue
+            slot = acc.setdefault(tool_name, {})
+            for nprocs, t in points.items():
+                slot.setdefault(nprocs, []).append(100.0 * (t / base[nprocs] - 1.0))
+    fig = FigureData(
+        title="Figure 7: overhead measurement (average over LU/BT/SP)",
+        xlabel="processes",
+        ylabel="average overhead (%)",
+    )
+    for tool_name, per_p in acc.items():
+        fig.series.append(
+            Series(tool_name, {p: sum(vals) / len(vals) for p, vals in per_p.items()})
+        )
+    return fig
+
+
+def overhead_band(figure: FigureData, tool: str) -> tuple:
+    """(min, max) overhead of *tool* across process counts — compared in
+    tests/EXPERIMENTS.md against the paper's reported bands."""
+    series = figure.get(tool)
+    return (min(series.ys()), max(series.ys()))

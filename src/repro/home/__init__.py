@@ -1,0 +1,5 @@
+"""HOME: the integrated static/dynamic thread-safety checker."""
+
+from .pipeline import Home, HomeOptions, check_program  # noqa: F401
+
+__all__ = ["Home", "HomeOptions", "check_program"]

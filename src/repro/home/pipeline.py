@@ -1,0 +1,86 @@
+"""HOME — the paper's tool.
+
+Pipeline (paper Fig. 3):
+
+1. **Compile-time checking** — CFG construction, hybrid-site discovery,
+   static thread-level warnings, selective instrumentation (MPI calls in
+   ``omp parallel`` regions become ``hmpi_*`` wrappers), and the
+   monitored-variable checklist.
+2. **Runtime checking** — execute the instrumented program; wrappers
+   write the monitored variables and log call arguments.
+3. **Hybrid dynamic analysis** — lockset + happens-before concurrency
+   detection on the monitored variables.
+4. **Report matching** — merge concurrency reports with the
+   thread-safety specification argument list into final violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..analysis.dynamic_.hybrid import DetectorConfig, analyze
+from ..analysis.static_ import InstrumentPolicy, StaticReport, run_static_analysis
+from ..baselines.base import CheckingTool, ToolReport
+from ..minilang import ast_nodes as A
+from ..runtime import ExecutionResult
+from ..runtime.costmodel import HOME_CHARGE
+from ..violations import ViolationReport, match_violations
+
+
+@dataclass(frozen=True)
+class HomeOptions:
+    """Tuning knobs for the HOME pipeline (defaults match the paper)."""
+
+    instrument_policy: InstrumentPolicy = "hybrid-only"
+    interprocedural: bool = True
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    #: include static thread-level warnings in the report extras
+    report_static_warnings: bool = True
+
+
+class Home(CheckingTool):
+    """The integrated static+dynamic thread-safety checker."""
+
+    name = "HOME"
+    charge = HOME_CHARGE
+    monitor_memory = False
+
+    def __init__(self, options: HomeOptions = HomeOptions()) -> None:
+        self.options = options
+
+    def prepare(self, program: A.Program):
+        static = run_static_analysis(
+            program,
+            policy=self.options.instrument_policy,
+            interprocedural=self.options.interprocedural,
+        )
+        return static.instrumented_program, static
+
+    def analyze(
+        self, result: ExecutionResult, static: Optional[StaticReport]
+    ) -> ViolationReport:
+        reports = analyze(result.log, self.options.detector)
+        return match_violations(result.log, reports)
+
+    def check(self, program, nprocs=2, num_threads=2, seed=0, **overrides) -> ToolReport:
+        report = super().check(program, nprocs, num_threads, seed, **overrides)
+        if self.options.report_static_warnings and report.static is not None:
+            report.extras["static_warnings"] = list(report.static.warnings)
+            report.extras["instrumented_sites"] = report.static.instrumentation.n_instrumented
+            report.extras["filtered_sites"] = report.static.instrumentation.n_filtered
+        return report
+
+
+def check_program(
+    program: A.Program,
+    nprocs: int = 2,
+    num_threads: int = 2,
+    seed: int = 0,
+    options: HomeOptions = HomeOptions(),
+    **overrides,
+) -> ToolReport:
+    """One-call convenience wrapper: run HOME on *program*."""
+    return Home(options).check(
+        program, nprocs=nprocs, num_threads=num_threads, seed=seed, **overrides
+    )

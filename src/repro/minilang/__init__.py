@@ -1,0 +1,33 @@
+"""Mini hybrid MPI/OpenMP language: AST, lexer, parser, printer, builder.
+
+This package is the "source language" substrate of the reproduction: the
+CLUSTER 2015 paper analyses C programs mixing MPI routines with OpenMP
+directives, and every workload, case study and injected violation in
+this repository is expressed in this language.
+"""
+
+from . import ast_nodes as ast  # noqa: F401  (public alias)
+from .ast_nodes import NOLOC, Node, Program, SourceLoc  # noqa: F401
+from .builder import ast_equal, clone  # noqa: F401
+from .lexer import Token, tokenize  # noqa: F401
+from .parser import parse  # noqa: F401
+from .printer import print_expr, print_program, print_stmt  # noqa: F401
+from .validation import count_nodes, validate  # noqa: F401
+
+__all__ = [
+    "ast",
+    "Node",
+    "Program",
+    "SourceLoc",
+    "NOLOC",
+    "Token",
+    "tokenize",
+    "parse",
+    "print_program",
+    "print_stmt",
+    "print_expr",
+    "validate",
+    "count_nodes",
+    "clone",
+    "ast_equal",
+]

@@ -1,0 +1,221 @@
+"""Pretty-printer for mini-language ASTs.
+
+``print_program(parse(src))`` produces source that parses back to a
+structurally identical AST — the round-trip property is enforced by the
+test suite.  The printer is also used to show users the instrumented
+program HOME generates (MPI calls rewritten to ``hmpi_*`` wrappers).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast_nodes as A
+
+_INDENT = "    "
+
+
+def _fmt_expr(expr: A.Expr) -> str:
+    if isinstance(expr, A.IntLit):
+        return str(expr.value)
+    if isinstance(expr, A.FloatLit):
+        text = repr(expr.value)
+        return text if ("." in text or "e" in text or "E" in text) else text + ".0"
+    if isinstance(expr, A.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, A.StrLit):
+        escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        return f'"{escaped}"'
+    if isinstance(expr, A.Name):
+        return expr.ident
+    if isinstance(expr, A.Index):
+        return f"{_fmt_expr(expr.base)}[{_fmt_expr(expr.index)}]"
+    if isinstance(expr, A.Unary):
+        return f"({expr.op}{_fmt_expr(expr.operand)})"
+    if isinstance(expr, A.Binary):
+        return f"({_fmt_expr(expr.left)} {expr.op} {_fmt_expr(expr.right)})"
+    if isinstance(expr, A.CallExpr):
+        args = ", ".join(_fmt_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise TypeError(f"cannot print expression node {type(expr).__name__}")
+
+
+def _fmt_simple(stmt: A.Stmt) -> str:
+    """Format an assignment/call/var-decl *without* the trailing semicolon."""
+    if isinstance(stmt, A.Assign):
+        return f"{_fmt_expr(stmt.target)} = {_fmt_expr(stmt.value)}"
+    if isinstance(stmt, A.ExprStmt):
+        return _fmt_expr(stmt.expr)
+    if isinstance(stmt, A.VarDecl):
+        text = f"var {stmt.name}"
+        if stmt.size is not None:
+            text += f"[{_fmt_expr(stmt.size)}]"
+        if stmt.init is not None:
+            text += f" = {_fmt_expr(stmt.init)}"
+        return text
+    raise TypeError(f"cannot print simple statement {type(stmt).__name__}")
+
+
+def _fmt_reductions(reductions) -> str:
+    """Group (op, var) pairs into reduction(op: vars) clauses, preserving
+    the order in which operators first appear."""
+    if not reductions:
+        return ""
+    grouped = {}
+    for op, name in reductions:
+        grouped.setdefault(op, []).append(name)
+    return "".join(
+        f" reduction({op}: {', '.join(names)})" for op, names in grouped.items()
+    )
+
+
+class _Printer:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.depth = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append(_INDENT * self.depth + text)
+
+    # -- statements -----------------------------------------------------------
+
+    def stmt(self, node: A.Stmt) -> None:
+        if isinstance(node, (A.VarDecl, A.Assign, A.ExprStmt)):
+            self.emit(_fmt_simple(node) + ";")
+        elif isinstance(node, A.Block):
+            self.emit("{")
+            self.depth += 1
+            for s in node.stmts:
+                self.stmt(s)
+            self.depth -= 1
+            self.emit("}")
+        elif isinstance(node, A.If):
+            self._if(node, prefix="if")
+        elif isinstance(node, A.While):
+            self.emit(f"while ({_fmt_expr(node.cond)}) {{")
+            self._body(node.body)
+        elif isinstance(node, A.For):
+            self.emit(self._for_header(node) + " {")
+            self._body(node.body)
+        elif isinstance(node, A.Return):
+            self.emit(f"return {_fmt_expr(node.value)};" if node.value else "return;")
+        elif isinstance(node, A.Print):
+            args = ", ".join(_fmt_expr(a) for a in node.args)
+            self.emit(f"print({args});")
+        elif isinstance(node, A.AssertStmt):
+            self.emit(f"assert({_fmt_expr(node.cond)});")
+        elif isinstance(node, A.OmpParallel):
+            clauses = ""
+            if node.num_threads is not None:
+                clauses += f" num_threads({_fmt_expr(node.num_threads)})"
+            for kw, names in (
+                ("private", node.private),
+                ("shared", node.shared),
+                ("firstprivate", node.firstprivate),
+            ):
+                if names:
+                    clauses += f" {kw}({', '.join(names)})"
+            clauses += _fmt_reductions(node.reductions)
+            self.emit(f"omp parallel{clauses} {{")
+            self._body(node.body)
+        elif isinstance(node, A.OmpFor):
+            clauses = ""
+            if node.schedule != "static" or node.chunk is not None:
+                clauses += f" schedule({node.schedule}"
+                if node.chunk is not None:
+                    clauses += f", {_fmt_expr(node.chunk)}"
+                clauses += ")"
+            if node.private:
+                clauses += f" private({', '.join(node.private)})"
+            clauses += _fmt_reductions(node.reductions)
+            if node.nowait:
+                clauses += " nowait"
+            self.emit(f"omp for{clauses} {self._for_header(node.loop)} {{")
+            self._body(node.loop.body)
+        elif isinstance(node, A.OmpSections):
+            nowait = " nowait" if node.nowait else ""
+            self.emit(f"omp sections{nowait} {{")
+            self.depth += 1
+            for section in node.sections:
+                self.emit("omp section {")
+                self._body(section)
+            self.depth -= 1
+            self.emit("}")
+        elif isinstance(node, A.OmpCritical):
+            name = f" ({node.name})" if node.name else ""
+            self.emit(f"omp critical{name} {{")
+            self._body(node.body)
+        elif isinstance(node, A.OmpBarrier):
+            self.emit("omp barrier;")
+        elif isinstance(node, A.OmpSingle):
+            nowait = " nowait" if node.nowait else ""
+            self.emit(f"omp single{nowait} {{")
+            self._body(node.body)
+        elif isinstance(node, A.OmpMaster):
+            self.emit("omp master {")
+            self._body(node.body)
+        elif isinstance(node, A.OmpAtomic):
+            self.emit(f"omp atomic {_fmt_simple(node.stmt)};")
+        else:
+            raise TypeError(f"cannot print statement node {type(node).__name__}")
+
+    def _if(self, node: A.If, prefix: str) -> None:
+        self.emit(f"{prefix} ({_fmt_expr(node.cond)}) {{")
+        self.depth += 1
+        for s in node.then.stmts:
+            self.stmt(s)
+        self.depth -= 1
+        if node.els is None:
+            self.emit("}")
+        else:
+            self.emit("} else {")
+            self.depth += 1
+            els = node.els if isinstance(node.els, A.Block) else A.Block([node.els])
+            for s in els.stmts:
+                self.stmt(s)
+            self.depth -= 1
+            self.emit("}")
+
+    def _for_header(self, node: A.For) -> str:
+        init = _fmt_simple(node.init) if node.init is not None else ""
+        cond = _fmt_expr(node.cond) if node.cond is not None else ""
+        step = _fmt_simple(node.step) if node.step is not None else ""
+        return f"for ({init}; {cond}; {step})"
+
+    def _body(self, block: A.Block) -> None:
+        self.depth += 1
+        for s in block.stmts:
+            self.stmt(s)
+        self.depth -= 1
+        self.emit("}")
+
+
+def print_program(program: A.Program) -> str:
+    """Render *program* back to parseable mini-language source text."""
+    printer = _Printer()
+    printer.emit(f"program {program.name};")
+    printer.emit("")
+    for decl in program.globals:
+        printer.stmt(decl)
+    if program.globals:
+        printer.emit("")
+    for fn in program.functions:
+        params = ", ".join(fn.params)
+        printer.emit(f"func {fn.name}({params}) {{")
+        printer._body(fn.body)
+        printer.emit("")
+    while printer.lines and printer.lines[-1] == "":
+        printer.lines.pop()
+    return "\n".join(printer.lines) + "\n"
+
+
+def print_stmt(stmt: A.Stmt) -> str:
+    """Render a single statement (used in reports and debugging)."""
+    printer = _Printer()
+    printer.stmt(stmt)
+    return "\n".join(printer.lines)
+
+
+def print_expr(expr: A.Expr) -> str:
+    """Render a single expression."""
+    return _fmt_expr(expr)

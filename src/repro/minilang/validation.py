@@ -1,0 +1,93 @@
+"""Structural validation of mini-language programs.
+
+Validation runs before interpretation and before static analysis; it
+rejects programs that are syntactically representable but semantically
+nonsensical (duplicate functions, missing ``main``, directly nested
+worksharing constructs, non-positive literal thread counts, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..errors import ValidationError
+from . import ast_nodes as A
+
+#: Constructs that may not be *lexically* nested inside one another
+#: without an intervening ``omp parallel`` (OpenMP forbids closely nested
+#: worksharing regions).
+_WORKSHARING = (A.OmpFor, A.OmpSections, A.OmpSingle)
+
+
+def _iter_stmts(node: A.Node) -> Iterator[A.Stmt]:
+    for sub in node.walk():
+        if isinstance(sub, A.Stmt):
+            yield sub
+
+
+def _check_nesting(node: A.Node, in_worksharing: bool, errors: List[str]) -> None:
+    """Recursively enforce worksharing-nesting rules.
+
+    Entering an ``omp parallel`` resets the worksharing flag (a new team
+    may legally run worksharing constructs).
+    """
+    for child in node.children():
+        child_in_ws = in_worksharing
+        if isinstance(child, A.OmpParallel):
+            child_in_ws = False
+        elif isinstance(child, _WORKSHARING):
+            if in_worksharing:
+                errors.append(
+                    f"worksharing construct at {child.loc} is closely nested "
+                    "inside another worksharing construct"
+                )
+            child_in_ws = True
+        _check_nesting(child, child_in_ws, errors)
+
+
+def validate(program: A.Program, require_main: bool = True) -> None:
+    """Validate *program*, raising :class:`ValidationError` on the first group
+    of problems found."""
+    errors: List[str] = []
+
+    seen = set()
+    for fn in program.functions:
+        if fn.name in seen:
+            errors.append(f"duplicate function definition {fn.name!r}")
+        seen.add(fn.name)
+        if len(set(fn.params)) != len(fn.params):
+            errors.append(f"function {fn.name!r} has duplicate parameters")
+
+    if require_main and "main" not in seen:
+        errors.append("program has no 'main' function")
+
+    seen_globals = set()
+    for g in program.globals:
+        if g.name in seen_globals:
+            errors.append(f"duplicate global variable {g.name!r}")
+        seen_globals.add(g.name)
+
+    for fn in program.functions:
+        _check_nesting(fn.body, in_worksharing=False, errors=errors)
+        for stmt in _iter_stmts(fn.body):
+            if isinstance(stmt, A.OmpParallel) and isinstance(stmt.num_threads, A.IntLit):
+                if stmt.num_threads.value <= 0:
+                    errors.append(
+                        f"omp parallel at {stmt.loc} has non-positive "
+                        f"num_threads({stmt.num_threads.value})"
+                    )
+            if isinstance(stmt, A.OmpFor):
+                loop = stmt.loop
+                if loop.init is None or loop.cond is None or loop.step is None:
+                    errors.append(
+                        f"omp for at {stmt.loc} requires a fully specified "
+                        "(init; cond; step) loop header"
+                    )
+
+    if errors:
+        raise ValidationError("; ".join(errors))
+
+
+def count_nodes(program: A.Program) -> int:
+    """Total number of AST nodes (used in reports and tests)."""
+    return sum(1 for _ in program.walk())

@@ -1,0 +1,58 @@
+"""Deterministic MPI simulator substrate.
+
+Implements the slice of MPI the CLUSTER 2015 paper's analyses reason
+about: thread support levels, point-to-point matching with wildcards,
+nonblocking requests, probe, collectives matched by per-process call
+order, communicator management, and finalize semantics.
+"""
+
+from .collectives import CollectiveEngine, apply_reduce  # noqa: F401
+from .communicator import CommRegistry, Communicator  # noqa: F401
+from .constants import (  # noqa: F401
+    LANGUAGE_CONSTANTS,
+    MPI_ANY_SOURCE,
+    MPI_ANY_TAG,
+    MPI_COMM_WORLD,
+    MPI_MAX,
+    MPI_MIN,
+    MPI_PROD,
+    MPI_SUM,
+    MPI_THREAD_FUNNELED,
+    MPI_THREAD_MULTIPLE,
+    MPI_THREAD_SERIALIZED,
+    MPI_THREAD_SINGLE,
+    THREAD_LEVEL_NAMES,
+)
+from .deadlock import DeadlockDiagnosis, diagnose  # noqa: F401
+from .message import Mailbox, Message, envelope_matches  # noqa: F401
+from .requests import Request, RequestTable  # noqa: F401
+from .world import MPIWorld, ProcState  # noqa: F401
+
+__all__ = [
+    "MPIWorld",
+    "ProcState",
+    "Mailbox",
+    "Message",
+    "envelope_matches",
+    "Request",
+    "RequestTable",
+    "CommRegistry",
+    "Communicator",
+    "CollectiveEngine",
+    "apply_reduce",
+    "DeadlockDiagnosis",
+    "diagnose",
+    "LANGUAGE_CONSTANTS",
+    "MPI_ANY_SOURCE",
+    "MPI_ANY_TAG",
+    "MPI_COMM_WORLD",
+    "MPI_SUM",
+    "MPI_MAX",
+    "MPI_MIN",
+    "MPI_PROD",
+    "MPI_THREAD_SINGLE",
+    "MPI_THREAD_FUNNELED",
+    "MPI_THREAD_SERIALIZED",
+    "MPI_THREAD_MULTIPLE",
+    "THREAD_LEVEL_NAMES",
+]

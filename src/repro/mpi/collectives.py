@@ -1,0 +1,144 @@
+"""Collective operation engine.
+
+MPI matches collectives by *call order per process per communicator*:
+the k-th collective a process issues on communicator C pairs with every
+other member's k-th collective on C.  The engine models exactly that —
+which is also what makes the Collective-Call violation observable: when
+two threads of one process race on the same communicator, the order in
+which they grab slot indices is nondeterministic, so the process's
+contributions can pair with the wrong remote calls (and the op check
+can fail across ranks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import MPIUsageError
+from .constants import MPI_MAX, MPI_MIN, MPI_PROD, MPI_SUM
+from .communicator import Communicator
+
+
+def apply_reduce(op: int, values: List[Any]) -> Any:
+    """Combine *values* with the given reduction op."""
+    if not values:
+        raise MPIUsageError("reduction over empty contribution set")
+    if isinstance(values[0], np.ndarray):
+        stack = np.stack(values)
+        if op == MPI_SUM:
+            return stack.sum(axis=0)
+        if op == MPI_MAX:
+            return stack.max(axis=0)
+        if op == MPI_MIN:
+            return stack.min(axis=0)
+        if op == MPI_PROD:
+            return stack.prod(axis=0)
+    else:
+        if op == MPI_SUM:
+            return sum(values)
+        if op == MPI_MAX:
+            return max(values)
+        if op == MPI_MIN:
+            return min(values)
+        if op == MPI_PROD:
+            out = values[0]
+            for v in values[1:]:
+                out = out * v
+            return out
+    raise MPIUsageError(f"unknown reduction op handle {op}")
+
+
+@dataclass
+class CollectiveSlot:
+    """State of one in-progress collective instance on a communicator."""
+
+    comm_id: int
+    index: int
+    op_name: Optional[str] = None
+    root: Optional[int] = None
+    reduce_op: Optional[int] = None
+    #: world rank -> contributed value (payload snapshot or scalar)
+    contributions: Dict[int, Any] = field(default_factory=dict)
+    #: world rank -> arrival virtual time
+    arrivals: Dict[int, float] = field(default_factory=dict)
+    #: ranks that have completed (picked up results)
+    completed: set = field(default_factory=set)
+    mismatch: Optional[str] = None
+
+    def arrived(self, rank: int) -> bool:
+        return rank in self.arrivals
+
+
+class CollectiveEngine:
+    """Tracks collective slots for every communicator."""
+
+    def __init__(self) -> None:
+        # (comm_id, slot_index) -> CollectiveSlot
+        self.slots: Dict[tuple, CollectiveSlot] = {}
+        # (comm_id, world_rank) -> next slot index for that process
+        self.counters: Dict[tuple, int] = {}
+        #: Recorded op-mismatch diagnostics (comm, index, detail).
+        self.mismatches: List[str] = []
+
+    def next_index(self, comm_id: int, world_rank: int) -> int:
+        """Allocate this process's next collective slot index on *comm*.
+
+        NOTE: this counter is per *process*, not per thread — two threads
+        of the same process calling collectives concurrently will race
+        for indices, faithfully modelling the violation.
+        """
+        key = (comm_id, world_rank)
+        idx = self.counters.get(key, 0)
+        self.counters[key] = idx + 1
+        return idx
+
+    def arrive(
+        self,
+        comm: Communicator,
+        index: int,
+        world_rank: int,
+        op_name: str,
+        time: float,
+        value: Any = None,
+        root: Optional[int] = None,
+        reduce_op: Optional[int] = None,
+    ) -> CollectiveSlot:
+        slot = self.slots.setdefault(
+            (comm.cid, index), CollectiveSlot(comm.cid, index)
+        )
+        if slot.op_name is None:
+            slot.op_name = op_name
+            slot.root = root
+            slot.reduce_op = reduce_op
+        elif slot.op_name != op_name or slot.root != root:
+            detail = (
+                f"collective mismatch on {comm.name} slot {index}: "
+                f"rank {world_rank} called {op_name}(root={root}) but slot is "
+                f"{slot.op_name}(root={slot.root})"
+            )
+            slot.mismatch = detail
+            self.mismatches.append(detail)
+        if world_rank in slot.arrivals:
+            raise MPIUsageError(
+                f"rank {world_rank} arrived twice at collective slot {index} "
+                f"on {comm.name} — concurrent collective calls from threads"
+            )
+        slot.arrivals[world_rank] = time
+        slot.contributions[world_rank] = value
+        return slot
+
+    def complete(self, comm: Communicator, index: int) -> bool:
+        slot = self.slots.get((comm.cid, index))
+        if slot is None:
+            return False
+        return all(rank in slot.arrivals for rank in comm.members)
+
+    def completion_time(self, comm: Communicator, index: int) -> float:
+        slot = self.slots[(comm.cid, index)]
+        return max(slot.arrivals[rank] for rank in comm.members)
+
+    def slot(self, comm_id: int, index: int) -> CollectiveSlot:
+        return self.slots[(comm_id, index)]

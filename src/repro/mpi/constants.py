@@ -1,0 +1,52 @@
+"""MPI constants exposed to mini-language programs.
+
+These are injected into every process's global scope, so program text
+can say ``mpi_init_thread(MPI_THREAD_MULTIPLE)`` or
+``mpi_recv(buf, 1, MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_COMM_WORLD)``
+exactly like the paper's examples.
+"""
+
+from __future__ import annotations
+
+# Thread support levels (MPI-2 §12.4).
+MPI_THREAD_SINGLE = 0
+MPI_THREAD_FUNNELED = 1
+MPI_THREAD_SERIALIZED = 2
+MPI_THREAD_MULTIPLE = 3
+
+THREAD_LEVEL_NAMES = {
+    MPI_THREAD_SINGLE: "MPI_THREAD_SINGLE",
+    MPI_THREAD_FUNNELED: "MPI_THREAD_FUNNELED",
+    MPI_THREAD_SERIALIZED: "MPI_THREAD_SERIALIZED",
+    MPI_THREAD_MULTIPLE: "MPI_THREAD_MULTIPLE",
+}
+
+# Wildcards.
+MPI_ANY_SOURCE = -1
+MPI_ANY_TAG = -1
+
+# Predefined communicator handle.
+MPI_COMM_WORLD = 0
+
+# Reduction operations (handles).
+MPI_SUM = 0
+MPI_MAX = 1
+MPI_MIN = 2
+MPI_PROD = 3
+
+REDUCE_OP_NAMES = {MPI_SUM: "MPI_SUM", MPI_MAX: "MPI_MAX", MPI_MIN: "MPI_MIN", MPI_PROD: "MPI_PROD"}
+
+#: Name -> value map injected into program scopes.
+LANGUAGE_CONSTANTS = {
+    "MPI_THREAD_SINGLE": MPI_THREAD_SINGLE,
+    "MPI_THREAD_FUNNELED": MPI_THREAD_FUNNELED,
+    "MPI_THREAD_SERIALIZED": MPI_THREAD_SERIALIZED,
+    "MPI_THREAD_MULTIPLE": MPI_THREAD_MULTIPLE,
+    "MPI_ANY_SOURCE": MPI_ANY_SOURCE,
+    "MPI_ANY_TAG": MPI_ANY_TAG,
+    "MPI_COMM_WORLD": MPI_COMM_WORLD,
+    "MPI_SUM": MPI_SUM,
+    "MPI_MAX": MPI_MAX,
+    "MPI_MIN": MPI_MIN,
+    "MPI_PROD": MPI_PROD,
+}

@@ -1,0 +1,61 @@
+"""Wait-for graph diagnostics for deadlocks.
+
+The scheduler already *detects* deadlock (no runnable task); this module
+turns the blocked-task snapshot into a structured explanation — which
+rank/thread waits for what — in the spirit of the graph-based deadlock
+detectors (Umpire's dependency graphs) the paper surveys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..runtime.scheduler import BlockedInfo
+
+
+@dataclass(frozen=True)
+class WaitEdge:
+    """(proc, thread) waits on a resource description."""
+
+    proc: int
+    thread: int
+    resource: str
+
+
+class DeadlockDiagnosis:
+    """Structured view of a deadlock built from scheduler block reasons."""
+
+    def __init__(self, blocked: List["BlockedInfo"]) -> None:
+        self.blocked = list(blocked)
+        self.graph = nx.DiGraph()
+        for info in self.blocked:
+            waiter = f"rank{info.proc}.t{info.thread}"
+            self.graph.add_node(waiter, kind="thread")
+            resource = info.reason
+            self.graph.add_node(resource, kind="resource")
+            self.graph.add_edge(waiter, resource)
+
+    @property
+    def nblocked(self) -> int:
+        return len(self.blocked)
+
+    def involves_mpi(self) -> bool:
+        return any("mpi" in info.reason.lower() for info in self.blocked)
+
+    def ranks(self) -> List[int]:
+        return sorted({info.reason and info.proc for info in self.blocked})
+
+    def summary(self) -> str:
+        lines = [f"DEADLOCK involving {self.nblocked} blocked thread(s):"]
+        for info in self.blocked:
+            lines.append(f"  {info}")
+        return "\n".join(lines)
+
+
+def diagnose(blocked: List["BlockedInfo"]) -> DeadlockDiagnosis:
+    """Build a :class:`DeadlockDiagnosis` from scheduler blocked info."""
+    return DeadlockDiagnosis(blocked)

@@ -1,0 +1,24 @@
+"""OpenMP semantics substrate: teams, worksharing, barriers, locks."""
+
+from .locks import ANON_CRITICAL, ATOMIC_LOCK, LockTable, SimLock  # noqa: F401
+from .team import (  # noqa: F401
+    BarrierState,
+    ForState,
+    SectionsState,
+    SingleState,
+    Team,
+    static_chunks,
+)
+
+__all__ = [
+    "Team",
+    "BarrierState",
+    "ForState",
+    "SectionsState",
+    "SingleState",
+    "static_chunks",
+    "LockTable",
+    "SimLock",
+    "ANON_CRITICAL",
+    "ATOMIC_LOCK",
+]

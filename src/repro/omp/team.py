@@ -1,0 +1,158 @@
+"""OpenMP team state: barriers, worksharing bookkeeping.
+
+A :class:`Team` is created each time a thread encounters ``omp
+parallel``.  The encountering thread becomes member 0 (the team
+master); workers get fresh process-local thread ids.  All mutable team
+state here is *pure data* — the interpreter drives it and owns all
+scheduling and event emission, so this module is independently
+unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimAbort
+
+
+@dataclass
+class BarrierState:
+    """Classic counter/epoch barrier."""
+
+    size: int
+    epoch: int = 0
+    arrived: int = 0
+    release_time: float = 0.0
+    _max_clock: float = 0.0
+
+    def arrive(self, clock: float) -> int:
+        """Register arrival; returns the epoch this arrival belongs to.
+
+        The caller must then wait until :meth:`passed` for that epoch.
+        """
+        my_epoch = self.epoch
+        self.arrived += 1
+        self._max_clock = max(self._max_clock, clock)
+        if self.arrived == self.size:
+            self.release_time = self._max_clock
+            self.arrived = 0
+            self._max_clock = 0.0
+            self.epoch += 1
+        return my_epoch
+
+    def passed(self, my_epoch: int) -> bool:
+        return self.epoch > my_epoch
+
+
+@dataclass
+class ForState:
+    """Shared state of one ``omp for`` instance (dynamic scheduling)."""
+
+    iterations: Tuple[int, ...]
+    next_index: int = 0
+
+    def grab(self, chunk: int) -> List[int]:
+        """Dynamically claim up to *chunk* iterations; empty when drained."""
+        if self.next_index >= len(self.iterations):
+            return []
+        end = min(self.next_index + chunk, len(self.iterations))
+        out = list(self.iterations[self.next_index : end])
+        self.next_index = end
+        return out
+
+
+@dataclass
+class SectionsState:
+    """Shared state of one ``omp sections`` instance."""
+
+    nsections: int
+    next_section: int = 0
+
+    def grab(self) -> Optional[int]:
+        if self.next_section >= self.nsections:
+            return None
+        idx = self.next_section
+        self.next_section += 1
+        return idx
+
+
+@dataclass
+class SingleState:
+    """Shared state of one ``omp single`` instance."""
+
+    executed: bool = False
+
+    def try_claim(self) -> bool:
+        if self.executed:
+            return False
+        self.executed = True
+        return True
+
+
+class Team:
+    """One OpenMP team (a parallel region instance)."""
+
+    def __init__(self, proc: int, size: int, master_tid: int,
+                 parent: Optional["Team"], team_id: int = 0) -> None:
+        if size < 1:
+            raise SimAbort(f"team size must be >= 1, got {size}")
+        #: run-deterministic id assigned by the interpreter
+        self.team_id = team_id
+        self.proc = proc
+        self.size = size
+        self.master_tid = master_tid
+        self.parent = parent
+        #: process-local thread ids of members, indexed by team index.
+        self.member_tids: List[int] = [master_tid] + [-1] * (size - 1)
+        self.barrier = BarrierState(size)
+        #: workers still running (master joins when this hits zero).
+        self.workers_live = size - 1
+        #: shared worksharing-instance state, keyed by (node id, visit count)
+        self._constructs: Dict[Tuple[int, int], object] = {}
+        #: latest member clocks, updated at region end for the join.
+        self.final_clocks: List[float] = [0.0] * size
+
+    def register_worker(self, team_index: int, tid: int) -> None:
+        self.member_tids[team_index] = tid
+
+    def construct_state(self, key: Tuple[int, int], factory) -> object:
+        """Get-or-create the shared state of a worksharing instance."""
+        state = self._constructs.get(key)
+        if state is None:
+            state = self._constructs[key] = factory()
+        return state
+
+    def worker_done(self, team_index: int, clock: float) -> None:
+        self.final_clocks[team_index] = clock
+        self.workers_live -= 1
+
+    @property
+    def all_workers_done(self) -> bool:
+        return self.workers_live == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Team {self.team_id} proc={self.proc} size={self.size}>"
+
+
+def static_chunks(iterations: List[int], nthreads: int, team_index: int,
+                  chunk: Optional[int] = None) -> List[int]:
+    """Iterations assigned to *team_index* under static scheduling.
+
+    Without an explicit chunk size the iteration space is split into
+    ``nthreads`` contiguous blocks (the usual ``schedule(static)``);
+    with a chunk, blocks of that size are dealt round-robin.
+    """
+    n = len(iterations)
+    if n == 0:
+        return []
+    if chunk is None:
+        base = n // nthreads
+        extra = n % nthreads
+        start = team_index * base + min(team_index, extra)
+        size = base + (1 if team_index < extra else 0)
+        return iterations[start : start + size]
+    out: List[int] = []
+    for block_start in range(team_index * chunk, n, nthreads * chunk):
+        out.extend(iterations[block_start : block_start + chunk])
+    return out

@@ -1,0 +1,94 @@
+"""Run configuration and execution results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..events import EventLog
+from ..mpi.deadlock import DeadlockDiagnosis
+from .costmodel import (
+    DEFAULT_COST_MODEL,
+    NO_INSTRUMENTATION,
+    CostModel,
+    InstrumentationCharge,
+)
+
+#: How the runtime treats MPI calls that breach the granted thread level.
+#:
+#: * ``skip``       — the call is silently not executed (the paper's Fig. 1
+#:   observation: "only MPI_Send or MPI_Recv is executed, but not both").
+#: * ``permissive`` — the call executes anyway; the breach is recorded.
+#: * ``strict``     — the run aborts (a strict MPI implementation).
+THREAD_LEVEL_MODES = ("skip", "permissive", "strict")
+
+
+@dataclass
+class RunConfig:
+    """Everything that parameterizes one simulated execution."""
+
+    nprocs: int = 2
+    #: default OpenMP team size (paper experiments use 2 threads/process)
+    num_threads: int = 2
+    seed: int = 0
+    schedule_policy: str = "random"
+    cost_model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+    charge: InstrumentationCharge = field(default_factory=lambda: NO_INSTRUMENTATION)
+    #: make blocking sends rendezvous (sender waits for the matching recv)
+    sync_sends: bool = False
+    #: payload element count above which a buffered send turns rendezvous
+    eager_threshold: int = 1 << 16
+    thread_level_mode: str = "skip"
+    #: highest thread level the simulated MPI library grants
+    max_thread_level: int = 3
+    #: re-raise DeadlockError instead of recording it in the result
+    raise_on_deadlock: bool = False
+    #: record MemAccess events for shared variables in parallel regions
+    monitor_memory: bool = False
+    #: hard cap on scheduler iterations (runaway-program guard)
+    max_steps: int = 50_000_000
+    #: user function call depth cap (each simulated frame nests several
+    #: Python generator frames, so this stays well under the host limit)
+    max_call_depth: int = 60
+
+    def __post_init__(self) -> None:
+        if self.thread_level_mode not in THREAD_LEVEL_MODES:
+            raise ValueError(f"bad thread_level_mode {self.thread_level_mode!r}")
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if self.num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one simulated execution."""
+
+    program_name: str
+    config: RunConfig
+    makespan: float = 0.0
+    proc_clocks: Dict[int, float] = field(default_factory=dict)
+    log: EventLog = field(default_factory=EventLog)
+    outputs: List[tuple] = field(default_factory=list)  # (proc, thread, text)
+    deadlock: Optional[DeadlockDiagnosis] = None
+    #: runtime-observed irregularities (thread-level breaches, double waits...)
+    notes: List[str] = field(default_factory=list)
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def deadlocked(self) -> bool:
+        return self.deadlock is not None
+
+    def printed_lines(self) -> List[str]:
+        return [text for (_p, _t, text) in self.outputs]
+
+    def summary(self) -> str:
+        lines = [
+            f"program={self.program_name} procs={self.config.nprocs} "
+            f"threads={self.config.num_threads} seed={self.config.seed}",
+            f"makespan={self.makespan:.1f} events={len(self.log)} "
+            f"deadlocked={self.deadlocked}",
+        ]
+        if self.notes:
+            lines.append(f"notes: {len(self.notes)}")
+        return "\n".join(lines)

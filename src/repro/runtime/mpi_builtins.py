@@ -1,0 +1,933 @@
+"""MPI builtin implementations for the interpreter.
+
+Every handler has the signature::
+
+    handler(interp, ctx, node, args, instrumented) -> generator -> value
+
+``instrumented=True`` means the call site was rewritten by HOME's static
+pass into an ``hmpi_*`` wrapper: the handler then charges the wrapper
+overhead and writes the monitored variables (srctmp, tagtmp, commtmp,
+requesttmp, collectivetmp, finalizetmp) *before* performing the real
+operation — exactly the paper's Listing 1-6 wrapper structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import MPIUsageError, SimAbort
+from ..events import MonitoredWrite, MPICall
+from ..events.event import MonitoredKind
+from ..mpi.collectives import apply_reduce
+from ..mpi.constants import (
+    MPI_THREAD_FUNNELED,
+    MPI_THREAD_SERIALIZED,
+    MPI_THREAD_SINGLE,
+    THREAD_LEVEL_NAMES,
+)
+from ..mpi.requests import Request
+from .scheduler import Block, Step
+from .values import ArrayValue, as_int
+
+Gen = Generator
+
+
+def _loc(node) -> str:
+    return f"{node.loc.line}:{node.loc.col}"
+
+
+def _payload(buf: Any, count: int) -> np.ndarray:
+    """Snapshot a send buffer (array slice or scalar) into a payload."""
+    if isinstance(buf, ArrayValue):
+        snap = buf.snapshot()
+        return snap[: count if count > 0 else len(snap)]
+    if isinstance(buf, (int, float, bool)):
+        return np.asarray([float(buf)])
+    raise SimAbort(f"cannot send value of type {type(buf).__name__}")
+
+
+def _deliver(buf: Any, payload: np.ndarray, count: int) -> None:
+    if isinstance(buf, ArrayValue):
+        buf.load(payload, count if count > 0 else None)
+    # Scalar receive buffers have value semantics in the mini language;
+    # callers use the return value instead.
+
+
+class _CallInfo:
+    """Per-invocation bookkeeping shared by the helpers below."""
+
+    __slots__ = ("call_id", "skipped")
+
+    def __init__(self, call_id: int, skipped: bool) -> None:
+        self.call_id = call_id
+        self.skipped = skipped
+
+
+def _prologue(
+    interp, ctx, node, op: str, instrumented: bool,
+    monitored: List[Tuple[MonitoredKind, Any]],
+    args_dict: Dict[str, Any],
+) -> _CallInfo:
+    """Wrapper writes, manager round trip, thread-level gate, begin event."""
+    charge = interp.charge_cfg
+    call_id = interp.next_call_id()
+    if instrumented:
+        ctx.charge(charge.wrapper_cost)
+        for kind, value in monitored:
+            ctx.charge(charge.monitored_event_cost)
+            interp.emit(
+                MonitoredWrite, ctx,
+                kind=kind, value=value, mpi_op=op, callsite=node.nid, loc=_loc(node),
+                call_id=call_id,
+            )
+    skipped = not _thread_level_gate(interp, ctx, op)
+    args = dict(args_dict)
+    if skipped:
+        args["skipped"] = True
+    interp.emit(
+        MPICall, ctx,
+        op=op, phase="begin", call_id=call_id, callsite=node.nid, loc=_loc(node),
+        is_main_thread=ctx.is_main_thread, instrumented=instrumented, args=args,
+    )
+    if not skipped:
+        ctx.proc.mpi.calls_in_flight += 1
+    return _CallInfo(call_id, skipped)
+
+
+def _epilogue(interp, ctx, node, op: str, info: _CallInfo, instrumented: bool,
+              args_dict: Optional[Dict[str, Any]] = None) -> None:
+    if not info.skipped:
+        ctx.proc.mpi.calls_in_flight -= 1
+    interp.emit(
+        MPICall, ctx,
+        op=op, phase="end", call_id=info.call_id, callsite=node.nid, loc=_loc(node),
+        is_main_thread=ctx.is_main_thread, instrumented=instrumented,
+        args=dict(args_dict or {}),
+    )
+    # Marmot-style central manager: every MPI call reports to a single
+    # analysis process *after* completing (a PMPI post-hook).  The
+    # manager is a shared resource serving the whole job, so the
+    # expected queueing delay per report grows with the number of
+    # processes feeding it — the source of Marmot's poor scaling.
+    charge = interp.charge_cfg
+    if charge.manager_rtt:
+        delay = charge.manager_rtt
+        if charge.manager_serializes:
+            delay += charge.manager_service * interp.config.nprocs
+        ctx.charge(delay)
+        interp.world.manager_free_at = max(interp.world.manager_free_at, ctx.clock)
+
+
+_GATE_EXEMPT = frozenset({"mpi_init", "mpi_init_thread", "mpi_finalize",
+                          "mpi_comm_rank", "mpi_comm_size", "mpi_wtime",
+                          "mpi_is_thread_main", "mpi_initialized"})
+
+
+def _thread_level_gate(interp, ctx, op: str) -> bool:
+    """Enforce the granted thread level; returns False if the call is skipped."""
+    pstate = ctx.proc.mpi
+    if op in ("mpi_init", "mpi_init_thread"):
+        return True
+    if not pstate.initialized:
+        raise SimAbort(f"{op} called before MPI initialization")
+    if pstate.finalized and op != "mpi_finalize":
+        raise SimAbort(f"{op} called after mpi_finalize")
+    if op in _GATE_EXEMPT:
+        return True
+    level = pstate.thread_level
+    breach = None
+    if level in (MPI_THREAD_SINGLE, MPI_THREAD_FUNNELED) and not ctx.is_main_thread:
+        breach = (
+            f"rank {ctx.proc.rank}: {op} from non-main thread {ctx.tid} "
+            f"under {THREAD_LEVEL_NAMES[level]}"
+        )
+    elif level == MPI_THREAD_SERIALIZED and pstate.calls_in_flight > 0:
+        breach = (
+            f"rank {ctx.proc.rank}: {op} on thread {ctx.tid} overlaps another "
+            f"MPI call under {THREAD_LEVEL_NAMES[level]}"
+        )
+    if breach is None:
+        return True
+    interp.note(breach)
+    mode = interp.config.thread_level_mode
+    if mode == "strict":
+        raise SimAbort(breach)
+    return mode != "skip"
+
+
+# ---------------------------------------------------------------------------
+# Initialization / finalization
+# ---------------------------------------------------------------------------
+
+
+def mpi_init(interp, ctx, node, args, instrumented) -> Gen:
+    return (yield from _init_common(interp, ctx, node, MPI_THREAD_SINGLE, instrumented,
+                                    op="mpi_init"))
+
+
+def mpi_init_thread(interp, ctx, node, args, instrumented) -> Gen:
+    required = as_int(args[0], "required thread level") if args else MPI_THREAD_SINGLE
+    return (yield from _init_common(interp, ctx, node, required, instrumented,
+                                    op="mpi_init_thread"))
+
+
+def _init_common(interp, ctx, node, required: int, instrumented: bool, op: str) -> Gen:
+    pstate = ctx.proc.mpi
+    if pstate.initialized:
+        raise SimAbort(f"rank {ctx.proc.rank}: MPI initialized twice")
+    provided = min(required, interp.config.max_thread_level)
+    pstate.initialized = True
+    pstate.thread_level = provided
+    pstate.main_thread = ctx.tid
+    if ctx.tid != 0:
+        interp.note(f"rank {ctx.proc.rank}: MPI initialized from thread {ctx.tid}")
+    info = _prologue(interp, ctx, node, op, instrumented, [],
+                     {"required": required, "provided": provided})
+    yield Step(interp.cm.mpi_call)
+    _epilogue(interp, ctx, node, op, info, instrumented)
+    return provided
+
+
+def mpi_finalize(interp, ctx, node, args, instrumented) -> Gen:
+    pstate = ctx.proc.mpi
+    monitored = [(MonitoredKind.FINALIZE, 1)]
+    info = _prologue(interp, ctx, node, "mpi_finalize", instrumented, monitored, {})
+    if not ctx.is_main_thread:
+        interp.note(
+            f"rank {ctx.proc.rank}: mpi_finalize called from non-main thread {ctx.tid}"
+        )
+    pending = pstate.requests.pending()
+    if pending:
+        interp.note(
+            f"rank {ctx.proc.rank}: mpi_finalize with {len(pending)} pending request(s)"
+        )
+    if pstate.calls_in_flight > 1:  # >1: this finalize itself is in flight
+        interp.note(
+            f"rank {ctx.proc.rank}: mpi_finalize while other MPI calls are executing"
+        )
+    yield Step(interp.cm.mpi_call)
+    pstate.finalized = True
+    _epilogue(interp, ctx, node, "mpi_finalize", info, instrumented)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+
+def mpi_comm_rank(interp, ctx, node, args, instrumented) -> Gen:
+    comm = interp.world.comm(as_int(args[0], "communicator"))
+    return comm.local_rank(ctx.proc.rank)
+    yield  # pragma: no cover
+
+
+def mpi_comm_size(interp, ctx, node, args, instrumented) -> Gen:
+    comm = interp.world.comm(as_int(args[0], "communicator"))
+    return comm.size
+    yield  # pragma: no cover
+
+
+def mpi_wtime(interp, ctx, node, args, instrumented) -> Gen:
+    return ctx.clock
+    yield  # pragma: no cover
+
+
+def mpi_is_thread_main(interp, ctx, node, args, instrumented) -> Gen:
+    return ctx.is_main_thread
+    yield  # pragma: no cover
+
+
+def mpi_initialized(interp, ctx, node, args, instrumented) -> Gen:
+    return ctx.proc.mpi.initialized
+    yield  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Point-to-point
+# ---------------------------------------------------------------------------
+
+
+def _p2p_args(args, op: str):
+    if len(args) != 5:
+        raise SimAbort(f"{op} expects (buf, count, peer, tag, comm)")
+    buf, count, peer, tag, comm_id = args
+    return (
+        buf,
+        as_int(count, "count"),
+        as_int(peer, "peer rank"),
+        as_int(tag, "tag"),
+        as_int(comm_id, "communicator"),
+    )
+
+
+def mpi_send(interp, ctx, node, args, instrumented) -> Gen:
+    buf, count, dest, tag, comm_id = _p2p_args(args, "mpi_send")
+    monitored = [
+        (MonitoredKind.SRC, dest),
+        (MonitoredKind.TAG, tag),
+        (MonitoredKind.COMM, comm_id),
+    ]
+    adict = {"peer": dest, "tag": tag, "comm": comm_id, "count": count}
+    info = _prologue(interp, ctx, node, "mpi_send", instrumented, monitored, adict)
+    if info.skipped:
+        _epilogue(interp, ctx, node, "mpi_send", info, instrumented, adict)
+        return 0
+    payload = _payload(buf, count)
+    sync = interp.config.sync_sends or len(payload) >= interp.config.eager_threshold
+    yield Step(interp.cm.mpi_call)
+    msg = interp.world.post_send(
+        src_world=ctx.proc.rank,
+        dst_local=dest,
+        tag=tag,
+        comm_id=comm_id,
+        payload=payload,
+        sent_time=ctx.clock,
+        latency=interp.cm.msg_latency,
+        per_elem=interp.cm.msg_per_elem,
+        sync=sync,
+        sender_thread=ctx.tid,
+    )
+    if sync:
+        yield Block(
+            f"mpi_send (sync) to rank {dest} tag {tag} comm {comm_id}",
+            lambda: msg.consumed,
+        )
+        ctx.advance_to(msg.consumed_time)
+    _epilogue(interp, ctx, node, "mpi_send", info, instrumented,
+              dict(adict, msg_id=msg.msg_id))
+    return 0
+
+
+def _match_blocking(interp, ctx, comm_id: int, src: int, tag: int, what: str) -> Gen:
+    world = interp.world
+    me = ctx.proc.rank
+    msg = world.match_recv(me, comm_id, src, tag)
+    while msg is None:
+        yield Block(
+            f"{what} waiting for message (src={src}, tag={tag}, comm={comm_id}) "
+            f"at rank {me}",
+            lambda: world.peek_recv(me, comm_id, src, tag) is not None,
+        )
+        msg = world.match_recv(me, comm_id, src, tag)
+    return msg
+
+
+def mpi_recv(interp, ctx, node, args, instrumented) -> Gen:
+    buf, count, src, tag, comm_id = _p2p_args(args, "mpi_recv")
+    monitored = [
+        (MonitoredKind.SRC, src),
+        (MonitoredKind.TAG, tag),
+        (MonitoredKind.COMM, comm_id),
+    ]
+    adict = {"peer": src, "tag": tag, "comm": comm_id, "count": count}
+    info = _prologue(interp, ctx, node, "mpi_recv", instrumented, monitored, adict)
+    if info.skipped:
+        _epilogue(interp, ctx, node, "mpi_recv", info, instrumented, adict)
+        return -1
+    yield Step(interp.cm.mpi_call)
+    msg = yield from _match_blocking(interp, ctx, comm_id, src, tag, "mpi_recv")
+    ctx.advance_to(msg.avail_time)
+    if msg.sync:
+        msg.consumed_time = ctx.clock
+    _deliver(buf, msg.payload, count)
+    adict = dict(adict, matched_src=msg.src, matched_tag=msg.tag,
+                 msg_id=msg.msg_id)
+    _epilogue(interp, ctx, node, "mpi_recv", info, instrumented, adict)
+    return msg.src
+
+
+def mpi_isend(interp, ctx, node, args, instrumented) -> Gen:
+    buf, count, dest, tag, comm_id = _p2p_args(args, "mpi_isend")
+    req = Request(kind="send", comm=comm_id, src=ctx.proc.rank, tag=tag,
+                  dst=dest, count=count, owner_thread=ctx.tid)
+    ctx.proc.mpi.requests.allocate(req)
+    monitored = [
+        (MonitoredKind.SRC, dest),
+        (MonitoredKind.TAG, tag),
+        (MonitoredKind.COMM, comm_id),
+        (MonitoredKind.REQUEST, req.handle),
+    ]
+    adict = {"peer": dest, "tag": tag, "comm": comm_id, "request": req.handle}
+    info = _prologue(interp, ctx, node, "mpi_isend", instrumented, monitored, adict)
+    if info.skipped:
+        _epilogue(interp, ctx, node, "mpi_isend", info, instrumented, adict)
+        return 0
+    payload = _payload(buf, count)
+    yield Step(interp.cm.mpi_call)
+    msg = interp.world.post_send(
+        src_world=ctx.proc.rank, dst_local=dest, tag=tag, comm_id=comm_id,
+        payload=payload, sent_time=ctx.clock,
+        latency=interp.cm.msg_latency, per_elem=interp.cm.msg_per_elem,
+        sync=False, sender_thread=ctx.tid,
+    )
+    req.done = True
+    req.complete_time = ctx.clock
+    req.msg_id = msg.msg_id
+    ctx.proc.mpi.requests.register(req)
+    _epilogue(interp, ctx, node, "mpi_isend", info, instrumented,
+              dict(adict, msg_id=msg.msg_id))
+    return req.handle
+
+
+def mpi_irecv(interp, ctx, node, args, instrumented) -> Gen:
+    buf, count, src, tag, comm_id = _p2p_args(args, "mpi_irecv")
+    if not isinstance(buf, ArrayValue):
+        raise SimAbort("mpi_irecv requires an array receive buffer")
+    req = Request(kind="recv", comm=comm_id, src=src, tag=tag,
+                  buf=buf, count=count, owner_thread=ctx.tid)
+    ctx.proc.mpi.requests.allocate(req)
+    monitored = [
+        (MonitoredKind.SRC, src),
+        (MonitoredKind.TAG, tag),
+        (MonitoredKind.COMM, comm_id),
+        (MonitoredKind.REQUEST, req.handle),
+    ]
+    adict = {"peer": src, "tag": tag, "comm": comm_id, "request": req.handle}
+    info = _prologue(interp, ctx, node, "mpi_irecv", instrumented, monitored, adict)
+    if info.skipped:
+        _epilogue(interp, ctx, node, "mpi_irecv", info, instrumented, adict)
+        return 0
+    yield Step(interp.cm.mpi_call)
+    ctx.proc.mpi.requests.register(req)
+    _epilogue(interp, ctx, node, "mpi_irecv", info, instrumented, adict)
+    return req.handle
+
+
+def _complete_recv_request(interp, ctx, req: Request) -> Gen:
+    """Complete a pending receive request, waking early if another thread
+    races us to it (the Concurrent-Request violation scenario: the loser
+    must not hang waiting for a message that was already consumed)."""
+    world = interp.world
+    me = ctx.proc.rank
+    while not req.done:
+        msg = world.match_recv(me, req.comm, req.src, req.tag)
+        if msg is not None:
+            ctx.advance_to(msg.avail_time)
+            if msg.sync:
+                msg.consumed_time = ctx.clock
+            _deliver(req.buf, msg.payload, req.count)
+            req.done = True
+            req.complete_time = ctx.clock
+            req.msg_id = msg.msg_id
+            return
+        yield Block(
+            f"mpi_wait(request {req.handle}) waiting for message "
+            f"(src={req.src}, tag={req.tag}, comm={req.comm}) at rank {me}",
+            lambda: req.done
+            or world.peek_recv(me, req.comm, req.src, req.tag) is not None,
+        )
+    # Completed by a racing thread.
+    interp.note(
+        f"rank {me}: request {req.handle} was completed by another thread "
+        f"while thread {ctx.tid} waited — concurrent request usage"
+    )
+    ctx.advance_to(req.complete_time)
+
+
+def mpi_wait(interp, ctx, node, args, instrumented) -> Gen:
+    handle = as_int(args[0], "request handle")
+    monitored = [(MonitoredKind.REQUEST, handle)]
+    adict = {"request": handle}
+    info = _prologue(interp, ctx, node, "mpi_wait", instrumented, monitored, adict)
+    if info.skipped:
+        _epilogue(interp, ctx, node, "mpi_wait", info, instrumented, adict)
+        return 0
+    table = ctx.proc.mpi.requests
+    req = table.requests.get(handle)
+    yield Step(interp.cm.mpi_call)
+    if req is None:
+        interp.note(
+            f"rank {ctx.proc.rank}: mpi_wait on unknown/freed request {handle} "
+            f"(thread {ctx.tid}) — possible concurrent wait"
+        )
+    else:
+        if req.done:
+            if req.kind == "recv" and req.owner_thread != ctx.tid:
+                interp.note(
+                    f"rank {ctx.proc.rank}: request {handle} already completed when "
+                    f"thread {ctx.tid} waited — concurrent request usage"
+                )
+            ctx.advance_to(req.complete_time)
+        else:
+            yield from _complete_recv_request(interp, ctx, req)
+        adict = dict(adict, msg_id=req.msg_id, peer=req.src, tag=req.tag,
+                     comm=req.comm, kind=req.kind)
+        table.free(handle)
+    _epilogue(interp, ctx, node, "mpi_wait", info, instrumented, adict)
+    return 0
+
+
+def mpi_test(interp, ctx, node, args, instrumented) -> Gen:
+    handle = as_int(args[0], "request handle")
+    monitored = [(MonitoredKind.REQUEST, handle)]
+    adict = {"request": handle}
+    info = _prologue(interp, ctx, node, "mpi_test", instrumented, monitored, adict)
+    if info.skipped:
+        _epilogue(interp, ctx, node, "mpi_test", info, instrumented, adict)
+        return False
+    table = ctx.proc.mpi.requests
+    req = table.requests.get(handle)
+    yield Step(interp.cm.mpi_call)
+    done = False
+    if req is None:
+        interp.note(
+            f"rank {ctx.proc.rank}: mpi_test on unknown/freed request {handle}"
+        )
+        done = True
+    elif req.done:
+        ctx.advance_to(req.complete_time)
+        table.free(handle)
+        done = True
+    elif req.kind == "recv":
+        msg = interp.world.match_recv(ctx.proc.rank, req.comm, req.src, req.tag)
+        if msg is not None:
+            ctx.advance_to(msg.avail_time)
+            if msg.sync:
+                msg.consumed_time = ctx.clock
+            _deliver(req.buf, msg.payload, req.count)
+            req.done = True
+            req.complete_time = ctx.clock
+            table.free(handle)
+            done = True
+    _epilogue(interp, ctx, node, "mpi_test", info, instrumented, adict)
+    return done
+
+
+def mpi_probe(interp, ctx, node, args, instrumented) -> Gen:
+    src = as_int(args[0], "source")
+    tag = as_int(args[1], "tag")
+    comm_id = as_int(args[2], "communicator")
+    monitored = [
+        (MonitoredKind.SRC, src),
+        (MonitoredKind.TAG, tag),
+        (MonitoredKind.COMM, comm_id),
+    ]
+    adict = {"peer": src, "tag": tag, "comm": comm_id}
+    info = _prologue(interp, ctx, node, "mpi_probe", instrumented, monitored, adict)
+    if info.skipped:
+        _epilogue(interp, ctx, node, "mpi_probe", info, instrumented, adict)
+        return -1
+    world = interp.world
+    me = ctx.proc.rank
+    yield Step(interp.cm.mpi_call)
+    msg = world.peek_recv(me, comm_id, src, tag)
+    while msg is None:
+        yield Block(
+            f"mpi_probe waiting (src={src}, tag={tag}, comm={comm_id}) at rank {me}",
+            lambda: world.peek_recv(me, comm_id, src, tag) is not None,
+        )
+        msg = world.peek_recv(me, comm_id, src, tag)
+    ctx.advance_to(msg.avail_time)
+    _epilogue(interp, ctx, node, "mpi_probe", info, instrumented,
+              dict(adict, matched_src=msg.src, matched_tag=msg.tag))
+    return msg.src
+
+
+def mpi_iprobe(interp, ctx, node, args, instrumented) -> Gen:
+    src = as_int(args[0], "source")
+    tag = as_int(args[1], "tag")
+    comm_id = as_int(args[2], "communicator")
+    monitored = [
+        (MonitoredKind.SRC, src),
+        (MonitoredKind.TAG, tag),
+        (MonitoredKind.COMM, comm_id),
+    ]
+    adict = {"peer": src, "tag": tag, "comm": comm_id}
+    info = _prologue(interp, ctx, node, "mpi_iprobe", instrumented, monitored, adict)
+    if info.skipped:
+        _epilogue(interp, ctx, node, "mpi_iprobe", info, instrumented, adict)
+        return False
+    yield Step(interp.cm.mpi_call)
+    msg = interp.world.peek_recv(ctx.proc.rank, comm_id, src, tag)
+    found = msg is not None
+    if found:
+        ctx.advance_to(msg.avail_time)
+    _epilogue(interp, ctx, node, "mpi_iprobe", info, instrumented, adict)
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Collectives
+# ---------------------------------------------------------------------------
+
+
+def _collective(interp, ctx, node, op: str, comm_id: int, instrumented: bool,
+                value: Any = None, root: Optional[int] = None,
+                reduce_op: Optional[int] = None, extra: Optional[dict] = None) -> Gen:
+    """Common collective machinery; returns the completed slot."""
+    monitored = [
+        (MonitoredKind.COLLECTIVE, op),
+        (MonitoredKind.COMM, comm_id),
+    ]
+    adict = {"comm": comm_id, "root": root}
+    if extra:
+        adict.update(extra)
+    info = _prologue(interp, ctx, node, op, instrumented, monitored, adict)
+    if info.skipped:
+        _epilogue(interp, ctx, node, op, info, instrumented, adict)
+        return None
+    world = interp.world
+    comm = world.comm(comm_id)
+    engine = world.collectives
+    yield Step(interp.cm.mpi_call)
+    index = engine.next_index(comm_id, ctx.proc.rank)
+    try:
+        slot = engine.arrive(
+            comm, index, ctx.proc.rank, op, ctx.clock,
+            value=value, root=root, reduce_op=reduce_op,
+        )
+    except MPIUsageError as err:
+        interp.note(str(err))
+        _epilogue(interp, ctx, node, op, info, instrumented, adict)
+        return None
+    yield Block(
+        f"{op} on {comm.name} (slot {index}) at rank {ctx.proc.rank}",
+        lambda: engine.complete(comm, index),
+    )
+    ctx.advance_to(engine.completion_time(comm, index))
+    ctx.charge(interp.cm.barrier)
+    if slot.mismatch:
+        interp.note(slot.mismatch)
+    _epilogue(interp, ctx, node, op, info, instrumented, adict)
+    return slot
+
+
+def _contribution(value: Any) -> Any:
+    if isinstance(value, ArrayValue):
+        return value.snapshot()
+    return value
+
+
+def mpi_barrier(interp, ctx, node, args, instrumented) -> Gen:
+    comm_id = as_int(args[0], "communicator")
+    yield from _collective(interp, ctx, node, "mpi_barrier", comm_id, instrumented)
+    return 0
+
+
+def mpi_bcast(interp, ctx, node, args, instrumented) -> Gen:
+    value, root, comm_id = args[0], as_int(args[1], "root"), as_int(args[2], "communicator")
+    slot = yield from _collective(
+        interp, ctx, node, "mpi_bcast", comm_id, instrumented,
+        value=_contribution(value), root=root,
+    )
+    if slot is None or slot.mismatch:
+        return value if not isinstance(value, ArrayValue) else 0
+    comm = interp.world.comm(comm_id)
+    root_value = slot.contributions.get(comm.world_rank(root))
+    if isinstance(value, ArrayValue):
+        if isinstance(root_value, np.ndarray):
+            value.load(root_value)
+        return 0
+    return root_value
+
+
+def mpi_reduce(interp, ctx, node, args, instrumented) -> Gen:
+    value, op_h, root, comm_id = (
+        args[0], as_int(args[1], "op"), as_int(args[2], "root"),
+        as_int(args[3], "communicator"),
+    )
+    slot = yield from _collective(
+        interp, ctx, node, "mpi_reduce", comm_id, instrumented,
+        value=_contribution(value), root=root, reduce_op=op_h,
+    )
+    if slot is None or slot.mismatch:
+        return 0
+    comm = interp.world.comm(comm_id)
+    if comm.local_rank(ctx.proc.rank) != root:
+        return 0
+    contribs = [slot.contributions[w] for w in comm.members]
+    result = apply_reduce(op_h, contribs)
+    if isinstance(value, ArrayValue):
+        value.load(np.asarray(result))
+        return 0
+    return result
+
+
+def mpi_allreduce(interp, ctx, node, args, instrumented) -> Gen:
+    value, op_h, comm_id = args[0], as_int(args[1], "op"), as_int(args[2], "communicator")
+    slot = yield from _collective(
+        interp, ctx, node, "mpi_allreduce", comm_id, instrumented,
+        value=_contribution(value), reduce_op=op_h,
+    )
+    if slot is None or slot.mismatch:
+        return 0
+    comm = interp.world.comm(comm_id)
+    contribs = [slot.contributions[w] for w in comm.members]
+    result = apply_reduce(op_h, contribs)
+    if isinstance(value, ArrayValue):
+        value.load(np.asarray(result))
+        return 0
+    return result
+
+
+def mpi_gather(interp, ctx, node, args, instrumented) -> Gen:
+    value, recvbuf, root, comm_id = (
+        args[0], args[1], as_int(args[2], "root"), as_int(args[3], "communicator"),
+    )
+    slot = yield from _collective(
+        interp, ctx, node, "mpi_gather", comm_id, instrumented,
+        value=_contribution(value), root=root,
+    )
+    if slot is None or slot.mismatch:
+        return 0
+    comm = interp.world.comm(comm_id)
+    if comm.local_rank(ctx.proc.rank) == root and isinstance(recvbuf, ArrayValue):
+        gathered = np.asarray(
+            [float(np.asarray(slot.contributions[w]).flat[0]) for w in comm.members]
+        )
+        recvbuf.load(gathered)
+    return 0
+
+
+def mpi_allgather(interp, ctx, node, args, instrumented) -> Gen:
+    value, recvbuf, comm_id = args[0], args[1], as_int(args[2], "communicator")
+    slot = yield from _collective(
+        interp, ctx, node, "mpi_allgather", comm_id, instrumented,
+        value=_contribution(value),
+    )
+    if slot is None or slot.mismatch:
+        return 0
+    comm = interp.world.comm(comm_id)
+    if isinstance(recvbuf, ArrayValue):
+        gathered = np.asarray(
+            [float(np.asarray(slot.contributions[w]).flat[0]) for w in comm.members]
+        )
+        recvbuf.load(gathered)
+    return 0
+
+
+def mpi_scatter(interp, ctx, node, args, instrumented) -> Gen:
+    sendbuf, root, comm_id = args[0], as_int(args[1], "root"), as_int(args[2], "communicator")
+    slot = yield from _collective(
+        interp, ctx, node, "mpi_scatter", comm_id, instrumented,
+        value=_contribution(sendbuf), root=root,
+    )
+    if slot is None or slot.mismatch:
+        return 0
+    comm = interp.world.comm(comm_id)
+    root_contrib = slot.contributions.get(comm.world_rank(root))
+    my_local = comm.local_rank(ctx.proc.rank)
+    if isinstance(root_contrib, np.ndarray) and my_local < len(root_contrib):
+        return float(root_contrib[my_local])
+    return 0
+
+
+def mpi_alltoall(interp, ctx, node, args, instrumented) -> Gen:
+    sendbuf, recvbuf, comm_id = args[0], args[1], as_int(args[2], "communicator")
+    slot = yield from _collective(
+        interp, ctx, node, "mpi_alltoall", comm_id, instrumented,
+        value=_contribution(sendbuf),
+    )
+    if slot is None or slot.mismatch:
+        return 0
+    comm = interp.world.comm(comm_id)
+    my_local = comm.local_rank(ctx.proc.rank)
+    if isinstance(recvbuf, ArrayValue):
+        row = []
+        for w in comm.members:
+            contrib = np.asarray(slot.contributions[w])
+            row.append(float(contrib[my_local]) if my_local < len(contrib) else 0.0)
+        recvbuf.load(np.asarray(row))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Communicator management
+# ---------------------------------------------------------------------------
+
+
+def mpi_comm_dup(interp, ctx, node, args, instrumented) -> Gen:
+    comm_id = as_int(args[0], "communicator")
+    pstate = ctx.proc.mpi
+    registry = interp.world.comms
+    instance = pstate.dup_counter.get(comm_id, 0)
+    pstate.dup_counter[comm_id] = instance + 1
+    adict = {"comm": comm_id, "instance": instance}
+    info = _prologue(interp, ctx, node, "mpi_comm_dup", instrumented,
+                     [(MonitoredKind.COMM, comm_id)], adict)
+    if info.skipped:
+        _epilogue(interp, ctx, node, "mpi_comm_dup", info, instrumented, adict)
+        return comm_id
+    registry.dup_arrive(comm_id, instance, ctx.proc.rank)
+    yield Block(
+        f"mpi_comm_dup({comm_id}) instance {instance} at rank {ctx.proc.rank}",
+        lambda: registry.dup_complete(comm_id, instance),
+    )
+    new_cid = registry.dup_result(comm_id, instance)
+    ctx.charge(interp.cm.barrier)
+    _epilogue(interp, ctx, node, "mpi_comm_dup", info, instrumented, adict)
+    return new_cid
+
+
+def mpi_comm_split(interp, ctx, node, args, instrumented) -> Gen:
+    comm_id = as_int(args[0], "communicator")
+    color = as_int(args[1], "color")
+    key = as_int(args[2], "key")
+    pstate = ctx.proc.mpi
+    registry = interp.world.comms
+    instance = pstate.split_counter.get(comm_id, 0)
+    pstate.split_counter[comm_id] = instance + 1
+    adict = {"comm": comm_id, "color": color, "instance": instance}
+    info = _prologue(interp, ctx, node, "mpi_comm_split", instrumented,
+                     [(MonitoredKind.COMM, comm_id)], adict)
+    if info.skipped:
+        _epilogue(interp, ctx, node, "mpi_comm_split", info, instrumented, adict)
+        return comm_id
+    registry.split_arrive(comm_id, instance, ctx.proc.rank, color, key)
+    yield Block(
+        f"mpi_comm_split({comm_id}) instance {instance} at rank {ctx.proc.rank}",
+        lambda: registry.split_complete(comm_id, instance),
+    )
+    new_cid = registry.split_result(comm_id, instance, ctx.proc.rank)
+    ctx.charge(interp.cm.barrier)
+    _epilogue(interp, ctx, node, "mpi_comm_split", info, instrumented, adict)
+    return new_cid
+
+
+
+
+def mpi_ssend(interp, ctx, node, args, instrumented) -> Gen:
+    """Synchronous-mode send: always rendezvous, regardless of config."""
+    buf, count, dest, tag, comm_id = _p2p_args(args, "mpi_ssend")
+    monitored = [
+        (MonitoredKind.SRC, dest),
+        (MonitoredKind.TAG, tag),
+        (MonitoredKind.COMM, comm_id),
+    ]
+    adict = {"peer": dest, "tag": tag, "comm": comm_id, "count": count}
+    info = _prologue(interp, ctx, node, "mpi_ssend", instrumented, monitored, adict)
+    if info.skipped:
+        _epilogue(interp, ctx, node, "mpi_ssend", info, instrumented, adict)
+        return 0
+    payload = _payload(buf, count)
+    yield Step(interp.cm.mpi_call)
+    msg = interp.world.post_send(
+        src_world=ctx.proc.rank, dst_local=dest, tag=tag, comm_id=comm_id,
+        payload=payload, sent_time=ctx.clock,
+        latency=interp.cm.msg_latency, per_elem=interp.cm.msg_per_elem,
+        sync=True, sender_thread=ctx.tid,
+    )
+    yield Block(
+        f"mpi_ssend to rank {dest} tag {tag} comm {comm_id}",
+        lambda: msg.consumed,
+    )
+    ctx.advance_to(msg.consumed_time)
+    _epilogue(interp, ctx, node, "mpi_ssend", info, instrumented,
+              dict(adict, msg_id=msg.msg_id))
+    return 0
+
+
+def mpi_sendrecv(interp, ctx, node, args, instrumented) -> Gen:
+    """Combined send+receive (deadlock-free halo-exchange primitive).
+
+    Signature: mpi_sendrecv(sendbuf, count, dest, sendtag,
+                            recvbuf, source, recvtag, comm).
+    """
+    if len(args) != 8:
+        raise SimAbort(
+            "mpi_sendrecv expects (sendbuf, count, dest, sendtag, "
+            "recvbuf, source, recvtag, comm)"
+        )
+    sendbuf = args[0]
+    count = as_int(args[1], "count")
+    dest = as_int(args[2], "dest")
+    sendtag = as_int(args[3], "sendtag")
+    recvbuf = args[4]
+    source = as_int(args[5], "source")
+    recvtag = as_int(args[6], "recvtag")
+    comm_id = as_int(args[7], "communicator")
+    monitored = [
+        (MonitoredKind.SRC, source),
+        (MonitoredKind.TAG, recvtag),
+        (MonitoredKind.COMM, comm_id),
+    ]
+    adict = {"peer": source, "tag": recvtag, "comm": comm_id,
+             "dest": dest, "sendtag": sendtag}
+    info = _prologue(interp, ctx, node, "mpi_sendrecv", instrumented, monitored, adict)
+    if info.skipped:
+        _epilogue(interp, ctx, node, "mpi_sendrecv", info, instrumented, adict)
+        return -1
+    payload = _payload(sendbuf, count)
+    yield Step(interp.cm.mpi_call)
+    # The send half is always buffered: sendrecv must not deadlock even
+    # in a ring where everyone sends first.
+    interp.world.post_send(
+        src_world=ctx.proc.rank, dst_local=dest, tag=sendtag, comm_id=comm_id,
+        payload=payload, sent_time=ctx.clock,
+        latency=interp.cm.msg_latency, per_elem=interp.cm.msg_per_elem,
+        sync=False, sender_thread=ctx.tid,
+    )
+    msg = yield from _match_blocking(
+        interp, ctx, comm_id, source, recvtag, "mpi_sendrecv"
+    )
+    ctx.advance_to(msg.avail_time)
+    if msg.sync:
+        msg.consumed_time = ctx.clock
+    _deliver(recvbuf, msg.payload, count)
+    _epilogue(interp, ctx, node, "mpi_sendrecv", info, instrumented,
+              dict(adict, matched_src=msg.src, msg_id=msg.msg_id))
+    return msg.src
+
+
+def mpi_waitall(interp, ctx, node, args, instrumented) -> Gen:
+    """Wait for every request handle passed (varargs)."""
+    handles = [as_int(a, "request handle") for a in args]
+    monitored = [(MonitoredKind.REQUEST, h) for h in handles]
+    adict = {"requests": tuple(handles)}
+    info = _prologue(interp, ctx, node, "mpi_waitall", instrumented, monitored, adict)
+    if info.skipped:
+        _epilogue(interp, ctx, node, "mpi_waitall", info, instrumented, adict)
+        return 0
+    table = ctx.proc.mpi.requests
+    yield Step(interp.cm.mpi_call)
+    for handle in handles:
+        req = table.requests.get(handle)
+        if req is None:
+            interp.note(
+                f"rank {ctx.proc.rank}: mpi_waitall on unknown/freed request "
+                f"{handle}"
+            )
+            continue
+        if req.done:
+            ctx.advance_to(req.complete_time)
+        else:
+            yield from _complete_recv_request(interp, ctx, req)
+        table.free(handle)
+    _epilogue(interp, ctx, node, "mpi_waitall", info, instrumented, adict)
+    return 0
+
+
+BUILTINS = {
+    "mpi_init": mpi_init,
+    "mpi_init_thread": mpi_init_thread,
+    "mpi_finalize": mpi_finalize,
+    "mpi_comm_rank": mpi_comm_rank,
+    "mpi_comm_size": mpi_comm_size,
+    "mpi_wtime": mpi_wtime,
+    "mpi_is_thread_main": mpi_is_thread_main,
+    "mpi_initialized": mpi_initialized,
+    "mpi_send": mpi_send,
+    "mpi_ssend": mpi_ssend,
+    "mpi_sendrecv": mpi_sendrecv,
+    "mpi_recv": mpi_recv,
+    "mpi_isend": mpi_isend,
+    "mpi_irecv": mpi_irecv,
+    "mpi_wait": mpi_wait,
+    "mpi_waitall": mpi_waitall,
+    "mpi_test": mpi_test,
+    "mpi_probe": mpi_probe,
+    "mpi_iprobe": mpi_iprobe,
+    "mpi_barrier": mpi_barrier,
+    "mpi_bcast": mpi_bcast,
+    "mpi_reduce": mpi_reduce,
+    "mpi_allreduce": mpi_allreduce,
+    "mpi_gather": mpi_gather,
+    "mpi_allgather": mpi_allgather,
+    "mpi_scatter": mpi_scatter,
+    "mpi_alltoall": mpi_alltoall,
+    "mpi_comm_dup": mpi_comm_dup,
+    "mpi_comm_split": mpi_comm_split,
+}

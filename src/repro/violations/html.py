@@ -1,0 +1,134 @@
+"""Self-contained HTML report generation.
+
+The paper's future work includes presenting "more refined and precise
+static analysis results in GUI"; this module renders a check result as
+a single dependency-free HTML file: findings grouped by class, source
+excerpts with highlighted lines, fix recipes, static-phase statistics
+and the run configuration.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Dict, List, Optional
+
+from .fixes import _SUGGESTIONS
+from .matcher import ViolationReport
+from .render import excerpt_at
+from .spec import Violation
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2rem auto;
+       max-width: 60rem; color: #1a202c; line-height: 1.5; }
+h1 { font-size: 1.5rem; border-bottom: 2px solid #e2e8f0; padding-bottom: .5rem; }
+h2 { font-size: 1.15rem; margin-top: 2rem; }
+.meta { color: #4a5568; font-size: .9rem; }
+.clean { background: #f0fff4; border: 1px solid #9ae6b4; padding: 1rem;
+         border-radius: .5rem; }
+.finding { border: 1px solid #feb2b2; border-left: 4px solid #e53e3e;
+           border-radius: .5rem; padding: .8rem 1rem; margin: 1rem 0;
+           background: #fffafa; }
+.finding h3 { margin: 0 0 .4rem 0; font-size: 1rem; color: #c53030; }
+.finding .msg { margin: .2rem 0 .6rem 0; }
+.badge { display: inline-block; background: #edf2f7; border-radius: .3rem;
+         padding: 0 .4rem; font-size: .8rem; color: #4a5568;
+         margin-right: .4rem; }
+pre.code { background: #f7fafc; border: 1px solid #e2e8f0; padding: .6rem;
+           border-radius: .4rem; overflow-x: auto; font-size: .85rem; }
+pre.code .hit { background: #fed7d7; display: inline-block; width: 100%; }
+.fix { background: #ebf8ff; border-left: 3px solid #3182ce; padding: .4rem .8rem;
+       font-size: .9rem; margin-top: .5rem; }
+table.stats { border-collapse: collapse; font-size: .9rem; }
+table.stats td, table.stats th { border: 1px solid #e2e8f0; padding: .3rem .7rem;
+                                 text-align: left; }
+"""
+
+
+def _esc(text: object) -> str:
+    return _html.escape(str(text))
+
+
+def _excerpt_html(source: str, loc: str, context: int = 2) -> str:
+    excerpt = excerpt_at(source, loc, context)
+    if excerpt is None:
+        return ""
+    lines = []
+    for number, text in excerpt.lines:
+        content = f"{number:>4} | {_esc(text)}"
+        if number == excerpt.marker_line:
+            lines.append(f'<span class="hit">{content}</span>')
+        else:
+            lines.append(content)
+    return f'<pre class="code">{chr(10).join(lines)}</pre>'
+
+
+def _finding_html(violation: Violation, ranks: List[int],
+                  source: Optional[str]) -> str:
+    parts = [f'<div class="finding">']
+    parts.append(f"<h3>{_esc(violation.vclass)}</h3>")
+    badges = [f'<span class="badge">rank(s) {",".join(map(str, sorted(ranks)))}</span>']
+    if violation.threads:
+        badges.append(
+            f'<span class="badge">threads {",".join(map(str, violation.threads))}</span>'
+        )
+    if violation.ops:
+        badges.append(f'<span class="badge">{_esc(", ".join(violation.ops))}</span>')
+    for loc in dict.fromkeys(violation.locs):
+        badges.append(f'<span class="badge">line {_esc(loc)}</span>')
+    parts.append("<div>" + "".join(badges) + "</div>")
+    parts.append(f'<p class="msg">{_esc(violation.message)}</p>')
+    if source is not None:
+        for loc in dict.fromkeys(violation.locs):
+            snippet = _excerpt_html(source, loc)
+            if snippet:
+                parts.append(snippet)
+                break  # one representative excerpt per finding
+    suggestion = _SUGGESTIONS.get(violation.vclass)
+    if suggestion is not None:
+        parts.append(
+            f'<div class="fix"><b>fix:</b> {_esc(suggestion.title)} — '
+            f"{_esc(suggestion.detail)}</div>"
+        )
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def report_to_html(
+    report: ViolationReport,
+    program_name: str = "program",
+    tool_name: str = "HOME",
+    source: Optional[str] = None,
+    run_info: Optional[Dict[str, object]] = None,
+    static_info: Optional[Dict[str, object]] = None,
+) -> str:
+    """Render a full check result as one standalone HTML page."""
+    body: List[str] = []
+    body.append(f"<h1>{_esc(tool_name)} report — {_esc(program_name)}</h1>")
+    if run_info:
+        meta = " · ".join(f"{_esc(k)}={_esc(v)}" for k, v in run_info.items())
+        body.append(f'<p class="meta">{meta}</p>')
+
+    if not len(report):
+        body.append('<div class="clean">No thread-safety violations '
+                    "detected.</div>")
+    else:
+        body.append(f"<h2>{len(report)} finding(s)</h2>")
+        for violation in report:
+            ranks = report.procs_by_finding.get(violation.dedup_key(), [])
+            body.append(_finding_html(violation, ranks, source))
+
+    if static_info:
+        body.append("<h2>Compile-time phase</h2>")
+        rows = "".join(
+            f"<tr><th>{_esc(k)}</th><td>{_esc(v)}</td></tr>"
+            for k, v in static_info.items()
+        )
+        body.append(f'<table class="stats">{rows}</table>')
+
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        f"<title>{_esc(tool_name)}: {_esc(program_name)}</title>"
+        f"<style>{_CSS}</style></head><body>"
+        + "".join(body)
+        + "</body></html>\n"
+    )

@@ -1,0 +1,109 @@
+"""Violation matching: merge concurrency reports with the thread-safety
+specification argument list into final reports (paper Fig. 3, bottom).
+
+The matcher is oracle-agnostic: HOME feeds it hybrid lockset+HB
+concurrency reports; the Marmot model feeds it observed-overlap reports;
+the ITC model feeds it weakened-HB reports.  Sharing the matcher keeps
+the tool comparison apples-to-apples — the tools differ only in *which
+pairs they believe are concurrent* and what they charge for finding out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.dynamic_.hybrid import ConcurrencyReport
+from ..events import EventLog, MPICall, ThreadFork
+from .spec import ALL_RULES, ProcessView, Violation
+
+
+@dataclass
+class ViolationReport:
+    """Deduplicated violations across all processes of one run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    #: dedup key -> list of processes the finding occurred in
+    procs_by_finding: Dict[tuple, List[int]] = field(default_factory=dict)
+
+    def add(self, violation: Violation) -> None:
+        key = violation.dedup_key()
+        procs = self.procs_by_finding.get(key)
+        if procs is None:
+            self.procs_by_finding[key] = [violation.proc]
+            self.violations.append(violation)
+        elif violation.proc not in procs:
+            procs.append(violation.proc)
+
+    def classes(self) -> List[str]:
+        return sorted({v.vclass for v in self.violations})
+
+    def by_class(self) -> Dict[str, List[Violation]]:
+        out: Dict[str, List[Violation]] = {}
+        for v in self.violations:
+            out.setdefault(v.vclass, []).append(v)
+        return out
+
+    def count(self, vclass: Optional[str] = None) -> int:
+        if vclass is None:
+            return len(self.violations)
+        return sum(1 for v in self.violations if v.vclass == vclass)
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def __iter__(self):
+        return iter(self.violations)
+
+    def summary(self) -> str:
+        if not self.violations:
+            return "no thread-safety violations detected"
+        lines = [f"{len(self.violations)} thread-safety violation(s) detected:"]
+        for v in self.violations:
+            procs = self.procs_by_finding[v.dedup_key()]
+            ranks = ",".join(str(p) for p in sorted(procs))
+            lines.append(f"  {v} (ranks {ranks})")
+        return "\n".join(lines)
+
+
+def extract_thread_level(log: EventLog, proc: int) -> Optional[int]:
+    """Provided thread level from the process's init call event."""
+    for event in log.mpi_calls(proc):
+        if event.op in ("mpi_init", "mpi_init_thread"):
+            provided = event.args.get("provided")
+            if isinstance(provided, int):
+                return provided
+    return None
+
+
+def build_view(log: EventLog, proc: int, report: ConcurrencyReport) -> ProcessView:
+    """Assemble the per-process rule input."""
+    calls = log.mpi_calls(proc)
+    had_parallel = any(
+        type(e) is ThreadFork and e.proc == proc and len(e.children) > 0
+        for e in log
+    )
+    return ProcessView(
+        proc=proc,
+        thread_level=extract_thread_level(log, proc),
+        main_thread=0,
+        had_parallel=had_parallel,
+        report=report,
+        calls=calls,
+    )
+
+
+def match_violations(
+    log: EventLog,
+    reports: Dict[int, ConcurrencyReport],
+    rules: Sequence[Callable[[ProcessView], List[Violation]]] = ALL_RULES,
+) -> ViolationReport:
+    """Run every rule over every process and deduplicate findings."""
+    final = ViolationReport()
+    for proc in log.processes():
+        report = reports.get(proc) or ConcurrencyReport(proc)
+        view = build_view(log, proc, report)
+        for rule in rules:
+            for violation in rule(view):
+                final.add(violation)
+    return final

@@ -1,0 +1,126 @@
+"""Report rendering: findings with source excerpts, text or JSON.
+
+The paper motivates HOME as a tool that can "report violations and
+locate the issues in programs"; this module turns a
+:class:`~repro.violations.ViolationReport` into developer-facing output
+that points at the offending source lines, optionally with the fix
+recipe attached.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .fixes import _SUGGESTIONS
+from .matcher import ViolationReport
+from .spec import Violation
+
+
+def _parse_loc(loc: str) -> Optional[Tuple[int, int]]:
+    try:
+        line, col = loc.split(":")
+        return int(line), int(col)
+    except (ValueError, AttributeError):
+        return None
+
+
+@dataclass
+class Excerpt:
+    """A source snippet anchored at one finding location."""
+
+    loc: str
+    lines: List[Tuple[int, str]]  # (1-based line number, text)
+    marker_line: int
+
+    def render(self) -> str:
+        width = len(str(max(n for n, _ in self.lines))) if self.lines else 1
+        out = []
+        for number, text in self.lines:
+            marker = ">" if number == self.marker_line else " "
+            out.append(f"  {marker} {number:>{width}} | {text}")
+        return "\n".join(out)
+
+
+def excerpt_at(source: str, loc: str, context: int = 1) -> Optional[Excerpt]:
+    """A ±*context*-line snippet of *source* around *loc*."""
+    parsed = _parse_loc(loc)
+    if parsed is None:
+        return None
+    line, _col = parsed
+    all_lines = source.splitlines()
+    if not 1 <= line <= len(all_lines):
+        return None
+    first = max(1, line - context)
+    last = min(len(all_lines), line + context)
+    return Excerpt(
+        loc=loc,
+        lines=[(n, all_lines[n - 1]) for n in range(first, last + 1)],
+        marker_line=line,
+    )
+
+
+def render_violation(
+    violation: Violation,
+    source: Optional[str] = None,
+    context: int = 1,
+    with_fix: bool = False,
+) -> str:
+    """One finding as a multi-line, human-oriented block."""
+    lines = [str(violation)]
+    if source is not None:
+        seen = set()
+        for loc in violation.locs:
+            if loc in seen:
+                continue
+            seen.add(loc)
+            excerpt = excerpt_at(source, loc, context)
+            if excerpt is not None:
+                lines.append(excerpt.render())
+    if with_fix:
+        suggestion = _SUGGESTIONS.get(violation.vclass)
+        if suggestion is not None:
+            lines.append(f"  fix: {suggestion.title}")
+    return "\n".join(lines)
+
+
+def render_report(
+    report: ViolationReport,
+    source: Optional[str] = None,
+    context: int = 1,
+    with_fixes: bool = False,
+) -> str:
+    """A whole report as readable text."""
+    if not len(report):
+        return "no thread-safety violations detected"
+    blocks = [f"{len(report)} thread-safety violation(s) detected:"]
+    for violation in report:
+        procs = report.procs_by_finding.get(violation.dedup_key(), [])
+        block = render_violation(violation, source, context, with_fixes)
+        ranks = ",".join(str(p) for p in sorted(procs))
+        blocks.append(f"{block}\n  (observed on rank(s) {ranks})")
+    return "\n\n".join(blocks)
+
+
+def report_to_dict(report: ViolationReport) -> Dict:
+    """Machine-readable form of a report (for --format json)."""
+    findings = []
+    for violation in report:
+        findings.append({
+            "class": violation.vclass,
+            "message": violation.message,
+            "locations": list(violation.locs),
+            "threads": list(violation.threads),
+            "ops": list(violation.ops),
+            "ranks": sorted(report.procs_by_finding.get(violation.dedup_key(), [])),
+        })
+    return {
+        "violations": findings,
+        "count": len(report),
+        "classes": report.classes(),
+    }
+
+
+def report_to_json(report: ViolationReport, indent: int = 2) -> str:
+    return json.dumps(report_to_dict(report), indent=indent)

@@ -1,0 +1,360 @@
+"""The six thread-safety violation classes (paper §III-A) as rules.
+
+Each rule consumes a :class:`ProcessView` — one process's thread level,
+MPI call events and a concurrency oracle (a
+:class:`~repro.analysis.dynamic_.hybrid.ConcurrencyReport`, however it
+was produced) — and yields :class:`Violation` findings.  The rules are
+direct transcriptions of the paper's predicates:
+
+* ``isInitializationViolation``
+* ``isMPIFinalizationViolation``
+* ``isConcurrentRecvViolation``
+* ``isConcurrentRequestViolation``
+* ``isProbeViolation``
+* ``isCollectiveCallViolation``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..analysis.dynamic_.hybrid import ConcurrencyReport, MPICallRecord, RacingPair
+from ..events.event import COLLECTIVE_OPS, MonitoredKind
+from ..mpi.constants import (
+    MPI_ANY_SOURCE,
+    MPI_ANY_TAG,
+    MPI_THREAD_FUNNELED,
+    MPI_THREAD_MULTIPLE,
+    MPI_THREAD_SERIALIZED,
+    MPI_THREAD_SINGLE,
+    THREAD_LEVEL_NAMES,
+)
+
+#: Canonical violation class names.
+INITIALIZATION = "InitializationViolation"
+FINALIZATION = "MPIFinalizationViolation"
+CONCURRENT_RECV = "ConcurrentRecvViolation"
+CONCURRENT_REQUEST = "ConcurrentRequestViolation"
+PROBE = "ProbeViolation"
+COLLECTIVE = "CollectiveCallViolation"
+
+ALL_VIOLATION_CLASSES = (
+    INITIALIZATION,
+    FINALIZATION,
+    CONCURRENT_RECV,
+    CONCURRENT_REQUEST,
+    PROBE,
+    COLLECTIVE,
+)
+
+RECV_OPS = frozenset({"mpi_recv", "mpi_irecv", "mpi_sendrecv"})
+PROBE_OPS = frozenset({"mpi_probe", "mpi_iprobe"})
+WAIT_OPS = frozenset({"mpi_wait", "mpi_test", "mpi_waitall"})
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One reported thread-safety violation."""
+
+    vclass: str
+    proc: int
+    message: str
+    callsites: Tuple[int, ...] = ()
+    locs: Tuple[str, ...] = ()
+    threads: Tuple[int, ...] = ()
+    ops: Tuple[str, ...] = ()
+
+    def dedup_key(self) -> Tuple[str, Tuple[int, ...]]:
+        """Reports of the same class at the same site set are one finding."""
+        return (self.vclass, tuple(sorted(self.callsites)))
+
+    def __str__(self) -> str:
+        where = ", ".join(self.locs) if self.locs else "<unknown>"
+        return f"[{self.vclass}] rank {self.proc} at {where}: {self.message}"
+
+
+@dataclass
+class ProcessView:
+    """Everything the rules need to know about one process's execution."""
+
+    proc: int
+    thread_level: Optional[int]
+    main_thread: int
+    had_parallel: bool
+    report: ConcurrencyReport
+    #: MPICall 'begin' events of this process, in emission order
+    calls: List = field(default_factory=list)
+
+    def non_main_calls(self) -> List:
+        return [
+            c for c in self.calls
+            if not c.is_main_thread and c.op not in ("mpi_init", "mpi_init_thread")
+        ]
+
+    def finalize_calls(self) -> List:
+        return [c for c in self.calls if c.op == "mpi_finalize"]
+
+
+def _tags_match(a, b) -> bool:
+    return a == b or a == MPI_ANY_TAG or b == MPI_ANY_TAG
+
+
+def _srcs_match(a, b) -> bool:
+    return a == b or a == MPI_ANY_SOURCE or b == MPI_ANY_SOURCE
+
+
+def _same_comm(pair: RacingPair) -> bool:
+    return pair.a.arg(MonitoredKind.COMM) == pair.b.arg(MonitoredKind.COMM)
+
+
+def _envelopes_overlap(pair: RacingPair) -> bool:
+    return (
+        _same_comm(pair)
+        and _tags_match(pair.a.arg(MonitoredKind.TAG), pair.b.arg(MonitoredKind.TAG))
+        and _srcs_match(pair.a.arg(MonitoredKind.SRC), pair.b.arg(MonitoredKind.SRC))
+    )
+
+
+def _pair_violation(vclass: str, proc: int, pair: RacingPair, message: str) -> Violation:
+    return Violation(
+        vclass=vclass,
+        proc=proc,
+        message=message,
+        callsites=pair.callsites(),
+        locs=pair.locs(),
+        threads=tuple(sorted(pair.threads)),
+        ops=tuple(sorted(pair.ops())),
+    )
+
+
+def probed_recv_call_ids(view: ProcessView) -> Set[int]:
+    """Receive call instances guarded by an immediately preceding probe
+    on the same thread with the same envelope.
+
+    Such receives are attributed to the Probe rule (the probe *is* the
+    racing access) instead of being double-reported as concurrent
+    receives.
+    """
+    by_thread: Dict[int, List[MPICallRecord]] = {}
+    for rec in sorted(view.report.records.values(), key=lambda r: r.call_id):
+        by_thread.setdefault(rec.thread, []).append(rec)
+    probed: Set[int] = set()
+    for recs in by_thread.values():
+        prev: Optional[MPICallRecord] = None
+        for rec in recs:
+            if rec.op in RECV_OPS and prev is not None and prev.op in PROBE_OPS:
+                same = (
+                    prev.arg(MonitoredKind.COMM) == rec.arg(MonitoredKind.COMM)
+                    and _tags_match(prev.arg(MonitoredKind.TAG), rec.arg(MonitoredKind.TAG))
+                    and _srcs_match(prev.arg(MonitoredKind.SRC), rec.arg(MonitoredKind.SRC))
+                )
+                if same:
+                    probed.add(rec.call_id)
+            prev = rec
+    return probed
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+def check_initialization(view: ProcessView) -> List[Violation]:
+    """isInitializationViolation (paper §III-A, first predicate)."""
+    out: List[Violation] = []
+    level = view.thread_level
+    if level is None or level >= MPI_THREAD_MULTIPLE:
+        return out
+    level_name = THREAD_LEVEL_NAMES.get(level, str(level))
+
+    if level in (MPI_THREAD_SINGLE, MPI_THREAD_FUNNELED):
+        offenders = view.non_main_calls()
+        if offenders:
+            sites = tuple(sorted({c.callsite for c in offenders}))
+            locs = tuple(sorted({c.loc for c in offenders}))
+            threads = tuple(sorted({c.thread for c in offenders}))
+            out.append(
+                Violation(
+                    INITIALIZATION,
+                    view.proc,
+                    f"{len(offenders)} MPI call(s) issued from non-main "
+                    f"thread(s) {threads} under {level_name}",
+                    callsites=sites,
+                    locs=locs,
+                    threads=threads,
+                    ops=tuple(sorted({c.op for c in offenders})),
+                )
+            )
+        elif level == MPI_THREAD_SINGLE and view.had_parallel:
+            out.append(
+                Violation(
+                    INITIALIZATION,
+                    view.proc,
+                    f"program forks OpenMP teams while initialized at {level_name}",
+                )
+            )
+    elif level == MPI_THREAD_SERIALIZED:
+        racing = [
+            k for k in MonitoredKind if view.report.concurrent(k)
+        ]
+        if racing:
+            pairs = view.report.pairs
+            sites: Set[int] = set()
+            locs: Set[str] = set()
+            for p in pairs:
+                sites.update(p.callsites())
+                locs.update(p.locs())
+            out.append(
+                Violation(
+                    INITIALIZATION,
+                    view.proc,
+                    f"concurrent MPI calls detected under {level_name} "
+                    f"(racing monitored variables: "
+                    f"{', '.join(str(k) for k in racing)})",
+                    callsites=tuple(sorted(sites)),
+                    locs=tuple(sorted(locs)),
+                )
+            )
+    return out
+
+
+def check_finalization(view: ProcessView) -> List[Violation]:
+    """isMPIFinalizationViolation."""
+    out: List[Violation] = []
+    finals = view.finalize_calls()
+    for call in finals:
+        if not call.is_main_thread:
+            out.append(
+                Violation(
+                    FINALIZATION,
+                    view.proc,
+                    f"mpi_finalize called from non-main thread {call.thread}",
+                    callsites=(call.callsite,),
+                    locs=(call.loc,),
+                    threads=(call.thread,),
+                    ops=("mpi_finalize",),
+                )
+            )
+    if view.report.concurrent(MonitoredKind.FINALIZE):
+        for pair in view.report.pairs:
+            if MonitoredKind.FINALIZE in pair.kinds:
+                out.append(
+                    _pair_violation(
+                        FINALIZATION, view.proc, pair,
+                        "mpi_finalize races another MPI call",
+                    )
+                )
+    # timestamp(MPI_Finalize) < timestamp(other MPI calls): a call that
+    # began after finalize began on another thread.
+    for fin in finals:
+        laggards = [
+            c for c in view.calls
+            if c.op != "mpi_finalize" and c.thread != fin.thread and c.time > fin.time
+        ]
+        if laggards:
+            sites = tuple(sorted({c.callsite for c in laggards} | {fin.callsite}))
+            locs = tuple(sorted({c.loc for c in laggards} | {fin.loc}))
+            out.append(
+                Violation(
+                    FINALIZATION,
+                    view.proc,
+                    f"{len(laggards)} MPI call(s) on other threads began after "
+                    "mpi_finalize",
+                    callsites=sites,
+                    locs=locs,
+                )
+            )
+    return out
+
+
+def check_concurrent_recv(view: ProcessView) -> List[Violation]:
+    """isConcurrentRecvViolation."""
+    out: List[Violation] = []
+    probed = probed_recv_call_ids(view)
+    for pair in view.report.pairs_for_ops(RECV_OPS, RECV_OPS):
+        needed = {MonitoredKind.SRC, MonitoredKind.TAG, MonitoredKind.COMM}
+        if not needed.issubset(set(pair.kinds)):
+            continue
+        if not _envelopes_overlap(pair):
+            continue
+        if pair.a.call_id in probed and pair.b.call_id in probed:
+            continue  # attributed to the Probe rule
+        out.append(
+            _pair_violation(
+                CONCURRENT_RECV, view.proc, pair,
+                "two threads receive concurrently with overlapping "
+                f"(source={pair.a.arg(MonitoredKind.SRC)}, "
+                f"tag={pair.a.arg(MonitoredKind.TAG)}, "
+                f"comm={pair.a.arg(MonitoredKind.COMM)}) envelopes — "
+                "message matching order is undefined",
+            )
+        )
+    return out
+
+
+def check_concurrent_request(view: ProcessView) -> List[Violation]:
+    """isConcurrentRequestViolation."""
+    out: List[Violation] = []
+    for pair in view.report.pairs_for_ops(WAIT_OPS, WAIT_OPS):
+        if MonitoredKind.REQUEST not in pair.kinds:
+            continue
+        if pair.a.arg(MonitoredKind.REQUEST) != pair.b.arg(MonitoredKind.REQUEST):
+            continue
+        out.append(
+            _pair_violation(
+                CONCURRENT_REQUEST, view.proc, pair,
+                f"two threads wait/test the same request "
+                f"{pair.a.arg(MonitoredKind.REQUEST)} concurrently",
+            )
+        )
+    return out
+
+
+def check_probe(view: ProcessView) -> List[Violation]:
+    """isProbeViolation."""
+    out: List[Violation] = []
+    partner_ops = PROBE_OPS | RECV_OPS
+    for pair in view.report.pairs_for_ops(PROBE_OPS, partner_ops):
+        if not (pair.a.op in PROBE_OPS or pair.b.op in PROBE_OPS):
+            continue
+        if not _envelopes_overlap(pair):
+            continue
+        out.append(
+            _pair_violation(
+                PROBE, view.proc, pair,
+                "concurrent probe operations with the same source and tag "
+                "on one communicator — a probed message may be stolen by "
+                "the other thread",
+            )
+        )
+    return out
+
+
+def check_collective(view: ProcessView) -> List[Violation]:
+    """isCollectiveCallViolation."""
+    out: List[Violation] = []
+    for pair in view.report.pairs_for_ops(COLLECTIVE_OPS, COLLECTIVE_OPS):
+        if MonitoredKind.COLLECTIVE not in pair.kinds and MonitoredKind.COMM not in pair.kinds:
+            continue
+        if not _same_comm(pair):
+            continue
+        out.append(
+            _pair_violation(
+                COLLECTIVE, view.proc, pair,
+                f"two threads issue collective operations "
+                f"({pair.a.op}, {pair.b.op}) concurrently on communicator "
+                f"{pair.a.arg(MonitoredKind.COMM)}",
+            )
+        )
+    return out
+
+
+ALL_RULES = (
+    check_initialization,
+    check_finalization,
+    check_concurrent_recv,
+    check_concurrent_request,
+    check_probe,
+    check_collective,
+)

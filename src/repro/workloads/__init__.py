@@ -1,0 +1,23 @@
+"""Workloads: case studies and the mini NPB-MZ benchmark suite."""
+
+from . import case_studies, npb  # noqa: F401
+from .case_studies import (  # noqa: F401
+    case_study_1,
+    case_study_2,
+    case_study_2_fixed,
+    safe_funneled,
+)
+from .npb import BENCHMARKS, SPECS, injection_registry, score_report  # noqa: F401
+
+__all__ = [
+    "case_studies",
+    "npb",
+    "case_study_1",
+    "case_study_2",
+    "case_study_2_fixed",
+    "safe_funneled",
+    "BENCHMARKS",
+    "SPECS",
+    "injection_registry",
+    "score_report",
+]

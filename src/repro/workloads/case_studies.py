@@ -1,0 +1,145 @@
+"""The paper's two motivating case studies (Figs. 1 and 2) plus small
+fixed variants, all as mini-language source text.
+"""
+
+from __future__ import annotations
+
+from ..minilang import Program, parse
+
+#: Figure 1 — MPI initialized without thread support (plain mpi_init ==
+#: MPI_THREAD_SINGLE), yet omp sections issue MPI calls from two
+#: threads.  Under a real MPI library only the main thread's call
+#: executes ("only MPI_Send or MPI_Recv is executed, but not both"),
+#: silently breaking the send/recv pairing.
+CASE_STUDY_1 = """
+program case_study_1;
+
+var a[4];
+
+func main() {
+    mpi_init();
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    omp_set_num_threads(2);
+    omp parallel num_threads(2) {
+        omp sections {
+            omp section {
+                if (rank == 0) {
+                    mpi_send(a, 1, 1, 0, MPI_COMM_WORLD);
+                }
+            }
+            omp section {
+                if (rank == 0) {
+                    mpi_recv(a, 1, 1, 0, MPI_COMM_WORLD);
+                }
+            }
+        }
+    }
+    mpi_finalize();
+}
+"""
+
+#: Figure 2 — MPI_THREAD_MULTIPLE ping-pong where both threads of each
+#: rank use the SAME tag on the same communicator: all arriving
+#: messages are interchangeable between threads, so the matching order
+#: is undefined (a Concurrent-Recv violation; with synchronous sends a
+#: deadlock can manifest nondeterministically).
+CASE_STUDY_2 = """
+program case_study_2;
+
+var a[1];
+
+func main() {
+    var provided = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var tag = 0;
+    omp_set_num_threads(2);
+    omp parallel for for (var j = 0; j < 2; j = j + 1) {
+        if (rank == 0) {
+            mpi_send(a, 1, 1, tag, MPI_COMM_WORLD);
+            mpi_recv(a, 1, 1, tag, MPI_COMM_WORLD);
+        }
+        if (rank == 1) {
+            mpi_recv(a, 1, 0, tag, MPI_COMM_WORLD);
+            mpi_send(a, 1, 0, tag, MPI_COMM_WORLD);
+        }
+    }
+    mpi_finalize();
+}
+"""
+
+#: The standard fix for case study 2: distinguish per-thread traffic by
+#: using the thread id as the message tag ("a common solution is to use
+#: thread ID as tag").  No violation should be reported.
+CASE_STUDY_2_FIXED = """
+program case_study_2_fixed;
+
+var a[1];
+
+func main() {
+    var provided = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    omp_set_num_threads(2);
+    omp parallel num_threads(2) {
+        var tag = omp_get_thread_num();
+        omp for for (var j = 0; j < 2; j = j + 1) {
+            if (rank == 0) {
+                mpi_send(a, 1, 1, tag, MPI_COMM_WORLD);
+                mpi_recv(a, 1, 1, tag, MPI_COMM_WORLD);
+            }
+            if (rank == 1) {
+                mpi_recv(a, 1, 0, tag, MPI_COMM_WORLD);
+                mpi_send(a, 1, 0, tag, MPI_COMM_WORLD);
+            }
+        }
+    }
+    mpi_finalize();
+}
+"""
+
+#: A thread-safe hybrid program (FUNNELED done right): all MPI calls
+#: funneled through omp master, compute spread over the team.
+SAFE_FUNNELED = """
+program safe_funneled;
+
+var field[32];
+
+func main() {
+    var provided = mpi_init_thread(MPI_THREAD_FUNNELED);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var size = mpi_comm_size(MPI_COMM_WORLD);
+    omp parallel num_threads(2) {
+        omp for for (var i = 0; i < 16; i = i + 1) {
+            field[i] = field[i] + i;
+            compute(2);
+        }
+        omp barrier;
+        omp master {
+            if (size > 1) {
+                if (rank == 0) {
+                    mpi_send(field, 16, 1, 5, MPI_COMM_WORLD);
+                }
+                if (rank == 1) {
+                    mpi_recv(field, 16, 0, 5, MPI_COMM_WORLD);
+                }
+            }
+        }
+    }
+    mpi_finalize();
+}
+"""
+
+
+def case_study_1() -> Program:
+    return parse(CASE_STUDY_1)
+
+
+def case_study_2() -> Program:
+    return parse(CASE_STUDY_2)
+
+
+def case_study_2_fixed() -> Program:
+    return parse(CASE_STUDY_2_FIXED)
+
+
+def safe_funneled() -> Program:
+    return parse(SAFE_FUNNELED)

@@ -1,0 +1,45 @@
+"""Mini NPB-MZ hybrid benchmarks (LU, BT, SP)."""
+
+from .bt_mz import BT_SPEC, bt_mz_source, build_bt_mz  # noqa: F401
+from .common import (  # noqa: F401
+    InjectionInfo,
+    NPBSpec,
+    build_program,
+    build_source,
+    injection_registry,
+    score_report,
+)
+from .lu_mz import LU_SPEC, build_lu_mz, lu_mz_source  # noqa: F401
+from .sp_mz import SP_SPEC, build_sp_mz, sp_mz_source  # noqa: F401
+
+BENCHMARKS = {
+    "lu": build_lu_mz,
+    "bt": build_bt_mz,
+    "sp": build_sp_mz,
+}
+
+SPECS = {
+    "lu": LU_SPEC,
+    "bt": BT_SPEC,
+    "sp": SP_SPEC,
+}
+
+__all__ = [
+    "NPBSpec",
+    "InjectionInfo",
+    "build_program",
+    "build_source",
+    "injection_registry",
+    "score_report",
+    "build_lu_mz",
+    "build_bt_mz",
+    "build_sp_mz",
+    "lu_mz_source",
+    "bt_mz_source",
+    "sp_mz_source",
+    "LU_SPEC",
+    "BT_SPEC",
+    "SP_SPEC",
+    "BENCHMARKS",
+    "SPECS",
+]

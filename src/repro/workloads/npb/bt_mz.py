@@ -1,0 +1,41 @@
+"""BT-MZ: block tri-diagonal solver, multi-zone mini version.
+
+BT has three solver stages per step (x/y/z sweeps) and — uniquely — a
+benign *named* ``omp critical`` performance counter in its base code.
+The counter is perfectly serialized at runtime, but the ITC model does
+not recognize named criticals, so it reports a spurious data race —
+the one false positive behind the Table-1 row
+``NPB-MZ BT (6) | HOME 6 | ITC 7 | Marmot 6``.
+
+All six injections manifest as real overlaps here (no skew), so Marmot
+detects all of them; the probe injection is iprobe+recv, whose receive
+side is visible to ITC.
+"""
+
+from __future__ import annotations
+
+from ...minilang import Program
+from .common import NPBSpec, build_program, build_source
+
+BT_SPEC = NPBSpec(
+    name="bt_mz",
+    zones=48,
+    steps=2,
+    stages=3,
+    zone_weight=8,
+    compute_units=2,
+    named_critical_counter=True,
+    recv_skew=0,
+    request_late_delay=100,
+    request_skew=0,
+    probe_style="iprobe-recv",
+)
+
+
+def build_bt_mz(inject: bool = True) -> Program:
+    """The BT-MZ mini benchmark (optionally with the six violations)."""
+    return build_program(BT_SPEC, inject=inject)
+
+
+def bt_mz_source(inject: bool = True) -> str:
+    return build_source(BT_SPEC, inject=inject)

@@ -1,0 +1,39 @@
+"""LU-MZ: lower-upper symmetric Gauss-Seidel, multi-zone mini version.
+
+Injection characteristics (drives the paper's Table-1 row
+``NPB-MZ LU (6) | HOME 6 | ITC 5 | Marmot 5``):
+
+* the Concurrent-Recv pair is **compute-skewed** — it never manifests
+  as an actual overlap, so Marmot misses it (5);
+* the probe violation is **probe-vs-probe** — invisible to ITC's
+  interception, so ITC misses it (5);
+* the request injection's message arrives late, so both waits block and
+  overlap (Marmot sees it).
+"""
+
+from __future__ import annotations
+
+from ...minilang import Program
+from .common import NPBSpec, build_program, build_source
+
+LU_SPEC = NPBSpec(
+    name="lu_mz",
+    zones=64,
+    steps=3,
+    stages=1,
+    zone_weight=16,
+    compute_units=2,
+    recv_skew=150,
+    request_late_delay=100,
+    request_skew=0,
+    probe_style="probe-probe",
+)
+
+
+def build_lu_mz(inject: bool = True) -> Program:
+    """The LU-MZ mini benchmark (optionally with the six violations)."""
+    return build_program(LU_SPEC, inject=inject)
+
+
+def lu_mz_source(inject: bool = True) -> str:
+    return build_source(LU_SPEC, inject=inject)

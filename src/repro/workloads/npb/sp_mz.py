@@ -1,0 +1,38 @@
+"""SP-MZ: scalar penta-diagonal solver, multi-zone mini version.
+
+Injection characteristics (Table-1 row
+``NPB-MZ SP (6) | HOME 6 | ITC 6 | Marmot 5``):
+
+* the Concurrent-Request pair is the unmanifested one here: the
+  request's message arrives *early* and thread 1 is compute-skewed, so
+  the two waits never overlap — Marmot misses it (5);
+* the probe injection is iprobe+recv (visible to ITC through the
+  receive side), and the recv pair is unskewed, so ITC scores all 6.
+"""
+
+from __future__ import annotations
+
+from ...minilang import Program
+from .common import NPBSpec, build_program, build_source
+
+SP_SPEC = NPBSpec(
+    name="sp_mz",
+    zones=64,
+    steps=4,
+    stages=1,
+    zone_weight=6,
+    compute_units=2,
+    recv_skew=0,
+    request_late_delay=0,
+    request_skew=150,
+    probe_style="iprobe-recv",
+)
+
+
+def build_sp_mz(inject: bool = True) -> Program:
+    """The SP-MZ mini benchmark (optionally with the six violations)."""
+    return build_program(SP_SPEC, inject=inject)
+
+
+def sp_mz_source(inject: bool = True) -> str:
+    return build_source(SP_SPEC, inject=inject)

@@ -1,0 +1,196 @@
+"""Reusable hybrid programming patterns (micro-workloads).
+
+A small library of canonical hybrid MPI/OpenMP structures — each in a
+thread-safe form — used by tests, docs and overhead studies.  All
+builders return parseable mini-language source; every pattern runs
+clean under HOME (asserted in the test suite), so they double as
+regression anchors against false positives.
+"""
+
+from __future__ import annotations
+
+from ..minilang import Program, parse
+
+
+def ping_pong(rounds: int = 2, use_thread_tags: bool = True) -> Program:
+    """Two ranks, two threads, per-thread tag disambiguation."""
+    tag = "10 + omp_get_thread_num()" if use_thread_tags else "10"
+    return parse(f"""
+program ping_pong;
+var a[1];
+func main() {{
+    var provided = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var partner = 1 - rank;
+    omp parallel num_threads(2) {{
+        var tag = {tag};
+        for (var r = 0; r < {rounds}; r = r + 1) {{
+            if (rank == 0) {{
+                mpi_send(a, 1, partner, tag, MPI_COMM_WORLD);
+                mpi_recv(a, 1, partner, tag, MPI_COMM_WORLD);
+            }}
+            if (rank == 1) {{
+                mpi_recv(a, 1, partner, tag, MPI_COMM_WORLD);
+                mpi_send(a, 1, partner, tag, MPI_COMM_WORLD);
+            }}
+        }}
+    }}
+    mpi_finalize();
+}}
+""")
+
+
+def halo_ring(steps: int = 2, width: int = 4) -> Program:
+    """Ring halo exchange with sendrecv, computation spread over a team."""
+    return parse(f"""
+program halo_ring;
+var field[64];
+var halo_out[{width}];
+var halo_in[{width}];
+func main() {{
+    var provided = mpi_init_thread(MPI_THREAD_FUNNELED);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var size = mpi_comm_size(MPI_COMM_WORLD);
+    var right = (rank + 1) % size;
+    var left = (rank + size - 1) % size;
+    for (var step = 0; step < {steps}; step = step + 1) {{
+        omp parallel num_threads(2) {{
+            omp for for (var i = 0; i < 64; i = i + 1) {{
+                field[i] = field[i] + 1.0;
+                compute(1);
+            }}
+            omp master {{
+                if (size > 1) {{
+                    mpi_sendrecv(halo_out, {width}, right, 20 + step,
+                                 halo_in, left, 20 + step, MPI_COMM_WORLD);
+                }}
+            }}
+        }}
+    }}
+    mpi_finalize();
+}}
+""")
+
+
+def master_worker(tasks: int = 6) -> Program:
+    """Rank 0 hands out work items; workers reply with results.
+
+    All communication stays on the MPI main thread (FUNNELED style);
+    OpenMP accelerates the per-item computation.
+    """
+    return parse(f"""
+program master_worker;
+var item[2];
+var result[2];
+func process(units) {{
+    omp parallel num_threads(2) {{
+        omp for for (var k = 0; k < 8; k = k + 1) {{
+            compute(units);
+        }}
+    }}
+    return 0;
+}}
+func main() {{
+    var provided = mpi_init_thread(MPI_THREAD_FUNNELED);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var size = mpi_comm_size(MPI_COMM_WORLD);
+    if (size > 1) {{
+        if (rank == 0) {{
+            for (var t = 0; t < {tasks}; t = t + 1) {{
+                var dest = 1 + (t % (size - 1));
+                item[0] = t;
+                mpi_send(item, 1, dest, 30, MPI_COMM_WORLD);
+            }}
+            for (var t = 0; t < {tasks}; t = t + 1) {{
+                mpi_recv(result, 1, MPI_ANY_SOURCE, 31, MPI_COMM_WORLD);
+            }}
+            for (var w = 1; w < size; w = w + 1) {{
+                item[0] = -1;
+                mpi_send(item, 1, w, 30, MPI_COMM_WORLD);
+            }}
+        }} else {{
+            var running = 1;
+            while (running == 1) {{
+                mpi_recv(item, 1, 0, 30, MPI_COMM_WORLD);
+                if (item[0] < 0) {{
+                    running = 0;
+                }} else {{
+                    process(2);
+                    result[0] = item[0] * 2;
+                    mpi_send(result, 1, 0, 31, MPI_COMM_WORLD);
+                }}
+            }}
+        }}
+    }}
+    mpi_finalize();
+}}
+""")
+
+
+def reduction_tree(levels: int = 2) -> Program:
+    """Team-parallel local reduction feeding a global allreduce."""
+    return parse(f"""
+program reduction_tree;
+var partial[8];
+func main() {{
+    var provided = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var size = mpi_comm_size(MPI_COMM_WORLD);
+    var local = 0;
+    for (var lvl = 0; lvl < {levels}; lvl = lvl + 1) {{
+        omp parallel num_threads(2) {{
+            omp for for (var i = 0; i < 8; i = i + 1) {{
+                partial[i] = partial[i] + rank + lvl;
+                compute(1);
+            }}
+            omp single {{
+                local = 0;
+                for (var k = 0; k < 8; k = k + 1) {{
+                    local = local + partial[k];
+                }}
+            }}
+        }}
+        var total = mpi_allreduce(local, MPI_SUM, MPI_COMM_WORLD);
+        assert(total >= local);
+    }}
+    mpi_finalize();
+}}
+""")
+
+
+def thread_split_comms() -> Program:
+    """The communicator-per-thread fix: each team thread talks over its
+    own duplicated communicator, so identical tags cannot collide."""
+    return parse("""
+program thread_split_comms;
+var a[1];
+func main() {
+    var provided = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var partner = 1 - rank;
+    var comm0 = mpi_comm_dup(MPI_COMM_WORLD);
+    var comm1 = mpi_comm_dup(MPI_COMM_WORLD);
+    omp parallel num_threads(2) {
+        var mycomm = comm0;
+        if (omp_get_thread_num() == 1) { mycomm = comm1; }
+        if (rank == 0) {
+            mpi_send(a, 1, partner, 5, mycomm);
+            mpi_recv(a, 1, partner, 5, mycomm);
+        }
+        if (rank == 1) {
+            mpi_recv(a, 1, partner, 5, mycomm);
+            mpi_send(a, 1, partner, 5, mycomm);
+        }
+    }
+    mpi_finalize();
+}
+""")
+
+
+ALL_PATTERNS = {
+    "ping_pong": ping_pong,
+    "halo_ring": halo_ring,
+    "master_worker": master_worker,
+    "reduction_tree": reduction_tree,
+    "thread_split_comms": thread_split_comms,
+}

@@ -1,0 +1,205 @@
+"""Static violation-candidate detection tests."""
+
+import pytest
+
+from repro.analysis.static_ import collect_sites, find_candidates, envelope_of
+from repro.analysis.static_.candidates import StaticEnvelope, candidate_summary
+from repro.minilang import parse
+from repro.mpi.constants import MPI_ANY_TAG
+from repro.violations import (
+    COLLECTIVE,
+    CONCURRENT_RECV,
+    CONCURRENT_REQUEST,
+    FINALIZATION,
+    PROBE,
+)
+
+
+def candidates_for(src):
+    return find_candidates(collect_sites(parse(src)))
+
+
+def classes(cands):
+    return sorted({c.vclass for c in cands})
+
+
+HEAD = """
+program c;
+var buf[4];
+func main() {
+    var p = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+"""
+
+
+class TestEnvelopes:
+    def test_constant_envelope_extracted(self):
+        src = HEAD + """
+    omp parallel { mpi_recv(buf, 1, 0, 7, MPI_COMM_WORLD); }
+    mpi_finalize();
+}
+"""
+        sites = [s for s in collect_sites(parse(src)) if s.op == "mpi_recv"]
+        env = envelope_of(sites[0])
+        assert (env.src, env.tag, env.comm) == (0, 7, 0)
+
+    def test_unknown_overlaps_anything(self):
+        a = StaticEnvelope(None, None, None)
+        b = StaticEnvelope(0, 7, 0)
+        assert a.may_overlap(b) and b.may_overlap(a)
+
+    def test_distinct_constants_disjoint(self):
+        a = StaticEnvelope(0, 1, 0)
+        b = StaticEnvelope(0, 2, 0)
+        assert not a.may_overlap(b)
+
+    def test_wildcard_tag_overlaps(self):
+        a = StaticEnvelope(0, MPI_ANY_TAG, 0)
+        b = StaticEnvelope(0, 9, 0)
+        assert a.may_overlap(b)
+
+    def test_different_comms_disjoint(self):
+        a = StaticEnvelope(0, 1, 0)
+        b = StaticEnvelope(0, 1, 5)
+        assert not a.may_overlap(b)
+
+
+class TestRecvCandidates:
+    def test_same_site_pairs_with_itself(self):
+        src = HEAD + """
+    omp parallel { mpi_recv(buf, 1, 0, 7, MPI_COMM_WORLD); }
+    mpi_finalize();
+}
+"""
+        cands = candidates_for(src)
+        assert CONCURRENT_RECV in classes(cands)
+
+    def test_distinct_constant_tags_no_candidate(self):
+        src = HEAD + """
+    omp parallel {
+        if (omp_get_thread_num() == 0) { mpi_recv(buf, 1, 0, 1, MPI_COMM_WORLD); }
+        if (omp_get_thread_num() == 1) { mpi_recv(buf, 1, 0, 2, MPI_COMM_WORLD); }
+    }
+    mpi_finalize();
+}
+"""
+        cands = [c for c in candidates_for(src) if c.vclass == CONCURRENT_RECV]
+        # each site still pairs with itself (same lexical call on both
+        # threads), but the cross pair with different tags is excluded
+        locs = {c.locs() for c in cands}
+        assert all(a == b for a, b in locs)
+
+    def test_dynamic_tag_is_conservative(self):
+        src = HEAD + """
+    var tag = rank;
+    omp parallel {
+        mpi_recv(buf, 1, 0, tag, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+}
+"""
+        assert CONCURRENT_RECV in classes(candidates_for(src))
+
+    def test_serial_sites_never_candidates(self):
+        src = HEAD + """
+    mpi_recv(buf, 1, 0, 7, MPI_COMM_WORLD);
+    mpi_recv(buf, 1, 0, 7, MPI_COMM_WORLD);
+    mpi_finalize();
+}
+"""
+        assert candidates_for(src) == []
+
+    def test_shared_critical_suppresses_candidate(self):
+        src = HEAD + """
+    omp parallel {
+        omp critical (guard) { mpi_recv(buf, 1, 0, 7, MPI_COMM_WORLD); }
+    }
+    mpi_finalize();
+}
+"""
+        assert CONCURRENT_RECV not in classes(candidates_for(src))
+
+    def test_master_guard_suppresses_candidate(self):
+        src = HEAD + """
+    omp parallel {
+        omp master { mpi_recv(buf, 1, 0, 7, MPI_COMM_WORLD); }
+    }
+    mpi_finalize();
+}
+"""
+        assert CONCURRENT_RECV not in classes(candidates_for(src))
+
+
+class TestOtherClasses:
+    def test_probe_candidates(self):
+        src = HEAD + """
+    omp parallel {
+        mpi_probe(0, 9, MPI_COMM_WORLD);
+        mpi_recv(buf, 1, 0, 9, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+}
+"""
+        assert PROBE in classes(candidates_for(src))
+
+    def test_collective_candidates_same_comm(self):
+        src = HEAD + """
+    omp parallel { mpi_barrier(MPI_COMM_WORLD); }
+    mpi_finalize();
+}
+"""
+        assert COLLECTIVE in classes(candidates_for(src))
+
+    def test_request_candidates(self):
+        src = HEAD + """
+    var req = mpi_irecv(buf, 1, 0, 9, MPI_COMM_WORLD);
+    omp parallel { mpi_wait(req); }
+    mpi_finalize();
+}
+"""
+        assert CONCURRENT_REQUEST in classes(candidates_for(src))
+
+    def test_finalize_in_parallel_candidate(self):
+        src = HEAD + """
+    omp parallel {
+        if (omp_get_thread_num() == 1) { mpi_finalize(); }
+    }
+}
+"""
+        assert FINALIZATION in classes(candidates_for(src))
+
+    def test_summary_counts(self):
+        src = HEAD + """
+    omp parallel {
+        mpi_recv(buf, 1, 0, 7, MPI_COMM_WORLD);
+        mpi_barrier(MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+}
+"""
+        counts = candidate_summary(candidates_for(src))
+        assert counts[CONCURRENT_RECV] == 1
+        assert counts[COLLECTIVE] == 1
+
+
+class TestAgainstDynamicPhase:
+    def test_candidates_cover_dynamic_findings_on_npb(self):
+        """Soundness on the benchmark suite: every dynamically confirmed
+        violation site appears among the static candidates (or is an
+        init/finalize structural finding)."""
+        from repro.analysis.static_ import run_static_analysis
+        from repro.home import check_program
+        from repro.workloads.npb import build_lu_mz
+
+        program = build_lu_mz(inject=True)
+        static = run_static_analysis(program)
+        report = check_program(program, nprocs=2)
+        candidate_locs = set()
+        for c in static.candidates:
+            candidate_locs.update(c.locs())
+        for violation in report.violations:
+            if violation.vclass in ("InitializationViolation",):
+                continue
+            assert any(loc in candidate_locs for loc in violation.locs), (
+                f"dynamic finding {violation} not predicted statically"
+            )

@@ -1,0 +1,119 @@
+"""Control-flow graph construction tests."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.cfg import (
+    OMP_CRITICAL_BEGIN,
+    OMP_PARALLEL_BEGIN,
+    OMP_PARALLEL_END,
+    build_cfg,
+    build_program_cfgs,
+)
+from repro.minilang import parse
+
+
+def cfg_of(body: str, name="main"):
+    prog = parse(f"program p;\nfunc main() {{\n{body}\n}}")
+    return build_cfg(prog.function(name))
+
+
+class TestStructure:
+    def test_entry_exit_exist(self):
+        cfg = cfg_of("var x = 1;")
+        nodes = cfg.linearize()
+        assert nodes[0].kind == "entry"
+        assert nodes[-1].kind == "exit"
+
+    def test_straightline_chain(self):
+        cfg = cfg_of("var x = 1;\nx = 2;\ncompute(1);")
+        stmts = [n for n in cfg.linearize() if n.kind == "stmt"]
+        assert len(stmts) == 3
+        # each statement has exactly one successor in a straight line
+        for node in stmts[:-1]:
+            assert len(cfg.successors(node)) == 1
+
+    def test_if_has_two_paths(self):
+        cfg = cfg_of("if (x) { y = 1; } else { y = 2; }")
+        branch = [n for n in cfg.linearize() if n.kind == "branch"][0]
+        assert len(cfg.successors(branch)) == 2
+
+    def test_if_without_else_falls_through(self):
+        cfg = cfg_of("if (x) { y = 1; }\nz = 2;")
+        branch = [n for n in cfg.linearize() if n.kind == "branch"][0]
+        succ_kinds = sorted(n.kind for n in cfg.successors(branch))
+        assert len(cfg.successors(branch)) == 2  # then-body and fall-through
+
+    def test_while_back_edge(self):
+        cfg = cfg_of("while (x) { x = x - 1; }")
+        head = [n for n in cfg.linearize() if n.kind == "loop-head"][0]
+        body_stmt = [n for n in cfg.linearize() if n.kind == "stmt"][0]
+        assert cfg.graph.has_edge(body_stmt.cfg_id, head.cfg_id)
+
+    def test_for_init_and_step_nodes(self):
+        cfg = cfg_of("for (var i = 0; i < 3; i = i + 1) { compute(1); }")
+        labels = [n.label for n in cfg.linearize()]
+        assert "ForInit" in labels and "ForStep" in labels
+
+    def test_return_edges_to_exit(self):
+        cfg = cfg_of("if (x) { return; }\ncompute(1);")
+        ret = [n for n in cfg.linearize() if n.label == "Return"][0]
+        assert cfg.exit.cfg_id in [n.cfg_id for n in cfg.successors(ret)]
+
+    def test_all_nodes_reachable(self):
+        cfg = cfg_of(
+            "if (a) { b = 1; } else { b = 2; }\n"
+            "while (b) { b = b - 1; }\n"
+            "omp parallel { compute(1); }"
+        )
+        reachable = cfg.reachable_from_entry()
+        assert set(cfg.nodes) == reachable
+
+    def test_acyclic_without_loops(self):
+        cfg = cfg_of("var x = 1;\nif (x) { x = 2; }")
+        assert nx.is_directed_acyclic_graph(cfg.graph)
+
+
+class TestOmpMarkers:
+    def test_parallel_begin_end_bracket(self):
+        cfg = cfg_of("omp parallel { mpi_barrier(MPI_COMM_WORLD); }")
+        order = [n.kind for n in cfg.linearize()]
+        begin = order.index(OMP_PARALLEL_BEGIN)
+        end = order.index(OMP_PARALLEL_END)
+        assert begin < end
+        # the MPI call node sits between the markers (Algorithm 1's scan)
+        stmt_idx = next(
+            i for i, n in enumerate(cfg.linearize()) if n.is_mpi_call
+        )
+        assert begin < stmt_idx < end
+
+    def test_mpi_nodes_found(self):
+        cfg = cfg_of("mpi_init();\nomp parallel { mpi_barrier(MPI_COMM_WORLD); }")
+        assert len(cfg.mpi_nodes()) == 2
+
+    def test_hmpi_calls_count_as_mpi(self):
+        cfg = cfg_of("hmpi_recv(a, 1, 0, 0, MPI_COMM_WORLD);")
+        assert len(cfg.mpi_nodes()) == 1
+
+    def test_critical_markers(self):
+        cfg = cfg_of("omp critical (c) { x = 1; }")
+        kinds = [n.kind for n in cfg.linearize()]
+        assert OMP_CRITICAL_BEGIN in kinds
+
+    def test_sections_branch_fanout(self):
+        cfg = cfg_of(
+            "omp parallel { omp sections {"
+            " omp section { compute(1); } omp section { compute(2); } } }"
+        )
+        ws_begin = [n for n in cfg.linearize() if n.label == "omp sections"][0]
+        assert len(cfg.successors(ws_begin)) == 2
+
+    def test_program_cfgs_for_all_functions(self):
+        prog = parse("program p;\nfunc helper() { }\nfunc main() { helper(); }")
+        cfgs = build_program_cfgs(prog)
+        assert set(cfgs) == {"helper", "main"}
+
+    def test_call_name_accessor(self):
+        cfg = cfg_of("mpi_finalize();")
+        node = cfg.mpi_nodes()[0]
+        assert node.call_name == "mpi_finalize"

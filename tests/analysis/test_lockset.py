@@ -1,0 +1,108 @@
+"""Eraser lockset state-machine tests."""
+
+import pytest
+
+from repro.analysis.dynamic_.lockset import EraserState, LocksetAnalysis
+
+
+def fs(*names):
+    return frozenset(names)
+
+
+class TestStateMachine:
+    def test_virgin_to_exclusive(self):
+        ls = LocksetAnalysis()
+        loc = ls.access("v", seq=1, thread=1, locks=fs(), is_write=True)
+        assert loc.state == EraserState.EXCLUSIVE
+
+    def test_exclusive_stays_for_same_thread(self):
+        ls = LocksetAnalysis()
+        ls.access("v", 1, 1, fs(), True)
+        loc = ls.access("v", 2, 1, fs(), True)
+        assert loc.state == EraserState.EXCLUSIVE
+        assert not loc.is_race_candidate
+
+    def test_second_thread_read_goes_shared(self):
+        ls = LocksetAnalysis()
+        ls.access("v", 1, 1, fs(), True)
+        loc = ls.access("v", 2, 2, fs(), False)
+        assert loc.state == EraserState.SHARED
+        assert not loc.is_race_candidate  # reads only shared: no report
+
+    def test_second_thread_write_goes_shared_modified(self):
+        ls = LocksetAnalysis()
+        ls.access("v", 1, 1, fs(), True)
+        loc = ls.access("v", 2, 2, fs(), True)
+        assert loc.state == EraserState.SHARED_MODIFIED
+        assert loc.is_race_candidate
+
+    def test_shared_then_write_promotes(self):
+        ls = LocksetAnalysis()
+        ls.access("v", 1, 1, fs(), True)
+        ls.access("v", 2, 2, fs(), False)
+        loc = ls.access("v", 3, 2, fs(), True)
+        assert loc.state == EraserState.SHARED_MODIFIED
+
+
+class TestCandidateLocksets:
+    def test_common_lock_prevents_report(self):
+        ls = LocksetAnalysis()
+        ls.access("v", 1, 1, fs("L"), True)
+        loc = ls.access("v", 2, 2, fs("L"), True)
+        assert loc.candidate == fs("L")
+        assert not loc.is_race_candidate
+
+    def test_lockset_intersection_shrinks(self):
+        ls = LocksetAnalysis()
+        ls.access("v", 1, 1, fs("A", "B"), True)
+        ls.access("v", 2, 2, fs("B", "C"), True)
+        loc = ls.access("v", 3, 1, fs("B"), True)
+        assert loc.candidate == fs("B")
+
+    def test_disjoint_locks_empty_candidate(self):
+        ls = LocksetAnalysis()
+        ls.access("v", 1, 1, fs("A"), True)
+        loc = ls.access("v", 2, 2, fs("B"), True)
+        assert loc.lockset_empty
+        assert loc.is_race_candidate
+
+    def test_race_candidates_listing(self):
+        ls = LocksetAnalysis()
+        ls.access("safe", 1, 1, fs("L"), True)
+        ls.access("safe", 2, 2, fs("L"), True)
+        ls.access("racy", 3, 1, fs(), True)
+        ls.access("racy", 4, 2, fs(), True)
+        keys = [loc.key for loc in ls.race_candidates()]
+        assert keys == ["racy"]
+
+
+class TestRacyPairs:
+    def test_pairs_require_different_threads(self):
+        ls = LocksetAnalysis()
+        ls.access("v", 1, 1, fs(), True)
+        ls.access("v", 2, 1, fs(), True)
+        assert ls.racy_pairs("v") == []
+
+    def test_pairs_require_a_write(self):
+        ls = LocksetAnalysis()
+        ls.access("v", 1, 1, fs(), False)
+        ls.access("v", 2, 2, fs(), False)
+        assert ls.racy_pairs("v") == []
+
+    def test_pairs_require_disjoint_locks(self):
+        ls = LocksetAnalysis()
+        ls.access("v", 1, 1, fs("L"), True)
+        ls.access("v", 2, 2, fs("L"), True)
+        assert ls.racy_pairs("v") == []
+
+    def test_racy_pair_found(self):
+        ls = LocksetAnalysis()
+        ls.access("v", 1, 1, fs("A"), True)
+        ls.access("v", 2, 2, fs("B"), True)
+        pairs = ls.racy_pairs("v")
+        assert len(pairs) == 1
+        a, b = pairs[0]
+        assert {a.thread, b.thread} == {1, 2}
+
+    def test_unknown_key_empty(self):
+        assert LocksetAnalysis().racy_pairs("ghost") == []

@@ -1,0 +1,96 @@
+"""Memory-race detection (the ITC model's core) tests."""
+
+import pytest
+
+from helpers import run_main
+
+from repro.analysis.dynamic_.memraces import find_memory_races
+
+
+def races_for(body, proc=0, **analysis_kw):
+    result = run_main(body, monitor_memory=True)
+    return find_memory_races(result.log, proc, **analysis_kw)
+
+
+class TestMemRaces:
+    def test_unsynchronized_writes_race(self):
+        races = races_for("""
+var x = 0;
+omp parallel num_threads(2) { x = x + 1; }
+""")
+        assert any(r.var == "x" for r in races)
+
+    def test_critical_guard_prevents_race(self):
+        races = races_for("""
+var x = 0;
+omp parallel num_threads(2) { omp critical { x = x + 1; } }
+""")
+        assert races == []
+
+    def test_atomic_prevents_race(self):
+        races = races_for("""
+var x = 0;
+omp parallel num_threads(2) { omp atomic x = x + 1; }
+""")
+        assert races == []
+
+    def test_named_critical_invisible_when_ignored(self):
+        body = """
+var x = 0;
+omp parallel num_threads(2) { omp critical (n) { x = x + 1; } }
+"""
+        assert races_for(body) == []
+        quirky = races_for(
+            body,
+            ignored_locks=lambda name: name != "critical:<anonymous>"
+            and name.startswith("critical:"),
+        )
+        assert any(r.var == "x" for r in quirky)
+
+    def test_race_deduplicated_per_location(self):
+        races = races_for("""
+var x = 0;
+omp parallel num_threads(2) {
+    x = x + 1;
+    x = x + 2;
+    x = x + 3;
+}
+""")
+        assert len([r for r in races if r.var == "x"]) == 1
+
+    def test_disjoint_array_elements_no_race(self):
+        races = races_for("""
+var a[4];
+omp parallel num_threads(2) {
+    omp for for (var i = 0; i < 4; i = i + 1) { a[i] = a[i] + 1; }
+}
+""")
+        assert races == []
+
+    def test_same_array_element_races(self):
+        races = races_for("""
+var a[4];
+omp parallel num_threads(2) { a[2] = a[2] + 1; }
+""")
+        assert any(r.var == "a" for r in races)
+
+    def test_read_read_no_race(self):
+        races = races_for("""
+var x = 5;
+omp parallel num_threads(2) { var y = x + x; compute(1); }
+""")
+        assert races == []
+
+    def test_private_variables_no_race(self):
+        races = races_for("""
+var x = 0;
+omp parallel num_threads(2) private(x) { x = x + 1; }
+""")
+        assert races == []
+
+    def test_no_monitoring_no_races(self):
+        result = run_main("""
+var x = 0;
+omp parallel num_threads(2) { x = x + 1; }
+""", monitor_memory=False)
+        assert find_memory_races(result.log, 0) == []

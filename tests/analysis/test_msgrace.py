@@ -1,0 +1,195 @@
+"""DAMPI-style message-race detection tests."""
+
+import pytest
+
+from helpers import MPI_PAIR_HEADER, run_src, wrap_main
+
+from repro.analysis.dynamic_.msgrace import (
+    CrossProcessHB,
+    find_message_races,
+    wildcard_races,
+)
+
+
+def run_world(body, nprocs=3, **kw):
+    return run_src(wrap_main(MPI_PAIR_HEADER + body), nprocs=nprocs, **kw)
+
+
+class TestWildcardRaces:
+    def test_two_senders_one_wildcard_recv(self):
+        """The canonical message race: two candidate senders, a wildcard
+        receive — either could match."""
+        body = """
+    var buf[1];
+    if (rank == 1) { mpi_send(buf, 1, 0, 5, MPI_COMM_WORLD); }
+    if (rank == 2) { mpi_send(buf, 1, 0, 5, MPI_COMM_WORLD); }
+    if (rank == 0) {
+        mpi_recv(buf, 1, MPI_ANY_SOURCE, 5, MPI_COMM_WORLD);
+        mpi_recv(buf, 1, MPI_ANY_SOURCE, 5, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+"""
+        result = run_world(body)
+        races = wildcard_races(result.log)
+        assert races, "two-sender wildcard receive must race"
+        assert all(r.is_wildcard for r in races)
+
+    def test_single_sender_wildcard_not_racy(self):
+        """One candidate sender: the wildcard is determined."""
+        body = """
+    var buf[1];
+    if (rank == 1) { mpi_send(buf, 1, 0, 5, MPI_COMM_WORLD); }
+    if (rank == 0) { mpi_recv(buf, 1, MPI_ANY_SOURCE, 5, MPI_COMM_WORLD); }
+    mpi_finalize();
+"""
+        result = run_world(body, nprocs=2)
+        assert wildcard_races(result.log) == []
+
+    def test_specific_sources_not_racy(self):
+        body = """
+    var buf[1];
+    if (rank == 1) { mpi_send(buf, 1, 0, 5, MPI_COMM_WORLD); }
+    if (rank == 2) { mpi_send(buf, 1, 0, 5, MPI_COMM_WORLD); }
+    if (rank == 0) {
+        mpi_recv(buf, 1, 1, 5, MPI_COMM_WORLD);
+        mpi_recv(buf, 1, 2, 5, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+"""
+        result = run_world(body)
+        assert find_message_races(result.log) == []
+
+    def test_causally_ordered_sends_not_alternatives(self):
+        """A send that happens only *because* the receive completed (it
+        is causally after it) cannot have raced it."""
+        body = """
+    var buf[1];
+    if (rank == 1) {
+        mpi_send(buf, 1, 0, 5, MPI_COMM_WORLD);
+    }
+    if (rank == 0) {
+        mpi_recv(buf, 1, MPI_ANY_SOURCE, 5, MPI_COMM_WORLD);
+        mpi_send(buf, 1, 2, 6, MPI_COMM_WORLD);
+    }
+    if (rank == 2) {
+        mpi_recv(buf, 1, 0, 6, MPI_COMM_WORLD);
+        mpi_send(buf, 1, 0, 5, MPI_COMM_WORLD);
+    }
+    if (rank == 0) {
+        mpi_recv(buf, 1, MPI_ANY_SOURCE, 5, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+"""
+        result = run_world(body)
+        first_recv_races = [
+            r for r in wildcard_races(result.log)
+            if r.matched_send is not None and r.matched_send.proc == 1
+        ]
+        # rank 2's send is causally after the first receive (it waits for
+        # a message that only exists once the receive happened), so the
+        # first receive has no true alternative.
+        assert first_recv_races == []
+
+    def test_barrier_separation_removes_race(self):
+        """Collective synchronization orders the second sender after the
+        first receive: no race."""
+        body = """
+    var buf[1];
+    if (rank == 1) { mpi_send(buf, 1, 0, 5, MPI_COMM_WORLD); }
+    if (rank == 0) { mpi_recv(buf, 1, MPI_ANY_SOURCE, 5, MPI_COMM_WORLD); }
+    mpi_barrier(MPI_COMM_WORLD);
+    if (rank == 2) { mpi_send(buf, 1, 0, 5, MPI_COMM_WORLD); }
+    if (rank == 0) { mpi_recv(buf, 1, MPI_ANY_SOURCE, 5, MPI_COMM_WORLD); }
+    mpi_finalize();
+"""
+        result = run_world(body)
+        assert wildcard_races(result.log) == []
+
+
+class TestRaceReporting:
+    def test_race_names_alternative_ranks(self):
+        body = """
+    var buf[1];
+    if (rank == 1) { mpi_send(buf, 1, 0, 5, MPI_COMM_WORLD); }
+    if (rank == 2) { mpi_send(buf, 1, 0, 5, MPI_COMM_WORLD); }
+    if (rank == 0) {
+        mpi_recv(buf, 1, MPI_ANY_SOURCE, 5, MPI_COMM_WORLD);
+        mpi_recv(buf, 1, MPI_ANY_SOURCE, 5, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+"""
+        result = run_world(body)
+        race = wildcard_races(result.log)[0]
+        text = str(race)
+        assert "MessageRace" in text and "could also have matched" in text
+
+    def test_any_tag_race(self):
+        body = """
+    var buf[1];
+    if (rank == 1) {
+        mpi_send(buf, 1, 0, 5, MPI_COMM_WORLD);
+        mpi_send(buf, 1, 0, 6, MPI_COMM_WORLD);
+    }
+    if (rank == 0) {
+        mpi_recv(buf, 1, 1, MPI_ANY_TAG, MPI_COMM_WORLD);
+        mpi_recv(buf, 1, 1, MPI_ANY_TAG, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+"""
+        result = run_world(body, nprocs=2)
+        assert wildcard_races(result.log)
+
+
+class TestCrossProcessHB:
+    def test_send_recv_edge_orders_events(self):
+        body = """
+    var buf[1];
+    if (rank == 0) {
+        compute(5);
+        mpi_send(buf, 1, 1, 5, MPI_COMM_WORLD);
+    }
+    if (rank == 1) {
+        mpi_recv(buf, 1, 0, 5, MPI_COMM_WORLD);
+        compute(5);
+    }
+    mpi_finalize();
+"""
+        result = run_world(body, nprocs=2)
+        hb = CrossProcessHB(result.log)
+        # The causal edge sources at the send *begin* (the message's
+        # content is fixed when it is posted).
+        send_begin = next(
+            e for e in result.log
+            if getattr(e, "op", "") == "mpi_send" and e.phase == "begin"
+        )
+        recv_end = next(
+            e for e in result.log
+            if getattr(e, "op", "") == "mpi_recv" and e.phase == "end"
+        )
+        assert hb.happens_before(send_begin.seq, recv_end.seq)
+        # ...and therefore everything before the send orders before
+        # everything after the receive.
+        recv_begin = next(
+            e for e in result.log
+            if getattr(e, "op", "") == "mpi_recv" and e.phase == "begin"
+        )
+        assert not hb.happens_before(recv_begin.seq, send_begin.seq)
+
+    def test_independent_processes_concurrent(self):
+        result = run_world("    compute(3);\n    mpi_finalize();", nprocs=2)
+        hb = CrossProcessHB(result.log)
+        ends = [e for e in result.log
+                if getattr(e, "op", "") == "mpi_finalize" and e.phase == "end"]
+        assert len(ends) == 2
+        assert not hb.ordered(ends[0].seq, ends[1].seq)
+
+    def test_master_worker_pattern_is_racy_by_design(self):
+        """ANY_SOURCE result collection in master/worker is the textbook
+        (usually benign) message race."""
+        from repro.workloads.patterns import master_worker
+
+        from repro.runtime import RunConfig, run_program
+
+        result = run_program(master_worker(tasks=4),
+                             RunConfig(nprocs=3, num_threads=2))
+        assert wildcard_races(result.log)

@@ -1,0 +1,6 @@
+"""Pytest configuration: make tests/helpers importable everywhere."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

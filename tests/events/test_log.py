@@ -1,0 +1,84 @@
+"""EventLog query tests."""
+
+import pytest
+
+from repro.events import EventLog, LockAcquire, MemAccess, MonitoredWrite, MPICall
+from repro.events.event import MonitoredKind
+
+
+def make_log():
+    log = EventLog()
+    log.append(MPICall(proc=0, thread=0, seq=log.next_seq(), time=1.0,
+                       op="mpi_send", phase="begin", call_id=1))
+    log.append(MPICall(proc=0, thread=0, seq=log.next_seq(), time=2.0,
+                       op="mpi_send", phase="end", call_id=1))
+    log.append(MPICall(proc=0, thread=1, seq=log.next_seq(), time=1.5,
+                       op="mpi_recv", phase="begin", call_id=2))
+    log.append(MPICall(proc=1, thread=0, seq=log.next_seq(), time=0.5,
+                       op="mpi_barrier", phase="begin", call_id=3))
+    log.append(MonitoredWrite(proc=0, thread=1, seq=log.next_seq(), time=1.4,
+                              kind=MonitoredKind.TAG, value=7, mpi_op="mpi_recv",
+                              call_id=2))
+    log.append(LockAcquire(proc=0, thread=0, seq=log.next_seq(), time=3.0, lock="L"))
+    return log
+
+
+class TestQueries:
+    def test_len_and_iter(self):
+        log = make_log()
+        assert len(log) == 6
+        assert len(list(log)) == 6
+
+    def test_seq_monotonic(self):
+        log = make_log()
+        seqs = [e.seq for e in log]
+        assert seqs == sorted(seqs)
+
+    def test_of_type_exact(self):
+        log = make_log()
+        assert len(log.of_type(MPICall)) == 4
+        assert len(log.of_type(MonitoredWrite)) == 1
+        assert log.of_type(MemAccess) == []
+
+    def test_processes(self):
+        assert make_log().processes() == [0, 1]
+
+    def test_threads_of(self):
+        assert make_log().threads_of(0) == [0, 1]
+
+    def test_for_process(self):
+        assert len(make_log().for_process(1)) == 1
+
+    def test_by_thread_streams(self):
+        streams = make_log().by_thread(0)
+        assert set(streams) == {0, 1}
+        assert len(streams[0]) == 3
+
+    def test_mpi_calls_phase_filter(self):
+        log = make_log()
+        begins = log.mpi_calls(0)
+        assert all(e.phase == "begin" for e in begins)
+        assert len(begins) == 2
+
+    def test_call_intervals_pairs_begin_end(self):
+        log = make_log()
+        pairs = log.mpi_call_intervals(0)
+        assert len(pairs) == 1
+        begin, end = pairs[0]
+        assert begin.call_id == end.call_id == 1
+
+    def test_unfinished_calls(self):
+        log = make_log()
+        unfinished = log.unfinished_mpi_calls(0)
+        assert [e.call_id for e in unfinished] == [2]
+
+    def test_monitored_writes(self):
+        log = make_log()
+        writes = log.monitored_writes(0)
+        assert len(writes) == 1 and writes[0].kind is MonitoredKind.TAG
+        assert log.monitored_writes(1) == []
+
+    def test_counts(self):
+        counts = make_log().counts()
+        assert counts["MPICall"] == 4
+        assert counts["LockAcquire"] == 1

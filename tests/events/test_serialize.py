@@ -1,0 +1,103 @@
+"""Trace serialization round-trip tests."""
+
+import io
+
+import pytest
+
+from helpers import run_main
+
+from repro.analysis.dynamic_.hybrid import analyze
+from repro.errors import AnalysisError
+from repro.events import EventLog, MPICall, dump_log, load_log
+from repro.home import Home
+from repro.violations import CONCURRENT_RECV, match_violations
+from repro.workloads.case_studies import case_study_2
+
+
+def roundtrip(log, metadata=None):
+    buf = io.StringIO()
+    dump_log(log, buf, metadata=metadata)
+    buf.seek(0)
+    return load_log(buf)
+
+
+class TestRoundTrip:
+    def test_empty_log(self):
+        log, meta = roundtrip(EventLog())
+        assert len(log) == 0 and meta == {}
+
+    def test_metadata_preserved(self):
+        _, meta = roundtrip(EventLog(), metadata={"program": "x", "seed": 3})
+        assert meta == {"program": "x", "seed": 3}
+
+    def test_all_event_types_roundtrip(self):
+        body = """
+var x = 0;
+omp parallel num_threads(2) {
+    omp critical { x = x + 1; }
+    omp barrier;
+}
+"""
+        result = run_main(body, monitor_memory=True)
+        loaded, _ = roundtrip(result.log)
+        assert len(loaded) == len(result.log)
+        assert loaded.counts() == result.log.counts()
+        for original, reloaded in zip(result.log, loaded):
+            assert original == reloaded
+
+    def test_mpi_events_roundtrip_with_args(self):
+        report = Home().check(case_study_2(), nprocs=2)
+        loaded, _ = roundtrip(report.execution.log)
+        originals = report.execution.log.mpi_calls(0)
+        reloadeds = loaded.mpi_calls(0)
+        assert len(originals) == len(reloadeds)
+        for a, b in zip(originals, reloadeds):
+            assert (a.op, a.call_id, a.args.get("tag")) == (
+                b.op, b.call_id, b.args.get("tag")
+            )
+
+    def test_reanalysis_of_loaded_trace_reproduces_verdict(self):
+        """The offline pipeline works from a file exactly as from memory."""
+        report = Home().check(case_study_2(), nprocs=2)
+        loaded, _ = roundtrip(report.execution.log)
+        violations = match_violations(loaded, analyze(loaded))
+        assert CONCURRENT_RECV in violations.classes()
+        assert len(violations) == len(report.violations)
+
+    def test_file_based_roundtrip(self, tmp_path):
+        report = Home().check(case_study_2(), nprocs=2)
+        path = tmp_path / "run.trace"
+        dump_log(report.execution.log, path, metadata={"k": 1})
+        loaded, meta = load_log(path)
+        assert meta == {"k": 1}
+        assert len(loaded) == len(report.execution.log)
+
+
+class TestErrors:
+    def test_empty_file_rejected(self):
+        with pytest.raises(AnalysisError, match="empty trace"):
+            load_log(io.StringIO(""))
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(AnalysisError, match="not a repro trace"):
+            load_log(io.StringIO('{"format": "other"}\n'))
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(AnalysisError, match="unsupported trace version"):
+            load_log(io.StringIO('{"format": "repro-trace", "version": 99}\n'))
+
+    def test_unknown_event_type_rejected(self):
+        data = (
+            '{"format": "repro-trace", "version": 1}\n'
+            '{"t": "Mystery", "proc": 0}\n'
+        )
+        with pytest.raises(AnalysisError, match="unknown event type"):
+            load_log(io.StringIO(data))
+
+    def test_malformed_record_rejected(self):
+        data = (
+            '{"format": "repro-trace", "version": 1}\n'
+            '{"t": "LockAcquire", "bogus_field": 1}\n'
+        )
+        with pytest.raises(AnalysisError, match="malformed"):
+            load_log(io.StringIO(data))

@@ -1,0 +1,57 @@
+"""Schedule-sensitivity study tests."""
+
+import pytest
+
+from repro.baselines import Marmot
+from repro.experiments import detection_rates, schedule_study, study_table
+from repro.home import Home
+from repro.violations import CONCURRENT_RECV, COLLECTIVE
+from repro.workloads.npb import build_lu_mz
+
+SEEDS = tuple(range(5))
+
+_STUDY = {}
+
+
+def study():
+    if not _STUDY:
+        _STUDY.update(
+            schedule_study(build_lu_mz(inject=True), seeds=SEEDS)
+        )
+    return _STUDY
+
+
+class TestScheduleStudy:
+    def test_home_detects_every_class_on_every_seed(self):
+        home = study()["HOME"]
+        assert home.nruns == len(SEEDS)
+        for vclass in home.classes():
+            assert home.rate(vclass) == 1.0, vclass
+
+    def test_marmot_never_sees_the_skewed_recv(self):
+        marmot = study()["MARMOT"]
+        assert marmot.rate(CONCURRENT_RECV) == 0.0
+
+    def test_marmot_always_sees_manifest_collective(self):
+        marmot = study()["MARMOT"]
+        assert marmot.rate(COLLECTIVE) == 1.0
+
+    def test_rates_bounded(self):
+        for rates in study().values():
+            for vclass in rates.classes():
+                assert 0.0 <= rates.rate(vclass) <= 1.0
+
+    def test_rate_of_unseen_class_is_zero(self):
+        assert study()["HOME"].rate("NoSuchViolation") == 0.0
+
+    def test_table_rendering(self):
+        text = study_table(study()).render()
+        assert "HOME" in text and "MARMOT" in text
+        assert "100%" in text and "0%" in text
+
+    def test_detection_rates_single_tool(self):
+        rates = detection_rates(
+            build_lu_mz(inject=True), Marmot(), seeds=(0, 1), nprocs=2
+        )
+        assert rates.tool == "MARMOT"
+        assert rates.nruns == 2

@@ -1,0 +1,70 @@
+"""The headline reproduction result: the paper's detection-count table.
+
+Paper §V-B::
+
+    Benchmarks      HOME  ITC  Marmot
+    NPB-MZ LU (6)   6     5    5
+    NPB-MZ BT (6)   6     7    6
+    NPB-MZ SP (6)   6     6    5
+"""
+
+import pytest
+
+from repro.experiments import PAPER_TABLE1, run_table1, table1_data
+
+# One sweep shared by every assertion in this module.
+_CELLS = None
+
+
+def cells():
+    global _CELLS
+    if _CELLS is None:
+        _CELLS = run_table1()
+    return _CELLS
+
+
+@pytest.mark.parametrize("bench_name", ["lu", "bt", "sp"])
+@pytest.mark.parametrize("tool", ["HOME", "ITC", "MARMOT"])
+def test_cell_matches_paper(bench_name, tool):
+    cell = cells()[(bench_name, tool)]
+    assert cell.score == PAPER_TABLE1[(bench_name, tool)], (
+        f"{bench_name}/{tool}: scored {cell.score}, paper says "
+        f"{PAPER_TABLE1[(bench_name, tool)]} "
+        f"(detected={cell.detected}, fp={cell.false_positives}, "
+        f"missed={cell.missed})"
+    )
+
+
+class TestDetailedClaims:
+    def test_home_detects_all_six_everywhere(self):
+        for benchmark in ("lu", "bt", "sp"):
+            cell = cells()[(benchmark, "HOME")]
+            assert cell.detected == 6 and cell.false_positives == 0
+
+    def test_itc_misses_lu_probe(self):
+        cell = cells()[("lu", "ITC")]
+        assert cell.missed == ["inject_probe"]
+
+    def test_itc_bt_false_positive_is_the_named_critical(self):
+        cell = cells()[("bt", "ITC")]
+        assert cell.detected == 6 and cell.false_positives == 1
+
+    def test_marmot_misses_skewed_recv_in_lu(self):
+        cell = cells()[("lu", "MARMOT")]
+        assert cell.missed == ["inject_concurrent_recv"]
+
+    def test_marmot_misses_skewed_request_in_sp(self):
+        cell = cells()[("sp", "MARMOT")]
+        assert cell.missed == ["inject_concurrent_request"]
+
+    def test_marmot_never_false_positives(self):
+        for benchmark in ("lu", "bt", "sp"):
+            assert cells()[(benchmark, "MARMOT")].false_positives == 0
+
+    def test_table_render_includes_paper_values(self):
+        text = table1_data(cells()).render()
+        assert "NPB-MZ LU (6)" in text
+        assert "6 (6)" in text and "7 (7)" in text
+
+    def test_matches_paper_flags(self):
+        assert all(cell.matches_paper for cell in cells().values())

@@ -1,0 +1,42 @@
+"""Thread-count sweep tests."""
+
+import pytest
+
+from repro.experiments import build_thread_sweep_program, thread_overhead_figure
+from repro.home import check_program
+from repro.minilang import validate
+from repro.runtime import RunConfig, run_program
+
+
+class TestThreadSweepWorkload:
+    def test_program_validates(self):
+        validate(build_thread_sweep_program())
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_runs_clean_at_any_team_size(self, threads):
+        result = run_program(
+            build_thread_sweep_program(),
+            RunConfig(nprocs=2, num_threads=threads),
+        )
+        assert not result.deadlocked
+        assert result.notes == []
+
+    def test_violation_free_by_construction(self):
+        report = check_program(build_thread_sweep_program(), nprocs=2,
+                               num_threads=4)
+        assert len(report.violations) == 0
+
+
+class TestThreadOverheadFigure:
+    def test_itc_growth_with_threads(self):
+        fig = thread_overhead_figure(
+            build_thread_sweep_program, threads=(1, 4), nprocs=2
+        )
+        itc = fig.get("ITC")
+        assert itc.at(4) > 2 * itc.at(1)
+
+    def test_all_tools_present(self):
+        fig = thread_overhead_figure(
+            build_thread_sweep_program, threads=(2,), nprocs=2
+        )
+        assert {s.name for s in fig.series} == {"HOME", "MARMOT", "ITC"}

@@ -1,0 +1,40 @@
+"""Shared test helpers: compact program sources and run wrappers."""
+
+from __future__ import annotations
+
+from repro.minilang import parse, validate
+from repro.runtime import RunConfig, run_program
+
+
+def run_src(source: str, nprocs: int = 1, threads: int = 2, seed: int = 0, **kw):
+    """Parse, validate and execute mini-language source; return the result."""
+    program = parse(source)
+    validate(program)
+    config = RunConfig(nprocs=nprocs, num_threads=threads, seed=seed, **kw)
+    return run_program(program, config)
+
+
+def outputs_of(result):
+    return result.printed_lines()
+
+
+def wrap_main(body: str, globals_: str = "") -> str:
+    """Wrap statements into a single-function program."""
+    return f"""
+program t;
+{globals_}
+func main() {{
+{body}
+}}
+"""
+
+
+def run_main(body: str, globals_: str = "", **kw):
+    return run_src(wrap_main(body, globals_), **kw)
+
+
+MPI_PAIR_HEADER = """
+    var provided = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var size = mpi_comm_size(MPI_COMM_WORLD);
+"""

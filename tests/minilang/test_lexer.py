@@ -1,0 +1,132 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.minilang.lexer import Token, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src) if t.kind != "eof"]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == "eof"
+
+    def test_integer_literal(self):
+        tok = tokenize("42")[0]
+        assert (tok.kind, tok.text) == ("int", "42")
+
+    def test_float_literal(self):
+        tok = tokenize("3.25")[0]
+        assert (tok.kind, tok.text) == ("float", "3.25")
+
+    def test_float_with_exponent(self):
+        assert tokenize("1e3")[0].kind == "float"
+        assert tokenize("2.5e-2")[0].kind == "float"
+        assert tokenize("7E+4")[0].kind == "float"
+
+    def test_integer_not_confused_with_member_dot(self):
+        # '5.' without digits after the dot: '5' then error or punct —
+        # our grammar has no bare dot, so this must raise.
+        with pytest.raises(LexError):
+            tokenize("5.")
+
+    def test_identifier(self):
+        tok = tokenize("foo_bar2")[0]
+        assert (tok.kind, tok.text) == ("ident", "foo_bar2")
+
+    def test_keywords_recognized(self):
+        for kw in ("program", "func", "var", "if", "else", "while", "for",
+                   "return", "omp", "parallel", "critical", "barrier"):
+            assert tokenize(kw)[0].kind == "keyword", kw
+
+    def test_true_false_are_keywords(self):
+        assert tokenize("true")[0].kind == "keyword"
+        assert tokenize("false")[0].kind == "keyword"
+
+    def test_string_literal(self):
+        tok = tokenize('"hello"')[0]
+        assert (tok.kind, tok.text) == ("string", "hello")
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\nb"')[0].text == "a\nb"
+        assert tokenize(r'"a\tb"')[0].text == "a\tb"
+        assert tokenize(r'"q\"q"')[0].text == 'q"q'
+
+    def test_single_quoted_string(self):
+        assert tokenize("'abc'")[0].text == "abc"
+
+
+class TestOperators:
+    def test_two_char_operators_are_single_tokens(self):
+        for op in ("&&", "||", "==", "!=", "<=", ">="):
+            toks = tokenize(op)
+            assert toks[0].text == op and toks[0].kind == "op"
+            assert toks[1].kind == "eof"
+
+    def test_maximal_munch(self):
+        # '<=' must not lex as '<' '='.
+        assert texts("a<=b") == ["a", "<=", "b"]
+
+    def test_arithmetic_expression(self):
+        assert texts("1+2*3") == ["1", "+", "2", "*", "3"]
+
+    def test_punctuation(self):
+        assert texts("f(a, b[1]);") == ["f", "(", "a", ",", "b", "[", "1", "]", ")", ";"]
+
+
+class TestTrivia:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"no close')
+
+    def test_newline_in_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"a\nb"')
+
+    def test_whitespace_variants(self):
+        assert texts("a\tb\r\nc  d") == ["a", "b", "c", "d"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("ab\n  cd")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_column_after_comment(self):
+        toks = tokenize("/* c */ x")
+        assert toks[0].text == "x"
+        assert toks[0].col == 9
+
+    def test_error_position_reported(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("ok\n  @")
+        assert exc.value.line == 2
+        assert exc.value.col == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_invalid_numeric_suffix(self):
+        with pytest.raises(LexError):
+            tokenize("12abc")

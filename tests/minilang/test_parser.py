@@ -1,0 +1,264 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minilang import ast_nodes as A
+from repro.minilang import parse
+
+
+def parse_main(body: str) -> A.Block:
+    prog = parse(f"program t;\nfunc main() {{\n{body}\n}}")
+    return prog.main.body
+
+
+def first_stmt(body: str) -> A.Stmt:
+    return parse_main(body).stmts[0]
+
+
+class TestTopLevel:
+    def test_program_name(self):
+        assert parse("program hello;\nfunc main() { }").name == "hello"
+
+    def test_globals_and_functions(self):
+        prog = parse("program p;\nvar g = 1;\nvar arr[8];\nfunc main() { }")
+        assert [g.name for g in prog.globals] == ["g", "arr"]
+        assert prog.globals[1].is_array
+
+    def test_function_params(self):
+        prog = parse("program p;\nfunc f(a, b, c) { }\nfunc main() { }")
+        assert prog.function("f").params == ["a", "b", "c"]
+
+    def test_missing_program_keyword(self):
+        with pytest.raises(ParseError):
+            parse("func main() { }")
+
+    def test_junk_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse("program p;\n42;")
+
+    def test_function_lookup_missing(self):
+        prog = parse("program p;\nfunc main() { }")
+        with pytest.raises(KeyError):
+            prog.function("nope")
+
+
+class TestStatements:
+    def test_var_decl_with_init(self):
+        stmt = first_stmt("var x = 5;")
+        assert isinstance(stmt, A.VarDecl)
+        assert isinstance(stmt.init, A.IntLit) and stmt.init.value == 5
+
+    def test_array_decl(self):
+        stmt = first_stmt("var a[10];")
+        assert stmt.is_array
+        assert stmt.size.value == 10
+
+    def test_assignment(self):
+        stmt = first_stmt("x = 1;")
+        assert isinstance(stmt, A.Assign)
+        assert isinstance(stmt.target, A.Name)
+
+    def test_array_element_assignment(self):
+        stmt = first_stmt("a[i + 1] = 2;")
+        assert isinstance(stmt.target, A.Index)
+
+    def test_bare_non_call_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse_main("x + 1;")
+
+    def test_call_statement(self):
+        stmt = first_stmt("compute(3);")
+        assert isinstance(stmt, A.ExprStmt)
+        assert stmt.expr.name == "compute"
+
+    def test_if_else(self):
+        stmt = first_stmt("if (x) { y = 1; } else { y = 2; }")
+        assert isinstance(stmt, A.If)
+        assert isinstance(stmt.els, A.Block)
+
+    def test_else_if_normalized_to_block(self):
+        stmt = first_stmt("if (a) { } else if (b) { } else { }")
+        assert isinstance(stmt.els, A.Block)
+        assert isinstance(stmt.els.stmts[0], A.If)
+
+    def test_while(self):
+        stmt = first_stmt("while (x < 3) { x = x + 1; }")
+        assert isinstance(stmt, A.While)
+
+    def test_for_full_header(self):
+        stmt = first_stmt("for (var i = 0; i < 10; i = i + 1) { }")
+        assert isinstance(stmt, A.For)
+        assert isinstance(stmt.init, A.VarDecl)
+        assert stmt.cond.op == "<"
+
+    def test_for_empty_header_parts(self):
+        stmt = first_stmt("for (;;) { }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_return_value(self):
+        stmt = first_stmt("return 1 + 2;")
+        assert isinstance(stmt, A.Return)
+        assert isinstance(stmt.value, A.Binary)
+
+    def test_bare_return(self):
+        assert first_stmt("return;").value is None
+
+    def test_print(self):
+        stmt = first_stmt('print("x =", x);')
+        assert isinstance(stmt, A.Print)
+        assert len(stmt.args) == 2
+
+    def test_assert(self):
+        stmt = first_stmt("assert(x == 1);")
+        assert isinstance(stmt, A.AssertStmt)
+
+    def test_nested_block(self):
+        stmt = first_stmt("{ var x = 1; }")
+        assert isinstance(stmt, A.Block)
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("program p;\nfunc main() { var x = 1;")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        stmt = first_stmt("x = 1 + 2 * 3;")
+        assert stmt.value.op == "+"
+        assert stmt.value.right.op == "*"
+
+    def test_precedence_comparison_over_logic(self):
+        stmt = first_stmt("x = a < b && c > d;")
+        assert stmt.value.op == "&&"
+
+    def test_or_binds_loosest(self):
+        stmt = first_stmt("x = a || b && c;")
+        assert stmt.value.op == "||"
+
+    def test_parentheses_override(self):
+        stmt = first_stmt("x = (1 + 2) * 3;")
+        assert stmt.value.op == "*"
+
+    def test_unary_minus(self):
+        stmt = first_stmt("x = -y;")
+        assert isinstance(stmt.value, A.Unary)
+
+    def test_unary_not(self):
+        stmt = first_stmt("x = !y;")
+        assert stmt.value.op == "!"
+
+    def test_left_associativity(self):
+        stmt = first_stmt("x = 10 - 3 - 2;")
+        # (10 - 3) - 2
+        assert stmt.value.left.op == "-"
+
+    def test_call_in_expression(self):
+        stmt = first_stmt("x = f(1, g(2));")
+        assert stmt.value.name == "f"
+        assert stmt.value.args[1].name == "g"
+
+    def test_chained_indexing(self):
+        stmt = first_stmt("x = a[1];")
+        assert isinstance(stmt.value, A.Index)
+
+    def test_bool_literals(self):
+        stmt = first_stmt("x = true;")
+        assert isinstance(stmt.value, A.BoolLit) and stmt.value.value is True
+
+
+class TestOmpDirectives:
+    def test_parallel_with_clauses(self):
+        stmt = first_stmt(
+            "omp parallel num_threads(4) private(a, b) shared(c) firstprivate(d) { }"
+        )
+        assert isinstance(stmt, A.OmpParallel)
+        assert stmt.num_threads.value == 4
+        assert stmt.private == ["a", "b"]
+        assert stmt.shared == ["c"]
+        assert stmt.firstprivate == ["d"]
+
+    def test_omp_for_with_schedule(self):
+        stmt = first_stmt(
+            "omp parallel { omp for schedule(dynamic, 2) nowait "
+            "for (var i = 0; i < 4; i = i + 1) { } }"
+        )
+        inner = stmt.body.stmts[0]
+        assert isinstance(inner, A.OmpFor)
+        assert inner.schedule == "dynamic"
+        assert inner.chunk.value == 2
+        assert inner.nowait
+
+    def test_bad_schedule_kind(self):
+        with pytest.raises(ParseError):
+            parse_main(
+                "omp parallel { omp for schedule(guided) "
+                "for (var i = 0; i < 4; i = i + 1) { } }"
+            )
+
+    def test_combined_parallel_for(self):
+        stmt = first_stmt("omp parallel for for (var i = 0; i < 2; i = i + 1) { }")
+        assert isinstance(stmt, A.OmpParallel)
+        assert isinstance(stmt.body.stmts[0], A.OmpFor)
+
+    def test_combined_parallel_for_with_num_threads(self):
+        stmt = first_stmt(
+            "omp parallel num_threads(2) for for (var i = 0; i < 2; i = i + 1) { }"
+        )
+        assert isinstance(stmt, A.OmpParallel)
+        assert stmt.num_threads.value == 2
+
+    def test_sections(self):
+        stmt = first_stmt(
+            "omp parallel { omp sections { omp section { } omp section { } } }"
+        )
+        inner = stmt.body.stmts[0]
+        assert isinstance(inner, A.OmpSections)
+        assert len(inner.sections) == 2
+
+    def test_empty_sections_rejected(self):
+        with pytest.raises(ParseError):
+            parse_main("omp parallel { omp sections { } }")
+
+    def test_named_critical(self):
+        stmt = first_stmt("omp critical (mylock) { x = 1; }")
+        assert isinstance(stmt, A.OmpCritical)
+        assert stmt.name == "mylock"
+
+    def test_anonymous_critical(self):
+        stmt = first_stmt("omp critical { x = 1; }")
+        assert stmt.name == ""
+
+    def test_barrier(self):
+        assert isinstance(first_stmt("omp barrier;"), A.OmpBarrier)
+
+    def test_single_nowait(self):
+        stmt = first_stmt("omp single nowait { }")
+        assert isinstance(stmt, A.OmpSingle) and stmt.nowait
+
+    def test_master(self):
+        assert isinstance(first_stmt("omp master { }"), A.OmpMaster)
+
+    def test_atomic(self):
+        stmt = first_stmt("omp atomic x = x + 1;")
+        assert isinstance(stmt, A.OmpAtomic)
+
+    def test_atomic_requires_assignment(self):
+        with pytest.raises(ParseError):
+            parse_main("omp atomic f();")
+
+    def test_unknown_directive(self):
+        with pytest.raises(ParseError):
+            parse_main("omp taskwait;")
+
+
+class TestLocations:
+    def test_statement_locations_recorded(self):
+        prog = parse("program p;\nfunc main() {\n    var x = 1;\n}")
+        decl = prog.main.body.stmts[0]
+        assert decl.loc.line == 3
+
+    def test_node_ids_unique(self):
+        prog = parse("program p;\nfunc main() { var x = 1; var y = 2; }")
+        nids = [n.nid for n in prog.walk()]
+        assert len(nids) == len(set(nids))

@@ -1,0 +1,96 @@
+"""Pretty-printer tests, including full round-trip over every workload."""
+
+import pytest
+
+from repro.minilang import ast_equal, parse, print_expr, print_program, print_stmt
+from repro.workloads.case_studies import (
+    CASE_STUDY_1,
+    CASE_STUDY_2,
+    CASE_STUDY_2_FIXED,
+    SAFE_FUNNELED,
+)
+from repro.workloads.npb import bt_mz_source, lu_mz_source, sp_mz_source
+
+
+def roundtrip(source: str) -> None:
+    prog = parse(source)
+    printed = print_program(prog)
+    reparsed = parse(printed)
+    assert ast_equal(prog, reparsed), "print -> parse changed the AST"
+    assert print_program(reparsed) == printed, "printing is not a fixpoint"
+
+
+class TestRoundTrip:
+    def test_minimal_program(self):
+        roundtrip("program p;\nfunc main() { }")
+
+    def test_expressions(self):
+        roundtrip(
+            "program p;\nfunc main() { var x = -(1 + 2) * 3 % 4; "
+            "var y = a < b && !(c >= d) || e != f; }"
+        )
+
+    def test_control_flow(self):
+        roundtrip(
+            "program p;\nfunc main() {\n"
+            "  if (a) { b = 1; } else if (c) { b = 2; } else { b = 3; }\n"
+            "  while (b < 10) { b = b + 1; }\n"
+            "  for (var i = 0; i < 4; i = i + 1) { compute(i); }\n"
+            "}"
+        )
+
+    def test_strings_with_escapes(self):
+        roundtrip('program p;\nfunc main() { print("a\\"b", "c\\nd"); }')
+
+    def test_float_literals(self):
+        roundtrip("program p;\nfunc main() { var x = 1.5; var y = 2.0; }")
+
+    def test_omp_constructs(self):
+        roundtrip(
+            "program p;\nfunc main() {\n"
+            "  omp parallel num_threads(2) private(i) firstprivate(j) {\n"
+            "    omp for schedule(dynamic, 3) nowait for (var i = 0; i < 8; i = i + 1) { }\n"
+            "    omp sections { omp section { } omp section { compute(1); } }\n"
+            "    omp critical (c) { x = 1; }\n"
+            "    omp barrier;\n"
+            "    omp single nowait { }\n"
+            "    omp master { }\n"
+            "    omp atomic x = x + 1;\n"
+            "  }\n"
+            "}"
+        )
+
+    @pytest.mark.parametrize(
+        "source",
+        [CASE_STUDY_1, CASE_STUDY_2, CASE_STUDY_2_FIXED, SAFE_FUNNELED],
+        ids=["cs1", "cs2", "cs2fixed", "funneled"],
+    )
+    def test_case_studies_roundtrip(self, source):
+        roundtrip(source)
+
+    @pytest.mark.parametrize("gen", [lu_mz_source, bt_mz_source, sp_mz_source],
+                             ids=["lu", "bt", "sp"])
+    @pytest.mark.parametrize("inject", [True, False])
+    def test_npb_benchmarks_roundtrip(self, gen, inject):
+        roundtrip(gen(inject=inject))
+
+
+class TestFragments:
+    def test_print_expr(self):
+        prog = parse("program p;\nfunc main() { x = (1 + 2) * n; }")
+        expr = prog.main.body.stmts[0].value
+        assert print_expr(expr) == "((1 + 2) * n)"
+
+    def test_print_stmt(self):
+        prog = parse("program p;\nfunc main() { omp barrier; }")
+        assert print_stmt(prog.main.body.stmts[0]) == "omp barrier;"
+
+    def test_instrumented_names_survive(self):
+        # Printing an instrumented program keeps hmpi_ names parseable.
+        prog = parse("program p;\nfunc main() { mpi_finalize(); }")
+        for node in prog.walk():
+            if getattr(node, "name", "") == "mpi_finalize":
+                node.name = "hmpi_finalize"
+        printed = print_program(prog)
+        assert "hmpi_finalize()" in printed
+        parse(printed)

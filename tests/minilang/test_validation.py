@@ -1,0 +1,59 @@
+"""Program-validation tests."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.minilang import count_nodes, parse, validate
+
+
+def check(src, **kw):
+    validate(parse(src), **kw)
+
+
+class TestValidation:
+    def test_valid_program_passes(self):
+        check("program p;\nfunc main() { omp parallel { omp barrier; } }")
+
+    def test_missing_main_rejected(self):
+        with pytest.raises(ValidationError, match="main"):
+            check("program p;\nfunc helper() { }")
+
+    def test_missing_main_allowed_when_not_required(self):
+        check("program p;\nfunc helper() { }", require_main=False)
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate function"):
+            check("program p;\nfunc main() { }\nfunc main() { }")
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate parameters"):
+            check("program p;\nfunc f(a, a) { }\nfunc main() { }")
+
+    def test_duplicate_globals_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate global"):
+            check("program p;\nvar g = 1;\nvar g = 2;\nfunc main() { }")
+
+    def test_closely_nested_worksharing_rejected(self):
+        with pytest.raises(ValidationError, match="nested"):
+            check(
+                "program p;\nfunc main() { omp parallel {\n"
+                "omp for for (var i = 0; i < 2; i = i + 1) {\n"
+                "  omp single { }\n"
+                "} } }"
+            )
+
+    def test_worksharing_inside_nested_parallel_is_fine(self):
+        check(
+            "program p;\nfunc main() { omp parallel {\n"
+            "omp for for (var i = 0; i < 2; i = i + 1) {\n"
+            "  omp parallel { omp single { } }\n"
+            "} } }"
+        )
+
+    def test_nonpositive_num_threads_rejected(self):
+        with pytest.raises(ValidationError, match="num_threads"):
+            check("program p;\nfunc main() { omp parallel num_threads(0) { } }")
+
+    def test_count_nodes(self):
+        prog = parse("program p;\nfunc main() { var x = 1; }")
+        assert count_nodes(prog) > 3

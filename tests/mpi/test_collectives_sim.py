@@ -1,0 +1,142 @@
+"""Collective operations through the interpreter."""
+
+import pytest
+
+from helpers import MPI_PAIR_HEADER, run_src, wrap_main
+
+
+def run_world(body, nprocs=4, **kw):
+    return run_src(wrap_main(MPI_PAIR_HEADER + body), nprocs=nprocs, **kw)
+
+
+class TestBarrier:
+    def test_barrier_synchronizes_clocks(self):
+        body = """
+    if (rank == 0) { compute(100); }
+    mpi_barrier(MPI_COMM_WORLD);
+    print(mpi_wtime() >= 1000);
+    mpi_finalize();
+"""
+        result = run_world(body, nprocs=3)
+        assert result.printed_lines() == ["True"] * 3
+
+    def test_unbalanced_barrier_deadlocks(self):
+        body = """
+    if (rank == 0) { mpi_barrier(MPI_COMM_WORLD); }
+    mpi_finalize();
+"""
+        result = run_world(body, nprocs=2)
+        assert result.deadlocked
+
+
+class TestBcast:
+    def test_scalar_bcast(self):
+        body = """
+    var x = 0;
+    if (rank == 2) { x = 99; }
+    x = mpi_bcast(x, 2, MPI_COMM_WORLD);
+    print(x);
+    mpi_finalize();
+"""
+        assert run_world(body).printed_lines() == ["99"] * 4
+
+    def test_array_bcast_in_place(self):
+        body = """
+    var a[2];
+    if (rank == 0) { a[0] = 3.5; a[1] = 4.5; }
+    mpi_bcast(a, 0, MPI_COMM_WORLD);
+    print(a[0], a[1]);
+    mpi_finalize();
+"""
+        assert run_world(body, nprocs=2).printed_lines() == ["3.5 4.5"] * 2
+
+
+class TestReductions:
+    def test_allreduce_sum(self):
+        body = """
+    var total = mpi_allreduce(rank + 1, MPI_SUM, MPI_COMM_WORLD);
+    print(total);
+    mpi_finalize();
+"""
+        assert run_world(body).printed_lines() == ["10"] * 4
+
+    def test_allreduce_max(self):
+        body = """
+    print(mpi_allreduce(rank, MPI_MAX, MPI_COMM_WORLD));
+    mpi_finalize();
+"""
+        assert run_world(body, nprocs=3).printed_lines() == ["2"] * 3
+
+    def test_reduce_only_root_gets_result(self):
+        body = """
+    var r = mpi_reduce(rank + 1, MPI_SUM, 1, MPI_COMM_WORLD);
+    print(r);
+    mpi_finalize();
+"""
+        out = run_world(body, nprocs=3).printed_lines()
+        assert sorted(out) == ["0", "0", "6"]
+
+    def test_allreduce_array_elementwise(self):
+        body = """
+    var a[2];
+    a[0] = rank; a[1] = 1;
+    mpi_allreduce(a, MPI_SUM, MPI_COMM_WORLD);
+    print(a[0], a[1]);
+    mpi_finalize();
+"""
+        assert run_world(body, nprocs=3).printed_lines() == ["3.0 3.0"] * 3
+
+
+class TestGatherScatter:
+    def test_gather_at_root(self):
+        body = """
+    var recv[4];
+    mpi_gather(rank * 10, recv, 0, MPI_COMM_WORLD);
+    if (rank == 0) { print(recv[0], recv[1], recv[2], recv[3]); }
+    mpi_finalize();
+"""
+        assert run_world(body).printed_lines() == ["0.0 10.0 20.0 30.0"]
+
+    def test_allgather_everywhere(self):
+        body = """
+    var recv[3];
+    mpi_allgather(rank + 1, recv, MPI_COMM_WORLD);
+    print(recv[0] + recv[1] + recv[2]);
+    mpi_finalize();
+"""
+        assert run_world(body, nprocs=3).printed_lines() == ["6.0"] * 3
+
+    def test_scatter_distributes_root_elements(self):
+        body = """
+    var send[4];
+    if (rank == 1) {
+        send[0] = 5; send[1] = 6; send[2] = 7; send[3] = 8;
+    }
+    print(mpi_scatter(send, 1, MPI_COMM_WORLD));
+    mpi_finalize();
+"""
+        assert sorted(run_world(body).printed_lines()) == ["5.0", "6.0", "7.0", "8.0"]
+
+    def test_alltoall_transpose(self):
+        body = """
+    var send[2];
+    var recv[2];
+    send[0] = rank * 10;
+    send[1] = rank * 10 + 1;
+    mpi_alltoall(send, recv, MPI_COMM_WORLD);
+    print(recv[0], recv[1]);
+    mpi_finalize();
+"""
+        out = run_world(body, nprocs=2).printed_lines()
+        assert sorted(out) == ["0.0 10.0", "1.0 11.0"]
+
+
+class TestMismatch:
+    def test_collective_op_mismatch_noted(self):
+        body = """
+    if (rank == 0) { mpi_barrier(MPI_COMM_WORLD); }
+    if (rank == 1) { var x = mpi_allreduce(1, MPI_SUM, MPI_COMM_WORLD); }
+    mpi_finalize();
+"""
+        result = run_world(body, nprocs=2)
+        assert any("collective mismatch" in n for n in result.notes)

@@ -1,0 +1,80 @@
+"""Communicator registry unit tests."""
+
+import pytest
+
+from repro.errors import MPIUsageError
+from repro.mpi.communicator import CommRegistry
+from repro.mpi.constants import MPI_COMM_WORLD
+
+
+class TestWorld:
+    def test_world_identity_mapping(self):
+        reg = CommRegistry(4)
+        world = reg.world
+        assert world.size == 4
+        assert [world.world_rank(r) for r in range(4)] == [0, 1, 2, 3]
+
+    def test_rank_out_of_range(self):
+        reg = CommRegistry(2)
+        with pytest.raises(MPIUsageError):
+            reg.world.world_rank(2)
+
+    def test_invalid_handle(self):
+        reg = CommRegistry(2)
+        with pytest.raises(MPIUsageError):
+            reg.get(999)
+
+
+class TestDup:
+    def test_dup_completes_when_all_arrive(self):
+        reg = CommRegistry(2)
+        reg.dup_arrive(MPI_COMM_WORLD, 0, 0)
+        assert not reg.dup_complete(MPI_COMM_WORLD, 0)
+        reg.dup_arrive(MPI_COMM_WORLD, 0, 1)
+        assert reg.dup_complete(MPI_COMM_WORLD, 0)
+
+    def test_dup_produces_one_shared_comm(self):
+        reg = CommRegistry(2)
+        reg.dup_arrive(MPI_COMM_WORLD, 0, 0)
+        reg.dup_arrive(MPI_COMM_WORLD, 0, 1)
+        cid_a = reg.dup_result(MPI_COMM_WORLD, 0)
+        cid_b = reg.dup_result(MPI_COMM_WORLD, 0)
+        assert cid_a == cid_b != MPI_COMM_WORLD
+        assert reg.get(cid_a).members == [0, 1]
+
+    def test_separate_dup_instances_distinct(self):
+        reg = CommRegistry(1)
+        reg.dup_arrive(MPI_COMM_WORLD, 0, 0)
+        reg.dup_arrive(MPI_COMM_WORLD, 1, 0)
+        assert reg.dup_result(MPI_COMM_WORLD, 0) != reg.dup_result(MPI_COMM_WORLD, 1)
+
+
+class TestSplit:
+    def test_split_by_color(self):
+        reg = CommRegistry(4)
+        for rank in range(4):
+            reg.split_arrive(MPI_COMM_WORLD, 0, rank, color=rank % 2, key=rank)
+        assert reg.split_complete(MPI_COMM_WORLD, 0)
+        even = reg.split_result(MPI_COMM_WORLD, 0, 0)
+        odd = reg.split_result(MPI_COMM_WORLD, 0, 1)
+        assert even != odd
+        assert reg.get(even).members == [0, 2]
+        assert reg.get(odd).members == [1, 3]
+
+    def test_split_key_orders_local_ranks(self):
+        reg = CommRegistry(2)
+        reg.split_arrive(MPI_COMM_WORLD, 0, 0, color=0, key=5)
+        reg.split_arrive(MPI_COMM_WORLD, 0, 1, color=0, key=1)
+        cid = reg.split_result(MPI_COMM_WORLD, 0, 0)
+        comm = reg.get(cid)
+        # rank 1 had the smaller key, so it becomes local rank 0
+        assert comm.members == [1, 0]
+        assert comm.local_rank(0) == 1
+
+    def test_local_rank_of_non_member(self):
+        reg = CommRegistry(4)
+        for rank in range(4):
+            reg.split_arrive(MPI_COMM_WORLD, 0, rank, color=rank % 2, key=rank)
+        even = reg.split_result(MPI_COMM_WORLD, 0, 0)
+        with pytest.raises(MPIUsageError):
+            reg.get(even).local_rank(1)

@@ -1,0 +1,149 @@
+"""Tests for the extended MPI surface: ssend, sendrecv, waitall."""
+
+import pytest
+
+from helpers import MPI_PAIR_HEADER, run_src, wrap_main
+
+
+def run_pair(body, nprocs=2, **kw):
+    return run_src(wrap_main(MPI_PAIR_HEADER + body), nprocs=nprocs, **kw)
+
+
+class TestSsend:
+    def test_ssend_blocks_until_matched(self):
+        body = """
+    var buf[1];
+    if (rank == 0) {
+        mpi_ssend(buf, 1, 1, 5, MPI_COMM_WORLD);
+        print("after", mpi_wtime() > 500);
+    }
+    if (rank == 1) {
+        compute(100);
+        mpi_recv(buf, 1, 0, 5, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+"""
+        assert run_pair(body).printed_lines() == ["after True"]
+
+    def test_unmatched_ssend_deadlocks(self):
+        body = """
+    var buf[1];
+    if (rank == 0) { mpi_ssend(buf, 1, 1, 5, MPI_COMM_WORLD); }
+    mpi_finalize();
+"""
+        assert run_pair(body).deadlocked
+
+    def test_ssend_payload(self):
+        body = """
+    var buf[1];
+    if (rank == 0) { buf[0] = 3; mpi_ssend(buf, 1, 1, 5, MPI_COMM_WORLD); }
+    if (rank == 1) { mpi_recv(buf, 1, 0, 5, MPI_COMM_WORLD); print(buf[0]); }
+    mpi_finalize();
+"""
+        assert run_pair(body).printed_lines() == ["3.0"]
+
+
+class TestSendrecv:
+    def test_ring_exchange_does_not_deadlock(self):
+        body = """
+    var sendbuf[1];
+    var recvbuf[1];
+    sendbuf[0] = rank;
+    var right = (rank + 1) % size;
+    var left = (rank + size - 1) % size;
+    mpi_sendrecv(sendbuf, 1, right, 3, recvbuf, left, 3, MPI_COMM_WORLD);
+    print(recvbuf[0]);
+    mpi_finalize();
+"""
+        result = run_pair(body, nprocs=4)
+        assert not result.deadlocked
+        assert sorted(result.printed_lines()) == ["0.0", "1.0", "2.0", "3.0"]
+
+    def test_sendrecv_returns_matched_source(self):
+        body = """
+    var s[1];
+    var r[1];
+    var partner = 1 - rank;
+    print(mpi_sendrecv(s, 1, partner, 3, r, partner, 3, MPI_COMM_WORLD));
+    mpi_finalize();
+"""
+        result = run_pair(body)
+        assert sorted(result.printed_lines()) == ["0", "1"]
+
+    def test_sendrecv_wrong_arity(self):
+        body = """
+    var s[1];
+    mpi_sendrecv(s, 1, 0, 3, MPI_COMM_WORLD);
+"""
+        result = run_pair(body, nprocs=1)
+        assert any("mpi_sendrecv expects" in n for n in result.notes)
+
+
+class TestWaitall:
+    def test_waitall_completes_multiple_requests(self):
+        body = """
+    var b1[1];
+    var b2[1];
+    var partner = 1 - rank;
+    b1[0] = 10 + rank;
+    mpi_send(b1, 1, partner, 1, MPI_COMM_WORLD);
+    mpi_send(b1, 1, partner, 2, MPI_COMM_WORLD);
+    var r1 = mpi_irecv(b1, 1, partner, 1, MPI_COMM_WORLD);
+    var r2 = mpi_irecv(b2, 1, partner, 2, MPI_COMM_WORLD);
+    mpi_waitall(r1, r2);
+    print(b1[0], b2[0]);
+    mpi_finalize();
+"""
+        result = run_pair(body)
+        assert sorted(result.printed_lines()) == ["10.0 10.0", "11.0 11.0"]
+
+    def test_waitall_on_freed_request_noted(self):
+        body = """
+    var b[1];
+    var partner = 1 - rank;
+    mpi_send(b, 1, partner, 1, MPI_COMM_WORLD);
+    var r = mpi_irecv(b, 1, partner, 1, MPI_COMM_WORLD);
+    mpi_wait(r);
+    mpi_waitall(r);
+    mpi_finalize();
+"""
+        result = run_pair(body)
+        assert any("mpi_waitall on unknown/freed" in n for n in result.notes)
+
+
+class TestViolationIntegration:
+    def test_concurrent_sendrecv_flagged_as_recv_violation(self):
+        from repro.home import check_program
+        from repro.minilang import parse
+        from repro.violations import CONCURRENT_RECV
+
+        src = wrap_main(MPI_PAIR_HEADER + """
+    var s[1];
+    var r[1];
+    var partner = 1 - rank;
+    omp parallel num_threads(2) {
+        mpi_sendrecv(s, 1, partner, 3, r, partner, 3, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+""")
+        report = check_program(parse(src), nprocs=2)
+        assert CONCURRENT_RECV in report.violations.classes()
+
+    def test_concurrent_waitall_flagged_as_request_violation(self):
+        from repro.home import check_program
+        from repro.minilang import parse
+        from repro.violations import CONCURRENT_REQUEST
+
+        src = wrap_main(MPI_PAIR_HEADER + """
+    var b[1];
+    var partner = 1 - rank;
+    compute(50);
+    mpi_send(b, 1, partner, 1, MPI_COMM_WORLD);
+    var r = mpi_irecv(b, 1, partner, 1, MPI_COMM_WORLD);
+    omp parallel num_threads(2) {
+        mpi_waitall(r);
+    }
+    mpi_finalize();
+""")
+        report = check_program(parse(src), nprocs=2)
+        assert CONCURRENT_REQUEST in report.violations.classes()

@@ -1,0 +1,284 @@
+"""Point-to-point semantics through the interpreter."""
+
+import pytest
+
+from helpers import MPI_PAIR_HEADER, run_src, wrap_main
+
+from repro.errors import DeadlockError
+
+
+def run_pair(body, nprocs=2, **kw):
+    return run_src(wrap_main(MPI_PAIR_HEADER + body), nprocs=nprocs, **kw)
+
+
+class TestBlockingSendRecv:
+    def test_payload_transferred(self):
+        body = """
+    var buf[3];
+    if (rank == 0) {
+        buf[0] = 1.5; buf[1] = 2.5; buf[2] = 3.5;
+        mpi_send(buf, 3, 1, 9, MPI_COMM_WORLD);
+    }
+    if (rank == 1) {
+        mpi_recv(buf, 3, 0, 9, MPI_COMM_WORLD);
+        print(buf[0], buf[1], buf[2]);
+    }
+    mpi_finalize();
+"""
+        result = run_pair(body)
+        assert result.printed_lines() == ["1.5 2.5 3.5"]
+
+    def test_recv_returns_matched_source(self):
+        body = """
+    var buf[1];
+    if (rank == 0) { mpi_send(buf, 1, 1, 4, MPI_COMM_WORLD); }
+    if (rank == 1) { print(mpi_recv(buf, 1, MPI_ANY_SOURCE, 4, MPI_COMM_WORLD)); }
+    mpi_finalize();
+"""
+        assert run_pair(body).printed_lines() == ["0"]
+
+    def test_any_tag_wildcard(self):
+        body = """
+    var buf[1];
+    if (rank == 0) { mpi_send(buf, 1, 1, 123, MPI_COMM_WORLD); }
+    if (rank == 1) { mpi_recv(buf, 1, 0, MPI_ANY_TAG, MPI_COMM_WORLD); print("got"); }
+    mpi_finalize();
+"""
+        assert run_pair(body).printed_lines() == ["got"]
+
+    def test_non_overtaking_order(self):
+        body = """
+    var buf[1];
+    if (rank == 0) {
+        buf[0] = 1; mpi_send(buf, 1, 1, 5, MPI_COMM_WORLD);
+        buf[0] = 2; mpi_send(buf, 1, 1, 5, MPI_COMM_WORLD);
+    }
+    if (rank == 1) {
+        mpi_recv(buf, 1, 0, 5, MPI_COMM_WORLD); print(buf[0]);
+        mpi_recv(buf, 1, 0, 5, MPI_COMM_WORLD); print(buf[0]);
+    }
+    mpi_finalize();
+"""
+        for seed in (0, 1, 7):
+            assert run_pair(body, seed=seed).printed_lines() == ["1.0", "2.0"]
+
+    def test_tags_differentiate_messages(self):
+        body = """
+    var buf[1];
+    if (rank == 0) {
+        buf[0] = 10; mpi_send(buf, 1, 1, 1, MPI_COMM_WORLD);
+        buf[0] = 20; mpi_send(buf, 1, 1, 2, MPI_COMM_WORLD);
+    }
+    if (rank == 1) {
+        mpi_recv(buf, 1, 0, 2, MPI_COMM_WORLD); print(buf[0]);
+        mpi_recv(buf, 1, 0, 1, MPI_COMM_WORLD); print(buf[0]);
+    }
+    mpi_finalize();
+"""
+        assert run_pair(body).printed_lines() == ["20.0", "10.0"]
+
+    def test_missing_message_deadlocks(self):
+        body = """
+    var buf[1];
+    if (rank == 1) { mpi_recv(buf, 1, 0, 5, MPI_COMM_WORLD); }
+    mpi_finalize();
+"""
+        result = run_pair(body)
+        assert result.deadlocked
+        assert "mpi_recv" in result.deadlock.summary()
+
+    def test_raise_on_deadlock_config(self):
+        body = """
+    var buf[1];
+    if (rank == 1) { mpi_recv(buf, 1, 0, 5, MPI_COMM_WORLD); }
+"""
+        with pytest.raises(DeadlockError):
+            run_pair(body, raise_on_deadlock=True)
+
+    def test_recv_completion_respects_latency(self):
+        body = """
+    var buf[1];
+    if (rank == 0) { mpi_send(buf, 1, 1, 5, MPI_COMM_WORLD); }
+    if (rank == 1) { mpi_recv(buf, 1, 0, 5, MPI_COMM_WORLD); }
+    mpi_finalize();
+"""
+        result = run_pair(body)
+        # receiver clock must include the message latency (60 units)
+        assert result.proc_clocks[1] >= 60
+
+    def test_scalar_send(self):
+        body = """
+    var buf[1];
+    if (rank == 0) { mpi_send(42, 1, 1, 5, MPI_COMM_WORLD); }
+    if (rank == 1) { mpi_recv(buf, 1, 0, 5, MPI_COMM_WORLD); print(buf[0]); }
+    mpi_finalize();
+"""
+        assert run_pair(body).printed_lines() == ["42.0"]
+
+
+class TestSyncMode:
+    def test_sync_send_blocks_until_recv(self):
+        body = """
+    var buf[1];
+    if (rank == 0) {
+        mpi_send(buf, 1, 1, 5, MPI_COMM_WORLD);
+        print("sent at", mpi_wtime() > 500);
+    }
+    if (rank == 1) {
+        compute(100);
+        mpi_recv(buf, 1, 0, 5, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+"""
+        result = run_pair(body, sync_sends=True)
+        assert result.printed_lines() == ["sent at True"]
+
+    def test_sync_unmatched_send_deadlocks(self):
+        body = """
+    var buf[1];
+    if (rank == 0) { mpi_send(buf, 1, 1, 5, MPI_COMM_WORLD); }
+    mpi_finalize();
+"""
+        result = run_pair(body, sync_sends=True)
+        assert result.deadlocked
+
+
+class TestNonblocking:
+    def test_isend_irecv_wait(self):
+        body = """
+    var buf[2];
+    if (rank == 0) {
+        buf[0] = 7;
+        var sreq = mpi_isend(buf, 2, 1, 3, MPI_COMM_WORLD);
+        mpi_wait(sreq);
+    }
+    if (rank == 1) {
+        var rreq = mpi_irecv(buf, 2, 0, 3, MPI_COMM_WORLD);
+        mpi_wait(rreq);
+        print(buf[0]);
+    }
+    mpi_finalize();
+"""
+        assert run_pair(body).printed_lines() == ["7.0"]
+
+    def test_test_polls_until_done(self):
+        body = """
+    var buf[1];
+    if (rank == 0) {
+        compute(50);
+        mpi_send(buf, 1, 1, 3, MPI_COMM_WORLD);
+    }
+    if (rank == 1) {
+        var req = mpi_irecv(buf, 1, 0, 3, MPI_COMM_WORLD);
+        var spins = 0;
+        while (mpi_test(req) == 0) { spins = spins + 1; compute(5); }
+        print(spins > 0);
+    }
+    mpi_finalize();
+"""
+        assert run_pair(body).printed_lines() == ["True"]
+
+    def test_irecv_requires_array_buffer(self):
+        body = """
+    var x = 0;
+    var req = mpi_irecv(x, 1, 0, 3, MPI_COMM_WORLD);
+"""
+        result = run_pair(body, nprocs=1)
+        assert any("array receive buffer" in n for n in result.notes)
+
+    def test_wait_on_freed_request_noted(self):
+        body = """
+    var buf[1];
+    if (rank == 0) { mpi_send(buf, 1, 1, 3, MPI_COMM_WORLD); }
+    if (rank == 1) {
+        var req = mpi_irecv(buf, 1, 0, 3, MPI_COMM_WORLD);
+        mpi_wait(req);
+        mpi_wait(req);
+    }
+    mpi_finalize();
+"""
+        result = run_pair(body)
+        assert any("unknown/freed request" in n for n in result.notes)
+
+
+class TestProbe:
+    def test_probe_returns_source_without_consuming(self):
+        body = """
+    var buf[1];
+    if (rank == 0) { mpi_send(buf, 1, 1, 8, MPI_COMM_WORLD); }
+    if (rank == 1) {
+        print(mpi_probe(0, 8, MPI_COMM_WORLD));
+        print(mpi_probe(0, 8, MPI_COMM_WORLD));
+        mpi_recv(buf, 1, 0, 8, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+"""
+        assert run_pair(body).printed_lines() == ["0", "0"]
+
+    def test_iprobe_false_then_true(self):
+        body = """
+    var buf[1];
+    if (rank == 0) {
+        compute(100);
+        mpi_send(buf, 1, 1, 8, MPI_COMM_WORLD);
+    }
+    if (rank == 1) {
+        var hits = 0;
+        var polls = 0;
+        while (hits == 0) {
+            hits = mpi_iprobe(0, 8, MPI_COMM_WORLD);
+            polls = polls + 1;
+            compute(2);
+        }
+        print(polls > 1);
+        mpi_recv(buf, 1, 0, 8, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+"""
+        assert run_pair(body).printed_lines() == ["True"]
+
+    def test_probe_blocks_until_message(self):
+        body = """
+    var buf[1];
+    if (rank == 0) {
+        compute(100);
+        mpi_send(buf, 1, 1, 8, MPI_COMM_WORLD);
+    }
+    if (rank == 1) {
+        mpi_probe(0, 8, MPI_COMM_WORLD);
+        print(mpi_wtime() >= 1000);
+        mpi_recv(buf, 1, 0, 8, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+"""
+        assert run_pair(body).printed_lines() == ["True"]
+
+
+class TestCommManagement:
+    def test_comm_dup_isolates_traffic(self):
+        body = """
+    var buf[1];
+    var dup = mpi_comm_dup(MPI_COMM_WORLD);
+    if (rank == 0) {
+        buf[0] = 5; mpi_send(buf, 1, 1, 2, dup);
+        buf[0] = 6; mpi_send(buf, 1, 1, 2, MPI_COMM_WORLD);
+    }
+    if (rank == 1) {
+        mpi_recv(buf, 1, 0, 2, MPI_COMM_WORLD); print(buf[0]);
+        mpi_recv(buf, 1, 0, 2, dup); print(buf[0]);
+    }
+    mpi_finalize();
+"""
+        assert run_pair(body).printed_lines() == ["6.0", "5.0"]
+
+    def test_comm_split_pairs(self):
+        body = """
+    var buf[1];
+    var sub = mpi_comm_split(MPI_COMM_WORLD, rank / 2, rank);
+    var subrank = mpi_comm_rank(sub);
+    var subsize = mpi_comm_size(sub);
+    print(subrank, subsize);
+    mpi_finalize();
+"""
+        result = run_pair(body, nprocs=4)
+        assert sorted(result.printed_lines()) == ["0 2", "0 2", "1 2", "1 2"]

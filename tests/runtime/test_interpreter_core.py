@@ -1,0 +1,202 @@
+"""Interpreter core semantics: expressions, control flow, functions, arrays."""
+
+import pytest
+
+from helpers import run_main, run_src
+
+from repro.errors import ReproError
+
+
+def printed(body, globals_="", **kw):
+    return run_main(body, globals_, **kw).printed_lines()
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert printed("print(2 + 3 * 4);") == ["14"]
+
+    def test_integer_division(self):
+        assert printed("print(7 / 2, -7 / 2);") == ["3 -3"]
+
+    def test_float_arithmetic(self):
+        assert printed("print(1.5 + 2.5);") == ["4.0"]
+
+    def test_comparison_chain(self):
+        assert printed("print(1 < 2, 2 <= 2, 3 > 4);") == ["True True False"]
+
+    def test_short_circuit_and_skips_rhs(self):
+        # Division by zero on the right must not execute.
+        assert printed("var x = 0;\nif (x != 0 && 10 / x > 1) { print(1); }\nprint(2);") == ["2"]
+
+    def test_short_circuit_or(self):
+        assert printed("var x = 0;\nif (x == 0 || 10 / x > 1) { print(1); }") == ["1"]
+
+    def test_unary_ops(self):
+        assert printed("print(-5, !0, !3);") == ["-5 True False"]
+
+    def test_string_values(self):
+        assert printed('print("a", "b");') == ["a b"]
+
+
+class TestVariablesAndScope:
+    def test_var_decl_default_zero(self):
+        assert printed("var x;\nprint(x);") == ["0"]
+
+    def test_assignment_updates(self):
+        assert printed("var x = 1;\nx = x + 41;\nprint(x);") == ["42"]
+
+    def test_block_scope_shadowing(self):
+        body = "var x = 1;\n{ var x = 2; print(x); }\nprint(x);"
+        assert printed(body) == ["2", "1"]
+
+    def test_globals_visible_in_functions(self):
+        src = """
+program g;
+var counter = 10;
+func bump() { counter = counter + 1; return counter; }
+func main() { print(bump()); print(counter); }
+"""
+        assert run_src(src).printed_lines() == ["11", "11"]
+
+    def test_undefined_variable_aborts(self):
+        result = run_main("print(ghost);")
+        assert any("undefined variable" in n for n in result.notes)
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert printed("if (1 < 2) { print(1); } else { print(2); }") == ["1"]
+
+    def test_else_if_chain(self):
+        body = """
+var x = 2;
+if (x == 1) { print("one"); }
+else if (x == 2) { print("two"); }
+else { print("other"); }
+"""
+        assert printed(body) == ["two"]
+
+    def test_while_loop(self):
+        assert printed("var i = 0;\nwhile (i < 3) { i = i + 1; }\nprint(i);") == ["3"]
+
+    def test_for_loop_sum(self):
+        body = "var s = 0;\nfor (var i = 1; i <= 4; i = i + 1) { s = s + i; }\nprint(s);"
+        assert printed(body) == ["10"]
+
+    def test_for_without_step(self):
+        body = "var i = 0;\nfor (; i < 2;) { i = i + 1; }\nprint(i);"
+        assert printed(body) == ["2"]
+
+    def test_loop_variable_scoped_to_loop(self):
+        result = run_main("for (var i = 0; i < 2; i = i + 1) { }\nprint(i);")
+        assert any("undefined variable" in n for n in result.notes)
+
+    def test_nested_loops(self):
+        body = """
+var c = 0;
+for (var i = 0; i < 3; i = i + 1) {
+    for (var j = 0; j < 3; j = j + 1) { c = c + 1; }
+}
+print(c);
+"""
+        assert printed(body) == ["9"]
+
+
+class TestFunctions:
+    def test_return_value(self):
+        src = "program f;\nfunc double(x) { return x * 2; }\nfunc main() { print(double(21)); }"
+        assert run_src(src).printed_lines() == ["42"]
+
+    def test_function_without_return_yields_zero(self):
+        src = "program f;\nfunc noop() { }\nfunc main() { print(noop()); }"
+        assert run_src(src).printed_lines() == ["0"]
+
+    def test_recursion(self):
+        src = """
+program f;
+func fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+func main() { print(fib(10)); }
+"""
+        assert run_src(src).printed_lines() == ["55"]
+
+    def test_early_return_from_loop(self):
+        src = """
+program f;
+func find(limit) {
+    for (var i = 0; i < limit; i = i + 1) {
+        if (i == 3) { return i; }
+    }
+    return -1;
+}
+func main() { print(find(10), find(2)); }
+"""
+        assert run_src(src).printed_lines() == ["3 -1"]
+
+    def test_wrong_arity_aborts(self):
+        src = "program f;\nfunc g(a) { return a; }\nfunc main() { g(); }"
+        result = run_src(src)
+        assert any("expects 1 argument" in n for n in result.notes)
+
+    def test_call_depth_guard(self):
+        src = "program f;\nfunc loop() { return loop(); }\nfunc main() { loop(); }"
+        result = run_src(src)
+        assert any("call depth exceeded" in n for n in result.notes)
+
+    def test_unknown_function_aborts(self):
+        result = run_main("mystery(1);")
+        assert any("unknown function" in n for n in result.notes)
+
+    def test_arrays_passed_by_reference(self):
+        src = """
+program f;
+func fill(arr) { arr[0] = 99; return 0; }
+func main() { var a[2]; fill(a); print(a[0]); }
+"""
+        assert run_src(src).printed_lines() == ["99.0"]
+
+
+class TestArrays:
+    def test_array_element_roundtrip(self):
+        assert printed("var a[3];\na[1] = 5;\nprint(a[1]);") == ["5.0"]
+
+    def test_array_index_expression(self):
+        assert printed("var a[4];\nvar i = 1;\na[i + 2] = 7;\nprint(a[3]);") == ["7.0"]
+
+    def test_out_of_bounds_aborts(self):
+        result = run_main("var a[2];\na[5] = 1;")
+        assert any("out of bounds" in n for n in result.notes)
+
+    def test_array_size_builtin(self):
+        assert printed("var a[6];\nprint(array_size(a));") == ["6"]
+
+
+class TestBuiltinsAndMisc:
+    def test_compute_advances_clock(self):
+        quiet = run_main("print(1);")
+        busy = run_main("compute(100);\nprint(1);")
+        assert busy.makespan > quiet.makespan + 900
+
+    def test_min_max_abs(self):
+        assert printed("print(min(3, 1), max(3, 1), abs(-4));") == ["1 3 4"]
+
+    def test_assert_pass(self):
+        result = run_main("assert(1 < 2);\nprint(1);")
+        assert result.printed_lines() == ["1"]
+        assert not result.notes
+
+    def test_assert_failure_aborts(self):
+        result = run_main("assert(1 > 2);\nprint(1);")
+        assert result.printed_lines() == []
+        assert any("assertion failed" in n for n in result.notes)
+
+    def test_outputs_record_rank_and_thread(self):
+        result = run_main("print(7);", nprocs=2)
+        assert {(p, t) for (p, t, _) in result.outputs} == {(0, 0), (1, 0)}
+
+    def test_stats_populated(self):
+        result = run_main("compute(1);")
+        assert result.stats["scheduler_steps"] > 0
+        assert result.stats["events"] == len(result.log)

@@ -1,0 +1,193 @@
+"""Interpreter corner cases: orphaned constructs, nesting, error paths."""
+
+import pytest
+
+from helpers import run_main, run_src
+
+from repro.errors import SimAbort
+from repro.runtime import RunConfig, run_program
+from repro.minilang import parse
+
+
+def printed(body, globals_="", **kw):
+    return run_main(body, globals_, **kw).printed_lines()
+
+
+class TestOrphanedConstructs:
+    def test_orphaned_omp_for_binds_to_enclosing_team(self):
+        """A worksharing loop inside a function called from a parallel
+        region distributes over the caller's team (OpenMP orphaning)."""
+        src = """
+program p;
+var sum = 0;
+func kernel(n) {
+    omp for for (var i = 0; i < n; i = i + 1) {
+        omp critical { sum = sum + 1; }
+    }
+    return 0;
+}
+func main() {
+    omp parallel num_threads(2) {
+        kernel(8);
+    }
+    print(sum);
+}
+"""
+        assert run_src(src).printed_lines() == ["8"]
+
+    def test_orphaned_critical(self):
+        src = """
+program p;
+var n = 0;
+func bump(x) {
+    omp critical { n = n + x; }
+    return 0;
+}
+func main() {
+    omp parallel num_threads(3) { bump(1); }
+    print(n);
+}
+"""
+        assert run_src(src).printed_lines() == ["3"]
+
+    def test_orphaned_barrier(self):
+        src = """
+program p;
+var flag = 0;
+var bad = 0;
+func sync(x) {
+    omp barrier;
+    return 0;
+}
+func main() {
+    omp parallel num_threads(2) {
+        if (omp_get_thread_num() == 0) { compute(50); flag = 1; }
+        sync(0);
+        if (flag != 1) { omp critical { bad = bad + 1; } }
+    }
+    print(bad);
+}
+"""
+        assert run_src(src).printed_lines() == ["0"]
+
+    def test_orphaned_single(self):
+        src = """
+program p;
+var n = 0;
+func once(x) {
+    omp single { n = n + 1; }
+    return 0;
+}
+func main() {
+    omp parallel num_threads(4) { once(0); }
+    print(n);
+}
+"""
+        assert run_src(src).printed_lines() == ["1"]
+
+
+class TestNesting:
+    def test_parallel_inside_omp_for_iteration(self):
+        body = """
+var n = 0;
+omp parallel num_threads(2) {
+    omp for for (var i = 0; i < 2; i = i + 1) {
+        omp parallel num_threads(2) {
+            omp atomic n = n + 1;
+        }
+    }
+}
+print(n);
+"""
+        assert printed(body) == ["4"]
+
+    def test_critical_within_critical_different_names(self):
+        body = """
+var n = 0;
+omp parallel num_threads(2) {
+    omp critical (outer) {
+        omp critical (inner) {
+            n = n + 1;
+        }
+    }
+}
+print(n);
+"""
+        assert printed(body) == ["2"]
+
+    def test_sections_within_parallel_within_function(self):
+        src = """
+program p;
+var a = 0;
+func work(x) {
+    omp sections {
+        omp section { omp atomic a = a + 1; }
+        omp section { omp atomic a = a + 10; }
+    }
+    return 0;
+}
+func main() {
+    omp parallel num_threads(2) { work(0); }
+    print(a);
+}
+"""
+        assert run_src(src).printed_lines() == ["11"]
+
+
+class TestErrorPaths:
+    def test_bad_omp_for_header_rejected(self):
+        body = """
+omp parallel num_threads(2) {
+    omp for for (var i = 0; compute(1); i = i + 1) { }
+}
+"""
+        result = run_main(body)
+        assert any("condition must test the loop variable" in n
+                   for n in result.notes)
+
+    def test_zero_step_rejected(self):
+        # var i = i + 0 is a zero step
+        body = """
+omp parallel num_threads(2) {
+    omp for for (var i = 0; i < 4; i = i + 0) { }
+}
+"""
+        result = run_main(body)
+        assert any("zero loop step" in n for n in result.notes)
+
+    def test_num_threads_must_be_positive_at_runtime(self):
+        body = """
+var n = 0;
+omp parallel num_threads(n) { }
+"""
+        result = run_main(body)
+        assert any("num_threads must be >= 1" in n for n in result.notes)
+
+    def test_indexing_non_array(self):
+        result = run_main("var x = 1;\nprint(x[0]);")
+        assert any("is not an array" in n for n in result.notes)
+
+    def test_string_in_arithmetic_aborts(self):
+        result = run_main('var x = "s" + 1;\nprint(x);')
+        assert any("not supported between" in n for n in result.notes)
+        assert result.printed_lines() == []
+
+    def test_release_unheld_lock_aborts(self):
+        result = run_main('omp_init_lock("l");\nomp_unset_lock("l");')
+        assert any("released lock" in n for n in result.notes)
+
+
+class TestCostModelIntegration:
+    def test_scaled_cost_model_scales_makespan(self):
+        from repro.runtime.costmodel import DEFAULT_COST_MODEL
+
+        prog = "compute(50);\nprint(1);"
+        base = run_main(prog)
+        scaled = run_main(
+            prog, cost_model=DEFAULT_COST_MODEL.scaled(2.0)
+        )
+        assert scaled.makespan == pytest.approx(2.0 * base.makespan)
+
+    def test_makespan_equals_max_proc_clock(self):
+        result = run_main("compute(10);", nprocs=3)
+        assert result.makespan == max(result.proc_clocks.values())

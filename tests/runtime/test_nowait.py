@@ -1,0 +1,122 @@
+"""``nowait`` semantics and the races it enables.
+
+Dropping the implicit end barrier is a real-world OpenMP hazard; these
+tests pin both the runtime behaviour (threads proceed early) and the
+analysis behaviour (the missing barrier removes the happens-before
+edge, so the detectors see the race)."""
+
+import pytest
+
+from helpers import run_main
+
+from repro.analysis.dynamic_.memraces import find_memory_races
+from repro.home import check_program
+from repro.minilang import parse
+from repro.violations import CONCURRENT_RECV
+
+
+def printed(body, **kw):
+    return run_main(body, **kw).printed_lines()
+
+
+class TestRuntimeBehaviour:
+    def test_nowait_lets_fast_thread_run_ahead(self):
+        body = """
+var ahead = 0;
+var done = 0;
+omp parallel num_threads(2) {
+    omp for nowait for (var i = 0; i < 2; i = i + 1) {
+        if (omp_get_thread_num() == 1) { compute(100); }
+        omp critical { done = done + 1; }
+    }
+    if (done < 2) { omp critical { ahead = ahead + 1; } }
+}
+print(ahead > 0);
+"""
+        assert printed(body) == ["True"]
+
+    def test_with_barrier_no_thread_runs_ahead(self):
+        body = """
+var ahead = 0;
+var done = 0;
+omp parallel num_threads(2) {
+    omp for for (var i = 0; i < 2; i = i + 1) {
+        if (omp_get_thread_num() == 1) { compute(100); }
+        omp critical { done = done + 1; }
+    }
+    if (done < 2) { omp critical { ahead = ahead + 1; } }
+}
+print(ahead);
+"""
+        assert printed(body) == ["0"]
+
+    def test_single_nowait(self):
+        body = """
+var n = 0;
+omp parallel num_threads(3) {
+    omp single nowait { compute(100); n = 1; }
+    compute(1);
+}
+print(n);
+"""
+        assert printed(body) == ["1"]
+
+
+class TestAnalysisConsequences:
+    def test_nowait_removes_hb_edge_memory_race_found(self):
+        body = """
+var x = 0;
+omp parallel num_threads(2) {
+    omp for nowait for (var i = 0; i < 2; i = i + 1) {
+        compute(1);
+    }
+    if (omp_get_thread_num() == 0) { x = 1; }
+    if (omp_get_thread_num() == 1) { x = 2; }
+}
+"""
+        result = run_main(body, monitor_memory=True)
+        assert any(r.var == "x" for r in find_memory_races(result.log, 0))
+
+    def test_barrier_between_phases_no_race(self):
+        body = """
+var x = 0;
+omp parallel num_threads(2) {
+    if (omp_get_thread_num() == 0) { x = 1; }
+    omp barrier;
+    if (omp_get_thread_num() == 1) { x = 2; }
+}
+"""
+        result = run_main(body, monitor_memory=True)
+        assert find_memory_races(result.log, 0) == []
+
+    def test_nowait_enables_concurrent_recv_violation(self):
+        """A receive 'phased' by an omp for is only safe because of the
+        implicit barrier; with nowait the two phases overlap and HOME
+        reports the racing envelopes."""
+        src_template = """
+program nw;
+var buf[2];
+func main() {{
+    var provided = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var partner = 1 - rank;
+    mpi_send(buf, 1, partner, 7, MPI_COMM_WORLD);
+    mpi_send(buf, 1, partner, 7, MPI_COMM_WORLD);
+    omp parallel num_threads(2) {{
+        omp for {nowait} for (var i = 0; i < 2; i = i + 1) {{
+            compute(2);
+        }}
+        if (omp_get_thread_num() == 0) {{
+            mpi_recv(buf, 1, partner, 7, MPI_COMM_WORLD);
+        }}
+        omp barrier;
+        if (omp_get_thread_num() == 1) {{
+            mpi_recv(buf, 1, partner, 7, MPI_COMM_WORLD);
+        }}
+    }}
+    mpi_finalize();
+}}
+"""
+        # with the barrier-separated phases the two receives are ordered
+        safe = check_program(parse(src_template.format(nowait="")), nprocs=2)
+        assert CONCURRENT_RECV not in safe.violations.classes()

@@ -1,0 +1,422 @@
+"""OpenMP semantics: teams, worksharing, synchronization, data sharing."""
+
+import pytest
+
+from helpers import run_main, run_src
+
+from repro.events import BarrierEvent, LockAcquire, ThreadBegin, ThreadFork, ThreadJoin
+
+
+def printed(body, globals_="", **kw):
+    return run_main(body, globals_, **kw).printed_lines()
+
+
+class TestParallelRegions:
+    def test_team_size_from_num_threads(self):
+        out = printed("omp parallel num_threads(3) { print(omp_get_num_threads()); }")
+        assert out == ["3", "3", "3"]
+
+    def test_default_team_size_from_config(self):
+        out = printed("omp parallel { print(omp_get_thread_num()); }", threads=4)
+        assert sorted(out) == ["0", "1", "2", "3"]
+
+    def test_omp_set_num_threads(self):
+        out = printed("omp_set_num_threads(3);\nomp parallel { print(1); }", threads=2)
+        assert out == ["1", "1", "1"]
+
+    def test_single_thread_team(self):
+        out = printed("omp parallel num_threads(1) { print(omp_get_thread_num()); }")
+        assert out == ["0"]
+
+    def test_fork_join_events(self):
+        result = run_main("omp parallel num_threads(2) { compute(1); }")
+        assert len(result.log.of_type(ThreadFork)) == 1
+        assert len(result.log.of_type(ThreadJoin)) == 1
+        assert len(result.log.of_type(ThreadBegin)) == 1  # one worker
+
+    def test_nested_parallel(self):
+        body = """
+omp parallel num_threads(2) {
+    omp parallel num_threads(2) {
+        compute(1);
+    }
+}
+"""
+        result = run_main(body)
+        # 1 outer fork + 2 inner forks (one per outer member)
+        assert len(result.log.of_type(ThreadFork)) == 3
+
+    def test_sequential_regions_reuse_nothing(self):
+        body = """
+var total = 0;
+omp parallel num_threads(2) { omp atomic total = total + 1; }
+omp parallel num_threads(2) { omp atomic total = total + 1; }
+print(total);
+"""
+        assert printed(body) == ["4"]
+
+    def test_return_inside_parallel_aborts(self):
+        src = """
+program p;
+func f() {
+    omp parallel num_threads(2) { return 1; }
+    return 0;
+}
+func main() { f(); }
+"""
+        result = run_src(src)
+        assert any("return inside omp parallel" in n for n in result.notes)
+
+
+class TestDataSharing:
+    def test_shared_by_default(self):
+        body = """
+var x = 0;
+omp parallel num_threads(2) {
+    omp critical { x = x + 1; }
+}
+print(x);
+"""
+        assert printed(body) == ["2"]
+
+    def test_private_clause_gives_fresh_cells(self):
+        body = """
+var x = 99;
+omp parallel num_threads(2) private(x) {
+    x = omp_get_thread_num();
+}
+print(x);
+"""
+        assert printed(body) == ["99"]
+
+    def test_firstprivate_copies_value(self):
+        body = """
+var x = 7;
+omp parallel num_threads(2) firstprivate(x) {
+    print(x);
+    x = 0;
+}
+print(x);
+"""
+        assert printed(body) == ["7", "7", "7"]
+
+    def test_region_locals_are_private(self):
+        body = """
+omp parallel num_threads(2) {
+    var mine = omp_get_thread_num();
+    compute(1);
+    print(mine);
+}
+"""
+        assert sorted(printed(body)) == ["0", "1"]
+
+
+class TestOmpFor:
+    def test_static_covers_all_iterations_once(self):
+        body = """
+var hits[8];
+omp parallel num_threads(2) {
+    omp for for (var i = 0; i < 8; i = i + 1) {
+        hits[i] = hits[i] + 1;
+    }
+}
+var total = 0;
+for (var k = 0; k < 8; k = k + 1) { total = total + hits[k]; }
+print(total);
+"""
+        assert printed(body) == ["8.0"]
+
+    def test_dynamic_covers_all_iterations_once(self):
+        body = """
+var hits[9];
+omp parallel num_threads(3) {
+    omp for schedule(dynamic) for (var i = 0; i < 9; i = i + 1) {
+        hits[i] = hits[i] + 1;
+    }
+}
+var total = 0;
+for (var k = 0; k < 9; k = k + 1) { total = total + hits[k]; }
+print(total);
+"""
+        assert printed(body) == ["9.0"]
+
+    def test_static_chunked(self):
+        body = """
+var sum = 0;
+omp parallel num_threads(2) {
+    omp for schedule(static, 2) for (var i = 0; i < 6; i = i + 1) {
+        omp critical { sum = sum + i; }
+    }
+}
+print(sum);
+"""
+        assert printed(body) == ["15"]
+
+    def test_loop_variable_private_per_thread(self):
+        body = """
+var seen = 0;
+omp parallel num_threads(2) {
+    omp for for (var i = 0; i < 4; i = i + 1) {
+        compute(1);
+    }
+}
+print(seen);
+"""
+        assert printed(body) == ["0"]
+
+    def test_downward_loop(self):
+        body = """
+var sum = 0;
+omp parallel num_threads(2) {
+    omp for for (var i = 5; i > 0; i = i - 1) {
+        omp critical { sum = sum + i; }
+    }
+}
+print(sum);
+"""
+        assert printed(body) == ["15"]
+
+    def test_le_bound(self):
+        body = """
+var sum = 0;
+omp parallel num_threads(2) {
+    omp for for (var i = 1; i <= 3; i = i + 1) {
+        omp critical { sum = sum + i; }
+    }
+}
+print(sum);
+"""
+        assert printed(body) == ["6"]
+
+    def test_empty_iteration_space(self):
+        body = """
+omp parallel num_threads(2) {
+    omp for for (var i = 5; i < 5; i = i + 1) { print("never"); }
+}
+print("done");
+"""
+        assert printed(body) == ["done"]
+
+    def test_implicit_barrier_after_for(self):
+        # Without nowait, no thread passes the loop before all finish:
+        # the flag set after the loop must observe every iteration done.
+        body = """
+var done = 0;
+var late = 0;
+omp parallel num_threads(2) {
+    omp for for (var i = 0; i < 4; i = i + 1) {
+        if (omp_get_thread_num() == 1) { compute(50); }
+        omp critical { done = done + 1; }
+    }
+    if (done != 4) { omp critical { late = late + 1; } }
+}
+print(late);
+"""
+        assert printed(body) == ["0"]
+
+    def test_serial_omp_for_outside_team(self):
+        body = """
+var sum = 0;
+omp parallel num_threads(1) {
+    omp for for (var i = 0; i < 4; i = i + 1) { sum = sum + i; }
+}
+print(sum);
+"""
+        assert printed(body) == ["6"]
+
+
+class TestSectionsSingleMaster:
+    def test_sections_each_run_once(self):
+        body = """
+var a = 0;
+var b = 0;
+omp parallel num_threads(2) {
+    omp sections {
+        omp section { omp atomic a = a + 1; }
+        omp section { omp atomic b = b + 1; }
+    }
+}
+print(a, b);
+"""
+        assert printed(body) == ["1 1"]
+
+    def test_more_sections_than_threads(self):
+        body = """
+var n = 0;
+omp parallel num_threads(2) {
+    omp sections {
+        omp section { omp atomic n = n + 1; }
+        omp section { omp atomic n = n + 1; }
+        omp section { omp atomic n = n + 1; }
+        omp section { omp atomic n = n + 1; }
+    }
+}
+print(n);
+"""
+        assert printed(body) == ["4"]
+
+    def test_single_executes_once(self):
+        body = """
+var n = 0;
+omp parallel num_threads(4) {
+    omp single { n = n + 1; }
+}
+print(n);
+"""
+        assert printed(body) == ["1"]
+
+    def test_single_in_loop_executes_once_per_visit(self):
+        body = """
+var n = 0;
+omp parallel num_threads(2) {
+    omp for for (var r = 0; r < 1; r = r + 1) { compute(1); }
+    omp single { n = n + 1; }
+    omp barrier;
+    omp single { n = n + 1; }
+}
+print(n);
+"""
+        assert printed(body) == ["2"]
+
+    def test_master_only_thread_zero(self):
+        body = """
+omp parallel num_threads(3) {
+    omp master { print(omp_get_thread_num()); }
+}
+"""
+        assert printed(body) == ["0"]
+
+
+class TestSynchronization:
+    def test_critical_mutual_exclusion_no_lost_updates(self):
+        body = """
+var n = 0;
+omp parallel num_threads(4) {
+    omp for for (var i = 0; i < 20; i = i + 1) {
+        omp critical { n = n + 1; }
+    }
+}
+print(n);
+"""
+        for seed in (0, 1, 2):
+            assert printed(body, seed=seed) == ["20"]
+
+    def test_named_criticals_are_distinct_locks(self):
+        result = run_main(
+            "omp parallel num_threads(2) {\n"
+            "omp critical (a) { compute(1); }\n"
+            "omp critical (b) { compute(1); }\n"
+            "}"
+        )
+        locks = {e.lock for e in result.log.of_type(LockAcquire)}
+        assert "critical:a" in locks and "critical:b" in locks
+
+    def test_atomic_updates_not_lost(self):
+        body = """
+var n = 0;
+omp parallel num_threads(4) {
+    omp for for (var i = 0; i < 12; i = i + 1) {
+        omp atomic n = n + 1;
+    }
+}
+print(n);
+"""
+        assert printed(body, seed=5) == ["12"]
+
+    def test_barrier_orders_phases(self):
+        body = """
+var phase1 = 0;
+var bad = 0;
+omp parallel num_threads(3) {
+    omp critical { phase1 = phase1 + 1; }
+    omp barrier;
+    if (phase1 != 3) { omp critical { bad = bad + 1; } }
+}
+print(bad);
+"""
+        for seed in (0, 3, 9):
+            assert printed(body, seed=seed) == ["0"]
+
+    def test_barrier_emits_events(self):
+        result = run_main("omp parallel num_threads(2) { omp barrier; }")
+        barriers = result.log.of_type(BarrierEvent)
+        assert len(barriers) == 2  # one per team member
+
+    def test_user_locks(self):
+        body = """
+var n = 0;
+omp_init_lock("l");
+omp parallel num_threads(3) {
+    omp_set_lock("l");
+    n = n + 1;
+    omp_unset_lock("l");
+}
+print(n);
+"""
+        assert printed(body) == ["3"]
+
+    def test_test_lock_returns_bool(self):
+        body = """
+omp_init_lock("l");
+omp_set_lock("l");
+print(omp_test_lock("l"));
+omp_unset_lock("l");
+print(omp_test_lock("l"));
+"""
+        assert printed(body) == ["False", "True"]
+
+    def test_barrier_advances_clock_to_slowest(self):
+        body = """
+omp parallel num_threads(2) {
+    if (omp_get_thread_num() == 1) { compute(100); }
+    omp barrier;
+}
+"""
+        result = run_main(body)
+        assert result.makespan >= 1000
+
+
+class TestRepeatedRegions:
+    def test_single_across_sequential_regions_runs_once_each(self):
+        """Regression: the master's worksharing visit counters must reset
+        per region, or step N's single desynchronizes against workers."""
+        body = """
+var n = 0;
+for (var step = 0; step < 3; step = step + 1) {
+    omp parallel num_threads(2) {
+        omp single { n = n + 1; }
+    }
+}
+print(n);
+"""
+        for seed in (0, 1, 4):
+            assert printed(body, seed=seed) == ["3"]
+
+    def test_dynamic_for_across_sequential_regions(self):
+        body = """
+var n = 0;
+for (var step = 0; step < 2; step = step + 1) {
+    omp parallel num_threads(2) {
+        omp for schedule(dynamic) for (var i = 0; i < 6; i = i + 1) {
+            omp atomic n = n + 1;
+        }
+    }
+}
+print(n);
+"""
+        assert printed(body) == ["12"]
+
+    def test_sections_across_sequential_regions(self):
+        body = """
+var n = 0;
+for (var step = 0; step < 2; step = step + 1) {
+    omp parallel num_threads(2) {
+        omp sections {
+            omp section { omp atomic n = n + 1; }
+            omp section { omp atomic n = n + 1; }
+        }
+    }
+}
+print(n);
+"""
+        assert printed(body) == ["4"]

@@ -1,0 +1,171 @@
+"""Pthread-style explicit threads (the paper's future-work extension)."""
+
+import pytest
+
+from helpers import run_src, wrap_main
+
+from repro.analysis.dynamic_.memraces import find_memory_races
+from repro.events import ThreadBegin, ThreadFork, ThreadJoin
+from repro.home import check_program
+from repro.minilang import parse
+from repro.violations import CONCURRENT_RECV, INITIALIZATION
+
+
+class TestSpawnJoin:
+    def test_join_returns_function_result(self):
+        src = """
+program p;
+func worker(n) { return n * 2; }
+func main() {
+    var t = thread_spawn("worker", 21);
+    print(thread_join(t));
+}
+"""
+        assert run_src(src).printed_lines() == ["42"]
+
+    def test_threads_share_globals(self):
+        src = """
+program p;
+var counter = 0;
+func bump(n) {
+    for (var i = 0; i < n; i = i + 1) {
+        omp_set_lock("m");
+        counter = counter + 1;
+        omp_unset_lock("m");
+    }
+    return 0;
+}
+func main() {
+    omp_init_lock("m");
+    var a = thread_spawn("bump", 5);
+    var b = thread_spawn("bump", 5);
+    thread_join(a);
+    thread_join(b);
+    print(counter);
+}
+"""
+        for seed in (0, 3):
+            assert run_src(src, seed=seed).printed_lines() == ["10"]
+
+    def test_join_waits_for_completion(self):
+        src = """
+program p;
+func slow(n) { compute(100); return n; }
+func main() {
+    var t = thread_spawn("slow", 1);
+    thread_join(t);
+    print(mpi_wtime() >= 1000);
+}
+"""
+        assert run_src(src).printed_lines() == ["True"]
+
+    def test_fork_join_events_emitted(self):
+        src = """
+program p;
+func w(n) { return n; }
+func main() {
+    var t = thread_spawn("w", 1);
+    thread_join(t);
+}
+"""
+        result = run_src(src)
+        assert len(result.log.of_type(ThreadFork)) == 1
+        assert len(result.log.of_type(ThreadBegin)) == 1
+        assert len(result.log.of_type(ThreadJoin)) == 1
+
+    def test_unknown_function_aborts(self):
+        result = run_src(wrap_main('thread_spawn("ghost", 1);'))
+        assert any("unknown function" in n for n in result.notes)
+
+    def test_unknown_handle_aborts(self):
+        result = run_src(wrap_main("thread_join(99);"))
+        assert any("unknown thread handle" in n for n in result.notes)
+
+    def test_wrong_arity_worker_rejected(self):
+        src = """
+program p;
+func w(a, b) { return a; }
+func main() { thread_spawn("w", 1); }
+"""
+        result = run_src(src)
+        assert any("exactly one parameter" in n for n in result.notes)
+
+
+class TestAnalysisIntegration:
+    def test_join_creates_happens_before_edge(self):
+        """Writes in a joined thread are ordered before post-join reads —
+        no race reported."""
+        src = """
+program p;
+var x = 0;
+func writer(n) { x = n; return 0; }
+func main() {
+    var t = thread_spawn("writer", 7);
+    thread_join(t);
+    x = x + 1;
+    print(x);
+}
+"""
+        result = run_src(src, monitor_memory=True)
+        assert result.printed_lines() == ["8"]
+        assert find_memory_races(result.log, 0) == []
+
+    def test_unjoined_concurrent_writes_race(self):
+        src = """
+program p;
+var x = 0;
+func writer(n) { x = n; return 0; }
+func main() {
+    var t = thread_spawn("writer", 7);
+    x = 1;
+    thread_join(t);
+}
+"""
+        result = run_src(src, monitor_memory=True)
+        races = find_memory_races(result.log, 0)
+        assert any(r.var == "x" for r in races)
+
+    def test_mpi_from_spawned_threads_checked(self):
+        """HOME's violation rules apply unchanged to pthread-style code."""
+        src = """
+program p;
+var buf[2];
+func receiver(partner) {
+    mpi_recv(buf, 1, partner, 9, MPI_COMM_WORLD);
+    return 0;
+}
+func main() {
+    var provided = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var partner = 1 - rank;
+    mpi_send(buf, 1, partner, 9, MPI_COMM_WORLD);
+    mpi_send(buf, 1, partner, 9, MPI_COMM_WORLD);
+    var t1 = thread_spawn("receiver", partner);
+    var t2 = thread_spawn("receiver", partner);
+    thread_join(t1);
+    thread_join(t2);
+    mpi_finalize();
+}
+"""
+        report = check_program(parse(src), nprocs=2)
+        assert CONCURRENT_RECV in report.violations.classes()
+
+    def test_spawned_mpi_under_funneled_is_initialization_violation(self):
+        src = """
+program p;
+var buf[2];
+func caller(n) {
+    mpi_barrier(MPI_COMM_WORLD);
+    return 0;
+}
+func main() {
+    var provided = mpi_init_thread(MPI_THREAD_FUNNELED);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var t = thread_spawn("caller", 0);
+    thread_join(t);
+    mpi_finalize();
+}
+"""
+        report = check_program(parse(src), nprocs=2,
+                               thread_level_mode="permissive")
+        assert INITIALIZATION in report.violations.classes()

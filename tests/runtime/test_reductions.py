@@ -1,0 +1,170 @@
+"""OpenMP reduction clause tests."""
+
+import pytest
+
+from helpers import run_main, run_src
+
+from repro.analysis.dynamic_.memraces import find_memory_races
+from repro.errors import ParseError
+from repro.minilang import ast_equal, parse, print_program
+
+
+def printed(body, globals_="", **kw):
+    return run_main(body, globals_, **kw).printed_lines()
+
+
+class TestParsing:
+    def test_roundtrip(self):
+        src = """
+program r;
+func main() {
+    var s = 0;
+    omp parallel num_threads(2) reduction(+: s) reduction(min: s) {
+        compute(1);
+    }
+}
+"""
+        prog = parse(src)
+        assert ast_equal(prog, parse(print_program(prog)))
+
+    def test_multiple_vars_one_clause(self):
+        prog = parse("""
+program r;
+func main() {
+    var a = 0;
+    var b = 0;
+    omp parallel reduction(+: a, b) { }
+}
+""")
+        region = prog.main.body.stmts[2]
+        assert region.reductions == [("+", "a"), ("+", "b")]
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ParseError, match="reduction operator"):
+            parse("""
+program r;
+func main() { omp parallel reduction(-: a) { } }
+""")
+
+
+class TestParallelReduction:
+    def test_sum_over_team(self):
+        body = """
+var s = 0;
+omp parallel num_threads(4) reduction(+: s) {
+    s = s + omp_get_thread_num() + 1;
+}
+print(s);
+"""
+        assert printed(body) == ["10"]
+
+    def test_product(self):
+        body = """
+var p = 1;
+omp parallel num_threads(3) reduction(*: p) {
+    p = p * 2;
+}
+print(p);
+"""
+        assert printed(body) == ["8"]
+
+    def test_original_value_participates(self):
+        body = """
+var s = 100;
+omp parallel num_threads(2) reduction(+: s) {
+    s = s + 1;
+}
+print(s);
+"""
+        assert printed(body) == ["102"]
+
+    def test_min_max(self):
+        body = """
+var lo = 99;
+var hi = 0;
+omp parallel num_threads(3) reduction(min: lo) reduction(max: hi) {
+    var t = omp_get_thread_num();
+    if (t + 1 < lo) { lo = t + 1; }
+    if (t + 1 > hi) { hi = t + 1; }
+}
+print(lo, hi);
+"""
+        assert printed(body) == ["1 3"]
+
+    def test_deterministic_across_seeds(self):
+        body = """
+var s = 0;
+omp parallel num_threads(4) reduction(+: s) {
+    omp for for (var i = 0; i < 32; i = i + 1) {
+        s = s + i;
+    }
+}
+print(s);
+"""
+        for seed in range(5):
+            assert printed(body, seed=seed) == ["496"], seed
+
+
+class TestForReduction:
+    def test_sum_loop(self):
+        body = """
+var s = 0;
+omp parallel num_threads(2) {
+    omp for reduction(+: s) for (var i = 1; i <= 100; i = i + 1) {
+        s = s + i;
+    }
+}
+print(s);
+"""
+        assert printed(body) == ["5050"]
+
+    def test_value_visible_after_loop_barrier(self):
+        body = """
+var s = 0;
+var seen = -1;
+omp parallel num_threads(2) {
+    omp for reduction(+: s) for (var i = 0; i < 4; i = i + 1) {
+        s = s + 1;
+    }
+    omp single { seen = s; }
+}
+print(seen);
+"""
+        assert printed(body) == ["4"]
+
+    def test_serial_context(self):
+        body = """
+var s = 0;
+omp parallel num_threads(1) {
+    omp for reduction(+: s) for (var i = 0; i < 3; i = i + 1) { s = s + 1; }
+}
+print(s);
+"""
+        assert printed(body) == ["3"]
+
+
+class TestAnalysisView:
+    def test_reduction_is_race_free(self):
+        """The fold synchronizes via the atomic lock: no data race even
+        for the ITC-style full-memory detector."""
+        body = """
+var s = 0;
+omp parallel num_threads(4) reduction(+: s) {
+    s = s + 1;
+}
+print(s);
+"""
+        result = run_main(body, monitor_memory=True)
+        assert result.printed_lines() == ["4"]
+        assert find_memory_races(result.log, 0) == []
+
+    def test_equivalent_unprotected_code_does_race(self):
+        body = """
+var s = 0;
+omp parallel num_threads(4) {
+    s = s + 1;
+}
+print(s);
+"""
+        result = run_main(body, monitor_memory=True)
+        assert any(r.var == "s" for r in find_memory_races(result.log, 0))

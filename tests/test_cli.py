@@ -1,0 +1,213 @@
+"""CLI tests (argument parsing and end-to-end subcommands)."""
+
+import pytest
+
+from repro.cli import main
+
+TINY_RACY = """
+program tiny;
+var a[2];
+func main() {
+    var provided = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var partner = 1 - rank;
+    mpi_send(a, 1, partner, 5, MPI_COMM_WORLD);
+    mpi_send(a, 1, partner, 5, MPI_COMM_WORLD);
+    omp parallel num_threads(2) {
+        mpi_recv(a, 1, partner, 5, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+}
+"""
+
+TINY_CLEAN = """
+program clean;
+func main() {
+    var provided = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    omp parallel num_threads(2) { compute(2); }
+    print("ok");
+    mpi_finalize();
+}
+"""
+
+
+@pytest.fixture
+def racy_file(tmp_path):
+    path = tmp_path / "racy.hmp"
+    path.write_text(TINY_RACY)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.hmp"
+    path.write_text(TINY_CLEAN)
+    return str(path)
+
+
+class TestCheck:
+    def test_check_racy_exits_nonzero(self, racy_file, capsys):
+        code = main(["check", racy_file, "--procs", "2"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ConcurrentRecvViolation" in out
+
+    def test_check_clean_exits_zero(self, clean_file, capsys):
+        code = main(["check", clean_file, "--procs", "2"])
+        assert code == 0
+        assert "no thread-safety violations" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("tool", ["home", "marmot", "itc", "base"])
+    def test_all_tools_selectable(self, clean_file, tool, capsys):
+        assert main(["check", clean_file, "--tool", tool]) == 0
+
+    def test_verbose_flag(self, racy_file, capsys):
+        main(["check", racy_file, "-v"])
+        # verbose output at minimum doesn't crash and prints the summary
+        assert "HOME" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent/prog.hmp"]) == 2
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.hmp"
+        bad.write_text("program p;\nfunc main() { var = ; }")
+        assert main(["check", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestStatic:
+    def test_static_reports_sites(self, racy_file, capsys):
+        main(["static", racy_file])
+        out = capsys.readouterr().out
+        assert "MPI call sites" in out
+
+    def test_static_dump_prints_instrumented_source(self, racy_file, capsys):
+        main(["static", racy_file, "--dump"])
+        out = capsys.readouterr().out
+        assert "hmpi_recv" in out
+
+
+class TestRun:
+    def test_run_prints_program_output(self, clean_file, capsys):
+        code = main(["run", clean_file, "--procs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[rank 0.t0] ok" in out
+
+    def test_run_deadlock_exit_code(self, tmp_path, capsys):
+        src = """
+program dl;
+var a[1];
+func main() {
+    mpi_init();
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    if (rank == 0) { mpi_recv(a, 1, 1, 1, MPI_COMM_WORLD); }
+}
+"""
+        path = tmp_path / "dl.hmp"
+        path.write_text(src)
+        assert main(["run", str(path), "--procs", "2"]) == 2
+        assert "DEADLOCK" in capsys.readouterr().out
+
+
+class TestFigureAndDemo:
+    def test_figure_4_reduced_sweep(self, capsys):
+        code = main(["figure", "4", "--proc-list", "2", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "LU-MZ" in out and "HOME" in out
+
+    def test_figure_7_reduced_sweep(self, capsys):
+        code = main(["figure", "7", "--proc-list", "2", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "overhead" in out
+
+    def test_demo_runs_case_studies(self, capsys):
+        code = main(["demo"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "case_study_1" in out and "case_study_2" in out
+
+
+class TestRenderingFlags:
+    def test_excerpts_flag(self, racy_file, capsys):
+        main(["check", racy_file, "--excerpts"])
+        out = capsys.readouterr().out
+        assert "> " in out and "mpi_recv" in out
+
+    def test_json_format(self, racy_file, capsys):
+        import json
+
+        code = main(["check", racy_file, "--format", "json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert data["count"] >= 1
+        assert data["classes"] == ["ConcurrentRecvViolation"]
+
+    def test_fix_hints_flag(self, racy_file, capsys):
+        main(["check", racy_file, "--fix-hints"])
+        assert "suggested fixes" in capsys.readouterr().out
+
+    def test_save_and_analyze_trace(self, racy_file, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        main(["check", racy_file, "--save-trace", str(trace)])
+        capsys.readouterr()
+        code = main(["analyze", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ConcurrentRecvViolation" in out
+
+    def test_analyze_with_degraded_detector(self, racy_file, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        main(["check", racy_file, "--save-trace", str(trace)])
+        capsys.readouterr()
+        code = main(["analyze", str(trace), "--no-lockset", "--no-lock-edges"])
+        out = capsys.readouterr().out
+        assert "ConcurrentRecvViolation" in out
+
+
+class TestFixSubcommand:
+    def test_fix_writes_verified_program(self, racy_file, tmp_path, capsys):
+        out = tmp_path / "fixed.hmp"
+        code = main(["fix", racy_file, "-o", str(out)])
+        text = capsys.readouterr().out
+        assert code == 0
+        assert "after:  0 finding(s)" in text
+        assert "omp critical (home_repair)" in out.read_text()
+        # the written program checks clean
+        capsys.readouterr()
+        assert main(["check", str(out)]) == 0
+
+    def test_fix_on_clean_program(self, clean_file, capsys):
+        code = main(["fix", clean_file])
+        assert code == 0
+        assert "nothing to fix" in capsys.readouterr().out
+
+
+class TestMessageRaceFlag:
+    def test_msg_races_reported(self, tmp_path, capsys):
+        src = tmp_path / "wild.hmp"
+        src.write_text("""
+program wild;
+var buf[1];
+func main() {
+    var provided = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    if (rank == 1) { mpi_send(buf, 1, 0, 5, MPI_COMM_WORLD); }
+    if (rank == 2) { mpi_send(buf, 1, 0, 5, MPI_COMM_WORLD); }
+    if (rank == 0) {
+        mpi_recv(buf, 1, MPI_ANY_SOURCE, 5, MPI_COMM_WORLD);
+        mpi_recv(buf, 1, MPI_ANY_SOURCE, 5, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+}
+""")
+        main(["check", str(src), "--procs", "3", "--msg-races"])
+        out = capsys.readouterr().out
+        assert "MessageRace" in out
+
+    def test_no_msg_races_on_clean(self, clean_file, capsys):
+        main(["check", clean_file, "--msg-races"])
+        assert "no nondeterministic message matches" in capsys.readouterr().out

@@ -1,0 +1,120 @@
+"""Differential property tests: HOME's verdict vs construction.
+
+Programs are generated in two families:
+
+* **safe** — per-thread traffic disambiguated by thread-id tags, or
+  serialized by criticals/master: HOME must report nothing (no false
+  positives, the paper's precision claim);
+* **racy** — the same skeletons with a shared envelope: HOME must
+  report the Concurrent-Recv violation (no false negatives).
+
+The generator varies structural knobs (steps, compute weights, extra
+safe traffic, region shapes) under hypothesis control.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.home import check_program
+from repro.minilang import parse, validate
+from repro.violations import CONCURRENT_RECV
+
+
+def build_program(racy: bool, steps: int, weight: int, extra_collective: bool,
+                  guard: str) -> str:
+    """One ping-pong skeleton; ``racy`` controls envelope disambiguation."""
+    if racy:
+        tag = "7"
+        guard_open, guard_close = "", ""
+        if guard == "named-critical-but-different":
+            # different lock names per thread: no mutual exclusion
+            guard_open, guard_close = "", ""
+    else:
+        tag = "7 + omp_get_thread_num()"
+        guard_open, guard_close = "", ""
+        if guard == "critical":
+            tag = "7"
+            guard_open = "omp critical {"
+            guard_close = "}"
+        elif guard == "master":
+            tag = "7"
+
+    if not racy and guard == "master":
+        region_body = f"""
+        omp master {{
+            mpi_recv(buf, 1, partner, 7, MPI_COMM_WORLD);
+            mpi_recv(buf, 1, partner, 7, MPI_COMM_WORLD);
+        }}"""
+    else:
+        region_body = f"""
+        var t = omp_get_thread_num();
+        compute({weight});
+        {guard_open}
+        mpi_recv(buf, 1, partner, {tag}, MPI_COMM_WORLD);
+        {guard_close}"""
+
+    if racy or guard in ("critical", "master"):
+        sends = f"""
+        mpi_send(buf, 1, partner, 7, MPI_COMM_WORLD);
+        mpi_send(buf, 1, partner, 7, MPI_COMM_WORLD);"""
+    else:
+        sends = f"""
+        mpi_send(buf, 1, partner, 7, MPI_COMM_WORLD);
+        mpi_send(buf, 1, partner, 8, MPI_COMM_WORLD);"""
+
+    collective = ""
+    if extra_collective:
+        collective = """
+        var r = mpi_allreduce(step, MPI_SUM, MPI_COMM_WORLD);"""
+
+    return f"""
+program generated;
+var buf[2];
+func main() {{
+    var provided = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var size = mpi_comm_size(MPI_COMM_WORLD);
+    var partner = 1 - rank;
+    for (var step = 0; step < {steps}; step = step + 1) {{{sends}
+        omp parallel num_threads(2) {{{region_body}
+        }}{collective}
+    }}
+    mpi_finalize();
+}}
+"""
+
+
+knobs = st.tuples(
+    st.integers(min_value=1, max_value=3),         # steps
+    st.integers(min_value=0, max_value=5),         # weight
+    st.booleans(),                                 # extra collective
+)
+
+
+class TestDifferential:
+    @given(knobs, st.sampled_from(["tags", "critical", "master"]))
+    @settings(max_examples=15, deadline=None)
+    def test_safe_constructions_report_nothing(self, knob, guard):
+        steps, weight, extra = knob
+        source = build_program(False, steps, weight, extra, guard)
+        program = parse(source)
+        validate(program)
+        report = check_program(program, nprocs=2)
+        assert len(report.violations) == 0, (
+            f"false positive on safe program (guard={guard}):\n"
+            f"{report.violations.summary()}\n{source}"
+        )
+        assert not report.deadlocked
+
+    @given(knobs, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_racy_constructions_always_detected(self, knob, seed):
+        steps, weight, extra = knob
+        source = build_program(True, steps, weight, extra, "none")
+        program = parse(source)
+        validate(program)
+        report = check_program(program, nprocs=2, seed=seed)
+        assert CONCURRENT_RECV in report.violations.classes(), (
+            f"false negative on racy program (seed={seed}):\n{source}"
+        )

@@ -1,0 +1,159 @@
+"""Marmot and ITC model tests — the comparison behaviours of §V-B."""
+
+import pytest
+
+from repro.baselines import BaseRunner, IntelThreadChecker, Marmot, itc_ignores_lock
+from repro.baselines.marmot import observed_concurrency, observed_intervals
+from repro.minilang import parse
+from repro.violations import CONCURRENT_RECV, PROBE
+from repro.workloads.case_studies import case_study_2, case_study_2_fixed
+
+SKEWED_RECV = """
+program skew;
+var buf[2];
+func main() {
+    var p = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var partner = 1 - rank;
+    mpi_send(buf, 1, partner, 7, MPI_COMM_WORLD);
+    mpi_send(buf, 1, partner, 7, MPI_COMM_WORLD);
+    omp parallel num_threads(2) {
+        if (omp_get_thread_num() == 1) {
+            compute(500);
+        }
+        mpi_recv(buf, 1, partner, 7, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+}
+"""
+
+NAMED_CRITICAL_BENIGN = """
+program benign;
+var counter = 0;
+func main() {
+    var p = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    omp parallel num_threads(2) {
+        omp critical (stats) {
+            counter = counter + 1;
+        }
+    }
+    mpi_finalize();
+}
+"""
+
+PROBE_ONLY = """
+program probes;
+var buf[2];
+func main() {
+    var p = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var partner = 1 - rank;
+    compute(50);
+    mpi_send(buf, 1, partner, 8, MPI_COMM_WORLD);
+    omp parallel num_threads(2) {
+        mpi_probe(partner, 8, MPI_COMM_WORLD);
+    }
+    mpi_recv(buf, 1, partner, 8, MPI_COMM_WORLD);
+    mpi_finalize();
+}
+"""
+
+
+class TestBaseRunner:
+    def test_reports_nothing(self):
+        report = BaseRunner().check(case_study_2(), nprocs=2)
+        assert len(report.violations) == 0
+
+    def test_cheapest_makespan(self):
+        base = BaseRunner().check(case_study_2(), nprocs=2).makespan
+        marmot = Marmot().check(case_study_2(), nprocs=2).makespan
+        itc = IntelThreadChecker().check(case_study_2(), nprocs=2).makespan
+        assert base < marmot and base < itc
+
+
+class TestMarmot:
+    def test_detects_manifest_violation(self):
+        report = Marmot().check(case_study_2(), nprocs=2)
+        assert CONCURRENT_RECV in report.violations.classes()
+
+    def test_clean_program_clean(self):
+        report = Marmot().check(case_study_2_fixed(), nprocs=2)
+        assert len(report.violations) == 0
+
+    def test_misses_skewed_potential_violation(self):
+        """The central comparison claim: a potential race whose calls
+        never actually overlap is invisible to Marmot..."""
+        report = Marmot().check(parse(SKEWED_RECV), nprocs=2)
+        assert CONCURRENT_RECV not in report.violations.classes()
+
+    def test_home_catches_the_same_skewed_violation(self):
+        """...but HOME's lockset+happens-before analysis finds it."""
+        from repro.home import check_program
+
+        report = check_program(parse(SKEWED_RECV), nprocs=2)
+        assert CONCURRENT_RECV in report.violations.classes()
+
+    def test_observed_intervals_pair_begin_end(self):
+        report = Marmot().check(case_study_2(), nprocs=2)
+        intervals = observed_intervals(report.execution.log, 0)
+        assert intervals
+        for begin, end in intervals.values():
+            assert begin <= end
+
+    def test_observed_concurrency_requires_overlap(self):
+        report = Marmot().check(parse(SKEWED_RECV), nprocs=2)
+        oc = observed_concurrency(report.execution.log, 0)
+        recv_pairs = oc.pairs_for_ops({"mpi_recv"}, {"mpi_recv"})
+        assert recv_pairs == []
+
+    def test_costlier_than_base(self):
+        base = BaseRunner().check(case_study_2(), nprocs=2).makespan
+        marmot = Marmot().check(case_study_2(), nprocs=2).makespan
+        assert marmot > base
+
+
+class TestITC:
+    def test_detects_manifest_violation(self):
+        report = IntelThreadChecker().check(case_study_2(), nprocs=2)
+        assert CONCURRENT_RECV in report.violations.classes()
+
+    def test_named_critical_false_positive(self):
+        """ITC cannot recognize named criticals: a perfectly serialized
+        counter update is reported as a data race."""
+        report = IntelThreadChecker().check(parse(NAMED_CRITICAL_BENIGN), nprocs=2)
+        assert "DataRace" in report.violations.classes()
+
+    def test_home_no_false_positive_on_named_critical(self):
+        from repro.home import check_program
+
+        report = check_program(parse(NAMED_CRITICAL_BENIGN), nprocs=2)
+        assert len(report.violations) == 0
+
+    def test_marmot_no_false_positive_on_named_critical(self):
+        report = Marmot().check(parse(NAMED_CRITICAL_BENIGN), nprocs=2)
+        assert len(report.violations) == 0
+
+    def test_probe_only_violation_invisible(self):
+        """ITC does not intercept MPI_Probe, so a probe-vs-probe race
+        produces no report."""
+        report = IntelThreadChecker().check(parse(PROBE_ONLY), nprocs=2)
+        assert PROBE not in report.violations.classes()
+
+    def test_home_sees_the_probe_violation(self):
+        from repro.home import check_program
+
+        report = check_program(parse(PROBE_ONLY), nprocs=2)
+        assert PROBE in report.violations.classes()
+
+    def test_ignores_lock_predicate(self):
+        assert itc_ignores_lock("critical:stats")
+        assert not itc_ignores_lock("critical:<anonymous>")
+        assert not itc_ignores_lock("omplock:foo")
+
+    def test_most_expensive_tool(self):
+        from repro.home import Home
+
+        home = Home().check(case_study_2(), nprocs=2).makespan
+        itc = IntelThreadChecker().check(case_study_2(), nprocs=2).makespan
+        assert itc > home

@@ -1,0 +1,67 @@
+"""PMPI-style call-record extraction tests (baselines/base.py)."""
+
+import pytest
+
+from repro.baselines import call_records_from_events
+from repro.events import EventLog, MPICall
+from repro.events.event import MonitoredKind
+
+
+def log_with(*calls):
+    log = EventLog()
+    for op, args, thread in calls:
+        log.append(MPICall(
+            proc=0, thread=thread, seq=log.next_seq(), time=1.0,
+            op=op, phase="begin", call_id=log.next_seq() + 1000,
+            callsite=1, loc="1:1", is_main_thread=(thread == 0), args=args,
+        ))
+    return log
+
+
+class TestCallRecords:
+    def test_p2p_args_mapped_to_monitored_kinds(self):
+        log = log_with(("mpi_recv", {"peer": 3, "tag": 9, "comm": 0}, 1))
+        rec = next(iter(call_records_from_events(log, 0).values()))
+        assert rec.arg(MonitoredKind.SRC) == 3
+        assert rec.arg(MonitoredKind.TAG) == 9
+        assert rec.arg(MonitoredKind.COMM) == 0
+
+    def test_request_mapped(self):
+        log = log_with(("mpi_wait", {"request": 12}, 2))
+        rec = next(iter(call_records_from_events(log, 0).values()))
+        assert rec.arg(MonitoredKind.REQUEST) == 12
+
+    def test_collective_gets_collective_kind(self):
+        log = log_with(("mpi_barrier", {"comm": 0}, 1))
+        rec = next(iter(call_records_from_events(log, 0).values()))
+        assert rec.arg(MonitoredKind.COLLECTIVE) == "mpi_barrier"
+
+    def test_finalize_gets_finalize_kind(self):
+        log = log_with(("mpi_finalize", {}, 1))
+        rec = next(iter(call_records_from_events(log, 0).values()))
+        assert rec.arg(MonitoredKind.FINALIZE) == 1
+
+    def test_init_calls_excluded(self):
+        log = log_with(("mpi_init_thread", {"provided": 3}, 0))
+        assert call_records_from_events(log, 0) == {}
+
+    def test_exclude_ops_filter(self):
+        log = log_with(
+            ("mpi_probe", {"peer": 0, "tag": 1, "comm": 0}, 1),
+            ("mpi_recv", {"peer": 0, "tag": 1, "comm": 0}, 2),
+        )
+        records = call_records_from_events(
+            log, 0, exclude_ops=frozenset({"mpi_probe"})
+        )
+        assert [r.op for r in records.values()] == ["mpi_recv"]
+
+    def test_main_thread_flag_carried(self):
+        log = log_with(("mpi_recv", {"peer": 0, "tag": 1, "comm": 0}, 0),
+                       ("mpi_recv", {"peer": 0, "tag": 1, "comm": 0}, 4))
+        records = sorted(call_records_from_events(log, 0).values(),
+                         key=lambda r: r.thread)
+        assert records[0].is_main_thread and not records[1].is_main_thread
+
+    def test_other_process_ignored(self):
+        log = log_with(("mpi_recv", {"peer": 0, "tag": 1, "comm": 0}, 1))
+        assert call_records_from_events(log, 1) == {}

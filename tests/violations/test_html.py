@@ -1,0 +1,69 @@
+"""HTML report generation tests."""
+
+import pytest
+
+from repro.home import check_program
+from repro.violations import ViolationReport, Violation, report_to_html
+from repro.workloads.case_studies import CASE_STUDY_2, case_study_2
+
+
+class TestHtmlReport:
+    def _page(self, **kw):
+        report = check_program(case_study_2(), nprocs=2)
+        return report_to_html(
+            report.violations,
+            program_name="case_study_2",
+            source=CASE_STUDY_2,
+            **kw,
+        )
+
+    def test_wellformed_document(self):
+        page = self._page()
+        assert page.startswith("<!DOCTYPE html>")
+        assert page.count("<html>") == page.count("</html>") == 1
+
+    def test_findings_rendered(self):
+        page = self._page()
+        assert "ConcurrentRecvViolation" in page
+        assert page.count('class="finding"') == 2
+
+    def test_source_excerpt_with_highlight(self):
+        page = self._page()
+        assert 'class="hit"' in page
+        assert "mpi_recv(a, 1, 1, tag, MPI_COMM_WORLD)" in page
+
+    def test_fix_recipes_included(self):
+        assert "disambiguate per-thread traffic" in self._page()
+
+    def test_run_info_rendered(self):
+        page = self._page(run_info={"processes": 2, "seed": 0})
+        assert "processes=2" in page
+
+    def test_static_info_table(self):
+        page = self._page(static_info={"MPI call sites": 9})
+        assert "MPI call sites" in page and "<table" in page
+
+    def test_clean_report(self):
+        page = report_to_html(ViolationReport(), program_name="ok")
+        assert "No thread-safety violations" in page
+        assert 'class="finding"' not in page
+
+    def test_html_escaping(self):
+        report = ViolationReport()
+        report.add(Violation(vclass="X<script>", proc=0,
+                             message="a & b < c"))
+        page = report_to_html(report)
+        assert "<script>" not in page
+        assert "X&lt;script&gt;" in page
+        assert "a &amp; b &lt; c" in page
+
+    def test_cli_html_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = tmp_path / "p.hmp"
+        src.write_text(CASE_STUDY_2)
+        out = tmp_path / "report.html"
+        main(["check", str(src), "--html", str(out)])
+        page = out.read_text()
+        assert "ConcurrentRecvViolation" in page
+        assert "Compile-time phase" in page

@@ -1,0 +1,106 @@
+"""Report rendering tests (text with excerpts, JSON)."""
+
+import json
+
+import pytest
+
+from repro.home import check_program
+from repro.violations import (
+    CONCURRENT_RECV,
+    Violation,
+    ViolationReport,
+    excerpt_at,
+    render_report,
+    render_violation,
+    report_to_dict,
+    report_to_json,
+)
+from repro.workloads.case_studies import CASE_STUDY_2, case_study_2
+
+SOURCE = "line one\nline two\nline three\nline four\n"
+
+
+class TestExcerpts:
+    def test_excerpt_window(self):
+        ex = excerpt_at(SOURCE, "2:1", context=1)
+        assert [n for n, _ in ex.lines] == [1, 2, 3]
+        assert ex.marker_line == 2
+
+    def test_excerpt_at_file_start(self):
+        ex = excerpt_at(SOURCE, "1:1", context=2)
+        assert ex.lines[0][0] == 1
+
+    def test_excerpt_at_file_end(self):
+        ex = excerpt_at(SOURCE, "4:1", context=2)
+        assert ex.lines[-1][0] == 4
+
+    def test_out_of_range_returns_none(self):
+        assert excerpt_at(SOURCE, "99:1") is None
+
+    def test_malformed_loc_returns_none(self):
+        assert excerpt_at(SOURCE, "<unknown>") is None
+
+    def test_marker_in_render(self):
+        ex = excerpt_at(SOURCE, "2:1")
+        text = ex.render()
+        assert "> 2 | line two" in text
+        assert "  1 | line one" in text
+
+
+class TestTextRendering:
+    def _report(self):
+        return check_program(case_study_2(), nprocs=2)
+
+    def test_render_with_source_shows_offending_lines(self):
+        report = self._report()
+        text = render_report(report.violations, source=CASE_STUDY_2)
+        assert "mpi_recv(a, 1, 1, tag, MPI_COMM_WORLD)" in text
+        assert ">" in text
+
+    def test_render_without_source_still_works(self):
+        report = self._report()
+        text = render_report(report.violations)
+        assert "ConcurrentRecvViolation" in text
+
+    def test_render_with_fixes(self):
+        report = self._report()
+        text = render_report(report.violations, source=CASE_STUDY_2,
+                             with_fixes=True)
+        assert "fix: disambiguate per-thread traffic" in text
+
+    def test_empty_report(self):
+        assert "no thread-safety violations" in render_report(ViolationReport())
+
+    def test_ranks_mentioned(self):
+        report = self._report()
+        text = render_report(report.violations)
+        assert "rank(s) 0" in text and "rank(s) 1" in text
+
+    def test_render_single_violation(self):
+        v = Violation(vclass=CONCURRENT_RECV, proc=0, message="m",
+                      locs=("2:1",))
+        text = render_violation(v, source=SOURCE)
+        assert "line two" in text
+
+
+class TestJsonRendering:
+    def test_roundtrippable_json(self):
+        report = check_program(case_study_2(), nprocs=2)
+        data = json.loads(report_to_json(report.violations))
+        assert data["count"] == 2
+        assert data["classes"] == [CONCURRENT_RECV]
+        finding = data["violations"][0]
+        assert set(finding) == {
+            "class", "message", "locations", "threads", "ops", "ranks",
+        }
+
+    def test_empty_report_json(self):
+        data = report_to_dict(ViolationReport())
+        assert data == {"violations": [], "count": 0, "classes": []}
+
+    def test_ranks_sorted(self):
+        report = ViolationReport()
+        report.add(Violation(vclass="X", proc=3, message="m", callsites=(1,)))
+        report.add(Violation(vclass="X", proc=1, message="m", callsites=(1,)))
+        data = report_to_dict(report)
+        assert data["violations"][0]["ranks"] == [1, 3]

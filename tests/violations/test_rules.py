@@ -1,0 +1,295 @@
+"""Violation rules over synthetic and real concurrency reports."""
+
+import pytest
+
+from repro.analysis.dynamic_.hybrid import (
+    ConcurrencyReport,
+    MPICallRecord,
+    RacingPair,
+)
+from repro.events import EventLog, MPICall
+from repro.events.event import MonitoredKind
+from repro.mpi.constants import (
+    MPI_ANY_SOURCE,
+    MPI_ANY_TAG,
+    MPI_THREAD_FUNNELED,
+    MPI_THREAD_MULTIPLE,
+    MPI_THREAD_SERIALIZED,
+    MPI_THREAD_SINGLE,
+)
+from repro.violations import (
+    COLLECTIVE,
+    CONCURRENT_RECV,
+    CONCURRENT_REQUEST,
+    FINALIZATION,
+    INITIALIZATION,
+    PROBE,
+    ProcessView,
+    check_collective,
+    check_concurrent_recv,
+    check_concurrent_request,
+    check_finalization,
+    check_initialization,
+    check_probe,
+    probed_recv_call_ids,
+)
+
+_ids = iter(range(1, 10_000))
+
+
+def record(op, thread, src=0, tag=5, comm=0, request=None, call_id=None):
+    rec = MPICallRecord(
+        call_id=call_id if call_id is not None else next(_ids),
+        proc=0, thread=thread, op=op,
+        callsite=next(_ids), loc=f"{next(_ids)}:1", time=0.0,
+    )
+    rec.values[MonitoredKind.SRC] = src
+    rec.values[MonitoredKind.TAG] = tag
+    rec.values[MonitoredKind.COMM] = comm
+    rec.writes = {k: next(_ids) for k in rec.values}
+    if request is not None:
+        rec.values[MonitoredKind.REQUEST] = request
+        rec.writes[MonitoredKind.REQUEST] = next(_ids)
+    if op.startswith("mpi_barrier") or op in ("mpi_bcast", "mpi_allreduce"):
+        rec.values[MonitoredKind.COLLECTIVE] = op
+        rec.writes[MonitoredKind.COLLECTIVE] = next(_ids)
+    return rec
+
+
+def pair(a, b, kinds=None):
+    if kinds is None:
+        kinds = tuple(k for k in a.writes if k in b.writes)
+    return RacingPair(a, b, tuple(kinds))
+
+
+def view(pairs=(), records=(), level=MPI_THREAD_MULTIPLE, calls=(), had_parallel=True):
+    report = ConcurrencyReport(0)
+    for rec in records:
+        report.records[rec.call_id] = rec
+    for p in pairs:
+        report.records.setdefault(p.a.call_id, p.a)
+        report.records.setdefault(p.b.call_id, p.b)
+        report.pairs.append(p)
+        report.concurrent_kinds.update(p.kinds)
+    return ProcessView(
+        proc=0, thread_level=level, main_thread=0,
+        had_parallel=had_parallel, report=report, calls=list(calls),
+    )
+
+
+def call_event(op, thread=0, time=1.0, is_main=None, args=None):
+    return MPICall(
+        proc=0, thread=thread, seq=next(_ids), time=time,
+        op=op, phase="begin", call_id=next(_ids), callsite=next(_ids),
+        loc=f"{next(_ids)}:1",
+        is_main_thread=is_main if is_main is not None else (thread == 0),
+        args=args or {},
+    )
+
+
+class TestInitializationRule:
+    def test_single_non_main_call(self):
+        v = view(level=MPI_THREAD_SINGLE,
+                 calls=[call_event("mpi_send", thread=3)])
+        found = check_initialization(v)
+        assert [f.vclass for f in found] == [INITIALIZATION]
+
+    def test_single_with_parallel_region_only(self):
+        v = view(level=MPI_THREAD_SINGLE, had_parallel=True)
+        assert check_initialization(v)
+
+    def test_single_serial_program_clean(self):
+        v = view(level=MPI_THREAD_SINGLE, had_parallel=False,
+                 calls=[call_event("mpi_send", thread=0)])
+        assert check_initialization(v) == []
+
+    def test_funneled_non_main(self):
+        v = view(level=MPI_THREAD_FUNNELED,
+                 calls=[call_event("mpi_recv", thread=2)])
+        assert check_initialization(v)
+
+    def test_funneled_main_only_clean(self):
+        v = view(level=MPI_THREAD_FUNNELED,
+                 calls=[call_event("mpi_recv", thread=0)])
+        assert check_initialization(v) == []
+
+    def test_serialized_with_concurrency(self):
+        p = pair(record("mpi_recv", 1), record("mpi_recv", 2))
+        v = view(pairs=[p], level=MPI_THREAD_SERIALIZED)
+        assert check_initialization(v)
+
+    def test_serialized_without_concurrency_clean(self):
+        v = view(level=MPI_THREAD_SERIALIZED,
+                 calls=[call_event("mpi_recv", thread=1)])
+        assert check_initialization(v) == []
+
+    def test_multiple_never_fires(self):
+        p = pair(record("mpi_recv", 1), record("mpi_recv", 2))
+        v = view(pairs=[p], level=MPI_THREAD_MULTIPLE,
+                 calls=[call_event("mpi_send", thread=3)])
+        assert check_initialization(v) == []
+
+    def test_init_calls_exempt_from_non_main_check(self):
+        v = view(level=MPI_THREAD_SINGLE, had_parallel=False,
+                 calls=[call_event("mpi_init_thread", thread=1)])
+        assert check_initialization(v) == []
+
+
+class TestFinalizationRule:
+    def test_non_main_finalize(self):
+        v = view(calls=[call_event("mpi_finalize", thread=2)])
+        found = check_finalization(v)
+        assert [f.vclass for f in found] == [FINALIZATION]
+
+    def test_main_finalize_clean(self):
+        v = view(calls=[call_event("mpi_finalize", thread=0)])
+        assert check_finalization(v) == []
+
+    def test_call_after_finalize_on_other_thread(self):
+        v = view(calls=[
+            call_event("mpi_finalize", thread=0, time=10.0),
+            call_event("mpi_send", thread=1, time=20.0),
+        ])
+        assert check_finalization(v)
+
+    def test_call_before_finalize_clean(self):
+        v = view(calls=[
+            call_event("mpi_send", thread=1, time=5.0),
+            call_event("mpi_finalize", thread=0, time=10.0),
+        ])
+        assert check_finalization(v) == []
+
+    def test_finalize_race_pair(self):
+        fin = record("mpi_finalize", 1)
+        fin.values[MonitoredKind.FINALIZE] = 1
+        fin.writes[MonitoredKind.FINALIZE] = next(_ids)
+        other = record("mpi_send", 2)
+        other.values[MonitoredKind.FINALIZE] = 1
+        other.writes[MonitoredKind.FINALIZE] = next(_ids)
+        p = pair(fin, other, kinds=(MonitoredKind.FINALIZE,))
+        v = view(pairs=[p])
+        assert check_finalization(v)
+
+
+class TestConcurrentRecvRule:
+    def test_same_envelope_recvs(self):
+        p = pair(record("mpi_recv", 1), record("mpi_recv", 2))
+        found = check_concurrent_recv(view(pairs=[p]))
+        assert [f.vclass for f in found] == [CONCURRENT_RECV]
+
+    def test_distinct_tags_clean(self):
+        p = pair(record("mpi_recv", 1, tag=1), record("mpi_recv", 2, tag=2))
+        assert check_concurrent_recv(view(pairs=[p])) == []
+
+    def test_distinct_comms_clean(self):
+        p = pair(record("mpi_recv", 1, comm=0), record("mpi_recv", 2, comm=1))
+        assert check_concurrent_recv(view(pairs=[p])) == []
+
+    def test_wildcard_tag_overlaps(self):
+        p = pair(record("mpi_recv", 1, tag=MPI_ANY_TAG), record("mpi_recv", 2, tag=9))
+        assert check_concurrent_recv(view(pairs=[p]))
+
+    def test_wildcard_source_overlaps(self):
+        p = pair(
+            record("mpi_recv", 1, src=MPI_ANY_SOURCE),
+            record("mpi_recv", 2, src=3),
+        )
+        assert check_concurrent_recv(view(pairs=[p]))
+
+    def test_send_pair_not_a_recv_violation(self):
+        p = pair(record("mpi_send", 1), record("mpi_send", 2))
+        assert check_concurrent_recv(view(pairs=[p])) == []
+
+    def test_irecv_counts_as_recv(self):
+        p = pair(record("mpi_irecv", 1, request=5), record("mpi_recv", 2))
+        assert check_concurrent_recv(view(pairs=[p]))
+
+
+class TestConcurrentRequestRule:
+    def test_same_request_wait_pair(self):
+        a = record("mpi_wait", 1, request=42)
+        b = record("mpi_wait", 2, request=42)
+        p = pair(a, b, kinds=(MonitoredKind.REQUEST,))
+        found = check_concurrent_request(view(pairs=[p]))
+        assert [f.vclass for f in found] == [CONCURRENT_REQUEST]
+
+    def test_wait_and_test_mix(self):
+        a = record("mpi_wait", 1, request=7)
+        b = record("mpi_test", 2, request=7)
+        p = pair(a, b, kinds=(MonitoredKind.REQUEST,))
+        assert check_concurrent_request(view(pairs=[p]))
+
+    def test_different_requests_clean(self):
+        a = record("mpi_wait", 1, request=1)
+        b = record("mpi_wait", 2, request=2)
+        p = pair(a, b, kinds=(MonitoredKind.REQUEST,))
+        assert check_concurrent_request(view(pairs=[p])) == []
+
+
+class TestProbeRule:
+    def test_probe_probe_pair(self):
+        p = pair(record("mpi_probe", 1), record("mpi_probe", 2))
+        found = check_probe(view(pairs=[p]))
+        assert [f.vclass for f in found] == [PROBE]
+
+    def test_iprobe_recv_pair(self):
+        p = pair(record("mpi_iprobe", 1), record("mpi_recv", 2))
+        assert check_probe(view(pairs=[p]))
+
+    def test_recv_recv_not_probe(self):
+        p = pair(record("mpi_recv", 1), record("mpi_recv", 2))
+        assert check_probe(view(pairs=[p])) == []
+
+    def test_probe_different_tag_clean(self):
+        p = pair(record("mpi_probe", 1, tag=1), record("mpi_probe", 2, tag=2))
+        assert check_probe(view(pairs=[p])) == []
+
+
+class TestCollectiveRule:
+    def test_concurrent_barriers(self):
+        p = pair(record("mpi_barrier", 1), record("mpi_barrier", 2))
+        found = check_collective(view(pairs=[p]))
+        assert [f.vclass for f in found] == [COLLECTIVE]
+
+    def test_mixed_collectives_same_comm(self):
+        p = pair(record("mpi_barrier", 1), record("mpi_allreduce", 2))
+        assert check_collective(view(pairs=[p]))
+
+    def test_different_comms_clean(self):
+        p = pair(record("mpi_barrier", 1, comm=0), record("mpi_barrier", 2, comm=1))
+        assert check_collective(view(pairs=[p])) == []
+
+    def test_p2p_pair_not_collective(self):
+        p = pair(record("mpi_recv", 1), record("mpi_recv", 2))
+        assert check_collective(view(pairs=[p])) == []
+
+
+class TestProbedRecvAttribution:
+    def test_recv_after_matching_probe_is_probed(self):
+        probe = record("mpi_iprobe", 1, tag=9, call_id=100)
+        recv = record("mpi_recv", 1, tag=9, call_id=101)
+        v = view(records=[probe, recv])
+        assert probed_recv_call_ids(v) == {101}
+
+    def test_recv_without_probe_not_probed(self):
+        recv = record("mpi_recv", 1, tag=9, call_id=101)
+        v = view(records=[recv])
+        assert probed_recv_call_ids(v) == set()
+
+    def test_probe_with_different_envelope_does_not_guard(self):
+        probe = record("mpi_iprobe", 1, tag=1, call_id=100)
+        recv = record("mpi_recv", 1, tag=2, call_id=101)
+        v = view(records=[probe, recv])
+        assert probed_recv_call_ids(v) == set()
+
+    def test_probed_recv_pair_excluded_from_recv_rule(self):
+        pa = record("mpi_iprobe", 1, tag=9, call_id=100)
+        ra = record("mpi_recv", 1, tag=9, call_id=101)
+        pb = record("mpi_iprobe", 2, tag=9, call_id=102)
+        rb = record("mpi_recv", 2, tag=9, call_id=103)
+        recv_pair = pair(ra, rb)
+        v = view(pairs=[recv_pair], records=[pa, ra, pb, rb])
+        assert check_concurrent_recv(v) == []
+        # but an unguarded identical pair does fire
+        v2 = view(pairs=[pair(record("mpi_recv", 1, tag=9), record("mpi_recv", 2, tag=9))])
+        assert check_concurrent_recv(v2)

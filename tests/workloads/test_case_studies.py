@@ -1,0 +1,66 @@
+"""Case-study workload tests (the paper's Figs. 1 and 2)."""
+
+import pytest
+
+from repro.minilang import validate
+from repro.runtime import RunConfig, run_program
+from repro.workloads.case_studies import (
+    case_study_1,
+    case_study_2,
+    case_study_2_fixed,
+    safe_funneled,
+)
+
+
+class TestPrograms:
+    @pytest.mark.parametrize("builder", [
+        case_study_1, case_study_2, case_study_2_fixed, safe_funneled,
+    ])
+    def test_validates(self, builder):
+        validate(builder())
+
+    def test_case_study_1_uses_plain_init(self):
+        src_names = {
+            n.name for n in case_study_1().walk() if hasattr(n, "name")
+        }
+        assert "mpi_init" in src_names and "mpi_init_thread" not in src_names
+
+    def test_case_study_2_requests_multiple(self):
+        from repro.analysis.static_ import infer_thread_level
+        from repro.mpi.constants import MPI_THREAD_MULTIPLE
+
+        assert infer_thread_level(case_study_2()).declared_level == MPI_THREAD_MULTIPLE
+
+
+class TestRuntimeBehaviour:
+    def test_case_study_1_breaks_under_skip_semantics(self):
+        """Under MPI_THREAD_SINGLE only the main thread's call executes
+        ('only MPI_Send or MPI_Recv is executed, but not both'), so
+        the pairing is broken and the run hangs or strands a message."""
+        result = run_program(case_study_1(), RunConfig(nprocs=2, num_threads=2))
+        assert result.deadlocked or any(
+            "non-main thread" in n for n in result.notes
+        )
+
+    def test_case_study_2_terminates_with_buffered_sends(self):
+        result = run_program(
+            case_study_2(),
+            RunConfig(nprocs=2, num_threads=2, thread_level_mode="permissive"),
+        )
+        assert not result.deadlocked
+
+    def test_case_study_2_fixed_terminates_under_all_seeds(self):
+        for seed in range(4):
+            result = run_program(
+                case_study_2_fixed(),
+                RunConfig(nprocs=2, num_threads=2, seed=seed),
+            )
+            assert not result.deadlocked
+
+    def test_safe_funneled_strict_mode_clean(self):
+        result = run_program(
+            safe_funneled(),
+            RunConfig(nprocs=2, num_threads=2, thread_level_mode="strict"),
+        )
+        assert not result.deadlocked
+        assert result.notes == []

@@ -1,0 +1,164 @@
+"""Mini NPB-MZ benchmark generator and injection registry tests."""
+
+import pytest
+
+from helpers import run_src
+
+from repro.minilang import parse, validate
+from repro.violations import (
+    COLLECTIVE,
+    CONCURRENT_RECV,
+    CONCURRENT_REQUEST,
+    FINALIZATION,
+    INITIALIZATION,
+    PROBE,
+    Violation,
+    ViolationReport,
+)
+from repro.workloads.npb import (
+    BENCHMARKS,
+    SPECS,
+    build_bt_mz,
+    build_lu_mz,
+    build_sp_mz,
+    injection_registry,
+    score_report,
+)
+
+
+@pytest.mark.parametrize("name", ["lu", "bt", "sp"])
+class TestGeneration:
+    def test_clean_variant_validates(self, name):
+        prog = BENCHMARKS[name](inject=False)
+        validate(prog)
+        assert prog.name.endswith("_mz")
+
+    def test_injected_variant_validates(self, name):
+        validate(BENCHMARKS[name](inject=True))
+
+    def test_clean_variant_has_no_inject_functions(self, name):
+        prog = BENCHMARKS[name](inject=False)
+        assert not any(fn.name.startswith("inject_") for fn in prog.functions)
+
+    def test_injected_variant_has_all_five_inject_functions(self, name):
+        prog = BENCHMARKS[name](inject=True)
+        inject_fns = {fn.name for fn in prog.functions if fn.name.startswith("inject_")}
+        assert inject_fns == {
+            "inject_concurrent_recv", "inject_concurrent_request",
+            "inject_probe", "inject_collective", "inject_finalize",
+        }
+
+    def test_registry_covers_all_six_classes(self, name):
+        registry = injection_registry(BENCHMARKS[name](inject=True))
+        assert sorted(i.vclass for i in registry) == sorted([
+            INITIALIZATION, FINALIZATION, CONCURRENT_RECV,
+            CONCURRENT_REQUEST, PROBE, COLLECTIVE,
+        ])
+
+    def test_registry_line_ranges_sane(self, name):
+        for info in injection_registry(BENCHMARKS[name](inject=True)):
+            assert 0 < info.first_line <= info.last_line
+
+
+@pytest.mark.parametrize("name", ["lu", "bt", "sp"])
+class TestExecution:
+    def test_clean_benchmark_runs_without_notes(self, name):
+        prog = BENCHMARKS[name](inject=False)
+        result = run_src.__wrapped__(prog) if hasattr(run_src, "__wrapped__") else None
+        from repro.runtime import RunConfig, run_program
+
+        result = run_program(prog, RunConfig(nprocs=2, num_threads=2))
+        assert not result.deadlocked
+        assert result.notes == []
+
+    def test_injected_benchmark_terminates(self, name):
+        from repro.runtime import RunConfig, run_program
+
+        prog = BENCHMARKS[name](inject=True)
+        result = run_program(
+            prog, RunConfig(nprocs=2, num_threads=2, thread_level_mode="permissive")
+        )
+        assert not result.deadlocked
+
+    def test_strong_scaling_shrinks_base_time(self, name):
+        from repro.runtime import RunConfig, run_program
+
+        prog = BENCHMARKS[name](inject=False)
+        t2 = run_program(prog, RunConfig(nprocs=2, num_threads=2)).makespan
+        t8 = run_program(prog, RunConfig(nprocs=8, num_threads=2)).makespan
+        assert t8 < t2
+
+
+class TestScoring:
+    def _registry(self):
+        return injection_registry(build_lu_mz(inject=True))
+
+    def _finding_in(self, info, vclass=CONCURRENT_RECV):
+        return Violation(
+            vclass=vclass, proc=0, message="m",
+            callsites=(1,), locs=(f"{info.first_line}:5",),
+        )
+
+    def test_detection_by_location(self):
+        registry = self._registry()
+        recv_info = next(i for i in registry if i.vclass == CONCURRENT_RECV)
+        report = ViolationReport()
+        report.add(self._finding_in(recv_info))
+        score = score_report(report, registry)
+        assert score["detected"] == 1
+        assert score["false_positives"] == 0
+
+    def test_initialization_matched_by_class(self):
+        registry = self._registry()
+        report = ViolationReport()
+        report.add(Violation(vclass=INITIALIZATION, proc=0, message="m"))
+        score = score_report(report, registry)
+        assert score["detected"] == 1
+
+    def test_unattributable_finding_is_false_positive(self):
+        registry = self._registry()
+        report = ViolationReport()
+        report.add(Violation(vclass="DataRace", proc=0, message="m",
+                             locs=("99999:1",)))
+        score = score_report(report, registry)
+        assert score["false_positives"] == 1
+        assert score["score"] == 1
+
+    def test_cross_class_detection_counts(self):
+        """A tool reporting the probe injection as a recv race still
+        counts as having found that injection (ITC's behaviour)."""
+        registry = self._registry()
+        probe_info = next(i for i in registry if i.vclass == PROBE)
+        report = ViolationReport()
+        report.add(self._finding_in(probe_info, vclass=CONCURRENT_RECV))
+        score = score_report(report, registry)
+        assert score["detected"] == 1
+        assert score["false_positives"] == 0
+
+    def test_empty_report_all_missed(self):
+        registry = self._registry()
+        score = score_report(ViolationReport(), registry)
+        assert score["detected"] == 0
+        assert len(score["missed"]) == 6
+
+
+class TestSpecKnobs:
+    def test_lu_uses_probe_probe_style(self):
+        assert SPECS["lu"].probe_style == "probe-probe"
+        assert SPECS["bt"].probe_style == "iprobe-recv"
+        assert SPECS["sp"].probe_style == "iprobe-recv"
+
+    def test_lu_recv_skewed_bt_sp_not(self):
+        assert SPECS["lu"].recv_skew > 0
+        assert SPECS["bt"].recv_skew == 0
+        assert SPECS["sp"].recv_skew == 0
+
+    def test_sp_request_skewed(self):
+        assert SPECS["sp"].request_skew > 0
+        assert SPECS["sp"].request_late_delay == 0
+        assert SPECS["lu"].request_late_delay > 0
+
+    def test_only_bt_has_named_critical(self):
+        assert SPECS["bt"].named_critical_counter
+        assert not SPECS["lu"].named_critical_counter
+        assert not SPECS["sp"].named_critical_counter
