@@ -1,0 +1,118 @@
+"""Static-phase dataflow benchmark.
+
+Times the compile-time phase with the worklist dataflow analyses on
+and off across the NPB-MZ suite and reports the candidate-reduction
+ratio each prune category contributes.  The point being measured: the
+dataflow pass must stay a small fraction of the static phase while
+strictly shrinking the candidate set handed to the dynamic phase.
+"""
+
+import time
+
+from repro.analysis.static_ import run_static_analysis
+from repro.minilang import parse
+from repro.workloads.npb import BENCHMARKS
+
+
+def _rank_tagged(phases=3):
+    """A hybrid exchange whose safety is only provable by dataflow:
+    each barrier-separated phase posts two receives with distinct
+    ``rank + K`` tags — envelope disjointness prunes the within-phase
+    pair, MHP ordering prunes every cross-phase pair, mirroring the
+    tag-disambiguation idiom of well-formed MPI_THREAD_MULTIPLE codes."""
+    chunks = []
+    for k in range(phases):
+        chunks.append(f"""
+        var lo{k} = rank + {2 * k};
+        var hi{k} = rank + {2 * k + 1};
+        mpi_recv(buf, 1, 0, lo{k}, MPI_COMM_WORLD);
+        mpi_recv(buf, 1, 0, hi{k}, MPI_COMM_WORLD);
+        omp barrier;""")
+    body = "\n".join(chunks)
+    return parse(f"""
+program ranktags;
+var buf[8];
+func main() {{
+    var p = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var size = mpi_comm_size(MPI_COMM_WORLD);
+    omp parallel num_threads(2) {{
+{body}
+    }}
+    mpi_finalize();
+}}
+""")
+
+
+def _workloads():
+    out = {name: build(inject=True) for name, build in BENCHMARKS.items()}
+    out["ranktag"] = _rank_tagged()
+    return out
+
+
+def _static_sweep(dataflow):
+    reports = {}
+    for name, program in _workloads().items():
+        start = time.perf_counter()
+        report = run_static_analysis(program, dataflow=dataflow)
+        elapsed = time.perf_counter() - start
+        reports[name] = (report, elapsed)
+    return reports
+
+
+def test_dataflow_candidate_reduction(benchmark):
+    with_df = benchmark.pedantic(_static_sweep, args=(True,), rounds=1, iterations=1)
+    without = _static_sweep(False)
+
+    print()
+    print("static dataflow on NPB-MZ (injected) + rank-tagged exchange")
+    print(f"  {'bench':<7} {'cands':>6} {'pruned-to':>9} {'ratio':>6} "
+          f"{'iters':>6} {'ms':>7}")
+    total_before = total_after = 0
+    for name in with_df:
+        base, _ = without[name]
+        pruned, elapsed = with_df[name]
+        n_before, n_after = len(base.candidates), len(pruned.candidates)
+        total_before += n_before
+        total_after += n_after
+        facts = pruned.dataflow_facts
+        ratio = n_after / n_before if n_before else 1.0
+        print(f"  {name:<7} {n_before:>6} {n_after:>9} {ratio:>6.0%} "
+              f"{facts.iterations:>6} {elapsed * 1e3:>7.1f}")
+        # dataflow may only remove candidates, never add them
+        assert n_after <= n_before
+        assert facts.total_pruned == n_before - n_after
+        # and the solver must actually have iterated every function
+        assert facts.iterations > 0
+
+    # the injected NPB candidates are genuine races (nothing to prune);
+    # the rank-tagged exchange must shrink substantially
+    ranktag, _ = with_df["ranktag"]
+    ranktag_base, _ = without["ranktag"]
+    assert len(ranktag.candidates) < len(ranktag_base.candidates)
+    assert ranktag.dataflow_facts.pruned["envelope"] >= 1
+    assert ranktag.dataflow_facts.pruned["mhp"] >= 1
+
+    benchmark.extra_info["candidates_without_dataflow"] = total_before
+    benchmark.extra_info["candidates_with_dataflow"] = total_after
+    benchmark.extra_info["reduction_ratio"] = (
+        1 - total_after / total_before if total_before else 0.0
+    )
+
+
+def test_dataflow_runtime_overhead():
+    """The dataflow pass must not dominate the static phase."""
+    slow = 0.0
+    fast = 0.0
+    for name, program in _workloads().items():
+        start = time.perf_counter()
+        run_static_analysis(program, dataflow=False)
+        fast += time.perf_counter() - start
+        start = time.perf_counter()
+        run_static_analysis(program, dataflow=True)
+        slow += time.perf_counter() - start
+    print(f"\nstatic phase: {fast * 1e3:.1f} ms without dataflow, "
+          f"{slow * 1e3:.1f} ms with ({slow / fast:.1f}x)")
+    # generous bound: the worklist pass stays within an order of
+    # magnitude of the rest of the static phase
+    assert slow < fast * 10

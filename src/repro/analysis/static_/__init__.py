@@ -8,12 +8,23 @@ from .candidates import (  # noqa: F401
     find_candidates,
 )
 from .checklist import Checklist, ChecklistEntry, build_checklist  # noqa: F401
+from .dataflow import (  # noqa: F401
+    DataflowFacts,
+    SymEnvelope,
+    SymInterval,
+    compute_dataflow,
+)
 from .instrument import (  # noqa: F401
     InstrumentationResult,
     InstrumentPolicy,
     instrument_program,
 )
-from .mpi_sites import MPISite, collect_sites  # noqa: F401
+from .mpi_sites import (  # noqa: F401
+    MPISite,
+    collect_sites,
+    fold_static_value,
+    functions_called_from_parallel,
+)
 from .report import StaticReport, run_static_analysis  # noqa: F401
 from .threadlevel import (  # noqa: F401
     StaticWarning,
@@ -30,6 +41,12 @@ __all__ = [
     "candidate_summary",
     "envelope_of",
     "collect_sites",
+    "fold_static_value",
+    "functions_called_from_parallel",
+    "DataflowFacts",
+    "SymEnvelope",
+    "SymInterval",
+    "compute_dataflow",
     "instrument_program",
     "InstrumentationResult",
     "InstrumentPolicy",

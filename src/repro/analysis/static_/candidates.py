@@ -22,12 +22,19 @@ assumed to overlap anything — statically safe sites are exactly those
 proven disjoint.  The dynamic phase then confirms or refutes each
 candidate; sites sharing an enclosing critical section are excluded
 here because the lockset analysis will prove them serialized anyway.
+
+When :func:`find_candidates` is given the :class:`DataflowFacts` of the
+worklist analyses (see :mod:`.dataflow`), three further prunes apply to
+every pair — symbolic-envelope disjointness (``tag = rank + 4`` versus
+``rank + 9``), a shared must-held lock, and May-Happen-in-Parallel
+ordering (barrier phases, distinct parallel regions, same section).
+Each prune is counted on the facts object for reporting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ...mpi.constants import MPI_ANY_SOURCE, MPI_ANY_TAG
 from ...violations.spec import (
@@ -38,6 +45,9 @@ from ...violations.spec import (
     PROBE,
 )
 from .mpi_sites import MPISite
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .dataflow.facts import DataflowFacts
 
 #: argument positions in the mini language's MPI signatures
 _ENVELOPE_POSITIONS = {
@@ -128,11 +138,40 @@ def _pairable(a: MPISite, b: MPISite) -> bool:
     return not _serialized_together(a, b)
 
 
-def find_candidates(sites: Sequence[MPISite]) -> List[ViolationCandidate]:
+def _facts_allow(
+    a: MPISite,
+    b: MPISite,
+    facts: Optional["DataflowFacts"],
+    check_envelope: bool = False,
+) -> bool:
+    """Dataflow-based prune checks, applied only to pairs that survived
+    every lexical check — so each counted prune removes exactly one
+    pair the candidate set would otherwise contain."""
+    if facts is None:
+        return True
+    from .dataflow.facts import PRUNE_ENVELOPE, PRUNE_LOCKSTATE, PRUNE_MHP
+
+    if facts.serialized_by_locks(a, b):
+        facts.count_prune(PRUNE_LOCKSTATE)
+        return False
+    if not facts.may_happen_in_parallel(a, b):
+        facts.count_prune(PRUNE_MHP)
+        return False
+    if check_envelope and facts.envelopes_disjoint(a, b):
+        facts.count_prune(PRUNE_ENVELOPE)
+        return False
+    return True
+
+
+def find_candidates(
+    sites: Sequence[MPISite], facts: Optional["DataflowFacts"] = None
+) -> List[ViolationCandidate]:
     """All statically possible violation pairs among hybrid sites.
 
     A site may pair with itself: inside a parallel region the same
-    lexical call executes on every team thread.
+    lexical call executes on every team thread.  With dataflow *facts*
+    supplied, pairs proven safe by the worklist analyses are pruned
+    (and counted on the facts object).
     """
     hybrid = [s for s in sites if s.in_parallel and s.instrumentable]
     out: List[ViolationCandidate] = []
@@ -154,7 +193,11 @@ def find_candidates(sites: Sequence[MPISite]) -> List[ViolationCandidate]:
     finalizes = [s for s in hybrid if s.op == "mpi_finalize"]
 
     for a, b in each_pair(recvs, recvs):
-        if _pairable(a, b) and envelope_of(a).may_overlap(envelope_of(b)):
+        if (
+            _pairable(a, b)
+            and envelope_of(a).may_overlap(envelope_of(b))
+            and _facts_allow(a, b, facts, check_envelope=True)
+        ):
             out.append(ViolationCandidate(
                 CONCURRENT_RECV, a, b,
                 "hybrid receives with potentially overlapping envelopes",
@@ -162,13 +205,17 @@ def find_candidates(sites: Sequence[MPISite]) -> List[ViolationCandidate]:
     for a, b in each_pair(probes, probes + recvs):
         if a.nid == b.nid and b.op in _RECV_LIKE:
             continue
-        if _pairable(a, b) and envelope_of(a).may_overlap(envelope_of(b)):
+        if (
+            _pairable(a, b)
+            and envelope_of(a).may_overlap(envelope_of(b))
+            and _facts_allow(a, b, facts, check_envelope=True)
+        ):
             out.append(ViolationCandidate(
                 PROBE, a, b,
                 "hybrid probe may race another probe/receive on one envelope",
             ))
     for a, b in each_pair(waits, waits):
-        if _pairable(a, b):
+        if _pairable(a, b) and _facts_allow(a, b, facts):
             out.append(ViolationCandidate(
                 CONCURRENT_REQUEST, a, b,
                 "hybrid request-completion calls may share a request",
@@ -178,7 +225,7 @@ def find_candidates(sites: Sequence[MPISite]) -> List[ViolationCandidate]:
         comm_b = b.static_args.get(_COLLECTIVE_COMM_POSITION[b.op])
         if comm_a is not None and comm_b is not None and comm_a != comm_b:
             continue
-        if _pairable(a, b):
+        if _pairable(a, b) and _facts_allow(a, b, facts):
             out.append(ViolationCandidate(
                 COLLECTIVE, a, b,
                 "hybrid collectives on the same communicator",

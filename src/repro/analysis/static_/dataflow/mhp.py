@@ -1,0 +1,225 @@
+"""May-Happen-in-Parallel (MHP) analysis over OpenMP region structure.
+
+Computes, for every call expression, its OpenMP execution context —
+enclosing ``omp parallel`` regions, the *barrier phase* within the
+innermost region, and the enclosing ``omp sections`` section — and
+decides whether two MPI sites can execute concurrently **within one
+process**.  Pairs that provably cannot are pruned from the candidate
+set:
+
+* sites in *different outermost parallel regions* — a team joins (with
+  an implicit barrier) before the next region forks, so the regions are
+  sequential on every process;
+* sites in the *same region but different barrier phases* — a team
+  barrier orders every thread's phase-``k`` code before any thread's
+  phase-``k+1`` code;
+* two sites in the *same ``omp section``* — one thread runs a section's
+  body sequentially per encounter.
+
+Everything doubtful disables pruning: barriers nested in conditionals
+or loops make phases unreliable; nested parallelism (lexical, or a
+function reachable from a parallel region / ``thread_spawn``) can
+overlap region instances, so such functions are excluded wholesale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ....minilang import ast_nodes as A
+
+
+@dataclass(frozen=True)
+class MHPInfo:
+    """OpenMP execution context of one call expression."""
+
+    func: str
+    #: enclosing lexical ``omp parallel`` nids, outermost first
+    regions: Tuple[int, ...]
+    #: barrier-phase index within the innermost region
+    phase: int = 0
+    #: False when the innermost region contains conditional barriers
+    phase_reliable: bool = True
+    #: (sections-construct nid, section index) of the innermost section
+    section: Optional[Tuple[int, int]] = None
+    #: True when same-section statements are provably sequential
+    section_serial: bool = True
+
+
+class _Region:
+    __slots__ = ("nid", "phase", "reliable", "entry_cond_depth")
+
+    def __init__(self, nid: int, entry_cond_depth: int) -> None:
+        self.nid = nid
+        self.phase = 0
+        self.reliable = True
+        self.entry_cond_depth = entry_cond_depth
+
+
+class _MHPWalker:
+    """One function's AST walk, recording context per CallExpr nid."""
+
+    def __init__(self, func: A.FuncDef) -> None:
+        self.func = func
+        self.regions: List[_Region] = []
+        self.cond_depth = 0
+        self.loop_depth = 0
+        self.section: Optional[Tuple[int, int]] = None
+        self.section_serial = True
+        #: nid -> (regions, phase, section, section_serial); reliability
+        #: is resolved after the walk (a later conditional barrier can
+        #: retroactively invalidate earlier phases)
+        self._raw: Dict[int, Tuple[Tuple[int, ...], int, Optional[Tuple[int, int]], bool]] = {}
+        self._reliable: Dict[int, bool] = {}
+
+    def run(self) -> Dict[int, MHPInfo]:
+        self._walk_stmt(self.func.body)
+        infos: Dict[int, MHPInfo] = {}
+        for nid, (regions, phase, section, serial) in self._raw.items():
+            reliable = self._reliable.get(regions[-1], True) if regions else True
+            infos[nid] = MHPInfo(
+                func=self.func.name,
+                regions=regions,
+                phase=phase,
+                phase_reliable=reliable,
+                section=section,
+                section_serial=serial,
+            )
+        return infos
+
+    # -- recording ----------------------------------------------------------
+
+    def _record_expr(self, expr: A.Expr) -> None:
+        for node in expr.walk():
+            if isinstance(node, A.CallExpr):
+                regions = tuple(r.nid for r in self.regions)
+                phase = self.regions[-1].phase if self.regions else 0
+                self._raw[node.nid] = (
+                    regions, phase, self.section, self.section_serial,
+                )
+
+    def _record_stmt_exprs(self, stmt: A.Stmt) -> None:
+        for child in stmt.children():
+            if isinstance(child, A.Expr):
+                self._record_expr(child)
+
+    # -- traversal ----------------------------------------------------------
+
+    def _walk_block(self, block: A.Block) -> None:
+        for stmt in block.stmts:
+            self._walk_stmt(stmt)
+
+    def _walk_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.Block):
+            self._walk_block(stmt)
+            return
+        if isinstance(stmt, A.OmpParallel):
+            if stmt.num_threads is not None:
+                self._record_expr(stmt.num_threads)
+            self.regions.append(_Region(stmt.nid, self.cond_depth))
+            self._walk_block(stmt.body)
+            region = self.regions.pop()
+            self._reliable[region.nid] = region.reliable
+            return
+        if isinstance(stmt, A.OmpBarrier):
+            if self.regions:
+                region = self.regions[-1]
+                if self.cond_depth == region.entry_cond_depth:
+                    region.phase += 1
+                else:
+                    region.reliable = False
+            return
+        if isinstance(stmt, A.If):
+            self._record_expr(stmt.cond)
+            self.cond_depth += 1
+            self._walk_stmt(stmt.then)
+            if stmt.els is not None:
+                self._walk_stmt(stmt.els)
+            self.cond_depth -= 1
+            return
+        if isinstance(stmt, A.While):
+            self._record_expr(stmt.cond)
+            self.cond_depth += 1
+            self.loop_depth += 1
+            self._walk_block(stmt.body)
+            self.cond_depth -= 1
+            self.loop_depth -= 1
+            return
+        if isinstance(stmt, A.For):
+            if stmt.init is not None:
+                self._walk_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._record_expr(stmt.cond)
+            self.cond_depth += 1
+            self.loop_depth += 1
+            if stmt.step is not None:
+                self._walk_stmt(stmt.step)
+            self._walk_block(stmt.body)
+            self.cond_depth -= 1
+            self.loop_depth -= 1
+            return
+        if isinstance(stmt, A.OmpSections):
+            # a nowait sections inside a loop can overlap its own
+            # encounters, so same-section ordering is only provable
+            # outside loops or with the implicit closing barrier
+            serial = (self.loop_depth == 0) or not stmt.nowait
+            saved = (self.section, self.section_serial)
+            for index, section in enumerate(stmt.sections):
+                self.section, self.section_serial = (stmt.nid, index), serial
+                self._walk_block(section)
+            self.section, self.section_serial = saved
+            return
+        if isinstance(stmt, A.OmpFor):
+            self._walk_stmt(stmt.loop)
+            return
+        if isinstance(stmt, (A.OmpSingle, A.OmpMaster, A.OmpCritical)):
+            self._walk_block(stmt.body)
+            return
+        if isinstance(stmt, A.OmpAtomic):
+            self._walk_stmt(stmt.stmt)
+            return
+        # leaf statements: record their expressions
+        self._record_stmt_exprs(stmt)
+
+
+def compute_mhp(program: A.Program) -> Dict[int, MHPInfo]:
+    """MHP context for every call expression of *program*."""
+    infos: Dict[int, MHPInfo] = {}
+    for fn in program.functions:
+        infos.update(_MHPWalker(fn).run())
+    return infos
+
+
+def may_happen_in_parallel(
+    a: Optional[MHPInfo],
+    b: Optional[MHPInfo],
+    unsafe_funcs: Set[str] = frozenset(),
+) -> bool:
+    """Can the two sites execute concurrently within one process?
+
+    ``True`` means "maybe" (no pruning); only provable orderings return
+    ``False``.  ``unsafe_funcs`` are functions reachable from a parallel
+    region or a spawned thread — their region instances can overlap, so
+    nothing about them is pruned.
+    """
+    if a is None or b is None:
+        return True
+    if a.func in unsafe_funcs or b.func in unsafe_funcs:
+        return True
+    if not a.regions or not b.regions:
+        return True  # only interprocedurally parallel: context unknown
+    if a.regions[0] != b.regions[0]:
+        return False  # distinct outermost regions run sequentially
+    if a.regions != b.regions or len(a.regions) != 1:
+        return True  # nested parallelism: instances may overlap
+    if (
+        a.section is not None
+        and a.section == b.section
+        and a.section_serial
+        and b.section_serial
+    ):
+        return False  # one thread runs a section body sequentially
+    if a.phase != b.phase and a.phase_reliable and b.phase_reliable:
+        return False  # separated by a team barrier
+    return True

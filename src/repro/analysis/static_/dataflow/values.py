@@ -1,0 +1,260 @@
+"""Abstract value domain for the static dataflow analyses.
+
+The envelope-propagation client reasons about integers with a *symbolic
+interval* domain: an abstract value is ``base + [lo, hi]`` where
+``base`` is an optional :class:`Symbol` standing for a runtime quantity
+that is **constant within one process** (e.g. the result of one
+``mpi_comm_rank`` call) and ``[lo, hi]`` is a possibly unbounded
+integer interval of offsets.
+
+Why symbols and not plain intervals: the thread-safety rules compare
+envelope arguments of two call sites *executed by the same process* —
+``tag = rank + 4`` versus ``tag = rank + 9`` are provably different for
+every rank even though neither has finite bounds.  Sharing the symbolic
+base makes that difference expressible; plain intervals would collapse
+both to ``[4, +inf)`` / ``[9, +inf)`` which overlap.
+
+Soundness rule of thumb: every operation may *lose* precision (return
+:data:`TOP`) but must never claim a value range smaller than the
+concrete one — disjointness proofs feed candidate *pruning*, so an
+over-narrow range would silently drop a real violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A process-constant runtime quantity (one creation site).
+
+    ``lo``/``hi`` bound the symbol's own concrete range — e.g. a rank
+    is known to be ``>= 0`` even though its value is unknown.  Symbols
+    compare by identity of their creation site (``nid``), so two
+    distinct ``mpi_comm_rank`` calls yield distinct (conservatively
+    unrelated) symbols.
+    """
+
+    name: str
+    nid: int
+    lo: float = NEG_INF
+    hi: float = POS_INF
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}#{self.nid}"
+
+
+def _add(x: float, y: float) -> float:
+    """Inf-safe addition (opposite infinities never meet here by
+    construction, but guard anyway)."""
+    if x in (NEG_INF, POS_INF):
+        return x
+    if y in (NEG_INF, POS_INF):
+        return y
+    return x + y
+
+
+@dataclass(frozen=True)
+class SymInterval:
+    """``base + [lo, hi]``; ``base is None`` means a plain interval."""
+
+    base: Optional[Symbol] = None
+    lo: float = NEG_INF
+    hi: float = POS_INF
+
+    @property
+    def is_top(self) -> bool:
+        return self.base is None and self.lo == NEG_INF and self.hi == POS_INF
+
+    @property
+    def is_constant(self) -> bool:
+        return self.base is None and self.lo == self.hi and self.lo not in (NEG_INF, POS_INF)
+
+    @property
+    def constant(self) -> Optional[int]:
+        return int(self.lo) if self.is_constant else None
+
+    def concrete(self) -> Tuple[float, float]:
+        """The value's concrete range with the base's bounds folded in."""
+        if self.base is None:
+            return (self.lo, self.hi)
+        return (_add(self.base.lo, self.lo), _add(self.base.hi, self.hi))
+
+    def may_equal(self, value: int) -> bool:
+        lo, hi = self.concrete()
+        return lo <= value <= hi
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        def b(x: float) -> str:
+            if x == NEG_INF:
+                return "-inf"
+            if x == POS_INF:
+                return "+inf"
+            return str(int(x))
+
+        rng = b(self.lo) if self.lo == self.hi else f"[{b(self.lo)}, {b(self.hi)}]"
+        if self.base is None:
+            return rng
+        if self.lo == self.hi == 0:
+            return str(self.base)
+        return f"{self.base}+{rng}"
+
+
+TOP = SymInterval()
+
+
+def const(value: int) -> SymInterval:
+    return SymInterval(None, float(value), float(value))
+
+
+def interval(lo: float, hi: float) -> SymInterval:
+    return SymInterval(None, lo, hi)
+
+
+def symbol(sym: Symbol) -> SymInterval:
+    return SymInterval(sym, 0.0, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic transfer functions
+# ---------------------------------------------------------------------------
+
+
+def add(a: SymInterval, b: SymInterval) -> SymInterval:
+    if a.base is not None and b.base is not None:
+        return TOP  # 2*sym is not representable
+    base = a.base or b.base
+    return SymInterval(base, _add(a.lo, b.lo), _add(a.hi, b.hi))
+
+
+def neg(a: SymInterval) -> SymInterval:
+    if a.base is not None:
+        return TOP
+    return SymInterval(None, -a.hi, -a.lo)
+
+
+def sub(a: SymInterval, b: SymInterval) -> SymInterval:
+    if a.base is not None and a.base == b.base:
+        # (s + [a]) - (s + [b]) = [a] - [b]: the symbol cancels.
+        return SymInterval(None, _add(a.lo, -b.hi), _add(a.hi, -b.lo))
+    return add(a, neg(b))
+
+
+def _mul_bound(x: float, y: float) -> float:
+    if x == 0 or y == 0:
+        return 0.0
+    return x * y
+
+
+def mul(a: SymInterval, b: SymInterval) -> SymInterval:
+    # identity / annihilator shortcuts keep the base when possible
+    if b.is_constant and b.constant == 1:
+        return a
+    if a.is_constant and a.constant == 1:
+        return b
+    if (a.is_constant and a.constant == 0) or (b.is_constant and b.constant == 0):
+        return const(0)
+    if a.base is not None or b.base is not None:
+        return TOP
+    corners = [
+        _mul_bound(a.lo, b.lo), _mul_bound(a.lo, b.hi),
+        _mul_bound(a.hi, b.lo), _mul_bound(a.hi, b.hi),
+    ]
+    return SymInterval(None, min(corners), max(corners))
+
+
+def mod(a: SymInterval, b: SymInterval) -> SymInterval:
+    if a.is_constant and b.is_constant and b.constant:
+        return const(a.constant % b.constant)
+    if b.is_constant and b.constant and b.constant > 0:
+        m = b.constant
+        lo, hi = a.concrete()
+        if lo >= 0:
+            return interval(0.0, float(m - 1))
+        return interval(float(-(m - 1)), float(m - 1))
+    return TOP
+
+
+def div(a: SymInterval, b: SymInterval) -> SymInterval:
+    if a.is_constant and b.is_constant and b.constant:
+        return const(int(a.constant / b.constant))
+    return TOP
+
+
+def compare(op: str, a: SymInterval, b: SymInterval) -> SymInterval:
+    """Comparison / logical operators produce a boolean in [0, 1]."""
+    if a.is_constant and b.is_constant:
+        x, y = a.constant, b.constant
+        table = {
+            "==": x == y, "!=": x != y, "<": x < y, "<=": x <= y,
+            ">": x > y, ">=": x >= y, "&&": bool(x and y), "||": bool(x or y),
+        }
+        if op in table:
+            return const(int(table[op]))
+    return interval(0.0, 1.0)
+
+
+def binary(op: str, a: SymInterval, b: SymInterval) -> SymInterval:
+    if op == "+":
+        return add(a, b)
+    if op == "-":
+        return sub(a, b)
+    if op == "*":
+        return mul(a, b)
+    if op == "%":
+        return mod(a, b)
+    if op == "/":
+        return div(a, b)
+    return compare(op, a, b)
+
+
+# ---------------------------------------------------------------------------
+# Lattice operations
+# ---------------------------------------------------------------------------
+
+
+def join(a: SymInterval, b: SymInterval) -> SymInterval:
+    """Least upper bound (may lose the base when they disagree)."""
+    if a.base == b.base:
+        return SymInterval(a.base, min(a.lo, b.lo), max(a.hi, b.hi))
+    alo, ahi = a.concrete()
+    blo, bhi = b.concrete()
+    return SymInterval(None, min(alo, blo), max(ahi, bhi))
+
+
+def widen(old: SymInterval, new: SymInterval) -> SymInterval:
+    """Standard interval widening: unstable bounds jump to infinity."""
+    if old.base != new.base:
+        return TOP
+    lo = old.lo if new.lo >= old.lo else NEG_INF
+    hi = old.hi if new.hi <= old.hi else POS_INF
+    return SymInterval(old.base, lo, hi)
+
+
+def provably_disjoint(
+    a: Optional[SymInterval],
+    b: Optional[SymInterval],
+    wildcard: Optional[int] = None,
+) -> bool:
+    """Can the two abstract values *never* denote a matching pair?
+
+    ``wildcard`` is the MPI wildcard for this argument position
+    (``MPI_ANY_SOURCE`` / ``MPI_ANY_TAG``): a value that may be the
+    wildcard matches anything, so disjointness is unprovable.
+    ``None`` abstract values mean "no information".
+    """
+    if a is None or b is None:
+        return False
+    if wildcard is not None and (a.may_equal(wildcard) or b.may_equal(wildcard)):
+        return False
+    if a.base == b.base:
+        # same symbolic base: offsets decide (symbol cancels)
+        return a.hi < b.lo or b.hi < a.lo
+    alo, ahi = a.concrete()
+    blo, bhi = b.concrete()
+    return ahi < blo or bhi < alo

@@ -56,8 +56,14 @@ class MPISite:
         return f"{self.op} at {self.func}:{self.loc} [{ctx}]"
 
 
-def _static_value(expr: A.Expr) -> Optional[object]:
-    """Best-effort constant evaluation of an argument expression."""
+def fold_static_value(expr: A.Expr) -> Optional[object]:
+    """Best-effort constant folding of an expression.
+
+    The one shared folding helper of the static phase: literals,
+    language constants (``MPI_ANY_TAG`` …), and unary minus.  Everything
+    dataflow-dependent is the job of
+    :mod:`repro.analysis.static_.dataflow`.
+    """
     if isinstance(expr, A.IntLit):
         return expr.value
     if isinstance(expr, A.FloatLit):
@@ -69,10 +75,14 @@ def _static_value(expr: A.Expr) -> Optional[object]:
     if isinstance(expr, A.Name) and expr.ident in LANGUAGE_CONSTANTS:
         return LANGUAGE_CONSTANTS[expr.ident]
     if isinstance(expr, A.Unary) and expr.op == "-":
-        inner = _static_value(expr.operand)
+        inner = fold_static_value(expr.operand)
         if isinstance(inner, (int, float)):
             return -inner
     return None
+
+
+#: Backwards-compatible alias (previously a private cross-module import).
+_static_value = fold_static_value
 
 
 class _SiteCollector:
@@ -111,7 +121,7 @@ class _SiteCollector:
                         static_args={
                             i: v
                             for i, arg in enumerate(expr.args)
-                            if (v := _static_value(arg)) is not None
+                            if (v := fold_static_value(arg)) is not None
                         },
                         call_chain=(self.func.name,),
                     )
@@ -176,6 +186,21 @@ def collect_sites(
     for collector in per_func.values():
         sites.extend(collector.sites)
     return sites
+
+
+def functions_called_from_parallel(program: A.Program) -> Set[str]:
+    """Names of functions transitively reachable from a parallel region.
+
+    Such functions may run on multiple team threads (or spawned threads)
+    concurrently, so analyses relying on single-team lexical structure
+    must treat them conservatively.
+    """
+    per_func: Dict[str, _SiteCollector] = {}
+    for fn in program.functions:
+        collector = _SiteCollector(fn)
+        collector.collect()
+        per_func[fn.name] = collector
+    return set(_functions_reaching_parallel(program, per_func))
 
 
 def _functions_reaching_parallel(

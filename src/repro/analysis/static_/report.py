@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ...minilang import ast_nodes as A
 from ..cfg import CFG, build_program_cfgs
 from .candidates import ViolationCandidate, candidate_summary, find_candidates
 from .checklist import Checklist, build_checklist
+from .dataflow import DataflowFacts, compute_dataflow
 from .instrument import InstrumentationResult, InstrumentPolicy, instrument_program
 from .mpi_sites import MPISite, collect_sites
 from .threadlevel import StaticWarning, ThreadLevelInfo, check_thread_level, infer_thread_level
@@ -26,14 +27,12 @@ class StaticReport:
     instrumentation: InstrumentationResult
     cfgs: Dict[str, CFG] = field(default_factory=dict)
     candidates: List[ViolationCandidate] = field(default_factory=list)
+    #: facts of the worklist dataflow analyses (None when disabled)
+    dataflow_facts: Optional[DataflowFacts] = None
 
     @property
     def hybrid_sites(self) -> List[MPISite]:
         return [s for s in self.sites if s.in_parallel]
-
-    @property
-    def instrumented_program(self) -> A.Program:
-        return self.instrumentation.program
 
     def summary(self) -> str:
         lines = [
@@ -53,9 +52,77 @@ class StaticReport:
                 f"  static violation candidates: {len(self.candidates)} "
                 f"({per_class})"
             )
+        facts = self.dataflow_facts
+        if facts is not None and facts.total_pruned:
+            per_kind = ", ".join(
+                f"{k}: {v}" for k, v in sorted(facts.pruned.items()) if v
+            )
+            lines.append(
+                f"  dataflow-pruned candidate pairs: {facts.total_pruned} "
+                f"({per_kind})"
+            )
         for w in self.warnings:
             lines.append(f"  {w}")
         return "\n".join(lines)
+
+    @property
+    def instrumented_program(self) -> A.Program:
+        return self.instrumentation.program
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable view of the report (for ``repro static --json``)."""
+        facts = self.dataflow_facts
+        return {
+            "program": self.program_name,
+            "thread_level": {
+                "name": self.thread_level.level_name,
+                "warnings": [str(w) for w in self.warnings],
+            },
+            "sites": [
+                {
+                    "op": s.op,
+                    "func": s.func,
+                    "loc": s.loc,
+                    "hybrid": s.in_parallel,
+                    "lexical_parallel": s.lexical_parallel,
+                    "criticals": list(s.criticals),
+                    "in_master": s.in_master,
+                    "static_args": {str(i): v for i, v in sorted(s.static_args.items())},
+                }
+                for s in self.sites
+            ],
+            "instrumentation": {
+                "instrumented": self.instrumentation.n_instrumented,
+                "filtered": self.instrumentation.n_filtered,
+                "reduction_ratio": self.instrumentation.reduction_ratio,
+            },
+            "checklist_entries": len(self.checklist),
+            "candidates": [
+                {
+                    "class": c.vclass,
+                    "a": {"op": c.site_a.op, "func": c.site_a.func, "loc": c.site_a.loc},
+                    "b": {"op": c.site_b.op, "func": c.site_b.func, "loc": c.site_b.loc},
+                    "reason": c.reason,
+                }
+                for c in self.candidates
+            ],
+            "candidate_counts": candidate_summary(self.candidates),
+            "dataflow": None
+            if facts is None
+            else {
+                "pruned": dict(facts.pruned),
+                "total_pruned": facts.total_pruned,
+                "iterations": facts.iterations,
+                "unsafe_functions": sorted(facts.unsafe_funcs),
+                "envelopes": {
+                    str(nid): str(env) for nid, env in sorted(facts.envelopes.items())
+                },
+                "locks_held": {
+                    str(nid): sorted(held)
+                    for nid, held in sorted(facts.locks_held.items())
+                },
+            },
+        }
 
 
 def run_static_analysis(
@@ -63,6 +130,7 @@ def run_static_analysis(
     policy: InstrumentPolicy = "hybrid-only",
     interprocedural: bool = True,
     with_cfgs: bool = True,
+    dataflow: bool = True,
 ) -> StaticReport:
     """The full compile-time phase of HOME (paper Fig. 3, left column)."""
     sites = collect_sites(program, interprocedural=interprocedural)
@@ -72,8 +140,9 @@ def run_static_analysis(
     )
     hybrid = [s for s in sites if s.in_parallel and s.instrumentable]
     checklist = build_checklist(hybrid)
-    cfgs = build_program_cfgs(program) if with_cfgs else {}
-    candidates = find_candidates(sites)
+    cfgs = build_program_cfgs(program) if with_cfgs or dataflow else {}
+    facts = compute_dataflow(program, cfgs, sites) if dataflow else None
+    candidates = find_candidates(sites, facts)
     return StaticReport(
         program_name=program.name,
         thread_level=infer_thread_level(program),
@@ -81,6 +150,7 @@ def run_static_analysis(
         warnings=warnings,
         checklist=checklist,
         instrumentation=instrumentation,
-        cfgs=cfgs,
+        cfgs=cfgs if with_cfgs else {},
         candidates=candidates,
+        dataflow_facts=facts,
     )

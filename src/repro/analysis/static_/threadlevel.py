@@ -21,7 +21,7 @@ from ...mpi.constants import (
     MPI_THREAD_SINGLE,
     THREAD_LEVEL_NAMES,
 )
-from .mpi_sites import MPISite, _static_value
+from .mpi_sites import MPISite, fold_static_value
 
 
 @dataclass
@@ -64,7 +64,7 @@ def infer_thread_level(program: A.Program) -> ThreadLevelInfo:
                 MPI_THREAD_SINGLE, f"{node.loc.line}:{node.loc.col}", False
             )
         if name == "mpi_init_thread":
-            level = _static_value(node.args[0]) if node.args else None
+            level = fold_static_value(node.args[0]) if node.args else None
             return ThreadLevelInfo(
                 level if isinstance(level, int) else None,
                 f"{node.loc.line}:{node.loc.col}",

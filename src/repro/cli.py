@@ -6,7 +6,8 @@ Subcommands
 ``check FILE``
     Run a checking tool (HOME by default) on a mini-language program.
 ``static FILE``
-    Compile-time phase only: sites, warnings, instrumented source.
+    Compile-time phase only: sites, warnings, dataflow facts,
+    instrumented source; ``--json`` emits the full report as JSON.
 ``run FILE``
     Execute a program on the simulator without any checking.
 ``table1``
@@ -20,6 +21,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -197,8 +199,21 @@ def cmd_static(args: argparse.Namespace) -> int:
     from .analysis.static_ import run_static_analysis
 
     program = _load_program(args.file)
-    report = run_static_analysis(program)
+    report = run_static_analysis(program, dataflow=not args.no_dataflow)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+        return 1 if report.warnings else 0
     print(report.summary())
+    facts = report.dataflow_facts
+    if facts is not None and facts.envelopes:
+        print("dataflow facts (per site):")
+        by_nid = {s.nid: s for s in report.sites}
+        for nid, env in sorted(facts.envelopes.items()):
+            site = by_nid.get(nid)
+            where = f"{site.op}@{site.func}:{site.loc}" if site else f"nid {nid}"
+            held = facts.locks_held.get(nid)
+            lock_note = f" holds {{{', '.join(sorted(held))}}}" if held else ""
+            print(f"  {where}: envelope {env}{lock_note}")
     if args.dump:
         print("\n// ---- instrumented program ----")
         print(print_program(report.instrumented_program))
@@ -357,6 +372,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("static", help="compile-time analysis only")
     p.add_argument("file")
     p.add_argument("--dump", action="store_true", help="print the instrumented source")
+    p.add_argument("--json", action="store_true", help="emit the full report as JSON")
+    p.add_argument(
+        "--no-dataflow",
+        action="store_true",
+        help="skip the worklist dataflow analyses (envelope/lock/MHP pruning)",
+    )
     p.set_defaults(func=cmd_static)
 
     p = sub.add_parser("run", help="execute a program without checking")

@@ -34,6 +34,9 @@ class HomeOptions:
 
     instrument_policy: InstrumentPolicy = "hybrid-only"
     interprocedural: bool = True
+    #: run the worklist dataflow analyses (envelope intervals,
+    #: lock-state, May-Happen-in-Parallel) to prune static candidates
+    dataflow: bool = True
     detector: DetectorConfig = field(default_factory=DetectorConfig)
     #: include static thread-level warnings in the report extras
     report_static_warnings: bool = True
@@ -54,6 +57,7 @@ class Home(CheckingTool):
             program,
             policy=self.options.instrument_policy,
             interprocedural=self.options.interprocedural,
+            dataflow=self.options.dataflow,
         )
         return static.instrumented_program, static
 
@@ -69,6 +73,10 @@ class Home(CheckingTool):
             report.extras["static_warnings"] = list(report.static.warnings)
             report.extras["instrumented_sites"] = report.static.instrumentation.n_instrumented
             report.extras["filtered_sites"] = report.static.instrumentation.n_filtered
+            report.extras["static_candidates"] = len(report.static.candidates)
+            facts = report.static.dataflow_facts
+            if facts is not None:
+                report.extras["dataflow_pruned"] = dict(facts.pruned)
         return report
 
 

@@ -1,9 +1,12 @@
 """Static violation-candidate detection tests."""
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import given, settings
 
 from repro.analysis.static_ import collect_sites, find_candidates, envelope_of
 from repro.analysis.static_.candidates import StaticEnvelope, candidate_summary
+from repro.analysis.static_.dataflow import SymEnvelope, Symbol, SymInterval
 from repro.minilang import parse
 from repro.mpi.constants import MPI_ANY_TAG
 from repro.violations import (
@@ -203,3 +206,116 @@ class TestAgainstDynamicPhase:
             assert any(loc in candidate_locs for loc in violation.locs), (
                 f"dynamic finding {violation} not predicted statically"
             )
+
+
+class TestWildcardPairing:
+    """Wildcard envelopes (MPI_ANY_SOURCE / MPI_ANY_TAG) match every
+    concrete envelope, so wildcard sites must always pair."""
+
+    def test_any_source_pairs_with_concrete_source(self):
+        src = HEAD + """
+    omp parallel {
+        if (omp_get_thread_num() == 0) {
+            mpi_recv(buf, 1, MPI_ANY_SOURCE, 7, MPI_COMM_WORLD);
+        } else {
+            mpi_recv(buf, 1, 1, 7, MPI_COMM_WORLD);
+        }
+    }
+    mpi_finalize();
+}
+"""
+        cands = [c for c in candidates_for(src) if c.vclass == CONCURRENT_RECV]
+        assert any(a != b for a, b in (c.locs() for c in cands))
+
+    def test_any_tag_pairs_despite_disjoint_constant_tags(self):
+        src = HEAD + """
+    omp parallel {
+        if (omp_get_thread_num() == 0) {
+            mpi_recv(buf, 1, 0, MPI_ANY_TAG, MPI_COMM_WORLD);
+        } else {
+            mpi_recv(buf, 1, 0, 9, MPI_COMM_WORLD);
+        }
+    }
+    mpi_finalize();
+}
+"""
+        cands = [c for c in candidates_for(src) if c.vclass == CONCURRENT_RECV]
+        assert any(a != b for a, b in (c.locs() for c in cands))
+
+    def test_wildcard_probe_pairs_with_recv(self):
+        src = HEAD + """
+    omp parallel {
+        mpi_probe(MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_COMM_WORLD);
+        mpi_recv(buf, 1, 0, 3, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+}
+"""
+        assert PROBE in classes(candidates_for(src))
+
+    def test_wildcards_do_not_cross_communicators(self):
+        src = HEAD + """
+    omp parallel {
+        if (omp_get_thread_num() == 0) {
+            mpi_recv(buf, 1, MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_COMM_WORLD);
+        } else {
+            mpi_recv(buf, 1, MPI_ANY_SOURCE, MPI_ANY_TAG, 5);
+        }
+    }
+    mpi_finalize();
+}
+"""
+        cands = [c for c in candidates_for(src) if c.vclass == CONCURRENT_RECV]
+        assert all(a == b for a, b in (c.locs() for c in cands))
+
+
+class TestOverlapProperties:
+    """Property-based: envelope overlap must be symmetric — candidate
+    pairing iterates unordered pairs, so an asymmetric predicate would
+    make the candidate set depend on site order."""
+
+    values = st.one_of(
+        st.none(),
+        st.integers(min_value=-2, max_value=3),
+        st.just(MPI_ANY_TAG),
+    )
+
+    @given(values, values, values, values, values, values)
+    @settings(max_examples=200, deadline=None)
+    def test_static_envelope_overlap_symmetric(self, s1, t1, c1, s2, t2, c2):
+        a = StaticEnvelope(s1, t1, c1)
+        b = StaticEnvelope(s2, t2, c2)
+        assert a.may_overlap(b) == b.may_overlap(a)
+
+    @given(values, values, values)
+    @settings(max_examples=50, deadline=None)
+    def test_static_envelope_overlap_reflexive(self, s, t, c):
+        env = StaticEnvelope(s, t, c)
+        assert env.may_overlap(env)
+
+    sym_values = st.one_of(
+        st.none(),
+        st.builds(
+            SymInterval,
+            base=st.one_of(
+                st.none(),
+                st.builds(
+                    Symbol,
+                    name=st.just("rank"),
+                    nid=st.integers(min_value=1, max_value=3),
+                    lo=st.just(0.0),
+                    hi=st.just(float("inf")),
+                ),
+            ),
+            lo=st.integers(min_value=-3, max_value=3).map(float),
+            hi=st.integers(min_value=-3, max_value=3).map(float),
+        ).filter(lambda v: v.lo <= v.hi),
+    )
+
+    @given(sym_values, sym_values)
+    @settings(max_examples=200, deadline=None)
+    def test_symbolic_envelope_overlap_symmetric(self, tag_a, tag_b):
+        a = SymEnvelope(tag=tag_a)
+        b = SymEnvelope(tag=tag_b)
+        assert a.may_overlap(b) == b.may_overlap(a)
+        assert a.may_overlap(a)

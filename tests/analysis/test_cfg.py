@@ -117,3 +117,70 @@ class TestOmpMarkers:
         cfg = cfg_of("mpi_finalize();")
         node = cfg.mpi_nodes()[0]
         assert node.call_name == "mpi_finalize"
+
+
+class TestLinearizeNesting:
+    """linearize() is construction order (the paper's srcCFG order):
+    a construct's header precedes every node of its body, and begin/end
+    markers bracket the body even under deep nesting."""
+
+    def test_nested_loops_header_order(self):
+        cfg = cfg_of(
+            "while (a) {\n"
+            "  while (b) {\n"
+            "    for (var i = 0; i < 3; i = i + 1) { compute(1); }\n"
+            "  }\n"
+            "}"
+        )
+        nodes = cfg.linearize()
+        heads = [i for i, n in enumerate(nodes) if n.kind == "loop-head"]
+        assert len(heads) == 3
+        assert heads == sorted(heads)
+        body_stmt = next(i for i, n in enumerate(nodes) if n.label == "ExprStmt")
+        assert all(h < body_stmt for h in heads)
+
+    def test_nested_branches_then_before_else(self):
+        cfg = cfg_of(
+            "if (a) {\n"
+            "  if (b) { x = 1; } else { x = 2; }\n"
+            "} else {\n"
+            "  if (c) { x = 3; } else { x = 4; }\n"
+            "}"
+        )
+        nodes = cfg.linearize()
+        branches = [i for i, n in enumerate(nodes) if n.kind == "branch"]
+        assert len(branches) == 3
+        stmts = [n for n in nodes if n.kind == "stmt"]
+        # construction order visits then-branches before else-branches
+        values = [n.ast.value.value for n in stmts]
+        assert values == [1, 2, 3, 4]
+        # every inner branch head comes after the outer one
+        assert branches[0] < branches[1] < branches[2]
+
+    def test_loop_inside_branch_inside_parallel(self):
+        cfg = cfg_of(
+            "omp parallel {\n"
+            "  if (a) {\n"
+            "    while (b) { compute(1); }\n"
+            "  }\n"
+            "}"
+        )
+        nodes = cfg.linearize()
+        kinds = [n.kind for n in nodes]
+        begin = kinds.index(OMP_PARALLEL_BEGIN)
+        end = kinds.index(OMP_PARALLEL_END)
+        branch = kinds.index("branch")
+        head = kinds.index("loop-head")
+        assert begin < branch < head < end
+
+    def test_linearize_is_stable_and_complete(self):
+        cfg = cfg_of(
+            "for (var i = 0; i < 2; i = i + 1) {\n"
+            "  if (i) { compute(1); } else { compute(2); }\n"
+            "}"
+        )
+        first = [n.cfg_id for n in cfg.linearize()]
+        second = [n.cfg_id for n in cfg.linearize()]
+        assert first == second
+        assert set(first) == set(cfg.nodes)
+        assert len(first) == len(set(first))
