@@ -1,0 +1,125 @@
+"""Static race pass benchmark.
+
+Times the race pass across the NPB-MZ suite (clean, injected, racy and
+clause-fixed variants) and measures the payoff of race-directed
+narrowing: the number of runtime memory events HOME monitors versus the
+monitor-everything ITC model on the same racy program.  The point being
+measured: the race pass must stay a small fraction of the static phase
+while cutting the dynamic phase's monitoring load by an order of
+magnitude on race-free code.
+"""
+
+import time
+
+from repro.analysis.static_ import run_static_analysis
+from repro.baselines import IntelThreadChecker
+from repro.events import MemAccess
+from repro.home import Home
+from repro.workloads.npb import BENCHMARKS, SPECS, build_racy_npb
+
+
+def _workloads():
+    out = {name: build(inject=True) for name, build in BENCHMARKS.items()}
+    for name, spec in SPECS.items():
+        out[f"{name}-racy"] = build_racy_npb(spec)
+        out[f"{name}-fixed"] = build_racy_npb(spec, fixed=True)
+    return out
+
+
+def _static_sweep(races):
+    reports = {}
+    for name, program in _workloads().items():
+        start = time.perf_counter()
+        report = run_static_analysis(program, races=races)
+        elapsed = time.perf_counter() - start
+        reports[name] = (report, elapsed)
+    return reports
+
+
+def _mem_events(report):
+    return sum(1 for e in report.execution.log if type(e) is MemAccess)
+
+
+def test_race_pass_candidates(benchmark):
+    with_races = benchmark.pedantic(
+        _static_sweep, args=(True,), rounds=1, iterations=1
+    )
+
+    print()
+    print("static race pass on NPB-MZ (clean / racy / clause-fixed)")
+    print(f"  {'bench':<9} {'cands':>6} {'vars':>5} {'pruned':>7} "
+          f"{'unres':>6} {'ms':>7}")
+    for name, (report, elapsed) in with_races.items():
+        races = report.races
+        print(f"  {name:<9} {len(races.candidates):>6} "
+              f"{len(races.monitored_vars):>5} {races.total_pruned:>7} "
+              f"{len(races.unresolved):>6} {elapsed * 1e3:>7.1f}")
+        if name.endswith("-racy"):
+            # every racy variant must flag all three injected variables
+            assert races.monitored_vars == {"field", "local_norm", "tmp"}
+        else:
+            # clean and clause-fixed variants stay candidate-free
+            assert not races.candidates
+        # the pruning machinery must actually have fired somewhere
+        assert races.total_pruned > 0
+
+    benchmark.extra_info["racy_candidates"] = sum(
+        len(r.races.candidates)
+        for name, (r, _) in with_races.items()
+        if name.endswith("-racy")
+    )
+
+
+def test_race_pass_runtime_overhead():
+    """The race pass must not dominate the static phase."""
+    slow = 0.0
+    fast = 0.0
+    for name, program in _workloads().items():
+        start = time.perf_counter()
+        run_static_analysis(program, races=False)
+        fast += time.perf_counter() - start
+        start = time.perf_counter()
+        run_static_analysis(program, races=True)
+        slow += time.perf_counter() - start
+    print(f"\nstatic phase: {fast * 1e3:.1f} ms without races, "
+          f"{slow * 1e3:.1f} ms with ({slow / fast:.1f}x)")
+    # generous bound: the race pass stays within an order of magnitude
+    # of the rest of the static phase
+    assert slow < fast * 10
+
+
+def test_narrowing_event_reduction(benchmark):
+    """HOME's narrowed monitoring versus ITC's monitor-everything."""
+
+    def _sweep():
+        rows = {}
+        for kind in ("racy", "fixed"):
+            program = build_racy_npb(fixed=kind == "fixed")
+            home = Home().check(program, nprocs=2, num_threads=2, seed=0)
+            itc = IntelThreadChecker().check(
+                program, nprocs=2, num_threads=2, seed=0
+            )
+            rows[kind] = (home, itc)
+        return rows
+
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print("race-directed narrowing: monitored memory events (LU-MZ)")
+    print(f"  {'variant':<7} {'HOME-vars':>9} {'HOME-ev':>8} "
+          f"{'ITC-ev':>7} {'HOME-t':>8} {'ITC-t':>8}")
+    for kind, (home, itc) in rows.items():
+        nvars = len(home.extras.get("monitored_vars", []))
+        print(f"  {kind:<7} {nvars:>9} {_mem_events(home):>8} "
+              f"{_mem_events(itc):>7} {home.makespan:>8.0f} "
+              f"{itc.makespan:>8.0f}")
+
+    home, itc = rows["racy"]
+    # narrowed monitoring watches fewer events, and finds the races
+    assert 0 < _mem_events(home) < _mem_events(itc)
+    assert "DataRace" in home.violations.classes()
+    home, itc = rows["fixed"]
+    # race-free program: monitoring stays off entirely, ITC pays anyway
+    assert _mem_events(home) == 0 < _mem_events(itc)
+    assert home.makespan < itc.makespan
+    benchmark.extra_info["racy_home_events"] = _mem_events(rows["racy"][0])
+    benchmark.extra_info["racy_itc_events"] = _mem_events(rows["racy"][1])

@@ -25,6 +25,14 @@ from .mpi_sites import (  # noqa: F401
     fold_static_value,
     functions_called_from_parallel,
 )
+from .races import (  # noqa: F401
+    RACE_PRUNE_KINDS,
+    AccessSite,
+    RegionInfo,
+    StaticRaceCandidate,
+    StaticRaceReport,
+    find_races,
+)
 from .report import StaticReport, run_static_analysis  # noqa: F401
 from .threadlevel import (  # noqa: F401
     StaticWarning,
@@ -53,6 +61,12 @@ __all__ = [
     "Checklist",
     "ChecklistEntry",
     "build_checklist",
+    "AccessSite",
+    "RegionInfo",
+    "StaticRaceCandidate",
+    "StaticRaceReport",
+    "RACE_PRUNE_KINDS",
+    "find_races",
     "StaticWarning",
     "ThreadLevelInfo",
     "infer_thread_level",

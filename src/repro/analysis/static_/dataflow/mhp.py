@@ -58,10 +58,26 @@ class _Region:
 
 
 class _MHPWalker:
-    """One function's AST walk, recording context per CallExpr nid."""
+    """One function's AST walk, recording context per CallExpr nid.
 
-    def __init__(self, func: A.FuncDef) -> None:
+    With ``record_all`` every expression node (names, index expressions,
+    calls) gets an :class:`MHPInfo` — the static race pass needs the
+    context of plain variable accesses, not just MPI calls.  With
+    ``implicit_ws_barriers`` the implicit closing barrier of a non-
+    ``nowait`` worksharing construct bumps the phase like an explicit
+    ``omp barrier`` does (sound for races; the MPI-candidate pass keeps
+    the coarser historical phases so its counts stay comparable).
+    """
+
+    def __init__(
+        self,
+        func: A.FuncDef,
+        record_all: bool = False,
+        implicit_ws_barriers: bool = False,
+    ) -> None:
         self.func = func
+        self.record_all = record_all
+        self.implicit_ws_barriers = implicit_ws_barriers
         self.regions: List[_Region] = []
         self.cond_depth = 0
         self.loop_depth = 0
@@ -92,12 +108,22 @@ class _MHPWalker:
 
     def _record_expr(self, expr: A.Expr) -> None:
         for node in expr.walk():
-            if isinstance(node, A.CallExpr):
+            if self.record_all or isinstance(node, A.CallExpr):
                 regions = tuple(r.nid for r in self.regions)
                 phase = self.regions[-1].phase if self.regions else 0
                 self._raw[node.nid] = (
                     regions, phase, self.section, self.section_serial,
                 )
+
+    def _implicit_barrier(self) -> None:
+        """Phase effect of a worksharing construct's closing barrier."""
+        if not self.implicit_ws_barriers or not self.regions:
+            return
+        region = self.regions[-1]
+        if self.cond_depth == region.entry_cond_depth:
+            region.phase += 1
+        else:
+            region.reliable = False
 
     def _record_stmt_exprs(self, stmt: A.Stmt) -> None:
         for child in stmt.children():
@@ -169,11 +195,22 @@ class _MHPWalker:
                 self.section, self.section_serial = (stmt.nid, index), serial
                 self._walk_block(section)
             self.section, self.section_serial = saved
+            if not stmt.nowait:
+                self._implicit_barrier()
             return
         if isinstance(stmt, A.OmpFor):
+            if stmt.chunk is not None:
+                self._record_expr(stmt.chunk)
             self._walk_stmt(stmt.loop)
+            if not stmt.nowait:
+                self._implicit_barrier()
             return
-        if isinstance(stmt, (A.OmpSingle, A.OmpMaster, A.OmpCritical)):
+        if isinstance(stmt, A.OmpSingle):
+            self._walk_block(stmt.body)
+            if not stmt.nowait:
+                self._implicit_barrier()
+            return
+        if isinstance(stmt, (A.OmpMaster, A.OmpCritical)):
             self._walk_block(stmt.body)
             return
         if isinstance(stmt, A.OmpAtomic):
@@ -183,11 +220,26 @@ class _MHPWalker:
         self._record_stmt_exprs(stmt)
 
 
-def compute_mhp(program: A.Program) -> Dict[int, MHPInfo]:
-    """MHP context for every call expression of *program*."""
+def compute_mhp(
+    program: A.Program,
+    record_all: bool = False,
+    implicit_ws_barriers: bool = False,
+) -> Dict[int, MHPInfo]:
+    """MHP context for every call expression of *program*.
+
+    ``record_all`` extends the map to every expression node;
+    ``implicit_ws_barriers`` counts the closing barriers of non-nowait
+    worksharing constructs as phase boundaries (see :class:`_MHPWalker`).
+    """
     infos: Dict[int, MHPInfo] = {}
     for fn in program.functions:
-        infos.update(_MHPWalker(fn).run())
+        infos.update(
+            _MHPWalker(
+                fn,
+                record_all=record_all,
+                implicit_ws_barriers=implicit_ws_barriers,
+            ).run()
+        )
     return infos
 
 

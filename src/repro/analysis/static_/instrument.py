@@ -12,7 +12,7 @@ marker call is inserted at the top of ``main`` (the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Literal, Optional
+from typing import Dict, FrozenSet, Iterable, List, Literal, Optional
 
 from ...minilang import ast_nodes as A
 from ...minilang.builder import callstmt, clone
@@ -31,6 +31,9 @@ class InstrumentationResult:
     #: sites found but filtered out (error-free region optimization)
     filtered: List[MPISite] = field(default_factory=list)
     policy: InstrumentPolicy = "hybrid-only"
+    #: variables the static race pass selected for memory monitoring
+    #: (race-directed narrowing; empty = no memory monitoring needed)
+    monitored_vars: FrozenSet[str] = frozenset()
 
     @property
     def n_instrumented(self) -> int:
@@ -51,6 +54,7 @@ def instrument_program(
     program: A.Program,
     policy: InstrumentPolicy = "hybrid-only",
     interprocedural: bool = True,
+    monitor_vars: Iterable[str] = (),
 ) -> InstrumentationResult:
     """Produce an instrumented clone of *program*.
 
@@ -60,12 +64,18 @@ def instrument_program(
       context, the paper's behaviour;
     * ``all`` — every MPI site (the no-static-filter ablation);
     * ``none`` — nothing (base run through the same pipeline).
+
+    ``monitor_vars`` lists the shared variables the static race pass
+    wants the runtime to watch; they are recorded on the result and
+    appended as ``mem:<var>`` markers to the monitor-setup call.
     """
     new_program = clone(program)
     assert isinstance(new_program, A.Program)
     sites = collect_sites(new_program, interprocedural=interprocedural)
 
-    result = InstrumentationResult(new_program, policy=policy)
+    result = InstrumentationResult(
+        new_program, policy=policy, monitored_vars=frozenset(monitor_vars)
+    )
     by_nid: Dict[int, MPISite] = {s.nid: s for s in sites}
 
     # Walk every CallExpr; rename those whose site is selected.
@@ -87,12 +97,14 @@ def instrument_program(
         else:
             result.filtered.append(site)
 
-    if result.instrumented:
-        _insert_monitor_setup(new_program)
+    if result.instrumented or result.monitored_vars:
+        _insert_monitor_setup(new_program, result.monitored_vars)
     return result
 
 
-def _insert_monitor_setup(program: A.Program) -> None:
+def _insert_monitor_setup(
+    program: A.Program, monitor_vars: FrozenSet[str] = frozenset()
+) -> None:
     """Insert the monitored-variable setup marker at the top of main()."""
     try:
         main = program.function("main")
@@ -109,5 +121,6 @@ def _insert_monitor_setup(program: A.Program) -> None:
             "mpi_monitor_setup",
             A.StrLit("srctmp"), A.StrLit("tagtmp"), A.StrLit("commtmp"),
             A.StrLit("requesttmp"), A.StrLit("collectivetmp"), A.StrLit("finalizetmp"),
+            *(A.StrLit(f"mem:{name}") for name in sorted(monitor_vars)),
         )
         main.body.stmts.insert(0, setup)

@@ -1,0 +1,770 @@
+"""Static OpenMP data-race detection (LLOV-style).
+
+The paper's static phase only produces *MPI-call* candidates; shared
+memory races are left to the dynamic lockset/happens-before phase.
+This pass closes the gap at compile time, in four steps:
+
+1. **Classification** — every variable referenced in an ``omp
+   parallel``/``omp for`` region is classified as ``shared``,
+   ``private``, ``firstprivate``, ``reduction`` or ``loop-index``
+   following the default-sharing rules (globals and variables visible
+   at region entry are shared; clause lists and in-region declarations
+   privatize) — the question LLOV answers from OpenMP clause structure.
+2. **Access collection** — read/write sites of shared variables inside
+   parallel regions, plus accesses to globals in functions reachable
+   from a parallel region (:func:`functions_called_from_parallel`).
+3. **Conflict pairing + pruning** — pairs with at least one write are
+   pruned by the PR-1 worklist machinery: May-Happen-in-Parallel
+   context (regions, barrier phases — including the *implicit* closing
+   barriers of non-``nowait`` worksharing constructs — and serialized
+   sections), a shared must-held lock or lexical ``omp critical`` /
+   ``omp atomic`` guard, ``master``/``single`` serialization, and a
+   ZIV/SIV-style subscript disjointness test: ``a[i]`` vs ``a[i]``
+   under one ``omp for`` is iteration-disjoint, ``a[i+1]`` write vs
+   ``a[i]`` read is loop-carried and stays.
+4. **Reporting** — surviving pairs become :class:`StaticRaceCandidate`
+   entries whose variables seed the *monitored-variable set* of the
+   instrumentation policy, so the dynamic phase watches exactly the
+   statically-suspect memory instead of everything (the ITC model's
+   monitor-everything behaviour).
+
+Known imprecision, both conservative in opposite directions: array
+aliasing through call arguments is ignored (arrays are only tracked by
+name), and array accesses with non-constant subscripts in functions
+reached from parallel regions are *delegated* to the dynamic phase
+(reported as unresolved, never paired) — the caller's distribution
+context is invisible, so pairing them would flood the report with
+false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ...minilang import ast_nodes as A
+from ...mpi.constants import LANGUAGE_CONSTANTS
+from .. import cfg as C
+from .dataflow.engine import solve
+from .dataflow.lockstate import LockStateAnalysis, critical_token
+from .dataflow.mhp import MHPInfo, compute_mhp, may_happen_in_parallel
+from .mpi_sites import fold_static_value, functions_called_from_parallel
+
+#: sharing classes (per parallel/worksharing region)
+SHARED = "shared"
+PRIVATE = "private"
+FIRSTPRIVATE = "firstprivate"
+REDUCTION = "reduction"
+LOOP_INDEX = "loop-index"
+#: declaration kind of sequential (function-level) locals
+_LOCAL = "local"
+
+#: race-prune categories (surfaced next to the PR-1 dataflow counters)
+PRUNE_RACE_MHP = "race-mhp"
+PRUNE_RACE_LOCK = "race-lock"
+PRUNE_RACE_GUARD = "race-guard"
+PRUNE_RACE_SUBSCRIPT = "race-subscript"
+RACE_PRUNE_KINDS = (
+    PRUNE_RACE_MHP, PRUNE_RACE_LOCK, PRUNE_RACE_GUARD, PRUNE_RACE_SUBSCRIPT,
+)
+
+#: guard token for ``omp atomic`` (one process-wide lock at runtime)
+ATOMIC_TOKEN = "atomic"
+
+#: scope marker for program globals in access keys
+GLOBAL_SCOPE = "<global>"
+
+
+@dataclass
+class AccessSite:
+    """One read or write of a shared variable in parallel context."""
+
+    nid: int
+    var: str
+    #: (scope, var) pairing key; scope is ``<global>`` or the function
+    #: owning the shared local
+    key: Tuple[str, str]
+    is_write: bool
+    func: str
+    loc: str
+    #: innermost lexical ``omp parallel`` nid; None = reached only
+    #: interprocedurally (function called from a parallel region)
+    region: Optional[int]
+    is_array: bool = False
+    #: raw subscript expression for element accesses (None: scalar or
+    #: whole-array use, e.g. an array passed as a call argument)
+    subscript: Optional[A.Expr] = None
+    #: enclosing ``omp for`` construct nid and its index variable
+    omp_for: Optional[int] = None
+    loop_var: Optional[str] = None
+    #: encounters of that omp for cannot overlap (implicit barrier, or
+    #: single encounter outside sequential loops)
+    omp_for_serial: bool = True
+    #: lexical critical/atomic tokens, widened with must-held locks
+    guards: FrozenSet[str] = frozenset()
+    in_master: bool = False
+    #: (omp single nid, encounters-serial) of the innermost single
+    single: Optional[Tuple[int, bool]] = None
+
+    @property
+    def kind(self) -> str:
+        return "write" if self.is_write else "read"
+
+    def describe(self) -> str:
+        sub = "[...]" if self.is_array and self.subscript is not None else ""
+        return f"{self.kind} of {self.var}{sub} at {self.func}:{self.loc}"
+
+
+@dataclass
+class RegionInfo:
+    """Per-region variable classification (the LLOV-style table)."""
+
+    nid: int
+    func: str
+    loc: str
+    #: "parallel" or "for"
+    kind: str
+    sharing: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class StaticRaceCandidate:
+    """A statically possible data race between two access sites."""
+
+    var: str
+    scope: str
+    a: AccessSite
+    b: AccessSite
+    reason: str
+
+    def locs(self) -> Tuple[str, ...]:
+        return tuple(sorted({self.a.loc, self.b.loc}))
+
+    def __str__(self) -> str:
+        return (
+            f"[static-race] {self.var}: {self.a.kind}@{self.a.func}:{self.a.loc}"
+            f" vs {self.b.kind}@{self.b.func}:{self.b.loc} — {self.reason}"
+        )
+
+
+@dataclass
+class StaticRaceReport:
+    """Outcome of the static race pass."""
+
+    candidates: List[StaticRaceCandidate] = field(default_factory=list)
+    regions: List[RegionInfo] = field(default_factory=list)
+    #: every shared access considered for pairing
+    accesses: List[AccessSite] = field(default_factory=list)
+    #: interprocedural array accesses delegated to the dynamic phase
+    unresolved: List[AccessSite] = field(default_factory=list)
+    pruned: Dict[str, int] = field(
+        default_factory=lambda: {kind: 0 for kind in RACE_PRUNE_KINDS}
+    )
+
+    @property
+    def monitored_vars(self) -> FrozenSet[str]:
+        """Variables the dynamic phase should monitor (race-directed
+        narrowing of the instrumentation policy)."""
+        return frozenset(c.var for c in self.candidates)
+
+    @property
+    def total_pruned(self) -> int:
+        return sum(self.pruned.values())
+
+    def count_prune(self, kind: str) -> None:
+        self.pruned[kind] = self.pruned.get(kind, 0) + 1
+
+    def as_dict(self) -> Dict[str, object]:
+        def site(s: AccessSite) -> Dict[str, object]:
+            return {
+                "var": s.var,
+                "kind": s.kind,
+                "func": s.func,
+                "loc": s.loc,
+                "array": s.is_array,
+                "interprocedural": s.region is None,
+            }
+
+        return {
+            "candidates": [
+                {
+                    "var": c.var,
+                    "scope": c.scope,
+                    "a": site(c.a),
+                    "b": site(c.b),
+                    "reason": c.reason,
+                }
+                for c in self.candidates
+            ],
+            "monitored_vars": sorted(self.monitored_vars),
+            "accesses": len(self.accesses),
+            "unresolved": [site(s) for s in self.unresolved],
+            "regions": [
+                {
+                    "func": r.func,
+                    "loc": r.loc,
+                    "kind": r.kind,
+                    "sharing": dict(sorted(r.sharing.items())),
+                }
+                for r in self.regions
+            ],
+            "pruned": dict(self.pruned),
+            "total_pruned": self.total_pruned,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Classification + access collection
+# ---------------------------------------------------------------------------
+
+
+def _loop_index_name(init: Optional[A.Stmt]) -> Optional[str]:
+    if isinstance(init, A.VarDecl):
+        return init.name
+    if isinstance(init, A.Assign) and isinstance(init.target, A.Name):
+        return init.target.ident
+    return None
+
+
+class _FunctionWalker:
+    """Collects shared-variable accesses of one function.
+
+    Sharing resolution: scan declaration frames innermost-first.  A name
+    declared at or above the innermost region's frame keeps its declared
+    class (clause class or ``private`` for in-region declarations); a
+    name declared below it was visible at region entry, hence shared;
+    an undeclared name is a program global, shared whenever executed in
+    parallel context (lexically, or because the whole function is
+    reachable from a parallel region).
+    """
+
+    def __init__(
+        self,
+        func: A.FuncDef,
+        globals_: Dict[str, bool],
+        unsafe: bool,
+    ) -> None:
+        self.func = func
+        self.globals = globals_
+        self.unsafe = unsafe
+        #: declaration frames: name -> (class, is_array)
+        self.frames: List[Dict[str, Tuple[str, bool]]] = [
+            {p: (_LOCAL, False) for p in func.params}
+        ]
+        #: (RegionInfo, index of the frame pushed for the region)
+        self.region_stack: List[Tuple[RegionInfo, int]] = []
+        #: innermost omp-for RegionInfo (classification sink)
+        self.ws_stack: List[RegionInfo] = []
+        #: (omp-for nid, loop var, encounters-serial)
+        self.ompfor_stack: List[Tuple[int, Optional[str], bool]] = []
+        self.guard_stack: List[str] = []
+        self.single_stack: List[Tuple[int, bool]] = []
+        self.master_depth = 0
+        self.loop_depth = 0
+        self.accesses: List[AccessSite] = []
+        self.unresolved: List[AccessSite] = []
+        self.regions: List[RegionInfo] = []
+
+    def run(self) -> None:
+        self._walk_block(self.func.body)
+
+    # -- scope machinery ----------------------------------------------------
+
+    def _declare(self, name: str, cls: str, is_array: bool) -> None:
+        self.frames[-1][name] = (cls, is_array)
+
+    def _resolve(self, name: str) -> Optional[Tuple[str, bool, bool]]:
+        """-> (sharing class, is_array, is_global), or None to skip."""
+        if name in LANGUAGE_CONSTANTS:
+            return None
+        region_frame = self.region_stack[-1][1] if self.region_stack else None
+        for idx in range(len(self.frames) - 1, -1, -1):
+            if name in self.frames[idx]:
+                cls, is_array = self.frames[idx][name]
+                if region_frame is None:
+                    return (_LOCAL, is_array, False)
+                if idx >= region_frame:
+                    return (cls, is_array, False)
+                # declared outside the innermost region: visible at
+                # entry, therefore shared within the region
+                return (SHARED, is_array, False)
+        if name in self.globals:
+            return (SHARED, self.globals[name], True)
+        return None  # unknown identifier (builtin value, etc.)
+
+    def _classify_into_regions(self, name: str, cls: str) -> None:
+        if self.region_stack:
+            self.region_stack[-1][0].sharing.setdefault(name, cls)
+        if self.ws_stack:
+            self.ws_stack[-1].sharing.setdefault(name, cls)
+
+    # -- access recording ---------------------------------------------------
+
+    def _access(
+        self,
+        node: A.Expr,
+        name: str,
+        is_write: bool,
+        subscript: Optional[A.Expr] = None,
+    ) -> None:
+        resolved = self._resolve(name)
+        if resolved is None:
+            return
+        cls, is_array, is_global = resolved
+        self._classify_into_regions(name, cls if cls != _LOCAL else SHARED)
+        if cls != SHARED:
+            return
+        in_region = bool(self.region_stack)
+        if not in_region and not (self.unsafe and is_global):
+            return  # sequential context: cannot race
+        ompfor = self.ompfor_stack[-1] if self.ompfor_stack else None
+        site = AccessSite(
+            nid=node.nid,
+            var=name,
+            key=(GLOBAL_SCOPE if is_global else self.func.name, name),
+            is_write=is_write,
+            func=self.func.name,
+            loc=f"{node.loc.line}:{node.loc.col}",
+            region=self.region_stack[-1][0].nid if in_region else None,
+            is_array=is_array,
+            subscript=subscript,
+            omp_for=ompfor[0] if ompfor else None,
+            loop_var=ompfor[1] if ompfor else None,
+            omp_for_serial=ompfor[2] if ompfor else True,
+            guards=frozenset(self.guard_stack),
+            in_master=self.master_depth > 0,
+            single=self.single_stack[-1] if self.single_stack else None,
+        )
+        if (
+            site.region is None
+            and is_array
+            and not isinstance(fold_static_value(subscript) if subscript else None, int)
+        ):
+            # interprocedural array access with unknown element: the
+            # caller's distribution is invisible — delegate to dynamic
+            self.unresolved.append(site)
+        else:
+            self.accesses.append(site)
+
+    def _reads(self, expr: Optional[A.Expr]) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, A.Name):
+            self._access(expr, expr.ident, is_write=False)
+            return
+        if isinstance(expr, A.Index) and isinstance(expr.base, A.Name):
+            self._access(expr, expr.base.ident, is_write=False, subscript=expr.index)
+            self._reads(expr.index)
+            return
+        for child in expr.children():
+            if isinstance(child, A.Expr):
+                self._reads(child)
+
+    # -- traversal ----------------------------------------------------------
+
+    def _walk_block(self, block: A.Block) -> None:
+        for stmt in block.stmts:
+            self._walk_stmt(stmt)
+
+    def _walk_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.Block):
+            self._walk_block(stmt)
+        elif isinstance(stmt, A.VarDecl):
+            self._reads(stmt.init)
+            self._reads(stmt.size)
+            cls = PRIVATE if self.region_stack else _LOCAL
+            self._declare(stmt.name, cls, stmt.is_array)
+            if self.region_stack:
+                self._classify_into_regions(stmt.name, PRIVATE)
+        elif isinstance(stmt, A.Assign):
+            self._reads(stmt.value)
+            target = stmt.target
+            if isinstance(target, A.Name):
+                self._access(target, target.ident, is_write=True)
+            elif isinstance(target, A.Index) and isinstance(target.base, A.Name):
+                self._reads(target.index)
+                self._access(
+                    target, target.base.ident, is_write=True,
+                    subscript=target.index,
+                )
+        elif isinstance(stmt, A.If):
+            self._reads(stmt.cond)
+            self._walk_stmt(stmt.then)
+            if stmt.els is not None:
+                self._walk_stmt(stmt.els)
+        elif isinstance(stmt, A.While):
+            self._reads(stmt.cond)
+            self.loop_depth += 1
+            self._walk_block(stmt.body)
+            self.loop_depth -= 1
+        elif isinstance(stmt, A.For):
+            self.frames.append({})
+            if stmt.init is not None:
+                self._walk_stmt(stmt.init)
+            self._reads(stmt.cond)
+            self.loop_depth += 1
+            if stmt.step is not None:
+                self._walk_stmt(stmt.step)
+            self._walk_block(stmt.body)
+            self.loop_depth -= 1
+            self.frames.pop()
+        elif isinstance(stmt, A.OmpParallel):
+            self._walk_parallel(stmt)
+        elif isinstance(stmt, A.OmpFor):
+            self._walk_omp_for(stmt)
+        elif isinstance(stmt, A.OmpSections):
+            # section-level serialization is the MHP analysis' job
+            for section in stmt.sections:
+                self._walk_block(section)
+        elif isinstance(stmt, A.OmpSingle):
+            serial = (self.loop_depth == 0) or not stmt.nowait
+            self.single_stack.append((stmt.nid, serial))
+            self._walk_block(stmt.body)
+            self.single_stack.pop()
+        elif isinstance(stmt, A.OmpMaster):
+            self.master_depth += 1
+            self._walk_block(stmt.body)
+            self.master_depth -= 1
+        elif isinstance(stmt, A.OmpCritical):
+            self.guard_stack.append(critical_token(stmt.name))
+            self._walk_block(stmt.body)
+            self.guard_stack.pop()
+        elif isinstance(stmt, A.OmpAtomic):
+            self.guard_stack.append(ATOMIC_TOKEN)
+            self._walk_stmt(stmt.stmt)
+            self.guard_stack.pop()
+        elif isinstance(stmt, A.OmpBarrier):
+            pass
+        else:
+            # leaf statements: ExprStmt, Print, AssertStmt, Return...
+            for child in stmt.children():
+                if isinstance(child, A.Expr):
+                    self._reads(child)
+
+    def _walk_parallel(self, stmt: A.OmpParallel) -> None:
+        self._reads(stmt.num_threads)
+        info = RegionInfo(
+            nid=stmt.nid,
+            func=self.func.name,
+            loc=f"{stmt.loc.line}:{stmt.loc.col}",
+            kind="parallel",
+        )
+        frame: Dict[str, Tuple[str, bool]] = {}
+        for name in stmt.private:
+            frame[name] = (PRIVATE, False)
+            info.sharing[name] = PRIVATE
+        for name in stmt.firstprivate:
+            frame[name] = (FIRSTPRIVATE, False)
+            info.sharing[name] = FIRSTPRIVATE
+        for _op, name in stmt.reductions:
+            frame[name] = (REDUCTION, False)
+            info.sharing[name] = REDUCTION
+        for name in stmt.shared:
+            info.sharing[name] = SHARED
+        self.regions.append(info)
+        self.region_stack.append((info, len(self.frames)))
+        self.frames.append(frame)
+        self._walk_block(stmt.body)
+        self.frames.pop()
+        self.region_stack.pop()
+
+    def _walk_omp_for(self, stmt: A.OmpFor) -> None:
+        loop = stmt.loop
+        loop_var = _loop_index_name(loop.init)
+        serial = (self.loop_depth == 0) or not stmt.nowait
+        info = RegionInfo(
+            nid=stmt.nid,
+            func=self.func.name,
+            loc=f"{stmt.loc.line}:{stmt.loc.col}",
+            kind="for",
+        )
+        frame: Dict[str, Tuple[str, bool]] = {}
+        for name in stmt.private:
+            frame[name] = (PRIVATE, False)
+            info.sharing[name] = PRIVATE
+        for _op, name in stmt.reductions:
+            frame[name] = (REDUCTION, False)
+            info.sharing[name] = REDUCTION
+        if loop_var is not None:
+            # the runtime re-declares the index per iteration, so it is
+            # private even when a pre-existing variable is reused
+            frame[loop_var] = (LOOP_INDEX, False)
+            info.sharing[loop_var] = LOOP_INDEX
+        self.regions.append(info)
+        self.frames.append(frame)
+        self.ws_stack.append(info)
+        self.ompfor_stack.append((stmt.nid, loop_var, serial))
+        self._reads(stmt.chunk)
+        if isinstance(loop.init, A.VarDecl):
+            self._reads(loop.init.init)
+        elif isinstance(loop.init, A.Assign):
+            self._reads(loop.init.value)
+        self._reads(loop.cond)
+        self.loop_depth += 1
+        if loop.step is not None:
+            self._walk_stmt(loop.step)
+        self._walk_block(loop.body)
+        self.loop_depth -= 1
+        self.ompfor_stack.pop()
+        self.ws_stack.pop()
+        self.frames.pop()
+
+
+# ---------------------------------------------------------------------------
+# Subscript disjointness (ZIV / SIV)
+# ---------------------------------------------------------------------------
+
+_SYM_LOOP = "loop"
+_SYM_TID = "tid"
+
+
+def _linear_form(
+    expr: Optional[A.Expr], loop_var: Optional[str]
+) -> Optional[Tuple[Optional[str], int, int]]:
+    """``expr`` as ``coeff * sym + offset`` over one distribution symbol.
+
+    ``sym`` is None for constants, ``"loop"`` for the enclosing omp-for
+    index, ``"tid"`` for ``omp_get_thread_num()``.  Returns None when
+    the expression is not linear in a single such symbol.
+    """
+    if expr is None:
+        return None
+    folded = fold_static_value(expr)
+    if isinstance(folded, int) and not isinstance(folded, bool):
+        return (None, 0, folded)
+    if isinstance(expr, A.Name):
+        if loop_var is not None and expr.ident == loop_var:
+            return (_SYM_LOOP, 1, 0)
+        return None
+    if isinstance(expr, A.CallExpr):
+        if expr.name == "omp_get_thread_num" and not expr.args:
+            return (_SYM_TID, 1, 0)
+        return None
+    if isinstance(expr, A.Unary) and expr.op == "-":
+        form = _linear_form(expr.operand, loop_var)
+        if form is None:
+            return None
+        return (form[0], -form[1], -form[2])
+    if isinstance(expr, A.Binary) and expr.op in ("+", "-", "*"):
+        left = _linear_form(expr.left, loop_var)
+        right = _linear_form(expr.right, loop_var)
+        if left is None or right is None:
+            return None
+        (ls, lc, lo), (rs, rc, ro) = left, right
+        if expr.op == "*":
+            if ls is None:
+                return (rs, lo * rc, lo * ro)
+            if rs is None:
+                return (ls, lc * ro, lo * ro)
+            return None  # sym * sym: not linear
+        sign = 1 if expr.op == "+" else -1
+        if ls is None:
+            return (rs, sign * rc, lo + sign * ro)
+        if rs is None or rs == ls:
+            return (ls, lc + sign * rc, lo + sign * ro)
+        return None  # two distinct symbols
+    return None
+
+
+def _subscripts_disjoint(
+    a: AccessSite,
+    b: AccessSite,
+    mhp_a: Optional[MHPInfo],
+    mhp_b: Optional[MHPInfo],
+    overlap_unsafe: bool,
+) -> bool:
+    """Can the two element accesses provably never touch one address?"""
+    fa = _linear_form(a.subscript, a.loop_var)
+    fb = _linear_form(b.subscript, b.loop_var)
+    if fa is None or fb is None:
+        return False
+    (sa, ca, oa), (sb, cb, ob) = fa, fb
+    if sa is None and sb is None:
+        return oa != ob  # ZIV: two distinct constant elements
+    if overlap_unsafe:
+        return False  # overlapping region instances repeat the symbols
+    if sa == _SYM_LOOP and sb == _SYM_LOOP:
+        # SIV within one omp for: iteration i only touches c*i+o, and
+        # distinct iterations run on threads whose accesses may overlap
+        # — identical nonzero-coefficient forms are iteration-disjoint.
+        return (
+            a.omp_for is not None
+            and a.omp_for == b.omp_for
+            and a.omp_for_serial
+            and b.omp_for_serial
+            and ca == cb
+            and ca != 0
+            and oa == ob
+        )
+    if sa == _SYM_TID and sb == _SYM_TID:
+        # each thread of one team owns its c*tid+o element
+        return (
+            mhp_a is not None
+            and mhp_b is not None
+            and len(mhp_a.regions) == 1
+            and mhp_a.regions == mhp_b.regions
+            and ca == cb
+            and ca != 0
+            and oa == ob
+        )
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Pairing
+# ---------------------------------------------------------------------------
+
+
+def _serialized_by_construct(
+    a: AccessSite,
+    b: AccessSite,
+    mhp_a: Optional[MHPInfo],
+    mhp_b: Optional[MHPInfo],
+    overlap_unsafe: bool,
+) -> bool:
+    """master/master and same-serial-single pairs run on one thread."""
+    if overlap_unsafe or mhp_a is None or mhp_b is None:
+        return False
+    if len(mhp_a.regions) != 1 or mhp_a.regions != mhp_b.regions:
+        return False
+    if a.in_master and b.in_master:
+        return True  # both on thread 0 of the same (single-level) team
+    if (
+        a.single is not None
+        and a.single == b.single
+        and a.single[1]  # encounters provably serial
+    ):
+        return True
+    return False
+
+
+def _pair_reason(a: AccessSite, b: AccessSite) -> str:
+    kinds = f"{a.kind}/{b.kind}"
+    if a.is_array or b.is_array:
+        if a.subscript is not None and b.subscript is not None:
+            detail = "subscripts not provably disjoint"
+        else:
+            detail = "whole-array use overlaps element accesses"
+        reason = f"unsynchronized {kinds} of shared array ({detail})"
+    else:
+        reason = f"unsynchronized {kinds} of shared variable"
+    if a.region is None or b.region is None:
+        reason += "; reached from a parallel region"
+    return reason
+
+
+def find_races(
+    program: A.Program,
+    cfgs: Optional[Dict[str, C.CFG]] = None,
+    unsafe_funcs: Optional[Set[str]] = None,
+) -> StaticRaceReport:
+    """Run the full static race pass over *program*.
+
+    With *cfgs* supplied, the must-held lock-state analysis widens each
+    access's lexical guard set path-sensitively (a user lock taken three
+    statements earlier still serializes).
+    """
+    unsafe = (
+        set(unsafe_funcs)
+        if unsafe_funcs is not None
+        else functions_called_from_parallel(program)
+    )
+    mhp = compute_mhp(program, record_all=True, implicit_ws_barriers=True)
+    globals_ = {decl.name: decl.is_array for decl in program.globals}
+
+    report = StaticRaceReport()
+    user_funcs = frozenset(fn.name for fn in program.functions)
+    for fn in program.functions:
+        walker = _FunctionWalker(fn, globals_, unsafe=fn.name in unsafe)
+        walker.run()
+        report.accesses.extend(walker.accesses)
+        report.unresolved.extend(walker.unresolved)
+        report.regions.extend(walker.regions)
+        if cfgs and fn.name in cfgs and walker.accesses:
+            _widen_guards(walker.accesses, cfgs[fn.name], user_funcs)
+
+    by_key: Dict[Tuple[str, str], List[AccessSite]] = {}
+    for site in report.accesses:
+        by_key.setdefault(site.key, []).append(site)
+
+    for key, sites in sorted(by_key.items()):
+        if not any(s.is_write for s in sites):
+            continue  # read-only sharing is race-free
+        for i in range(len(sites)):
+            for j in range(i, len(sites)):
+                a, b = sites[i], sites[j]
+                if not (a.is_write or b.is_write):
+                    continue
+                _check_pair(report, key, a, b, mhp, unsafe)
+    return report
+
+
+def _widen_guards(
+    accesses: List[AccessSite], cfg: C.CFG, user_funcs: FrozenSet[str]
+) -> None:
+    """Merge must-held lock tokens into each access's guard set."""
+    result = solve(cfg, LockStateAnalysis(user_funcs))
+    node_map = _ast_node_map(cfg)
+    for site in accesses:
+        node = node_map.get(site.nid)
+        if node is None:
+            continue
+        held = result.fact_before(node)
+        if held:
+            site.guards = site.guards | held
+
+
+def _ast_node_map(cfg: C.CFG) -> Dict[int, C.CFGNode]:
+    """Tightest CFG node containing each AST sub-node, by nid.
+
+    Same construction-order trick as the dataflow facts' call map, but
+    for arbitrary nodes: compound nodes precede their body statements,
+    so letting later nodes win keeps the innermost bracket.
+    """
+    keep = (
+        C.STMT, C.BRANCH, C.LOOP_HEAD,
+        C.OMP_PARALLEL_BEGIN, C.OMP_WS_BEGIN, C.OMP_CRITICAL_BEGIN,
+    )
+    out: Dict[int, C.CFGNode] = {}
+    for node in cfg.linearize():
+        if node.kind not in keep or node.ast is None:
+            continue
+        for sub in node.ast.walk():
+            out[sub.nid] = node
+    return out
+
+
+def _check_pair(
+    report: StaticRaceReport,
+    key: Tuple[str, str],
+    a: AccessSite,
+    b: AccessSite,
+    mhp: Dict[int, MHPInfo],
+    unsafe: Set[str],
+) -> None:
+    mhp_a, mhp_b = mhp.get(a.nid), mhp.get(b.nid)
+    if not may_happen_in_parallel(mhp_a, mhp_b, unsafe):
+        report.count_prune(PRUNE_RACE_MHP)
+        return
+    if a.guards & b.guards:
+        report.count_prune(PRUNE_RACE_LOCK)
+        return
+    overlap_unsafe = a.func in unsafe or b.func in unsafe
+    if _serialized_by_construct(a, b, mhp_a, mhp_b, overlap_unsafe):
+        report.count_prune(PRUNE_RACE_GUARD)
+        return
+    if (
+        a.is_array
+        and b.is_array
+        and a.subscript is not None
+        and b.subscript is not None
+        and _subscripts_disjoint(a, b, mhp_a, mhp_b, overlap_unsafe)
+    ):
+        report.count_prune(PRUNE_RACE_SUBSCRIPT)
+        return
+    scope, var = key
+    report.candidates.append(
+        StaticRaceCandidate(
+            var=var, scope=scope, a=a, b=b, reason=_pair_reason(a, b)
+        )
+    )

@@ -12,6 +12,7 @@ from .checklist import Checklist, build_checklist
 from .dataflow import DataflowFacts, compute_dataflow
 from .instrument import InstrumentationResult, InstrumentPolicy, instrument_program
 from .mpi_sites import MPISite, collect_sites
+from .races import StaticRaceReport, find_races
 from .threadlevel import StaticWarning, ThreadLevelInfo, check_thread_level, infer_thread_level
 
 
@@ -29,10 +30,22 @@ class StaticReport:
     candidates: List[ViolationCandidate] = field(default_factory=list)
     #: facts of the worklist dataflow analyses (None when disabled)
     dataflow_facts: Optional[DataflowFacts] = None
+    #: static data-race pass outcome (None when disabled)
+    races: Optional[StaticRaceReport] = None
 
     @property
     def hybrid_sites(self) -> List[MPISite]:
         return [s for s in self.sites if s.in_parallel]
+
+    def prune_counts(self) -> Dict[str, int]:
+        """Per-category prune counters, dataflow and race passes merged
+        — the single place CLI/JSON consumers read them from."""
+        counts: Dict[str, int] = {}
+        if self.dataflow_facts is not None:
+            counts.update(self.dataflow_facts.pruned)
+        if self.races is not None:
+            counts.update(self.races.pruned)
+        return counts
 
     def summary(self) -> str:
         lines = [
@@ -61,6 +74,27 @@ class StaticReport:
                 f"  dataflow-pruned candidate pairs: {facts.total_pruned} "
                 f"({per_kind})"
             )
+        races = self.races
+        if races is not None:
+            if races.candidates:
+                racing = ", ".join(sorted(races.monitored_vars))
+                lines.append(
+                    f"  static race candidates: {len(races.candidates)} "
+                    f"(vars: {racing})"
+                )
+            if races.unresolved:
+                lines.append(
+                    f"  unresolved interprocedural array accesses: "
+                    f"{len(races.unresolved)} (delegated to dynamic phase)"
+                )
+            if races.total_pruned:
+                per_kind = ", ".join(
+                    f"{k}: {v}" for k, v in sorted(races.pruned.items()) if v
+                )
+                lines.append(
+                    f"  race-pruned access pairs: {races.total_pruned} "
+                    f"({per_kind})"
+                )
         for w in self.warnings:
             lines.append(f"  {w}")
         return "\n".join(lines)
@@ -122,6 +156,10 @@ class StaticReport:
                     for nid, held in sorted(facts.locks_held.items())
                 },
             },
+            "races": None if self.races is None else self.races.as_dict(),
+            #: merged per-prune counters (dataflow + race passes), always
+            #: present so JSON consumers need no per-section probing
+            "prunes": self.prune_counts(),
         }
 
 
@@ -131,17 +169,35 @@ def run_static_analysis(
     interprocedural: bool = True,
     with_cfgs: bool = True,
     dataflow: bool = True,
+    races: bool = True,
 ) -> StaticReport:
-    """The full compile-time phase of HOME (paper Fig. 3, left column)."""
+    """The full compile-time phase of HOME (paper Fig. 3, left column).
+
+    With ``races`` enabled the static data-race pass runs before
+    instrumentation, so its candidate variables become the monitored-
+    variable set of the instrumented program (race-directed narrowing).
+    """
     sites = collect_sites(program, interprocedural=interprocedural)
     warnings = check_thread_level(program, sites)
+    cfgs = build_program_cfgs(program) if with_cfgs or dataflow or races else {}
+    facts = compute_dataflow(program, cfgs, sites) if dataflow else None
+    race_report = (
+        find_races(
+            program,
+            cfgs,
+            unsafe_funcs=facts.unsafe_funcs if facts is not None else None,
+        )
+        if races
+        else None
+    )
     instrumentation = instrument_program(
-        program, policy=policy, interprocedural=interprocedural
+        program,
+        policy=policy,
+        interprocedural=interprocedural,
+        monitor_vars=race_report.monitored_vars if race_report is not None else (),
     )
     hybrid = [s for s in sites if s.in_parallel and s.instrumentable]
     checklist = build_checklist(hybrid)
-    cfgs = build_program_cfgs(program) if with_cfgs or dataflow else {}
-    facts = compute_dataflow(program, cfgs, sites) if dataflow else None
     candidates = find_candidates(sites, facts)
     return StaticReport(
         program_name=program.name,
@@ -153,4 +209,5 @@ def run_static_analysis(
         cfgs=cfgs if with_cfgs else {},
         candidates=candidates,
         dataflow_facts=facts,
+        races=race_report,
     )

@@ -70,7 +70,21 @@ class CheckingTool(abc.ABC):
         """Return (program_to_run, static_artifacts)."""
         return program, None
 
-    def run_config(self, nprocs: int, num_threads: int, seed: int, **overrides) -> RunConfig:
+    def run_config(
+        self,
+        nprocs: int,
+        num_threads: int,
+        seed: int,
+        static: Optional[object] = None,
+        **overrides,
+    ) -> RunConfig:
+        """Build the execution configuration for one check run.
+
+        *static* carries the tool's own :meth:`prepare` artifacts so a
+        tool can condition its runtime monitoring on what the static
+        phase found (HOME narrows memory monitoring this way); the base
+        implementation ignores it.
+        """
         cfg = dict(
             nprocs=nprocs,
             num_threads=num_threads,
@@ -95,7 +109,7 @@ class CheckingTool(abc.ABC):
         **overrides,
     ) -> ToolReport:
         to_run, static = self.prepare(program)
-        config = self.run_config(nprocs, num_threads, seed, **overrides)
+        config = self.run_config(nprocs, num_threads, seed, static=static, **overrides)
         result = Interpreter(to_run, config).run()
         t0 = _time.perf_counter()
         violations = self.analyze(result, static)

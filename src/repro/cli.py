@@ -136,6 +136,12 @@ def cmd_check(args: argparse.Namespace) -> int:
             print(f"  {warning}")
         for note in report.execution.notes:
             print(f"  note: {note}")
+        if report.extras.get("monitored_vars"):
+            from .violations.render import render_race_triage
+
+            print("  race-directed monitoring: "
+                  + ", ".join(report.extras["monitored_vars"]))
+            print(render_race_triage(report.extras["race_triage"]))
     return 1 if len(report.violations) or report.deadlocked else 0
 
 
@@ -199,11 +205,27 @@ def cmd_static(args: argparse.Namespace) -> int:
     from .analysis.static_ import run_static_analysis
 
     program = _load_program(args.file)
-    report = run_static_analysis(program, dataflow=not args.no_dataflow)
+    report = run_static_analysis(
+        program,
+        dataflow=not args.no_dataflow,
+        races=not args.no_races,
+    )
     if args.json:
         print(json.dumps(report.as_dict(), indent=2))
         return 1 if report.warnings else 0
     print(report.summary())
+    prunes = report.prune_counts()
+    if prunes:
+        print("prune counters:")
+        for kind, count in sorted(prunes.items()):
+            print(f"  {kind}: {count}")
+    if report.races is not None and report.races.candidates:
+        from .violations.render import render_race_candidates
+
+        print()
+        print(render_race_candidates(
+            report.races.candidates, source=Path(args.file).read_text()
+        ))
     facts = report.dataflow_facts
     if facts is not None and facts.envelopes:
         print("dataflow facts (per site):")
@@ -377,6 +399,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-dataflow",
         action="store_true",
         help="skip the worklist dataflow analyses (envelope/lock/MHP pruning)",
+    )
+    p.add_argument(
+        "--no-races",
+        action="store_true",
+        help="skip the static data-race pass",
     )
     p.set_defaults(func=cmd_static)
 

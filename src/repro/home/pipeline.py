@@ -4,28 +4,43 @@ Pipeline (paper Fig. 3):
 
 1. **Compile-time checking** — CFG construction, hybrid-site discovery,
    static thread-level warnings, selective instrumentation (MPI calls in
-   ``omp parallel`` regions become ``hmpi_*`` wrappers), and the
-   monitored-variable checklist.
+   ``omp parallel`` regions become ``hmpi_*`` wrappers), the
+   monitored-variable checklist, and the static data-race pass whose
+   candidate variables seed the *memory* monitoring set.
 2. **Runtime checking** — execute the instrumented program; wrappers
-   write the monitored variables and log call arguments.
+   write the monitored variables and log call arguments.  When the
+   static race pass produced candidates, memory monitoring is switched
+   on for exactly those variables (race-directed narrowing — the ITC
+   model monitors everything instead).
 3. **Hybrid dynamic analysis** — lockset + happens-before concurrency
    detection on the monitored variables.
 4. **Report matching** — merge concurrency reports with the
-   thread-safety specification argument list into final violations.
+   thread-safety specification argument list into final violations;
+   static race candidates are triaged against the dynamic phase's
+   :class:`~repro.analysis.dynamic_.memraces.MemRace` findings as
+   confirmed / refuted / missed-by-dynamic.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional
 
 from ..analysis.dynamic_.hybrid import DetectorConfig, analyze
-from ..analysis.static_ import InstrumentPolicy, StaticReport, run_static_analysis
+from ..analysis.dynamic_.memraces import MemRace, find_memory_races
+from ..analysis.static_ import (
+    InstrumentPolicy,
+    StaticRaceReport,
+    StaticReport,
+    run_static_analysis,
+)
 from ..baselines.base import CheckingTool, ToolReport
+from ..events import MemAccess
 from ..minilang import ast_nodes as A
 from ..runtime import ExecutionResult
-from ..runtime.costmodel import HOME_CHARGE
+from ..runtime.costmodel import HOME_CHARGE, ITC_CHARGE
 from ..violations import ViolationReport, match_violations
+from ..violations.spec import Violation
 
 
 @dataclass(frozen=True)
@@ -37,9 +52,76 @@ class HomeOptions:
     #: run the worklist dataflow analyses (envelope intervals,
     #: lock-state, May-Happen-in-Parallel) to prune static candidates
     dataflow: bool = True
+    #: run the static data-race pass and narrow memory monitoring to
+    #: its candidate variables
+    races: bool = True
+    #: per-access charge while race-directed memory monitoring is on;
+    #: the ITC model's unit cost, so overhead comparisons are per-event
+    #: fair — HOME just monitors far fewer events
+    race_memory_cost: float = ITC_CHARGE.mem_event_cost
+    #: report dynamically confirmed race candidates as DataRace findings
+    report_memory_races: bool = True
     detector: DetectorConfig = field(default_factory=DetectorConfig)
     #: include static thread-level warnings in the report extras
     report_static_warnings: bool = True
+
+
+def triage_race_candidates(
+    result: ExecutionResult, races: StaticRaceReport
+) -> Dict[str, Any]:
+    """Judge each static race candidate against the dynamic phase.
+
+    * **confirmed** — the lockset/happens-before analysis found an
+      unordered conflicting access pair on the candidate variable;
+    * **refuted** — the variable was observed from several threads but
+      every conflicting pair was ordered or lock-protected;
+    * **missed-by-dynamic** — the monitored run never exercised the
+      variable from more than one thread, so the schedule says nothing
+      (the candidate stands untested, the classic dynamic-tool gap).
+    """
+    log = result.log
+    dynamic_races: Dict[str, List[MemRace]] = {}
+    if result.config.monitor_memory:
+        for proc in log.processes():
+            for race in find_memory_races(log, proc):
+                dynamic_races.setdefault(race.var, []).append(race)
+    threads_by_var: Dict[str, Dict[int, set]] = {}
+    for event in log:
+        if type(event) is MemAccess:
+            threads_by_var.setdefault(event.var, {}).setdefault(
+                event.proc, set()
+            ).add(event.thread)
+
+    locs_by_var: Dict[str, set] = {}
+    for cand in races.candidates:
+        locs_by_var.setdefault(cand.var, set()).update(cand.locs())
+
+    triage: Dict[str, Any] = {
+        "confirmed": [], "refuted": [], "missed_by_dynamic": [],
+    }
+    for var in sorted(races.monitored_vars):
+        entry: Dict[str, Any] = {
+            "var": var,
+            "locs": sorted(locs_by_var.get(var, ())),
+            "candidates": sum(1 for c in races.candidates if c.var == var),
+        }
+        if var in dynamic_races:
+            entry["races"] = [
+                {
+                    "proc": r.proc,
+                    "threads": sorted((r.thread_a, r.thread_b)),
+                    "callsites": sorted((r.callsite_a, r.callsite_b)),
+                }
+                for r in dynamic_races[var]
+            ]
+            triage["confirmed"].append(entry)
+        elif any(
+            len(threads) > 1 for threads in threads_by_var.get(var, {}).values()
+        ):
+            triage["refuted"].append(entry)
+        else:
+            triage["missed_by_dynamic"].append(entry)
+    return triage
 
 
 class Home(CheckingTool):
@@ -58,14 +140,61 @@ class Home(CheckingTool):
             policy=self.options.instrument_policy,
             interprocedural=self.options.interprocedural,
             dataflow=self.options.dataflow,
+            races=self.options.races,
         )
         return static.instrumented_program, static
+
+    def run_config(self, nprocs, num_threads, seed, static=None, **overrides):
+        """Race-directed narrowing: monitor memory only when the static
+        race pass produced candidates, and then only their variables."""
+        if (
+            self.options.races
+            and isinstance(static, StaticReport)
+            and static.races is not None
+            and static.races.monitored_vars
+        ):
+            overrides.setdefault("monitor_memory", True)
+            overrides.setdefault("monitored_vars", static.races.monitored_vars)
+            overrides.setdefault(
+                "charge",
+                replace(self.charge, mem_event_cost=self.options.race_memory_cost),
+            )
+        return super().run_config(nprocs, num_threads, seed, static=static, **overrides)
 
     def analyze(
         self, result: ExecutionResult, static: Optional[StaticReport]
     ) -> ViolationReport:
         reports = analyze(result.log, self.options.detector)
-        return match_violations(result.log, reports)
+        violations = match_violations(result.log, reports)
+        if (
+            self.options.report_memory_races
+            and static is not None
+            and static.races is not None
+            and result.config.monitor_memory
+        ):
+            locs_by_var: Dict[str, set] = {}
+            for cand in static.races.candidates:
+                locs_by_var.setdefault(cand.var, set()).update(cand.locs())
+            for proc in result.log.processes():
+                for race in find_memory_races(result.log, proc):
+                    violations.add(
+                        Violation(
+                            vclass="DataRace",
+                            proc=proc,
+                            message=(
+                                f"static race candidate confirmed: conflicting "
+                                f"unsynchronized accesses to shared variable "
+                                f"{race.var!r} from threads {race.thread_a} "
+                                f"and {race.thread_b}"
+                            ),
+                            callsites=tuple(
+                                sorted((race.callsite_a, race.callsite_b))
+                            ),
+                            locs=tuple(sorted(locs_by_var.get(race.var, ()))),
+                            threads=tuple(sorted((race.thread_a, race.thread_b))),
+                        )
+                    )
+        return violations
 
     def check(self, program, nprocs=2, num_threads=2, seed=0, **overrides) -> ToolReport:
         report = super().check(program, nprocs, num_threads, seed, **overrides)
@@ -77,6 +206,14 @@ class Home(CheckingTool):
             facts = report.static.dataflow_facts
             if facts is not None:
                 report.extras["dataflow_pruned"] = dict(facts.pruned)
+        if report.static is not None and report.static.races is not None:
+            races = report.static.races
+            report.extras["race_pruned"] = dict(races.pruned)
+            report.extras["static_race_candidates"] = len(races.candidates)
+            report.extras["monitored_vars"] = sorted(races.monitored_vars)
+            report.extras["race_triage"] = triage_race_candidates(
+                report.execution, races
+            )
         return report
 
 

@@ -45,6 +45,10 @@ class RunConfig:
     raise_on_deadlock: bool = False
     #: record MemAccess events for shared variables in parallel regions
     monitor_memory: bool = False
+    #: restrict memory monitoring to these variable names (None = all
+    #: shared variables, the monitor-everything ITC behaviour; HOME
+    #: narrows this to the static race pass's candidate variables)
+    monitored_vars: Optional[frozenset] = None
     #: hard cap on scheduler iterations (runaway-program guard)
     max_steps: int = 50_000_000
     #: user function call depth cap (each simulated frame nests several

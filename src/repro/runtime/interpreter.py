@@ -695,6 +695,9 @@ class Interpreter:
             return
         if not cell.shared or not ctx.in_parallel:
             return
+        monitored = self.config.monitored_vars
+        if monitored is not None and cell.name not in monitored:
+            return
         ctx.charge(self.charge_cfg.mem_event_cost)
         self.emit(
             MemAccess, ctx,

@@ -103,6 +103,61 @@ def render_report(
     return "\n\n".join(blocks)
 
 
+def render_race_candidates(
+    candidates: Sequence,
+    source: Optional[str] = None,
+    context: int = 1,
+) -> str:
+    """Static race candidates as readable text, with source excerpts.
+
+    *candidates* is duck-typed (``StaticRaceCandidate`` objects from the
+    static race pass) so the violations package does not need to import
+    the analysis package.
+    """
+    if not candidates:
+        return "no static race candidates"
+    blocks = [f"{len(candidates)} static race candidate(s):"]
+    for cand in candidates:
+        lines = [str(cand)]
+        if source is not None:
+            seen = set()
+            for loc in cand.locs():
+                if loc in seen:
+                    continue
+                seen.add(loc)
+                excerpt = excerpt_at(source, loc, context)
+                if excerpt is not None:
+                    lines.append(excerpt.render())
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def render_race_triage(triage: Dict) -> str:
+    """The HOME pipeline's static-vs-dynamic race triage as text."""
+    order = ("confirmed", "refuted", "missed_by_dynamic")
+    labels = {
+        "confirmed": "confirmed by dynamic phase",
+        "refuted": "refuted (multi-threaded, no race observed)",
+        "missed_by_dynamic": "missed by dynamic phase (never multi-threaded)",
+    }
+    lines = ["static race triage:"]
+    for key in order:
+        entries = triage.get(key, [])
+        lines.append(f"  {labels[key]}: {len(entries)}")
+        for entry in entries:
+            locs = ", ".join(entry.get("locs", []))
+            detail = f"    {entry['var']} ({entry['candidates']} candidate(s)"
+            detail += f" at {locs})" if locs else ")"
+            lines.append(detail)
+            for race in entry.get("races", []):
+                threads = "/".join(str(t) for t in race["threads"])
+                lines.append(
+                    f"      observed on rank {race['proc']} "
+                    f"threads {threads}"
+                )
+    return "\n".join(lines)
+
+
 def report_to_dict(report: ViolationReport) -> Dict:
     """Machine-readable form of a report (for --format json)."""
     findings = []

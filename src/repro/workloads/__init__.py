@@ -7,7 +7,14 @@ from .case_studies import (  # noqa: F401
     case_study_2_fixed,
     safe_funneled,
 )
-from .npb import BENCHMARKS, SPECS, injection_registry, score_report  # noqa: F401
+from .npb import (  # noqa: F401
+    BENCHMARKS,
+    SPECS,
+    build_racy_npb,
+    injection_registry,
+    racy_npb_source,
+    score_report,
+)
 
 __all__ = [
     "case_studies",
@@ -20,4 +27,6 @@ __all__ = [
     "SPECS",
     "injection_registry",
     "score_report",
+    "build_racy_npb",
+    "racy_npb_source",
 ]

@@ -10,6 +10,12 @@ from .common import (  # noqa: F401
     score_report,
 )
 from .lu_mz import LU_SPEC, build_lu_mz, lu_mz_source  # noqa: F401
+from .races import (  # noqa: F401
+    RACE_CLASSES,
+    RACY_VARS,
+    build_racy_npb,
+    racy_npb_source,
+)
 from .sp_mz import SP_SPEC, build_sp_mz, sp_mz_source  # noqa: F401
 
 BENCHMARKS = {
@@ -42,4 +48,8 @@ __all__ = [
     "SP_SPEC",
     "BENCHMARKS",
     "SPECS",
+    "RACE_CLASSES",
+    "RACY_VARS",
+    "build_racy_npb",
+    "racy_npb_source",
 ]

@@ -1,0 +1,108 @@
+"""NPB kernels with clause-level OpenMP data-race injections.
+
+Same methodology as the MPI-violation injections of :mod:`.common`
+("these well-tested benchmarks do not have thread-safety issues... so
+we artificially implemented several tricky errors"), but for the static
+race pass: each racy variant drops or misuses exactly one data-sharing
+clause, the classic OpenMP porting mistakes LLOV catalogues:
+
+* **missing-reduction** — an accumulation into a pre-region local runs
+  without ``reduction(+: ...)``: write/write and read/write races;
+* **missing-private** — a scratch temporary shared across the team
+  instead of ``private(tmp)``;
+* **loop-shift** — a loop-carried ``field[z+1] = f(field[z])`` stencil
+  under ``omp for``: iteration *z*'s read races iteration *z+1*'s
+  write (the fixed variant aligns the subscripts, which the SIV test
+  proves iteration-disjoint).
+
+``build_racy_npb(..., fixed=True)`` generates the clause-correct twin
+of every injection; the static pass must report **zero** candidates on
+it — that asymmetry (and monitoring strictly fewer variables than a
+monitor-everything tool) is the acceptance test of the race-directed
+narrowing.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...minilang import Program, parse
+from .common import NPBSpec, _base_functions, _main_loop
+from .lu_mz import LU_SPEC
+
+#: injection names, in source order
+RACE_CLASSES: Tuple[str, ...] = (
+    "missing-reduction", "missing-private", "loop-shift",
+)
+
+#: variables each racy injection puts in conflict
+RACY_VARS: Tuple[str, ...] = ("local_norm", "tmp", "field")
+
+
+def _race_functions(spec: NPBSpec, fixed: bool) -> str:
+    """The three race injections (or their clause-fixed twins)."""
+    total_elems = spec.zones * 4
+    reduction = " reduction(+: local_norm)" if fixed else ""
+    private = " private(tmp)" if fixed else ""
+    # the fixed stencil aligns subscripts, making iterations disjoint
+    shift_write = "field[z]" if fixed else "field[z + 1]"
+    return f"""
+func race_norm(zfirst, zlast) {{
+    var local_norm = 0.0;
+    omp parallel num_threads(2) {{
+        omp for{reduction} for (var z = zfirst; z < zlast; z = z + 1) {{
+            local_norm = local_norm + field[z * 4];
+        }}
+    }}
+    rnorm[0] = local_norm;
+    return 0;
+}}
+
+func race_scratch(n) {{
+    var tmp = 0.0;
+    omp parallel num_threads(2){private} {{
+        omp for for (var z = 0; z < n; z = z + 1) {{
+            tmp = field[z * 4] + 1.0;
+            field[z * 4] = tmp;
+        }}
+    }}
+    return 0;
+}}
+
+func race_stencil() {{
+    omp parallel num_threads(2) {{
+        omp for for (var z = 0; z < {total_elems - 1}; z = z + 1) {{
+            {shift_write} = field[z] + 1.0;
+        }}
+    }}
+    return 0;
+}}
+"""
+
+
+def racy_npb_source(spec: NPBSpec = LU_SPEC, fixed: bool = False) -> str:
+    """An NPB kernel (clean MPI behaviour) plus the race injections."""
+    suffix = "_fixed" if fixed else "_racy"
+    spec = NPBSpec(**{**spec.__dict__, "name": spec.name + suffix})
+    parts = [
+        f"program {spec.name};",
+        "var rnorm[2];",
+        _base_functions(spec),
+        _race_functions(spec, fixed),
+        f"""
+func main() {{
+    var provided = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var size = mpi_comm_size(MPI_COMM_WORLD);
+{_main_loop(spec)}
+    race_norm(zfirst, zlast);
+    race_scratch(zcount);
+    race_stencil();
+    mpi_finalize();
+}}""",
+    ]
+    return "\n".join(parts) + "\n"
+
+
+def build_racy_npb(spec: NPBSpec = LU_SPEC, fixed: bool = False) -> Program:
+    return parse(racy_npb_source(spec, fixed=fixed))

@@ -1,0 +1,225 @@
+"""MHP edge cases: conditional barriers disabling phase pruning,
+``omp sections`` serialization, nested-parallel exclusion, and the
+implicit worksharing barriers the static race pass opts into."""
+
+from repro.analysis.static_.dataflow import compute_mhp, may_happen_in_parallel
+from repro.analysis.static_.races import PRUNE_RACE_MHP, find_races
+from repro.minilang import ast_nodes as A
+from repro.minilang import parse
+
+
+def infos_for(src, var, record_all=True, implicit_ws_barriers=True):
+    """MHPInfo of every ``Name`` occurrence of *var*, in source order."""
+    prog = parse(src)
+    mhp = compute_mhp(
+        prog, record_all=record_all, implicit_ws_barriers=implicit_ws_barriers
+    )
+    out = []
+    for fn in prog.functions:
+        for node in fn.body.walk():
+            if isinstance(node, A.Name) and node.ident == var and node.nid in mhp:
+                out.append(mhp[node.nid])
+    return out
+
+
+PROG = "program t;\n"
+
+
+class TestConditionalBarriers:
+    COND_BARRIER = PROG + """
+func main() {
+    var x = 0;
+    var flag = 1;
+    omp parallel num_threads(2) {
+        omp single nowait { x = 1; }
+        if (flag == 1) {
+            omp barrier;
+        }
+        omp single nowait { x = 2; }
+    }
+}"""
+
+    def test_conditional_barrier_marks_phases_unreliable(self):
+        first, second = infos_for(self.COND_BARRIER, "x")
+        assert not first.phase_reliable
+        assert not second.phase_reliable
+
+    def test_unreliable_phases_do_not_prune(self):
+        a, b = infos_for(self.COND_BARRIER, "x")
+        assert may_happen_in_parallel(a, b)
+        report = find_races(parse(self.COND_BARRIER))
+        assert any(c.var == "x" for c in report.candidates)
+
+    def test_unconditional_barrier_does_prune(self):
+        src = self.COND_BARRIER.replace(
+            "if (flag == 1) {\n            omp barrier;\n        }",
+            "omp barrier;",
+        )
+        a, b = infos_for(src, "x")
+        assert a.phase_reliable and b.phase_reliable and a.phase != b.phase
+        assert not may_happen_in_parallel(a, b)
+
+    def test_barrier_in_loop_is_conditional(self):
+        src = PROG + """
+func main() {
+    var x = 0;
+    omp parallel num_threads(2) {
+        omp single nowait { x = 1; }
+        for (var i = 0; i < 2; i = i + 1) {
+            omp barrier;
+        }
+        omp single nowait { x = 2; }
+    }
+}"""
+        a, b = infos_for(src, "x")
+        assert not (a.phase_reliable and b.phase_reliable)
+        assert may_happen_in_parallel(a, b)
+
+
+class TestSectionsSerialization:
+    def test_same_section_is_serial(self):
+        src = PROG + """
+func main() {
+    var x = 0;
+    omp parallel num_threads(2) {
+        omp sections {
+            omp section { x = 1; x = 2; }
+        }
+    }
+}"""
+        a, b = infos_for(src, "x")
+        assert a.section == b.section and a.section_serial
+        assert not may_happen_in_parallel(a, b)
+        report = find_races(parse(src))
+        assert not report.candidates
+        assert report.pruned[PRUNE_RACE_MHP] > 0
+
+    def test_different_sections_may_race(self):
+        src = PROG + """
+func main() {
+    var x = 0;
+    omp parallel num_threads(2) {
+        omp sections {
+            omp section { x = 1; }
+            omp section { x = 2; }
+        }
+    }
+}"""
+        a, b = infos_for(src, "x")
+        assert a.section != b.section
+        assert may_happen_in_parallel(a, b)
+        assert find_races(parse(src)).candidates
+
+    def test_nowait_sections_in_loop_not_serial(self):
+        # encounters of a nowait sections inside a loop can overlap, so
+        # even same-section statements are not provably ordered
+        src = PROG + """
+func main() {
+    var x = 0;
+    omp parallel num_threads(2) {
+        for (var i = 0; i < 2; i = i + 1) {
+            omp sections nowait {
+                omp section { x = 1; x = 2; }
+            }
+        }
+    }
+}"""
+        a, b = infos_for(src, "x")
+        assert a.section == b.section and not a.section_serial
+        assert may_happen_in_parallel(a, b)
+
+    def test_sections_closing_barrier_bumps_phase(self):
+        src = PROG + """
+func main() {
+    var x = 0;
+    omp parallel num_threads(2) {
+        omp sections {
+            omp section { x = 1; }
+        }
+        omp single nowait { x = 2; }
+    }
+}"""
+        a, b = infos_for(src, "x")
+        assert a.phase != b.phase
+        assert not may_happen_in_parallel(a, b)
+
+
+class TestNestedParallel:
+    NESTED = PROG + """
+func main() {
+    var x = 0;
+    omp parallel num_threads(2) {
+        omp parallel num_threads(2) {
+            omp single nowait { x = 1; }
+            omp barrier;
+            omp single nowait { x = 2; }
+        }
+    }
+}"""
+
+    def test_nested_regions_never_phase_pruned(self):
+        # inner-region instances may overlap across outer threads, so
+        # even barrier-separated phases cannot prune
+        a, b = infos_for(self.NESTED, "x")
+        assert len(a.regions) == 2
+        assert may_happen_in_parallel(a, b)
+        assert any(c.var == "x" for c in find_races(parse(self.NESTED)).candidates)
+
+    def test_function_reached_from_parallel_is_excluded(self):
+        src = PROG + "var g;\n" + """
+func helper() {
+    omp parallel num_threads(2) {
+        omp single { g = 1; }
+    }
+}
+
+func main() {
+    omp parallel num_threads(2) {
+        helper();
+    }
+}"""
+        a = infos_for(src, "g")[0]
+        # helper's region structure looks prunable on its own...
+        assert len(a.regions) == 1
+        # ...but reachability from a parallel region disables pruning
+        assert may_happen_in_parallel(a, a, unsafe_funcs={"helper"})
+        assert any(c.var == "g" for c in find_races(parse(src)).candidates)
+
+
+class TestImplicitWorksharingBarriers:
+    TWO_LOOPS = PROG + "var a[8]; var b[8];\n" + """
+func main() {
+    omp parallel num_threads(2) {
+        omp for%s for (var i = 0; i < 8; i = i + 1) {
+            a[i + 1] = 1;
+        }
+        omp for for (var j = 0; j < 8; j = j + 1) {
+            a[j] = 2;
+        }
+    }
+}"""
+
+    def test_closing_barrier_separates_loops(self):
+        report = find_races(parse(self.TWO_LOOPS % ""))
+        assert not report.candidates
+        assert report.pruned[PRUNE_RACE_MHP] > 0
+
+    def test_nowait_keeps_loops_concurrent(self):
+        report = find_races(parse(self.TWO_LOOPS % " nowait"))
+        assert any(c.var == "a" for c in report.candidates)
+
+    def test_mpi_candidate_path_keeps_coarse_phases(self):
+        # the default MHP (no implicit_ws_barriers) must not bump
+        # phases, keeping the PR-1 MPI-candidate counts stable
+        src = PROG + """
+func main() {
+    var x = 0;
+    omp parallel num_threads(2) {
+        omp for for (var i = 0; i < 4; i = i + 1) { }
+        omp single nowait { x = 1; }
+    }
+}"""
+        (info,) = infos_for(src, "x", implicit_ws_barriers=False)
+        assert info.phase == 0
+        (info,) = infos_for(src, "x", implicit_ws_barriers=True)
+        assert info.phase == 1

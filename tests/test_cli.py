@@ -88,6 +88,70 @@ class TestStatic:
         assert "hmpi_recv" in out
 
 
+OMP_RACY = """
+program omprace;
+func main() {
+    var provided = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var total = 0;
+    omp parallel num_threads(2) {
+        total = total + 1;
+    }
+    mpi_finalize();
+}
+"""
+
+
+class TestStaticRaces:
+    @pytest.fixture
+    def omp_racy_file(self, tmp_path):
+        path = tmp_path / "omprace.hmp"
+        path.write_text(OMP_RACY)
+        return str(path)
+
+    def test_static_text_shows_candidates_and_prunes(self, omp_racy_file, capsys):
+        main(["static", omp_racy_file])
+        out = capsys.readouterr().out
+        assert "static race candidates: 2" in out
+        assert "[static-race] total" in out
+        assert "> " in out  # source excerpt at the racing line
+        assert "prune counters:" in out
+        # dataflow and race prune counters land in the same block
+        for kind in ("envelope", "lockstate", "mhp", "race-mhp", "race-lock"):
+            assert f"{kind}:" in out
+
+    def test_static_json_includes_races_and_prunes(self, omp_racy_file, capsys):
+        import json
+
+        main(["static", omp_racy_file, "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["races"]["monitored_vars"] == ["total"]
+        (cand,) = [
+            c for c in data["races"]["candidates"]
+            if (c["a"]["kind"], c["b"]["kind"]) == ("write", "write")
+        ]
+        assert cand["var"] == "total"
+        assert cand["a"]["loc"] and cand["b"]["loc"]
+        assert set(data["prunes"]) >= {"envelope", "lockstate", "mhp", "race-mhp"}
+
+    def test_static_no_races_flag(self, omp_racy_file, capsys):
+        main(["static", omp_racy_file, "--no-races"])
+        out = capsys.readouterr().out
+        assert "static race candidates" not in out
+
+    def test_check_verbose_prints_triage(self, omp_racy_file, capsys):
+        code = main(["check", omp_racy_file, "-v"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "race-directed monitoring: total" in out
+        assert "static race triage:" in out
+        assert "confirmed by dynamic phase: 1" in out
+
+    def test_clean_program_keeps_monitoring_off(self, clean_file, capsys):
+        main(["check", clean_file, "-v"])
+        out = capsys.readouterr().out
+        assert "race-directed monitoring" not in out
+
+
 class TestRun:
     def test_run_prints_program_output(self, clean_file, capsys):
         code = main(["run", clean_file, "--procs", "2"])

@@ -83,6 +83,55 @@ class TestTextRendering:
         assert "line two" in text
 
 
+class TestRaceRendering:
+    RACY = """
+program t;
+func main() {
+    var x = 0;
+    omp parallel num_threads(2) {
+        x = x + 1;
+    }
+}
+"""
+
+    def _candidates(self):
+        from repro.analysis.static_.races import find_races
+        from repro.minilang import parse
+
+        return find_races(parse(self.RACY)).candidates
+
+    def test_candidates_rendered_with_excerpts(self):
+        from repro.violations import render_race_candidates
+
+        text = render_race_candidates(self._candidates(), source=self.RACY)
+        assert "static race candidate(s):" in text
+        assert "[static-race] x" in text
+        assert "x = x + 1" in text and "> " in text
+
+    def test_empty_candidate_list(self):
+        from repro.violations import render_race_candidates
+
+        assert "no static race candidates" in render_race_candidates([])
+
+    def test_triage_sections(self):
+        from repro.violations import render_race_triage
+
+        triage = {
+            "confirmed": [{
+                "var": "x", "locs": ["6:9"], "candidates": 2,
+                "races": [{"proc": 0, "threads": [0, 1],
+                           "callsites": [3, 7]}],
+            }],
+            "refuted": [],
+            "missed_by_dynamic": [{"var": "y", "locs": [], "candidates": 1}],
+        }
+        text = render_race_triage(triage)
+        assert "confirmed by dynamic phase: 1" in text
+        assert "x (2 candidate(s) at 6:9)" in text
+        assert "observed on rank 0 threads 0/1" in text
+        assert "missed by dynamic phase (never multi-threaded): 1" in text
+
+
 class TestJsonRendering:
     def test_roundtrippable_json(self):
         report = check_program(case_study_2(), nprocs=2)

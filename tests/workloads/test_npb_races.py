@@ -1,0 +1,125 @@
+"""Racy NPB variants: clause-level race injections, their clause-fixed
+twins, and the race-directed narrowing of HOME's memory monitoring."""
+
+import pytest
+
+from repro.analysis.static_ import run_static_analysis
+from repro.baselines import IntelThreadChecker
+from repro.events import MemAccess
+from repro.home import Home
+from repro.minilang import validate
+from repro.workloads.npb import (
+    RACE_CLASSES,
+    RACY_VARS,
+    SPECS,
+    build_racy_npb,
+    racy_npb_source,
+)
+
+
+def mem_vars(report):
+    return {e.var for e in report.execution.log if type(e) is MemAccess}
+
+
+@pytest.mark.parametrize("name", ["lu", "bt", "sp"])
+class TestGeneration:
+    def test_racy_variant_validates(self, name):
+        prog = build_racy_npb(SPECS[name])
+        validate(prog)
+        assert prog.name.endswith("_racy")
+
+    def test_fixed_variant_validates(self, name):
+        prog = build_racy_npb(SPECS[name], fixed=True)
+        validate(prog)
+        assert prog.name.endswith("_fixed")
+
+    def test_injection_count_matches_registry(self, name):
+        assert len(RACE_CLASSES) == len(RACY_VARS) == 3
+        source = racy_npb_source(SPECS[name])
+        fixed = racy_npb_source(SPECS[name], fixed=True)
+        assert "reduction(+: local_norm)" not in source
+        assert "reduction(+: local_norm)" in fixed
+        assert "private(tmp)" not in source
+        assert "private(tmp)" in fixed
+
+
+class TestStaticDetection:
+    def test_racy_variant_reports_all_injected_vars(self):
+        static = run_static_analysis(build_racy_npb())
+        assert static.races is not None
+        assert static.races.monitored_vars == frozenset(RACY_VARS)
+        # every candidate names both access sites
+        for cand in static.races.candidates:
+            assert cand.a.loc and cand.b.loc and cand.a.func == cand.b.func
+
+    def test_fixed_variant_reports_zero_candidates(self):
+        static = run_static_analysis(build_racy_npb(fixed=True))
+        assert static.races is not None
+        assert not static.races.candidates
+        assert static.races.monitored_vars == frozenset()
+
+    def test_fix_shows_up_as_prunes_not_silence(self):
+        # the fixed stencil survives to the subscript test and is
+        # proven disjoint there, not dropped earlier
+        racy = run_static_analysis(build_racy_npb()).races
+        fixed = run_static_analysis(build_racy_npb(fixed=True)).races
+        assert fixed.pruned["race-subscript"] > racy.pruned["race-subscript"]
+
+    def test_clean_npb_corpus_stays_quiet(self):
+        from repro.workloads.npb import BENCHMARKS
+
+        for build in BENCHMARKS.values():
+            static = run_static_analysis(build(inject=True))
+            assert not static.races.candidates
+
+
+class TestRaceDirectedNarrowing:
+    @pytest.fixture(scope="class")
+    def racy_reports(self):
+        prog = build_racy_npb()
+        home = Home().check(prog, nprocs=2, num_threads=2, seed=0)
+        itc = IntelThreadChecker().check(prog, nprocs=2, num_threads=2, seed=0)
+        return home, itc
+
+    @pytest.fixture(scope="class")
+    def fixed_reports(self):
+        prog = build_racy_npb(fixed=True)
+        home = Home().check(prog, nprocs=2, num_threads=2, seed=0)
+        itc = IntelThreadChecker().check(prog, nprocs=2, num_threads=2, seed=0)
+        return home, itc
+
+    def test_home_monitors_only_candidate_vars(self, racy_reports):
+        home, itc = racy_reports
+        assert home.execution.config.monitor_memory
+        assert mem_vars(home) == set(RACY_VARS)
+        assert set(RACY_VARS) < mem_vars(itc)
+
+    def test_home_monitors_strictly_fewer_vars_than_itc(self, fixed_reports):
+        home, itc = fixed_reports
+        assert not home.execution.config.monitor_memory
+        assert mem_vars(home) < mem_vars(itc)
+
+    def test_racy_candidates_confirmed_by_dynamic_phase(self, racy_reports):
+        home, _itc = racy_reports
+        triage = home.extras["race_triage"]
+        confirmed = {entry["var"] for entry in triage["confirmed"]}
+        assert confirmed == set(RACY_VARS)
+        assert not triage["refuted"]
+
+    def test_confirmed_races_become_violations(self, racy_reports):
+        home, _itc = racy_reports
+        races = [v for v in home.violations if v.vclass == "DataRace"]
+        assert {v.locs for v in races} and len(races) >= len(RACY_VARS)
+
+    def test_fixed_program_has_no_race_findings(self, fixed_reports):
+        home, _itc = fixed_reports
+        assert not [v for v in home.violations if v.vclass == "DataRace"]
+        assert home.extras["monitored_vars"] == []
+
+    def test_monitoring_cost_below_monitor_everything(self, racy_reports):
+        home, itc = racy_reports
+        home_events = sum(
+            1 for e in home.execution.log if type(e) is MemAccess
+        )
+        itc_events = sum(1 for e in itc.execution.log if type(e) is MemAccess)
+        assert 0 < home_events < itc_events
