@@ -1,0 +1,78 @@
+"""Benchmark: detection survives a hostile campaign environment.
+
+A 16-seed fault-injection campaign over the racy NPB-MZ LU benchmark
+in which 25% of the runs are forced to fail outright (the tool's
+run_config raises, as a crashing wrapper process would) and the rest
+execute under injected faults.  The claim under test: the merged
+campaign report still contains every Table-1 violation class that the
+fault-free single run detects — per-run failures cost runs, not
+findings.
+"""
+
+from repro.campaign import (
+    STATUS_ERROR,
+    CampaignConfig,
+    default_plan_matrix,
+    run_campaign,
+)
+from repro.home import Home
+from repro.violations import ALL_VIOLATION_CLASSES
+from repro.workloads import BENCHMARKS
+
+#: one in four campaign cells dies before producing a trace
+_FAILURE_STRIDE = 4
+
+
+class FlakyTool(Home):
+    """Home whose every ``_FAILURE_STRIDE``-th run dies before running."""
+
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+
+    def run_config(self, *args, **kwargs):
+        self.calls += 1
+        if self.calls % _FAILURE_STRIDE == 0:
+            raise RuntimeError("injected wrapper crash (resilience drill)")
+        return super().run_config(*args, **kwargs)
+
+
+def run_resilient_campaign(seed_base=0):
+    program = BENCHMARKS["lu"](inject=True)
+    config = CampaignConfig(
+        seeds=[seed_base + s for s in range(16)],
+        plans=default_plan_matrix(2, ["none", "downgrade", "crash"]),
+        budget_steps=200_000,
+        retries=0,
+    )
+    result = run_campaign(program, config, tool=FlakyTool())
+    baseline = Home().check(
+        program, nprocs=2, num_threads=2, seed=seed_base
+    )
+    return result, baseline
+
+
+def test_findings_survive_25pct_run_failures(benchmark, bench_seed):
+    result, baseline = benchmark.pedantic(
+        run_resilient_campaign,
+        kwargs={"seed_base": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    counts = result.status_counts()
+    failed = counts.get(STATUS_ERROR, 0)
+    total = len(result.outcomes)
+    print()
+    print(f"campaign cells: {total}; forced failures: {failed} "
+          f"({100 * failed / total:.0f}%); "
+          f"analyzable: {result.analyzable_runs}")
+    print(f"baseline classes: {len(baseline.violations.classes())}; "
+          f"campaign classes: {len(result.report.classes())}")
+
+    # a quarter of the runs really did die...
+    assert failed == total // _FAILURE_STRIDE
+    assert not result.degraded
+    # ...yet every Table-1 class the clean single run finds survives
+    campaign_classes = set(result.report.classes())
+    assert set(baseline.violations.classes()) <= campaign_classes
+    assert campaign_classes >= set(ALL_VIOLATION_CLASSES)

@@ -1,0 +1,52 @@
+"""Hardened multi-seed fault-injection campaigns.
+
+The campaign layer turns HOME's single-run check into a robust sweep: a
+seed × fault-plan matrix with per-run crash isolation, step/wall-clock
+budgets with retry backoff, partial-trace salvage, JSON checkpoints for
+resume, merged deduplicated findings, and graceful degradation to a
+clearly-flagged static-only report when every dynamic run fails.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .outcome import (
+    RUN_STATUSES,
+    STATUS_BUDGET,
+    STATUS_ERROR,
+    STATUS_FORCED,
+    STATUS_OK,
+    RunOutcome,
+    violation_from_dict,
+    violation_to_dict,
+)
+from .runner import (
+    CampaignConfig,
+    CampaignResult,
+    CampaignRunner,
+    default_plan_matrix,
+    run_campaign,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignRunner",
+    "RUN_STATUSES",
+    "RunOutcome",
+    "STATUS_BUDGET",
+    "STATUS_ERROR",
+    "STATUS_FORCED",
+    "STATUS_OK",
+    "default_plan_matrix",
+    "load_checkpoint",
+    "run_campaign",
+    "save_checkpoint",
+    "violation_from_dict",
+    "violation_to_dict",
+]

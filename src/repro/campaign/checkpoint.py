@@ -1,0 +1,64 @@
+"""Campaign checkpoints: atomic JSON save, validated load.
+
+The checkpoint is written after *every* completed cell, so a campaign
+killed at any point resumes with at most one run's work lost.  Writes
+go through a temp file + ``os.replace`` so a crash mid-write can never
+corrupt an existing checkpoint — the loader therefore only ever sees a
+whole file or the previous one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, List
+
+from ..errors import AnalysisError
+from .outcome import RunOutcome
+
+CHECKPOINT_FORMAT = "repro-campaign"
+CHECKPOINT_VERSION = 1
+
+
+def save_checkpoint(path: str, meta: Dict, outcomes: List[RunOutcome]) -> None:
+    """Atomically write the campaign state to *path*."""
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "meta": dict(meta),
+        "outcomes": [o.as_dict() for o in outcomes],
+    }
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(prefix=".campaign-", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(path: str) -> Dict:
+    """Load and validate a checkpoint; returns ``{"meta", "outcomes"}``
+    with outcomes rebuilt as :class:`RunOutcome` objects."""
+    try:
+        with open(path, "r") as fh:
+            payload = json.load(fh)
+    except OSError as err:
+        raise AnalysisError(f"cannot read campaign checkpoint {path!r}: {err}")
+    except json.JSONDecodeError as err:
+        raise AnalysisError(f"corrupt campaign checkpoint {path!r}: {err}")
+    if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+        raise AnalysisError(f"{path!r} is not a campaign checkpoint")
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise AnalysisError(
+            f"unsupported campaign checkpoint version {payload.get('version')!r}"
+        )
+    outcomes = [RunOutcome.from_dict(o) for o in payload.get("outcomes", [])]
+    return {"meta": payload.get("meta", {}), "outcomes": outcomes}

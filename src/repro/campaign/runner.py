@@ -1,0 +1,349 @@
+"""The hardened multi-seed campaign runner.
+
+A campaign sweeps one program over a seed × fault-plan matrix, treating
+every cell as expendable: a run may crash, deadlock, blow its step or
+wall-clock budget, or produce a trace the analyzers choke on, and the
+campaign still completes and reports whatever evidence survived.
+
+Lifecycle per cell::
+
+    run under budget ──ok──▶ analyze full trace
+        │ budget exhausted / error
+        ▼
+    retry (up to ``retries`` times) with a derived seed and a reduced
+    step budget — the simulator is deterministic, so retrying the same
+    seed would reproduce the same failure
+        │ still failing
+        ▼
+    salvage: analyze the best partial trace captured so far
+        │ nothing salvageable
+        ▼
+    record the error; the cell contributes no findings
+
+Findings from all analyzable cells are merged and deduplicated.  When
+*no* cell is analyzable the campaign degrades to a clearly-flagged
+static-only report built from the compile-time candidates — reduced
+evidence, never silence.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..baselines.base import CheckingTool
+from ..faults import FaultPlan, builtin_plans
+from ..home.pipeline import Home, static_only_violations
+from ..minilang import ast_nodes as A
+from ..runtime import Interpreter
+from ..runtime.scheduler import DEFAULT_MAX_STEPS
+from ..violations.matcher import ViolationReport
+from .checkpoint import load_checkpoint, save_checkpoint
+from .outcome import (
+    STATUS_BUDGET,
+    STATUS_ERROR,
+    STATUS_FORCED,
+    STATUS_OK,
+    RunOutcome,
+    report_violation_dicts,
+)
+
+#: large odd prime so derived retry seeds never collide with the seed
+#: grid itself (campaign seeds are small consecutive integers)
+_RETRY_SEED_STRIDE = 100003
+
+
+@dataclass
+class CampaignConfig:
+    """Everything that parameterizes one campaign."""
+
+    seeds: Sequence[int] = (0, 1, 2, 3)
+    #: plan name -> plan; ``None``/empty plan means a healthy library
+    plans: Optional[Mapping[str, Optional[FaultPlan]]] = None
+    nprocs: int = 2
+    num_threads: int = 2
+    #: per-run scheduler step budget
+    budget_steps: int = DEFAULT_MAX_STEPS
+    #: per-run host wall-clock budget in seconds; 0 = unlimited
+    budget_seconds: float = 0.0
+    #: extra attempts after a failed run (derived seed, reduced budget)
+    retries: int = 1
+    #: step-budget multiplier per retry (< 1: fail *faster*, so a retry
+    #: yields a shorter but complete-enough partial trace)
+    retry_budget_factor: float = 0.5
+    thread_level_mode: str = "permissive"
+    checkpoint: Optional[str] = None
+    resume: bool = False
+    #: degradation drill: pretend every dynamic run failed
+    force_fail: bool = False
+
+    def resolved_plans(self) -> Dict[str, Optional[FaultPlan]]:
+        if self.plans is not None:
+            return dict(self.plans)
+        return {"none": None}
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of a whole campaign."""
+
+    program: str
+    outcomes: List[RunOutcome]
+    report: ViolationReport
+    static: Optional[object] = None
+    #: True when no dynamic run was analyzable and the report was built
+    #: from the static phase alone
+    degraded: bool = False
+
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
+
+    @property
+    def analyzable_runs(self) -> int:
+        return sum(1 for o in self.outcomes if o.analyzable)
+
+    def faults_fired(self) -> int:
+        return sum(o.faults_fired for o in self.outcomes)
+
+    def summary(self) -> str:
+        counts = ", ".join(
+            f"{status}={n}" for status, n in sorted(self.status_counts().items())
+        )
+        lines = [
+            f"=== campaign on {self.program}: {len(self.outcomes)} run(s) "
+            f"({counts or 'none'}) ===",
+            f"analyzable runs: {self.analyzable_runs}/{len(self.outcomes)}; "
+            f"faults fired: {self.faults_fired()}",
+        ]
+        if self.degraded:
+            lines.append(
+                "!!! DEGRADED REPORT: every dynamic run failed; findings "
+                "below are STATIC-ONLY candidates, unconfirmed by any "
+                "execution !!!"
+            )
+        lines.append(self.report.summary())
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict:
+        return {
+            "program": self.program,
+            "runs": len(self.outcomes),
+            "status_counts": self.status_counts(),
+            "analyzable_runs": self.analyzable_runs,
+            "faults_fired": self.faults_fired(),
+            "degraded": self.degraded,
+            "classes": self.report.classes(),
+            "violations": report_violation_dicts(self.report),
+            "outcomes": [o.as_dict() for o in self.outcomes],
+        }
+
+
+class CampaignRunner:
+    """Run one program through the campaign matrix with crash isolation."""
+
+    def __init__(
+        self,
+        program: A.Program,
+        config: CampaignConfig = CampaignConfig(),
+        tool: Optional[CheckingTool] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.program = program
+        self.config = config
+        self.tool = tool if tool is not None else Home()
+        self._progress = progress
+        #: prepared once: instrumentation is deterministic and the
+        #: interpreter never mutates the AST, so all cells share it
+        self._to_run, self._static = self.tool.prepare(program)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _say(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(message)
+
+    def _matrix(self) -> List[Tuple[int, str, Optional[FaultPlan]]]:
+        cells = []
+        for plan_name, plan in self.config.resolved_plans().items():
+            for seed in self.config.seeds:
+                cells.append((int(seed), plan_name, plan))
+        return cells
+
+    def _checkpoint_meta(self) -> Dict:
+        cfg = self.config
+        return {
+            "program": self.program.name,
+            "tool": self.tool.name,
+            "nprocs": cfg.nprocs,
+            "num_threads": cfg.num_threads,
+            "seeds": [int(s) for s in cfg.seeds],
+            "plans": {
+                name: (plan.as_dict() if plan else None)
+                for name, plan in cfg.resolved_plans().items()
+            },
+            "budget_steps": cfg.budget_steps,
+            "budget_seconds": cfg.budget_seconds,
+            "retries": cfg.retries,
+        }
+
+    def _load_resume(self) -> Dict[str, RunOutcome]:
+        """Outcomes already banked in the checkpoint, keyed by cell."""
+        cfg = self.config
+        if not (cfg.resume and cfg.checkpoint):
+            return {}
+        try:
+            state = load_checkpoint(cfg.checkpoint)
+        except FileNotFoundError:
+            return {}
+        except Exception as err:  # noqa: BLE001 - a bad checkpoint must
+            # never kill the campaign; it just means a cold start
+            self._say(f"ignoring unusable checkpoint: {err}")
+            return {}
+        if state["meta"].get("program") not in (None, self.program.name):
+            self._say(
+                "checkpoint is for program "
+                f"{state['meta'].get('program')!r}; starting cold"
+            )
+            return {}
+        return {o.key: o for o in state["outcomes"]}
+
+    # -- one cell ------------------------------------------------------------
+
+    def run_cell(self, seed: int, plan_name: str, plan: Optional[FaultPlan]) -> RunOutcome:
+        """One (seed, plan) cell: budgeted attempts, then salvage."""
+        cfg = self.config
+        started = time.perf_counter()
+        if cfg.force_fail:
+            return RunOutcome(
+                seed=seed, plan=plan_name, status=STATUS_FORCED,
+                error="forced failure (--force-fail)",
+            )
+        partial = None
+        partial_attempt = 0
+        last_error: Optional[str] = None
+        result = None
+        attempt = 0
+        for attempt in range(cfg.retries + 1):
+            sim_seed = seed + _RETRY_SEED_STRIDE * attempt
+            budget = max(1, int(cfg.budget_steps * cfg.retry_budget_factor**attempt))
+            try:
+                run_config = self.tool.run_config(
+                    cfg.nprocs, cfg.num_threads, sim_seed,
+                    static=self._static,
+                    thread_level_mode=cfg.thread_level_mode,
+                    fault_plan=plan if plan else None,
+                    max_steps=budget,
+                    max_wall_seconds=cfg.budget_seconds,
+                    capture_partial=True,
+                )
+                result = Interpreter(self._to_run, run_config).run()
+            except Exception as err:  # noqa: BLE001 - cell isolation:
+                # one diseased run must never take down the campaign
+                last_error = f"{type(err).__name__}: {err}"
+                result = None
+                continue
+            if result.completed:
+                break
+            # budget exhausted: keep the longest partial trace seen
+            if partial is None or len(result.log) > len(partial.log):
+                partial = result
+                partial_attempt = attempt
+            result = None
+        if result is None and partial is not None:
+            result = partial
+            attempt = partial_attempt
+        wall = time.perf_counter() - started
+        if result is None:
+            return RunOutcome(
+                seed=seed, plan=plan_name, attempt=attempt,
+                sim_seed=seed + _RETRY_SEED_STRIDE * attempt,
+                status=STATUS_ERROR,
+                error=last_error or "run produced no trace",
+                wall_seconds=wall,
+            )
+        outcome = RunOutcome(
+            seed=seed, plan=plan_name, attempt=attempt,
+            sim_seed=result.config.seed,
+            status=STATUS_OK if result.completed else STATUS_BUDGET,
+            deadlocked=result.deadlocked,
+            failure=result.failure,
+            events=len(result.log),
+            faults_fired=len(result.stats.get("faults_injected", ())),
+            crashed_ranks=list(
+                result.stats.get("faults", {}).get("crashed_ranks", ())
+            ),
+            wall_seconds=wall,
+        )
+        try:
+            violations = self.tool.analyze(result, self._static)
+        except Exception as err:  # noqa: BLE001 - partial traces may
+            # violate analyzer invariants; record, don't propagate
+            outcome.analysis_error = f"{type(err).__name__}: {err}"
+        else:
+            outcome.violations = report_violation_dicts(violations)
+        outcome.wall_seconds = time.perf_counter() - started
+        return outcome
+
+    # -- the campaign --------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        cfg = self.config
+        banked = self._load_resume()
+        outcomes: List[RunOutcome] = []
+        cells = self._matrix()
+        for index, (seed, plan_name, plan) in enumerate(cells, 1):
+            key = f"{seed}/{plan_name}"
+            cached = banked.get(key)
+            if cached is not None:
+                outcomes.append(cached)
+                self._say(f"[{index}/{len(cells)}] {cached.describe()} (resumed)")
+            else:
+                outcome = self.run_cell(seed, plan_name, plan)
+                outcomes.append(outcome)
+                self._say(f"[{index}/{len(cells)}] {outcome.describe()}")
+            if cfg.checkpoint:
+                save_checkpoint(cfg.checkpoint, self._checkpoint_meta(), outcomes)
+        merged = ViolationReport()
+        for outcome in outcomes:
+            if outcome.analyzable:
+                merged.merge(outcome.report())
+        degraded = not any(o.analyzable for o in outcomes)
+        if degraded and self._static is not None:
+            merged = static_only_violations(self._static)
+        return CampaignResult(
+            program=self.program.name,
+            outcomes=outcomes,
+            report=merged,
+            static=self._static,
+            degraded=degraded,
+        )
+
+
+def run_campaign(
+    program: A.Program,
+    config: CampaignConfig = CampaignConfig(),
+    tool: Optional[CheckingTool] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """One-call convenience wrapper."""
+    return CampaignRunner(program, config, tool, progress).run()
+
+
+def default_plan_matrix(nprocs: int, names: Optional[Sequence[str]] = None):
+    """Resolve plan names against the builtin set (CLI helper)."""
+    available = builtin_plans(nprocs)
+    if names is None:
+        return available
+    out: Dict[str, Optional[FaultPlan]] = {}
+    for name in names:
+        if name not in available:
+            raise KeyError(
+                f"unknown fault plan {name!r} "
+                f"(available: {', '.join(sorted(available))})"
+            )
+        out[name] = available[name]
+    return out

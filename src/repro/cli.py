@@ -56,8 +56,12 @@ def cmd_check(args: argparse.Namespace) -> int:
     source = Path(args.file).read_text()
     program = _load_program(args.file)
     tool = TOOLS[args.tool]()
+    overrides = {}
+    if args.thread_level_mode:
+        overrides["thread_level_mode"] = args.thread_level_mode
     report = tool.check(
-        program, nprocs=args.procs, num_threads=args.threads, seed=args.seed
+        program, nprocs=args.procs, num_threads=args.threads, seed=args.seed,
+        **overrides,
     )
     if args.format == "json":
         from .violations.render import report_to_json
@@ -262,6 +266,50 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Hardened multi-seed fault-injection campaign."""
+    from .campaign import CampaignConfig, default_plan_matrix, run_campaign
+    from .runtime.scheduler import DEFAULT_MAX_STEPS
+
+    if bool(args.file) == bool(args.npb):
+        print("error: give either FILE or --npb, not both / neither",
+              file=sys.stderr)
+        return 2
+    if args.npb:
+        from .workloads.npb import BENCHMARKS
+
+        program = BENCHMARKS[args.npb](inject=not args.clean)
+    else:
+        program = _load_program(args.file)
+    try:
+        plans = default_plan_matrix(
+            args.procs, [p.strip() for p in args.plans.split(",") if p.strip()]
+        )
+    except KeyError as err:
+        print(f"error: {err.args[0]}", file=sys.stderr)
+        return 2
+    config = CampaignConfig(
+        seeds=range(args.seeds),
+        plans=plans,
+        nprocs=args.procs,
+        num_threads=args.threads,
+        budget_steps=args.budget_steps or DEFAULT_MAX_STEPS,
+        budget_seconds=args.budget_seconds,
+        retries=args.retries,
+        thread_level_mode=args.thread_level_mode or "permissive",
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        force_fail=args.force_fail,
+    )
+    progress = print if args.verbose else None
+    result = run_campaign(program, config, progress=progress)
+    print(result.summary())
+    if args.json:
+        Path(args.json).write_text(json.dumps(result.as_dict(), indent=2) + "\n")
+        print(f"campaign report written to {args.json}")
+    return 1 if result.degraded else 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     from .experiments import run_table1, table1_data
 
@@ -372,6 +420,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--msg-races", action="store_true",
                    help="also report nondeterministic message matches "
                         "(DAMPI-style wildcard-receive analysis)")
+    p.add_argument(
+        "--thread-level-mode", choices=("skip", "permissive", "strict"),
+        default=None,
+        help="how breaching MPI calls behave (default: the tool's own "
+             "mode, permissive for all shipped tools)",
+    )
     _add_run_args(p)
     p.set_defaults(func=cmd_check)
 
@@ -416,6 +470,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_args(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "campaign",
+        help="multi-seed fault-injection campaign with crash isolation",
+    )
+    p.add_argument("file", nargs="?", default=None,
+                   help="mini-language program (or use --npb)")
+    p.add_argument("--npb", choices=("lu", "bt", "sp"),
+                   help="campaign over a built-in NPB multi-zone variant")
+    p.add_argument("--clean", action="store_true",
+                   help="with --npb: use the violation-free variant")
+    p.add_argument("--seeds", type=int, default=4,
+                   help="number of scheduler seeds (0..N-1, default 4)")
+    p.add_argument("--plans", default="none,downgrade,crash",
+                   help="comma-separated builtin fault plans "
+                        "(none,downgrade,crash,delay,reorder,rendezvous,jitter)")
+    p.add_argument("--budget-steps", type=int, default=None,
+                   help="per-run scheduler step budget")
+    p.add_argument("--budget-seconds", type=float, default=0.0,
+                   help="per-run host wall-clock budget (0 = unlimited)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="retry attempts per failed run (default 1)")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="JSON checkpoint written after every run")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse finished runs from --checkpoint")
+    p.add_argument("--force-fail", action="store_true",
+                   help="degradation drill: fail every dynamic run")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the merged campaign report as JSON")
+    p.add_argument(
+        "--thread-level-mode", choices=("skip", "permissive", "strict"),
+        default=None,
+    )
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print per-run progress lines")
+    p.add_argument("--procs", type=int, default=2)
+    p.add_argument("--threads", type=int, default=2)
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("table1", help="regenerate the detection-count table")
     _add_run_args(p)

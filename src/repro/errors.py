@@ -59,6 +59,32 @@ class SchedulerError(RuntimeSimError):
     """Internal scheduler invariant broke (a bug in the simulator itself)."""
 
 
+class StepLimitError(SchedulerError):
+    """The scheduler hit its step budget (runaway-program guard).
+
+    Carries per-task step counts so the report can say *which* simulated
+    threads consumed the budget, not just that it ran out.
+    """
+
+    def __init__(self, message: str, task_steps: dict | None = None) -> None:
+        super().__init__(message)
+        #: task name -> steps executed when the budget ran out
+        self.task_steps = dict(task_steps or {})
+
+
+class WallClockLimitError(SchedulerError):
+    """The scheduler exceeded its host wall-clock budget."""
+
+
+class RankCrashFault(SimAbort):
+    """An injected fault crashed a simulated MPI rank (MPI_Abort model).
+
+    Subclasses :class:`SimAbort` so the interpreter's per-thread abort
+    handling applies: the crashing thread unwinds, the rest of the job
+    keeps running (and typically deadlocks waiting on the dead rank,
+    exactly like a real MPI job losing a rank)."""
+
+
 class AnalysisError(ReproError):
     """Raised by the static/dynamic analysis layers on malformed input."""
 

@@ -8,6 +8,7 @@ Marmot model and the ITC model all consume subsets of this stream.
 from .event import (  # noqa: F401
     BarrierEvent,
     Event,
+    FaultEvent,
     LockAcquire,
     LockRelease,
     MemAccess,
@@ -24,6 +25,7 @@ from .serialize import dump_log, load_log  # noqa: F401
 
 __all__ = [
     "Event",
+    "FaultEvent",
     "MemAccess",
     "MonitoredWrite",
     "MonitoredKind",

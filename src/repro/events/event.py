@@ -140,6 +140,21 @@ class MPICall(Event):
     args: Dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass(frozen=True, slots=True)
+class FaultEvent(Event):
+    """An injected fault fired at this point of the execution.
+
+    Recorded in the trace so reports can attribute findings (or their
+    absence) to the injected condition — a run that only saw a
+    violation *because* the library downgraded the thread level should
+    say so.
+    """
+
+    kind: str = ""        # fault taxonomy name, e.g. 'rank-crash'
+    detail: str = ""      # human-readable description of what was done
+    op: str = ""          # MPI op at the injection point, if any
+
+
 #: MPI operations considered collectives by the violation rules.
 COLLECTIVE_OPS = frozenset(
     {

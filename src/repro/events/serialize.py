@@ -20,6 +20,7 @@ from ..errors import AnalysisError
 from .event import (
     BarrierEvent,
     Event,
+    FaultEvent,
     LockAcquire,
     LockRelease,
     MemAccess,
@@ -39,7 +40,7 @@ _TYPES = {
     cls.__name__: cls
     for cls in (
         MemAccess, MonitoredWrite, LockAcquire, LockRelease, BarrierEvent,
-        ThreadFork, ThreadJoin, ThreadBegin, ThreadEnd, MPICall,
+        ThreadFork, ThreadJoin, ThreadBegin, ThreadEnd, MPICall, FaultEvent,
     )
 }
 
@@ -96,10 +97,18 @@ def dump_log(
             fh.close()
 
 
-def load_log(source: Union[str, Path, TextIO]):
+def load_log(source: Union[str, Path, TextIO], strict: bool = True):
     """Read a trace written by :func:`dump_log`.
 
     Returns ``(EventLog, metadata dict)``.
+
+    A run that crashes or is killed mid-write leaves a truncated or
+    corrupt trailing line.  With ``strict=True`` (the default) that
+    raises a clear :class:`~repro.errors.AnalysisError` naming the bad
+    line.  With ``strict=False`` the valid prefix is salvaged instead:
+    reading stops at the first undecodable line and the metadata gains
+    ``salvaged: True`` plus a ``dropped_lines`` count, so offline
+    analyzers can still consume what the dying run managed to record.
     """
     own = isinstance(source, (str, Path))
     fh: TextIO = open(source) if own else source  # type: ignore[arg-type]
@@ -107,26 +116,47 @@ def load_log(source: Union[str, Path, TextIO]):
         header_line = fh.readline()
         if not header_line.strip():
             raise AnalysisError("empty trace file")
-        header = json.loads(header_line)
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as err:
+            raise AnalysisError(
+                f"corrupt trace header (not valid JSON): {err}"
+            ) from err
         if header.get("format") != "repro-trace":
             raise AnalysisError("not a repro trace file")
         if header.get("version") != FORMAT_VERSION:
             raise AnalysisError(
                 f"unsupported trace version {header.get('version')}"
             )
+        meta = dict(header.get("meta", {}))
         log = EventLog()
         max_seq = -1
-        for line in fh:
+        dropped = 0
+        for lineno, line in enumerate(fh, start=2):
             line = line.strip()
             if not line:
                 continue
-            event = _event_from_dict(json.loads(line))
+            try:
+                event = _event_from_dict(json.loads(line))
+            except (json.JSONDecodeError, AnalysisError) as err:
+                if strict:
+                    raise AnalysisError(
+                        f"corrupt trace line {lineno} "
+                        f"(truncated write or damaged file): {err}"
+                    ) from err
+                # Tolerant mode: everything from the first bad line on
+                # is suspect — salvage the valid prefix only.
+                dropped = 1 + sum(1 for _ in fh)
+                break
             log.append(event)
             max_seq = max(max_seq, event.seq)
+        if dropped:
+            meta["salvaged"] = True
+            meta["dropped_lines"] = dropped
         # keep the seq allocator consistent for appended events
         for _ in range(max_seq + 1):
             log.next_seq()
-        return log, header.get("meta", {})
+        return log, meta
     finally:
         if own:
             fh.close()

@@ -1,0 +1,44 @@
+"""Deterministic fault injection for the dynamic phase.
+
+The paper's key limitation of dynamic tools is that they "only see what
+actually happened".  This package widens what *can* happen: a
+seed-driven :class:`FaultPlan` describes misbehaviours of the simulated
+MPI library and runtime — thread-level downgrades, rank crashes,
+delivery delays, unexpected-queue reordering, eager→rendezvous flips,
+lock jitter — and a :class:`FaultInjector` carried on the
+:class:`~repro.runtime.config.RunConfig` answers the simulator's
+questions at each decision point.  Every fired fault is recorded as a
+:class:`~repro.events.FaultEvent` in the trace so reports can attribute
+findings to the injected condition.
+"""
+
+from .injector import FaultInjector, SendPerturbation  # noqa: F401
+from .plan import (  # noqa: F401
+    EAGER_RENDEZVOUS,
+    FAULT_KINDS,
+    LOCK_JITTER,
+    MESSAGE_DELAY,
+    QUEUE_REORDER,
+    RANK_CRASH,
+    THREAD_DOWNGRADE,
+    FaultPlan,
+    FaultSpec,
+    builtin_plans,
+    random_plan,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "THREAD_DOWNGRADE",
+    "RANK_CRASH",
+    "MESSAGE_DELAY",
+    "QUEUE_REORDER",
+    "EAGER_RENDEZVOUS",
+    "LOCK_JITTER",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "SendPerturbation",
+    "builtin_plans",
+    "random_plan",
+]

@@ -1,0 +1,152 @@
+"""Runtime fault injector — the simulator's oracle at decision points.
+
+One :class:`FaultInjector` exists per execution.  The interpreter and
+MPI builtins ask it questions ("what thread level does the library
+grant?", "does this rank survive its next MPI call?", "how is this
+message delivered?") and it answers deterministically from the
+:class:`~repro.faults.plan.FaultPlan` plus a run-seeded RNG, recording
+every fired fault so the trace and the campaign report can attribute
+findings to injected conditions.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .plan import (
+    EAGER_RENDEZVOUS,
+    LOCK_JITTER,
+    MESSAGE_DELAY,
+    QUEUE_REORDER,
+    RANK_CRASH,
+    THREAD_DOWNGRADE,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+@dataclass
+class SendPerturbation:
+    """How an injected fault alters one message transmission."""
+
+    extra_latency: float = 0.0
+    force_sync: bool = False
+    reorder: bool = False
+    applied: List[FaultSpec] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.applied)
+
+
+class FaultInjector:
+    """Answers the simulator's fault questions for one execution."""
+
+    def __init__(self, plan: Optional[FaultPlan], nprocs: int, seed: int = 0) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self.nprocs = nprocs
+        self.enabled = bool(self.plan)
+        #: seeded independently of the scheduler RNG so adding a fault
+        #: kind never perturbs scheduling decisions of unrelated runs
+        self.rng = random.Random((seed << 16) ^ 0x5EED_FA17)
+        self._mpi_calls: Dict[int, int] = defaultdict(int)
+        self._sends: Dict[int, int] = defaultdict(int)
+        self._deliveries: Dict[int, int] = defaultdict(int)
+        self._crashed: set = set()
+        #: every fault fired, in firing order (surfaced via run stats)
+        self.injected: List[Dict] = []
+        by_kind: Dict[str, List[FaultSpec]] = defaultdict(list)
+        for spec in self.plan.specs:
+            by_kind[spec.kind].append(spec)
+        self._by_kind = dict(by_kind)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _first(self, kind: str, rank: int) -> Optional[FaultSpec]:
+        for spec in self._by_kind.get(kind, ()):
+            if spec.rank is None or spec.rank == rank:
+                return spec
+        return None
+
+    def record(self, spec: FaultSpec, rank: int, detail: str) -> Dict:
+        entry = {"kind": spec.kind, "rank": rank, "detail": detail}
+        self.injected.append(entry)
+        return entry
+
+    # -- decision points -----------------------------------------------------
+
+    def granted_thread_level(self, rank: int, provided: int) -> tuple:
+        """Thread level the (faulty) library grants at init.
+
+        Returns ``(level, spec-or-None)``; *spec* is set when the fault
+        downgraded the level below what the healthy library would give.
+        """
+        spec = self._first(THREAD_DOWNGRADE, rank)
+        if spec is None or spec.max_level >= provided:
+            return provided, None
+        return spec.max_level, spec
+
+    def on_mpi_call(self, rank: int) -> Optional[FaultSpec]:
+        """Called once per MPI invocation; non-None means *rank* crashes
+        here (and stays dead for the rest of the run — callers should
+        test :meth:`crashed` first for already-dead ranks)."""
+        spec = self._first(RANK_CRASH, rank)
+        if spec is None:
+            return None
+        self._mpi_calls[rank] += 1
+        if self._mpi_calls[rank] >= spec.at_call:
+            self._crashed.add(rank)
+            return spec
+        return None
+
+    def crashed(self, rank: int) -> bool:
+        return rank in self._crashed
+
+    def perturb_send(self, src: int, dst: int) -> SendPerturbation:
+        """Faults applied to one point-to-point transmission src→dst."""
+        out = SendPerturbation()
+        if not self.enabled:
+            return out
+        delay = self._first(MESSAGE_DELAY, dst)
+        if delay is not None:
+            self._deliveries[dst] += 1
+            if self._deliveries[dst] % delay.every == 0:
+                out.extra_latency += delay.delay
+                out.applied.append(delay)
+        rdv = self._first(EAGER_RENDEZVOUS, src)
+        if rdv is not None:
+            self._sends[src] += 1
+            if self._sends[src] > rdv.every:
+                out.force_sync = True
+                out.applied.append(rdv)
+        reorder = self._first(QUEUE_REORDER, dst)
+        if reorder is not None:
+            # deterministic cadence, seeded phase
+            if self.rng.randrange(reorder.every) == 0:
+                out.reorder = True
+                out.applied.append(reorder)
+        return out
+
+    def lock_jitter(self, rank: int) -> tuple:
+        """Extra virtual-time cost for one lock acquisition."""
+        if not self.enabled:
+            return 0.0, None
+        spec = self._first(LOCK_JITTER, rank)
+        if spec is None or spec.delay <= 0:
+            return 0.0, None
+        return self.rng.uniform(0.0, spec.delay), spec
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> Dict:
+        counts: Dict[str, int] = defaultdict(int)
+        for entry in self.injected:
+            counts[entry["kind"]] += 1
+        return {
+            "plan": self.plan.name,
+            "fired": len(self.injected),
+            "by_kind": dict(counts),
+            "crashed_ranks": sorted(self._crashed),
+        }

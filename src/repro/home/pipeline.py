@@ -217,6 +217,35 @@ class Home(CheckingTool):
         return report
 
 
+def static_only_violations(static: StaticReport) -> ViolationReport:
+    """Degrade gracefully: a report built from the static phase alone.
+
+    Used by the campaign runner when every dynamic run failed — the
+    static candidates are all the evidence left.  Each candidate becomes
+    a clearly-marked unconfirmed finding (``proc=-1``: no execution
+    observed it), so downstream rendering can flag the report as
+    static-only rather than silently presenting candidates as confirmed
+    violations.
+    """
+    report = ViolationReport()
+    for cand in static.candidates:
+        report.add(
+            Violation(
+                vclass=cand.vclass,
+                proc=-1,
+                message=(
+                    f"STATIC-ONLY (unconfirmed by any execution): "
+                    f"{cand.site_a.op}@{cand.site_a.loc} vs "
+                    f"{cand.site_b.op}@{cand.site_b.loc}: {cand.reason}"
+                ),
+                callsites=tuple(sorted({cand.site_a.nid, cand.site_b.nid})),
+                locs=cand.locs(),
+                ops=tuple(sorted({cand.site_a.op, cand.site_b.op})),
+            )
+        )
+    return report
+
+
 def check_program(
     program: A.Program,
     nprocs: int = 2,

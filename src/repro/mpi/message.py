@@ -87,6 +87,17 @@ class Mailbox:
                 return msg
         return None
 
+    def reorder(self, rng) -> bool:
+        """Permute the pending queue (fault injection only — this
+        deliberately breaks the non-overtaking guarantee to model an
+        adversarial unexpected-message queue).  Returns True when the
+        order actually changed."""
+        if len(self.queue) < 2:
+            return False
+        before = [m.msg_id for m in self.queue]
+        rng.shuffle(self.queue)
+        return [m.msg_id for m in self.queue] != before
+
     def __len__(self) -> int:
         return len(self.queue)
 

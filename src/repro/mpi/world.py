@@ -39,6 +39,8 @@ class ProcState:
     #: per-communicator dup/split instance counters
     dup_counter: Dict[int, int] = field(default_factory=dict)
     split_counter: Dict[int, int] = field(default_factory=dict)
+    #: rank died mid-run (injected MPI_Abort); its threads unwound
+    crashed: bool = False
 
     def __post_init__(self) -> None:
         if self.requests is None:
@@ -115,6 +117,11 @@ class MPIWorld:
         self.mailbox(dst_world, comm_id).deliver(msg)
         self.messages_sent += 1
         return msg
+
+    def perturb_mailbox(self, dst_world: int, comm_id: int, rng) -> bool:
+        """Shuffle the destination's unexpected-message queue (queue-reorder
+        fault injection).  Returns True when the order changed."""
+        return self.mailbox(dst_world, comm_id).reorder(rng)
 
     def match_recv(
         self, dst_world: int, comm_id: int, src: int, tag: int

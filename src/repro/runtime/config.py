@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..events import EventLog
+from ..faults.plan import FaultPlan
 from ..mpi.deadlock import DeadlockDiagnosis
 from .costmodel import (
     DEFAULT_COST_MODEL,
@@ -13,6 +14,7 @@ from .costmodel import (
     CostModel,
     InstrumentationCharge,
 )
+from .scheduler import DEFAULT_MAX_STEPS
 
 #: How the runtime treats MPI calls that breach the granted thread level.
 #:
@@ -50,10 +52,18 @@ class RunConfig:
     #: narrows this to the static race pass's candidate variables)
     monitored_vars: Optional[frozenset] = None
     #: hard cap on scheduler iterations (runaway-program guard)
-    max_steps: int = 50_000_000
+    max_steps: int = DEFAULT_MAX_STEPS
+    #: host wall-clock budget for one run; 0 = unlimited
+    max_wall_seconds: float = 0.0
     #: user function call depth cap (each simulated frame nests several
     #: Python generator frames, so this stays well under the host limit)
     max_call_depth: int = 60
+    #: injected faults this run executes under (None = healthy library)
+    fault_plan: Optional[FaultPlan] = None
+    #: on step/wall budget exhaustion, return the partial
+    #: :class:`ExecutionResult` (with ``failure`` set) instead of
+    #: raising — the campaign runner's partial-trace recovery
+    capture_partial: bool = False
 
     def __post_init__(self) -> None:
         if self.thread_level_mode not in THREAD_LEVEL_MODES:
@@ -78,10 +88,19 @@ class ExecutionResult:
     #: runtime-observed irregularities (thread-level breaches, double waits...)
     notes: List[str] = field(default_factory=list)
     stats: Dict[str, Any] = field(default_factory=dict)
+    #: non-None when the run ended early (step/wall budget); the log
+    #: then holds the salvageable partial trace
+    failure: Optional[str] = None
 
     @property
     def deadlocked(self) -> bool:
         return self.deadlock is not None
+
+    @property
+    def completed(self) -> bool:
+        """True when the run ran to completion (deadlock counts: the
+        schedule terminated and the trace is whole)."""
+        return self.failure is None
 
     def printed_lines(self) -> List[str]:
         return [text for (_p, _t, text) in self.outputs]
@@ -93,6 +112,8 @@ class ExecutionResult:
             f"makespan={self.makespan:.1f} events={len(self.log)} "
             f"deadlocked={self.deadlocked}",
         ]
+        if self.failure:
+            lines.append(f"INCOMPLETE: {self.failure}")
         if self.notes:
             lines.append(f"notes: {len(self.notes)}")
         return "\n".join(lines)

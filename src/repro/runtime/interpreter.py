@@ -14,10 +14,11 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
-from ..errors import DeadlockError, SimAbort
+from ..errors import DeadlockError, SchedulerError, SimAbort
 from ..events import (
     BarrierEvent,
     EventLog,
+    FaultEvent,
     LockAcquire,
     LockRelease,
     MemAccess,
@@ -26,6 +27,7 @@ from ..events import (
     ThreadFork,
     ThreadJoin,
 )
+from ..faults import FaultInjector
 from ..minilang import ast_nodes as A
 from ..mpi import LANGUAGE_CONSTANTS, MPIWorld
 from ..mpi.deadlock import diagnose
@@ -154,10 +156,14 @@ class Interpreter:
         self.cm = config.cost_model
         self.charge_cfg = config.charge
         self.world = MPIWorld(config.nprocs)
+        self.faults = FaultInjector(
+            config.fault_plan, config.nprocs, seed=config.seed
+        )
         self.scheduler = Scheduler(
             seed=config.seed,
             policy=config.schedule_policy,
             max_steps=config.max_steps,
+            max_wall_seconds=config.max_wall_seconds,
         )
         self.log = EventLog()
         self.outputs: List[tuple] = []
@@ -188,6 +194,12 @@ class Interpreter:
     def note(self, text: str) -> None:
         self.notes.append(text)
 
+    def fault_fired(self, ctx: "ThreadCtx", spec, detail: str, op: str = "") -> None:
+        """Record one fired fault: trace event + run note + injector log."""
+        self.faults.record(spec, ctx.proc.rank, detail)
+        self.emit(FaultEvent, ctx, kind=spec.kind, detail=detail, op=op)
+        self.note(f"fault injected: {detail}")
+
     def next_call_id(self) -> int:
         self._mpi_calls += 1
         return next(self._call_id)
@@ -209,6 +221,12 @@ class Interpreter:
             if self.config.raise_on_deadlock:
                 raise
             result.deadlock = diagnose(err.blocked)
+        except SchedulerError as err:
+            # Step/wall budget exhaustion: the partial trace is still a
+            # valid prefix of the execution — salvage it when asked.
+            if not self.config.capture_partial:
+                raise
+            result.failure = str(err)
         result.log = self.log
         result.outputs = self.outputs
         result.notes = self.notes
@@ -220,6 +238,9 @@ class Interpreter:
             "mpi_calls": self._mpi_calls,
             "events": len(self.log),
         }
+        if self.faults.enabled:
+            result.stats["faults"] = self.faults.summary()
+            result.stats["faults_injected"] = list(self.faults.injected)
         return result
 
     def _main_task(self, ctx: ThreadCtx) -> Gen:
@@ -641,6 +662,14 @@ class Interpreter:
         now = lock.acquire(ctx.tid, ctx.clock)
         ctx.advance_to(now)
         ctx.charge(self.cm.lock)
+        if self.faults.enabled:
+            jitter, spec = self.faults.lock_jitter(ctx.proc.rank)
+            if spec is not None:
+                ctx.charge(jitter)
+                self.faults.record(
+                    spec, ctx.proc.rank,
+                    f"lock {lock.name!r} acquire jittered by {jitter:.2f}",
+                )
         ctx.held_locks.append(lock.name)
         self.emit(LockAcquire, ctx, lock=lock.name)
 

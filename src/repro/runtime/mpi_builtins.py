@@ -17,8 +17,8 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import MPIUsageError, SimAbort
-from ..events import MonitoredWrite, MPICall
+from ..errors import MPIUsageError, RankCrashFault, SimAbort
+from ..events import FaultEvent, MonitoredWrite, MPICall
 from ..events.event import MonitoredKind
 from ..mpi.collectives import apply_reduce
 from ..mpi.constants import (
@@ -71,6 +71,7 @@ def _prologue(
     args_dict: Dict[str, Any],
 ) -> _CallInfo:
     """Wrapper writes, manager round trip, thread-level gate, begin event."""
+    _crash_gate(interp, ctx, op)
     charge = interp.charge_cfg
     call_id = interp.next_call_id()
     if instrumented:
@@ -118,6 +119,68 @@ def _epilogue(interp, ctx, node, op: str, info: _CallInfo, instrumented: bool,
             delay += charge.manager_service * interp.config.nprocs
         ctx.charge(delay)
         interp.world.manager_free_at = max(interp.world.manager_free_at, ctx.clock)
+
+
+def _crash_gate(interp, ctx, op: str) -> None:
+    """Injected rank-crash (MPI_Abort model): the victim rank dies at
+    its Nth MPI call and every later MPI call from any of its threads
+    fails immediately — the rank is gone."""
+    faults = interp.faults
+    if not faults.enabled:
+        return
+    rank = ctx.proc.rank
+    if faults.crashed(rank):
+        raise RankCrashFault(
+            f"rank {rank}: {op} on dead rank (earlier injected crash)"
+        )
+    spec = faults.on_mpi_call(rank)
+    if spec is not None:
+        detail = (
+            f"rank {rank} crashed (injected MPI_Abort) at MPI call "
+            f"#{spec.at_call} ({op})"
+        )
+        ctx.proc.mpi.crashed = True
+        interp.faults.record(spec, rank, detail)
+        interp.emit(FaultEvent, ctx, kind=spec.kind, detail=detail, op=op)
+        interp.note(f"fault injected: {detail}")
+        raise RankCrashFault(detail)
+
+
+def _post_send_faulted(
+    interp, ctx, dst_local: int, tag: int, comm_id: int,
+    payload: np.ndarray, sync: bool, op: str,
+):
+    """world.post_send with the injector consulted on delivery.
+
+    Returns the delivered :class:`~repro.mpi.message.Message`; *sync*
+    may have been forced on by an eager→rendezvous flip (check
+    ``msg.sync``).
+    """
+    world = interp.world
+    dst_world = world.comm(comm_id).world_rank(dst_local)
+    perturb = interp.faults.perturb_send(ctx.proc.rank, dst_world)
+    msg = world.post_send(
+        src_world=ctx.proc.rank,
+        dst_local=dst_local,
+        tag=tag,
+        comm_id=comm_id,
+        payload=payload,
+        sent_time=ctx.clock,
+        latency=interp.cm.msg_latency + perturb.extra_latency,
+        per_elem=interp.cm.msg_per_elem,
+        sync=sync or perturb.force_sync,
+        sender_thread=ctx.tid,
+    )
+    if perturb.reorder:
+        world.perturb_mailbox(dst_world, comm_id, interp.faults.rng)
+    for spec in perturb.applied:
+        detail = (
+            f"{spec.kind} on message #{msg.msg_id} "
+            f"rank {ctx.proc.rank} -> rank {dst_world} ({op})"
+        )
+        interp.faults.record(spec, ctx.proc.rank, detail)
+        interp.emit(FaultEvent, ctx, kind=spec.kind, detail=detail, op=op)
+    return msg
 
 
 _GATE_EXEMPT = frozenset({"mpi_init", "mpi_init_thread", "mpi_finalize",
@@ -178,9 +241,21 @@ def _init_common(interp, ctx, node, required: int, instrumented: bool, op: str) 
     if pstate.initialized:
         raise SimAbort(f"rank {ctx.proc.rank}: MPI initialized twice")
     provided = min(required, interp.config.max_thread_level)
+    granted, downgrade = interp.faults.granted_thread_level(
+        ctx.proc.rank, provided
+    )
     pstate.initialized = True
-    pstate.thread_level = provided
+    pstate.thread_level = granted
     pstate.main_thread = ctx.tid
+    if downgrade is not None:
+        detail = (
+            f"rank {ctx.proc.rank}: library granted thread level {granted} "
+            f"({THREAD_LEVEL_NAMES.get(granted, granted)}) although "
+            f"{THREAD_LEVEL_NAMES.get(provided, provided)} was available "
+            "(injected thread-level downgrade)"
+        )
+        interp.fault_fired(ctx, downgrade, detail, op=op)
+    provided = granted
     if ctx.tid != 0:
         interp.note(f"rank {ctx.proc.rank}: MPI initialized from thread {ctx.tid}")
     info = _prologue(interp, ctx, node, op, instrumented, [],
@@ -278,19 +353,9 @@ def mpi_send(interp, ctx, node, args, instrumented) -> Gen:
     payload = _payload(buf, count)
     sync = interp.config.sync_sends or len(payload) >= interp.config.eager_threshold
     yield Step(interp.cm.mpi_call)
-    msg = interp.world.post_send(
-        src_world=ctx.proc.rank,
-        dst_local=dest,
-        tag=tag,
-        comm_id=comm_id,
-        payload=payload,
-        sent_time=ctx.clock,
-        latency=interp.cm.msg_latency,
-        per_elem=interp.cm.msg_per_elem,
-        sync=sync,
-        sender_thread=ctx.tid,
-    )
-    if sync:
+    msg = _post_send_faulted(interp, ctx, dest, tag, comm_id, payload, sync,
+                             "mpi_send")
+    if msg.sync:
         yield Block(
             f"mpi_send (sync) to rank {dest} tag {tag} comm {comm_id}",
             lambda: msg.consumed,
@@ -357,12 +422,14 @@ def mpi_isend(interp, ctx, node, args, instrumented) -> Gen:
         return 0
     payload = _payload(buf, count)
     yield Step(interp.cm.mpi_call)
-    msg = interp.world.post_send(
-        src_world=ctx.proc.rank, dst_local=dest, tag=tag, comm_id=comm_id,
-        payload=payload, sent_time=ctx.clock,
-        latency=interp.cm.msg_latency, per_elem=interp.cm.msg_per_elem,
-        sync=False, sender_thread=ctx.tid,
-    )
+    msg = _post_send_faulted(interp, ctx, dest, tag, comm_id, payload, False,
+                             "mpi_isend")
+    if msg.sync:
+        yield Block(
+            f"mpi_isend (rendezvous) to rank {dest} tag {tag} comm {comm_id}",
+            lambda: msg.consumed,
+        )
+        ctx.advance_to(msg.consumed_time)
     req.done = True
     req.complete_time = ctx.clock
     req.msg_id = msg.msg_id
@@ -804,12 +871,8 @@ def mpi_ssend(interp, ctx, node, args, instrumented) -> Gen:
         return 0
     payload = _payload(buf, count)
     yield Step(interp.cm.mpi_call)
-    msg = interp.world.post_send(
-        src_world=ctx.proc.rank, dst_local=dest, tag=tag, comm_id=comm_id,
-        payload=payload, sent_time=ctx.clock,
-        latency=interp.cm.msg_latency, per_elem=interp.cm.msg_per_elem,
-        sync=True, sender_thread=ctx.tid,
-    )
+    msg = _post_send_faulted(interp, ctx, dest, tag, comm_id, payload, True,
+                             "mpi_ssend")
     yield Block(
         f"mpi_ssend to rank {dest} tag {tag} comm {comm_id}",
         lambda: msg.consumed,
@@ -853,13 +916,11 @@ def mpi_sendrecv(interp, ctx, node, args, instrumented) -> Gen:
     payload = _payload(sendbuf, count)
     yield Step(interp.cm.mpi_call)
     # The send half is always buffered: sendrecv must not deadlock even
-    # in a ring where everyone sends first.
-    interp.world.post_send(
-        src_world=ctx.proc.rank, dst_local=dest, tag=sendtag, comm_id=comm_id,
-        payload=payload, sent_time=ctx.clock,
-        latency=interp.cm.msg_latency, per_elem=interp.cm.msg_per_elem,
-        sync=False, sender_thread=ctx.tid,
-    )
+    # in a ring where everyone sends first.  A forced rendezvous flip
+    # may still mark the message sync; the sender deliberately does not
+    # wait on it here.
+    _post_send_faulted(interp, ctx, dest, sendtag, comm_id, payload, False,
+                       "mpi_sendrecv")
     msg = yield from _match_blocking(
         interp, ctx, comm_id, source, recvtag, "mpi_sendrecv"
     )

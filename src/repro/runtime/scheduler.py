@@ -23,10 +23,25 @@ studies exercise.
 from __future__ import annotations
 
 import random
+import time as _time
 from dataclasses import dataclass
 from typing import Callable, Generator, Iterable, List, Optional, Union
 
-from ..errors import DeadlockError, SchedulerError
+from ..errors import (
+    DeadlockError,
+    SchedulerError,
+    StepLimitError,
+    WallClockLimitError,
+)
+
+#: Default hard cap on scheduler iterations (runaway-program guard).
+#: Shared with :class:`~repro.runtime.config.RunConfig` so the two stay
+#: in sync.
+DEFAULT_MAX_STEPS = 50_000_000
+
+#: Re-check the host wall clock only every this many steps: a syscall
+#: per simulated step would dominate the profile.
+_WALL_CHECK_INTERVAL = 4096
 
 
 @dataclass(frozen=True)
@@ -95,13 +110,17 @@ class Scheduler:
         self,
         seed: int = 0,
         policy: str = "random",
-        max_steps: int = 50_000_000,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        max_wall_seconds: float = 0.0,
     ) -> None:
         if policy not in ("random", "rr"):
             raise SchedulerError(f"unknown scheduling policy {policy!r}")
         self.rng = random.Random(seed)
         self.policy = policy
         self.max_steps = max_steps
+        #: host wall-clock budget for the whole run; 0 = unlimited
+        self.max_wall_seconds = max_wall_seconds
+        self._deadline: Optional[float] = None
         self.tasks: List[Task] = []
         #: not-yet-done tasks in spawn order (lazily pruned) — scanning
         #: finished tasks every step dominated the profile otherwise
@@ -189,9 +208,20 @@ class Scheduler:
         task.steps += 1
         self.total_steps += 1
         if self.total_steps > self.max_steps:
-            raise SchedulerError(
+            raise StepLimitError(
                 f"scheduler exceeded {self.max_steps} steps; "
-                "simulated program is probably in an infinite loop"
+                "simulated program is probably in an infinite loop "
+                f"({self._busiest_tasks()})",
+                task_steps={t.name: t.steps for t in self.tasks},
+            )
+        if (
+            self._deadline is not None
+            and self.total_steps % _WALL_CHECK_INTERVAL == 0
+            and _time.monotonic() > self._deadline
+        ):
+            raise WallClockLimitError(
+                f"scheduler exceeded its {self.max_wall_seconds:.1f}s "
+                f"wall-clock budget after {self.total_steps} steps"
             )
         if isinstance(yielded, Step):
             task.clock += yielded.cost
@@ -202,8 +232,17 @@ class Scheduler:
             raise SchedulerError(f"task {task.name} yielded {yielded!r}")
         return True
 
+    def _busiest_tasks(self, top: int = 4) -> str:
+        """Per-task step counts of the hungriest tasks, for diagnostics."""
+        ranked = sorted(self.tasks, key=lambda t: t.steps, reverse=True)[:top]
+        return "busiest tasks: " + ", ".join(
+            f"{t.name}: {t.steps} steps" for t in ranked
+        )
+
     def run(self) -> None:
         """Run all tasks to completion; raises DeadlockError on deadlock."""
+        if self.max_wall_seconds > 0:
+            self._deadline = _time.monotonic() + self.max_wall_seconds
         while self.step_one():
             pass
 

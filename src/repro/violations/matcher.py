@@ -35,6 +35,18 @@ class ViolationReport:
         elif violation.proc not in procs:
             procs.append(violation.proc)
 
+    def merge(self, other: "ViolationReport") -> None:
+        """Fold another run's findings into this report (campaign
+        aggregation).  Dedup follows the same key as :meth:`add`; rank
+        attributions are unioned."""
+        for violation in other.violations:
+            key = violation.dedup_key()
+            self.add(violation)
+            for proc in other.procs_by_finding.get(key, ()):
+                mine = self.procs_by_finding[key]
+                if proc not in mine:
+                    mine.append(proc)
+
     def classes(self) -> List[str]:
         return sorted({v.vclass for v in self.violations})
 

@@ -1,0 +1,112 @@
+"""Campaign checkpoint tests: atomicity, validation, round-trip."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CHECKPOINT_FORMAT,
+    RunOutcome,
+    load_checkpoint,
+    save_checkpoint,
+    violation_from_dict,
+    violation_to_dict,
+)
+from repro.errors import AnalysisError
+from repro.violations.spec import Violation
+
+
+class TestViolationSerialization:
+    def test_round_trip(self):
+        violation = Violation(
+            vclass="ProbeViolation", proc=1, message="m",
+            callsites=(3, 7), locs=("4:2",), threads=(1, 2), ops=("mpi_probe",),
+        )
+        again, procs = violation_from_dict(violation_to_dict(violation, [0, 1]))
+        assert again == violation
+        assert procs == [0, 1]
+
+    def test_missing_procs_defaults_to_owner(self):
+        violation = Violation(vclass="X", proc=4, message="m")
+        data = violation_to_dict(violation, [])
+        data.pop("procs")
+        _, procs = violation_from_dict(data)
+        assert procs == [4]
+
+
+class TestRunOutcome:
+    def test_round_trip(self):
+        outcome = RunOutcome(
+            seed=3, plan="crash", attempt=1, sim_seed=100006,
+            status="budget", deadlocked=True, failure="budget blown",
+            events=42, faults_fired=2, crashed_ranks=[1],
+            violations=[violation_to_dict(
+                Violation(vclass="X", proc=0, message="m", callsites=(1,)), [0]
+            )],
+        )
+        again = RunOutcome.from_dict(outcome.as_dict())
+        assert again == outcome
+
+    def test_report_rebuilds_and_dedups(self):
+        data = violation_to_dict(
+            Violation(vclass="X", proc=0, message="m", callsites=(1,)), [0, 1]
+        )
+        outcome = RunOutcome(seed=0, plan="none", violations=[data, data])
+        report = outcome.report()
+        assert len(report) == 1
+        key = report.violations[0].dedup_key()
+        assert sorted(report.procs_by_finding[key]) == [0, 1]
+
+    def test_analyzable_statuses(self):
+        assert RunOutcome(seed=0, plan="p", status="ok").analyzable
+        assert RunOutcome(seed=0, plan="p", status="budget").analyzable
+        assert not RunOutcome(seed=0, plan="p", status="error").analyzable
+        assert not RunOutcome(seed=0, plan="p", status="forced-fail").analyzable
+        assert not RunOutcome(
+            seed=0, plan="p", status="ok", analysis_error="boom"
+        ).analyzable
+
+
+class TestCheckpointFile:
+    def outcomes(self):
+        return [RunOutcome(seed=s, plan="none", events=s * 10) for s in range(3)]
+
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        save_checkpoint(path, {"program": "p"}, self.outcomes())
+        state = load_checkpoint(path)
+        assert state["meta"] == {"program": "p"}
+        assert [o.seed for o in state["outcomes"]] == [0, 1, 2]
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        save_checkpoint(path, {}, self.outcomes())
+        save_checkpoint(path, {"v": 2}, self.outcomes()[:1])
+        state = load_checkpoint(path)
+        assert state["meta"] == {"v": 2}
+        assert len(state["outcomes"]) == 1
+        # no temp files left behind
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "c.json"]
+        assert leftovers == []
+
+    def test_corrupt_json_rejected(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text('{"format": "repro-campaign", "version')
+        with pytest.raises(AnalysisError, match="corrupt campaign checkpoint"):
+            load_checkpoint(str(path))
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"format": "other", "version": 1}))
+        with pytest.raises(AnalysisError, match="not a campaign checkpoint"):
+            load_checkpoint(str(path))
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"format": CHECKPOINT_FORMAT, "version": 99}))
+        with pytest.raises(AnalysisError, match="unsupported campaign checkpoint"):
+            load_checkpoint(str(path))
+
+    def test_missing_file_is_filenotfound(self, tmp_path):
+        with pytest.raises(AnalysisError, match="cannot read"):
+            load_checkpoint(str(tmp_path / "absent.json"))

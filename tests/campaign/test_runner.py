@@ -1,0 +1,240 @@
+"""Campaign runner tests: isolation, merging, resume, degradation."""
+
+import pytest
+
+from repro.campaign import (
+    STATUS_BUDGET,
+    STATUS_ERROR,
+    STATUS_FORCED,
+    STATUS_OK,
+    CampaignConfig,
+    CampaignRunner,
+    default_plan_matrix,
+    load_checkpoint,
+    run_campaign,
+)
+from repro.faults import RANK_CRASH, FaultPlan, FaultSpec, builtin_plans
+from repro.home import Home
+from repro.minilang import parse, validate
+from repro.violations.matcher import ViolationReport
+from repro.violations.spec import Violation
+from repro.workloads.case_studies import case_study_2
+
+SPIN = """
+program spin;
+func main() {
+    mpi_init();
+    var i = 0;
+    while (i < 100000) { i = i + 1; }
+    mpi_finalize();
+}
+"""
+
+
+def spin_program():
+    program = parse(SPIN)
+    validate(program)
+    return program
+
+
+class TestReportMerge:
+    def make(self, vclass, proc):
+        report = ViolationReport()
+        report.add(Violation(vclass=vclass, proc=proc, message="m", callsites=(1,)))
+        return report
+
+    def test_merge_dedups_and_unions_ranks(self):
+        a = self.make("X", 0)
+        b = self.make("X", 1)
+        a.merge(b)
+        assert len(a) == 1
+        key = a.violations[0].dedup_key()
+        assert sorted(a.procs_by_finding[key]) == [0, 1]
+
+    def test_merge_keeps_distinct_findings(self):
+        a = self.make("X", 0)
+        a.merge(self.make("Y", 0))
+        assert sorted(a.classes()) == ["X", "Y"]
+
+
+class TestHealthyCampaign:
+    def test_matrix_runs_and_merges(self):
+        config = CampaignConfig(
+            seeds=range(2),
+            plans=default_plan_matrix(2, ["none", "crash"]),
+        )
+        result = run_campaign(case_study_2(), config)
+        assert len(result.outcomes) == 4
+        assert result.status_counts() == {STATUS_OK: 4}
+        assert not result.degraded
+        # the fault-free single run's findings are all present
+        single = Home().check(case_study_2(), nprocs=2, num_threads=2, seed=0)
+        assert set(single.violations.classes()) <= set(result.report.classes())
+
+    def test_crash_runs_are_isolated_and_analyzable(self):
+        config = CampaignConfig(
+            seeds=[0], plans={"crash": builtin_plans(2)["crash"]},
+        )
+        result = run_campaign(case_study_2(), config)
+        (outcome,) = result.outcomes
+        assert outcome.status == STATUS_OK
+        assert outcome.deadlocked
+        assert outcome.analyzable
+        assert outcome.crashed_ranks == [1]
+
+    def test_summary_mentions_runs_and_findings(self):
+        result = run_campaign(
+            case_study_2(), CampaignConfig(seeds=[0], plans=None)
+        )
+        text = result.summary()
+        assert "1 run(s)" in text
+        assert "ConcurrentRecvViolation" in text
+
+
+class TestBudgets:
+    def test_budget_exhaustion_salvages_partial_trace(self):
+        config = CampaignConfig(seeds=[0], budget_steps=2000, retries=1)
+        result = run_campaign(spin_program(), config)
+        (outcome,) = result.outcomes
+        assert outcome.status == STATUS_BUDGET
+        assert "infinite loop" in outcome.failure
+        assert outcome.events > 0
+        assert outcome.analyzable
+        # retry ran at the reduced budget and the longest trace was kept
+        assert outcome.attempt in (0, 1)
+
+    def test_campaign_survives_budget_cells_alongside_good_ones(self):
+        config = CampaignConfig(seeds=[0], budget_steps=2000)
+        good = run_campaign(case_study_2(), config)
+        assert good.outcomes[0].status in (STATUS_OK, STATUS_BUDGET)
+
+
+class TestErrorIsolation:
+    class ExplodingTool(Home):
+        def analyze(self, result, static):
+            raise RuntimeError("analyzer exploded")
+
+    class BrokenConfigTool(Home):
+        def run_config(self, *args, **kwargs):
+            raise RuntimeError("bad config")
+
+    def test_analysis_crash_is_recorded_not_raised(self):
+        result = run_campaign(
+            case_study_2(), CampaignConfig(seeds=[0]),
+            tool=self.ExplodingTool(),
+        )
+        (outcome,) = result.outcomes
+        assert outcome.status == STATUS_OK
+        assert not outcome.analyzable
+        assert "analyzer exploded" in outcome.analysis_error
+        assert result.degraded
+
+    def test_run_config_crash_is_recorded_not_raised(self):
+        result = run_campaign(
+            case_study_2(), CampaignConfig(seeds=[0], retries=0),
+            tool=self.BrokenConfigTool(),
+        )
+        (outcome,) = result.outcomes
+        assert outcome.status == STATUS_ERROR
+        assert "bad config" in outcome.error
+
+
+class TestDegradation:
+    def test_force_fail_yields_flagged_static_only_report(self):
+        config = CampaignConfig(seeds=range(2), force_fail=True)
+        result = run_campaign(case_study_2(), config)
+        assert result.degraded
+        assert all(o.status == STATUS_FORCED for o in result.outcomes)
+        assert len(result.report) > 0
+        assert all("STATIC-ONLY" in v.message for v in result.report)
+        assert "DEGRADED REPORT" in result.summary()
+
+    def test_static_only_findings_carry_no_rank(self):
+        result = run_campaign(
+            case_study_2(), CampaignConfig(seeds=[0], force_fail=True)
+        )
+        assert all(v.proc == -1 for v in result.report)
+
+
+class TestCheckpointResume:
+    def config(self, path, resume=False):
+        return CampaignConfig(
+            seeds=range(2),
+            plans=default_plan_matrix(2, ["none", "downgrade"]),
+            checkpoint=path,
+            resume=resume,
+        )
+
+    def test_checkpoint_written_incrementally(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        run_campaign(case_study_2(), self.config(path))
+        state = load_checkpoint(path)
+        assert len(state["outcomes"]) == 4
+        assert state["meta"]["program"] == case_study_2().name
+        assert "downgrade" in state["meta"]["plans"]
+
+    def test_resume_reuses_banked_outcomes(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        first = run_campaign(case_study_2(), self.config(path))
+        lines = []
+        second = run_campaign(
+            case_study_2(), self.config(path, resume=True),
+            progress=lines.append,
+        )
+        assert all("(resumed)" in line for line in lines)
+        assert [o.as_dict() for o in second.outcomes] == [
+            o.as_dict() for o in first.outcomes
+        ]
+        assert second.report.classes() == first.report.classes()
+
+    def test_resume_with_unusable_checkpoint_starts_cold(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text("not json at all")
+        result = run_campaign(case_study_2(), self.config(str(path), resume=True))
+        assert len(result.outcomes) == 4
+
+    def test_resume_rejects_other_programs_checkpoint(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        run_campaign(case_study_2(), self.config(path))
+        lines = []
+        result = run_campaign(
+            spin_program(),
+            CampaignConfig(seeds=[0], checkpoint=path, resume=True,
+                           budget_steps=2000),
+            progress=lines.append,
+        )
+        assert not any("(resumed)" in line for line in lines)
+        assert len(result.outcomes) == 1
+
+
+class TestPlanMatrix:
+    def test_default_is_builtin_set(self):
+        assert set(default_plan_matrix(2)) == set(builtin_plans(2))
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(KeyError, match="unknown fault plan"):
+            default_plan_matrix(2, ["downgrade", "gremlins"])
+
+    def test_prepare_happens_once(self):
+        calls = []
+
+        class CountingTool(Home):
+            def prepare(self, program):
+                calls.append(1)
+                return super().prepare(program)
+
+        runner = CampaignRunner(
+            case_study_2(),
+            CampaignConfig(seeds=range(3)),
+            tool=CountingTool(),
+        )
+        runner.run()
+        assert len(calls) == 1
+
+    def test_rank_crash_spec_reaches_runs(self):
+        plan = FaultPlan((FaultSpec(RANK_CRASH, rank=1, at_call=1),), name="c")
+        result = run_campaign(
+            case_study_2(),
+            CampaignConfig(seeds=[0], plans={"c": plan}),
+        )
+        assert result.outcomes[0].faults_fired == 1

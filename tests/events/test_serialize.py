@@ -101,3 +101,47 @@ class TestErrors:
         )
         with pytest.raises(AnalysisError, match="malformed"):
             load_log(io.StringIO(data))
+
+
+class TestTruncatedTraceSalvage:
+    """A run killed mid-write leaves a damaged trailing line."""
+
+    def truncated_trace(self, tmp_path):
+        report = Home().check(case_study_2(), nprocs=2)
+        path = tmp_path / "run.trace"
+        dump_log(report.execution.log, path, metadata={"seed": 0})
+        lines = path.read_text().splitlines()
+        assert len(lines) > 10
+        # chop the last record in half, as an interrupted write would
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]
+        path.write_text("\n".join(lines) + "\n")
+        return path, len(lines)
+
+    def test_strict_load_names_the_bad_line(self, tmp_path):
+        path, total = self.truncated_trace(tmp_path)
+        with pytest.raises(AnalysisError, match="corrupt trace line"):
+            load_log(path)
+
+    def test_tolerant_load_salvages_valid_prefix(self, tmp_path):
+        path, total = self.truncated_trace(tmp_path)
+        log, meta = load_log(path, strict=False)
+        assert meta["salvaged"] is True
+        assert meta["dropped_lines"] == 1
+        assert meta["seed"] == 0
+        # header + salvaged events + dropped line account for the file
+        assert len(log) == total - 1 - meta["dropped_lines"]
+
+    def test_tolerant_load_drops_suffix_after_first_bad_line(self, tmp_path):
+        path, total = self.truncated_trace(tmp_path)
+        with open(path, "a") as fh:
+            fh.write('{"also": "suspect"}\n')
+        log, meta = load_log(path, strict=False)
+        assert meta["dropped_lines"] == 2
+        assert len(log) == total - 1 - 1
+
+    def test_tolerant_load_of_clean_trace_is_unmarked(self, tmp_path):
+        report = Home().check(case_study_2(), nprocs=2)
+        path = tmp_path / "run.trace"
+        dump_log(report.execution.log, path)
+        _, meta = load_log(path, strict=False)
+        assert "salvaged" not in meta

@@ -1,0 +1,121 @@
+"""FaultInjector unit tests: decision points answered deterministically."""
+
+from repro.faults import (
+    EAGER_RENDEZVOUS,
+    MESSAGE_DELAY,
+    QUEUE_REORDER,
+    RANK_CRASH,
+    THREAD_DOWNGRADE,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.mpi.constants import (
+    MPI_THREAD_FUNNELED,
+    MPI_THREAD_MULTIPLE,
+    MPI_THREAD_SINGLE,
+)
+
+
+def injector(*specs, nprocs=2, seed=0, name="t"):
+    return FaultInjector(FaultPlan(tuple(specs), name=name), nprocs, seed=seed)
+
+
+class TestDisabled:
+    def test_no_plan_means_no_faults(self):
+        inj = FaultInjector(None, 2)
+        assert not inj.enabled
+        assert inj.granted_thread_level(0, MPI_THREAD_MULTIPLE) == (
+            MPI_THREAD_MULTIPLE, None,
+        )
+        assert inj.on_mpi_call(0) is None
+        assert not inj.perturb_send(0, 1)
+        assert inj.lock_jitter(0) == (0.0, None)
+        assert inj.summary()["fired"] == 0
+
+
+class TestThreadDowngrade:
+    def test_downgrades_below_provided(self):
+        inj = injector(FaultSpec(THREAD_DOWNGRADE, max_level=MPI_THREAD_FUNNELED))
+        level, spec = inj.granted_thread_level(0, MPI_THREAD_MULTIPLE)
+        assert level == MPI_THREAD_FUNNELED
+        assert spec is not None
+
+    def test_never_upgrades(self):
+        inj = injector(FaultSpec(THREAD_DOWNGRADE, max_level=MPI_THREAD_FUNNELED))
+        level, spec = inj.granted_thread_level(0, MPI_THREAD_SINGLE)
+        assert level == MPI_THREAD_SINGLE
+        assert spec is None
+
+    def test_rank_scoping(self):
+        inj = injector(
+            FaultSpec(THREAD_DOWNGRADE, rank=1, max_level=MPI_THREAD_FUNNELED)
+        )
+        assert inj.granted_thread_level(0, MPI_THREAD_MULTIPLE)[1] is None
+        assert inj.granted_thread_level(1, MPI_THREAD_MULTIPLE)[1] is not None
+
+
+class TestRankCrash:
+    def test_crashes_at_nth_call(self):
+        inj = injector(FaultSpec(RANK_CRASH, rank=0, at_call=3))
+        assert inj.on_mpi_call(0) is None
+        assert inj.on_mpi_call(0) is None
+        assert inj.on_mpi_call(0) is not None
+        assert inj.crashed(0)
+
+    def test_other_ranks_survive(self):
+        inj = injector(FaultSpec(RANK_CRASH, rank=0, at_call=1))
+        for _ in range(5):
+            assert inj.on_mpi_call(1) is None
+        assert not inj.crashed(1)
+
+
+class TestSendPerturbation:
+    def test_message_delay_every_nth_delivery(self):
+        inj = injector(FaultSpec(MESSAGE_DELAY, rank=1, delay=100.0, every=2))
+        first = inj.perturb_send(0, 1)
+        second = inj.perturb_send(0, 1)
+        assert first.extra_latency == 0.0
+        assert second.extra_latency == 100.0
+
+    def test_delay_keys_on_destination(self):
+        inj = injector(FaultSpec(MESSAGE_DELAY, rank=1, delay=100.0, every=1))
+        assert inj.perturb_send(0, 0).extra_latency == 0.0
+        assert inj.perturb_send(0, 1).extra_latency == 100.0
+
+    def test_rendezvous_flip_after_n_sends(self):
+        inj = injector(FaultSpec(EAGER_RENDEZVOUS, rank=0, every=2))
+        assert not inj.perturb_send(0, 1).force_sync
+        assert not inj.perturb_send(0, 1).force_sync
+        assert inj.perturb_send(0, 1).force_sync
+
+    def test_reorder_fires_deterministically(self):
+        def fire_pattern(seed):
+            inj = injector(FaultSpec(QUEUE_REORDER, every=2), seed=seed)
+            return [inj.perturb_send(0, 1).reorder for _ in range(16)]
+
+        assert fire_pattern(5) == fire_pattern(5)
+        assert any(fire_pattern(5))
+
+    def test_applied_specs_listed(self):
+        inj = injector(
+            FaultSpec(MESSAGE_DELAY, delay=10.0, every=1),
+            FaultSpec(EAGER_RENDEZVOUS, every=1),
+        )
+        inj.perturb_send(0, 1)
+        perturb = inj.perturb_send(0, 1)
+        assert {s.kind for s in perturb.applied} == {
+            MESSAGE_DELAY, EAGER_RENDEZVOUS,
+        }
+
+
+class TestSummary:
+    def test_summary_counts_by_kind(self):
+        inj = injector(FaultSpec(RANK_CRASH, rank=1, at_call=1))
+        spec = inj.on_mpi_call(1)
+        inj.record(spec, 1, "rank 1 crashed")
+        summary = inj.summary()
+        assert summary["plan"] == "t"
+        assert summary["fired"] == 1
+        assert summary["by_kind"] == {RANK_CRASH: 1}
+        assert summary["crashed_ranks"] == [1]

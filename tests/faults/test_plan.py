@@ -1,0 +1,103 @@
+"""Fault taxonomy / plan tests: validation, serialization, determinism."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    EAGER_RENDEZVOUS,
+    LOCK_JITTER,
+    MESSAGE_DELAY,
+    QUEUE_REORDER,
+    RANK_CRASH,
+    THREAD_DOWNGRADE,
+    FaultPlan,
+    FaultSpec,
+    builtin_plans,
+    random_plan,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("cosmic-ray")
+
+    @pytest.mark.parametrize("field,value", [("every", 0), ("at_call", 0)])
+    def test_bad_cadence_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            FaultSpec(RANK_CRASH, **{field: value})
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_describe_mentions_kind(self, kind):
+        assert kind in FaultSpec(kind).describe()
+
+    def test_round_trip(self):
+        spec = FaultSpec(MESSAGE_DELAY, rank=1, delay=42.0, every=3)
+        assert FaultSpec.from_dict(spec.as_dict()) == spec
+
+    def test_from_dict_ignores_unknown_keys(self):
+        spec = FaultSpec.from_dict(
+            {"kind": LOCK_JITTER, "delay": 2.0, "mystery": True}
+        )
+        assert spec.kind == LOCK_JITTER and spec.delay == 2.0
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert len(FaultPlan()) == 0
+
+    def test_round_trip(self):
+        plan = FaultPlan(
+            (FaultSpec(RANK_CRASH, rank=1, at_call=3), FaultSpec(QUEUE_REORDER)),
+            name="mixed",
+        )
+        again = FaultPlan.from_dict(plan.as_dict())
+        assert again == plan
+        assert again.name == "mixed"
+
+    def test_by_kind_and_kinds(self):
+        plan = FaultPlan(
+            (FaultSpec(RANK_CRASH, rank=0), FaultSpec(THREAD_DOWNGRADE)),
+            name="p",
+        )
+        assert [s.kind for s in plan.by_kind(RANK_CRASH)] == [RANK_CRASH]
+        assert plan.kinds() == sorted([RANK_CRASH, THREAD_DOWNGRADE])
+
+    def test_describe_lists_every_spec(self):
+        plan = builtin_plans(2)["crash"]
+        assert "crash" in plan.describe()
+        assert "MPI call #5" in plan.describe()
+
+
+class TestBuiltinPlans:
+    def test_all_kinds_covered(self):
+        plans = builtin_plans(4)
+        covered = {s.kind for p in plans.values() for s in p.specs}
+        assert covered == set(FAULT_KINDS)
+
+    def test_none_plan_is_empty(self):
+        assert not builtin_plans(2)["none"]
+
+    def test_crash_victim_is_last_rank(self):
+        (spec,) = builtin_plans(8)["crash"].specs
+        assert spec.rank == 7
+
+
+class TestRandomPlan:
+    def test_deterministic_for_same_seed(self):
+        assert random_plan(17, nprocs=4) == random_plan(17, nprocs=4)
+
+    def test_different_seeds_vary(self):
+        plans = {random_plan(s, nprocs=4) for s in range(20)}
+        assert len(plans) > 1
+
+    def test_respects_kind_restriction(self):
+        plan = random_plan(3, nprocs=2, kinds=[EAGER_RENDEZVOUS], max_faults=1)
+        assert {s.kind for s in plan.specs} == {EAGER_RENDEZVOUS}
+
+    def test_crash_always_targets_concrete_rank(self):
+        for seed in range(30):
+            plan = random_plan(seed, nprocs=3, kinds=[RANK_CRASH])
+            for spec in plan.specs:
+                assert spec.rank is not None and 0 <= spec.rank < 3

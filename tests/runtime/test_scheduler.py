@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.errors import DeadlockError, SchedulerError
+from repro.errors import (
+    DeadlockError,
+    SchedulerError,
+    StepLimitError,
+    WallClockLimitError,
+)
 from repro.runtime.scheduler import Block, Scheduler, Step
 
 
@@ -171,3 +176,40 @@ class TestBlocking:
         sched.spawn("c", 1, 0, make_counter_task([], "c", 1, cost=2.0))
         sched.run()
         assert sched.clocks_by_process() == {0: 7.0, 1: 2.0}
+
+
+class TestBudgetDiagnostics:
+    def forever(self):
+        while True:
+            yield Step(1.0)
+
+    def test_step_limit_carries_per_task_counts(self):
+        sched = Scheduler(seed=0, max_steps=100)
+        sched.spawn("hungry", 0, 0, self.forever())
+        sched.spawn("idle", 0, 1, make_counter_task([], "idle", 2))
+        with pytest.raises(StepLimitError) as exc:
+            sched.run()
+        assert exc.value.task_steps["hungry"] > exc.value.task_steps["idle"]
+        assert sum(exc.value.task_steps.values()) == 101
+
+    def test_step_limit_message_names_busiest_task(self):
+        sched = Scheduler(seed=0, max_steps=100)
+        sched.spawn("spinner", 0, 0, self.forever())
+        with pytest.raises(StepLimitError, match="busiest tasks: spinner"):
+            sched.run()
+
+    def test_step_limit_is_a_scheduler_error(self):
+        assert issubclass(StepLimitError, SchedulerError)
+        assert issubclass(WallClockLimitError, SchedulerError)
+
+    def test_wall_clock_budget_enforced(self):
+        sched = Scheduler(seed=0, max_wall_seconds=0.05)
+        sched.spawn("spinner", 0, 0, self.forever())
+        with pytest.raises(WallClockLimitError, match="wall-clock budget"):
+            sched.run()
+
+    def test_zero_wall_budget_means_unlimited(self):
+        sched = Scheduler(seed=0, max_wall_seconds=0.0)
+        sched.spawn("t", 0, 0, make_counter_task([], "t", 50))
+        sched.run()  # must not raise
+        assert sched.total_steps == 50

@@ -250,6 +250,127 @@ class TestFixSubcommand:
         assert "nothing to fix" in capsys.readouterr().out
 
 
+FUNNELED_RACY = """
+program funneled;
+var a[2];
+func main() {
+    var provided = mpi_init_thread(MPI_THREAD_FUNNELED);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var partner = 1 - rank;
+    mpi_send(a, 1, partner, 5, MPI_COMM_WORLD);
+    mpi_send(a, 1, partner, 5, MPI_COMM_WORLD);
+    omp parallel num_threads(2) {
+        mpi_recv(a, 1, partner, 5, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+}
+"""
+
+
+class TestThreadLevelMode:
+    """End-to-end ``--thread-level-mode`` coverage through ``check``."""
+
+    @pytest.fixture
+    def funneled_file(self, tmp_path):
+        path = tmp_path / "funneled.hmp"
+        path.write_text(FUNNELED_RACY)
+        return str(path)
+
+    def test_permissive_executes_breaching_calls(self, funneled_file, capsys):
+        code = main(["check", funneled_file,
+                     "--thread-level-mode", "permissive", "-v"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "InitializationViolation" in out
+        assert "ConcurrentRecvViolation" in out
+        assert "non-main thread" in out
+        assert "aborted" not in out
+
+    def test_strict_aborts_breaching_thread(self, funneled_file, capsys):
+        code = main(["check", funneled_file,
+                     "--thread-level-mode", "strict", "-v"])
+        out = capsys.readouterr().out
+        assert code == 1
+        # the offending thread dies like under a strict MPI library...
+        assert "aborted" in out
+        # ...but the wrapper writes landed first, so HOME still reports
+        assert "ConcurrentRecvViolation" in out
+
+    def test_skip_mode_accepted(self, funneled_file, capsys):
+        code = main(["check", funneled_file, "--thread-level-mode", "skip"])
+        assert code == 1
+        assert "ConcurrentRecvViolation" in capsys.readouterr().out
+
+    def test_default_mode_unchanged(self, funneled_file, capsys):
+        """No flag: the tool's own default (permissive) applies."""
+        code = main(["check", funneled_file, "-v"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "aborted" not in out
+
+    def test_invalid_mode_rejected(self, funneled_file):
+        with pytest.raises(SystemExit):
+            main(["check", funneled_file, "--thread-level-mode", "bogus"])
+
+
+class TestCampaignCommand:
+    def test_campaign_over_file(self, racy_file, capsys):
+        code = main(["campaign", racy_file, "--seeds", "2",
+                     "--plans", "none,crash"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 run(s)" in out
+        assert "ConcurrentRecvViolation" in out
+
+    def test_campaign_force_fail_degrades(self, racy_file, capsys):
+        code = main(["campaign", racy_file, "--seeds", "2", "--force-fail"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DEGRADED REPORT" in out
+        assert "STATIC-ONLY" in out
+
+    def test_campaign_json_and_checkpoint(self, racy_file, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "r.json"
+        ckpt = tmp_path / "c.json"
+        code = main(["campaign", racy_file, "--seeds", "2", "--plans", "none",
+                     "--json", str(report), "--checkpoint", str(ckpt)])
+        assert code == 0
+        data = json.loads(report.read_text())
+        assert data["runs"] == 2 and not data["degraded"]
+        state = json.loads(ckpt.read_text())
+        assert state["format"] == "repro-campaign"
+        assert len(state["outcomes"]) == 2
+
+    def test_campaign_resume_from_checkpoint(self, racy_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "c.json")
+        main(["campaign", racy_file, "--seeds", "2", "--plans", "none",
+              "--checkpoint", ckpt])
+        capsys.readouterr()
+        code = main(["campaign", racy_file, "--seeds", "2", "--plans", "none",
+                     "--checkpoint", ckpt, "--resume", "-v"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("(resumed)") == 2
+
+    def test_campaign_npb_smoke(self, capsys):
+        code = main(["campaign", "--npb", "lu", "--seeds", "1",
+                     "--plans", "downgrade", "--budget-steps", "200000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "InitializationViolation" in out
+
+    def test_unknown_plan_is_config_error(self, racy_file, capsys):
+        code = main(["campaign", racy_file, "--plans", "gremlins"])
+        assert code == 2
+        assert "unknown fault plan" in capsys.readouterr().err
+
+    def test_file_and_npb_mutually_exclusive(self, racy_file, capsys):
+        assert main(["campaign", racy_file, "--npb", "lu"]) == 2
+        assert main(["campaign"]) == 2
+
+
 class TestMessageRaceFlag:
     def test_msg_races_reported(self, tmp_path, capsys):
         src = tmp_path / "wild.hmp"
