@@ -1,0 +1,59 @@
+"""CI gate: fail on a >2x interpreter stepping-rate regression.
+
+Reads the ``BENCH_campaign.json`` written by the benchmark session (see
+``benchmarks/conftest.py``) and compares the measured stepping rate
+against ``benchmarks/baselines/campaign_baseline.json``.  The threshold
+is deliberately loose (half the baseline) so shared-runner noise never
+trips it — only a real hot-path regression does.
+
+Usage::
+
+    python benchmarks/check_campaign_regression.py \
+        [BENCH_campaign.json] [benchmarks/baselines/campaign_baseline.json]
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    current_path = argv[1] if len(argv) > 1 else "BENCH_campaign.json"
+    baseline_path = (
+        argv[2]
+        if len(argv) > 2
+        else "benchmarks/baselines/campaign_baseline.json"
+    )
+    with open(current_path) as fh:
+        current = json.load(fh)
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+
+    rate = current.get("stepping_rate")
+    if rate is None:
+        print(f"error: no stepping_rate in {current_path}", file=sys.stderr)
+        return 2
+    floor = baseline["stepping_rate"] / baseline.get("max_regression", 2.0)
+    verdict = "OK" if rate >= floor else "REGRESSION"
+    print(
+        f"stepping rate: {rate:,.0f} steps/s "
+        f"(baseline {baseline['stepping_rate']:,.0f}, floor {floor:,.0f}) "
+        f"-> {verdict}"
+    )
+    if rate < floor:
+        print(
+            f"error: stepping rate regressed more than "
+            f"{baseline.get('max_regression', 2.0):g}x below baseline",
+            file=sys.stderr,
+        )
+        return 1
+    speedup = current.get("speedup", {})
+    if speedup:
+        curve = ", ".join(
+            f"jobs={j}: {s:.2f}x" for j, s in sorted(speedup.items())
+        )
+        print(f"campaign speedup ({current.get('cores', '?')} cores): {curve}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

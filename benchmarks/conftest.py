@@ -8,11 +8,38 @@ rows/series next to the paper's values.  ``pytest benchmarks/
 Set ``REPRO_BENCH_PROCS`` (comma-separated) to override the process
 sweep, e.g. ``REPRO_BENCH_PROCS=2,8 pytest benchmarks/`` for a quick
 pass.
+
+The campaign-engine benchmarks additionally feed a session-scoped stats
+dict; at session end it is written to ``BENCH_campaign.json`` (override
+the path with ``REPRO_BENCH_CAMPAIGN_JSON``) so CI can archive cell
+throughput, stepping rate and the jobs=1/2/4 speedup curve and gate on
+regressions.
 """
 
+import json
 import os
 
 import pytest
+
+#: filled by the campaign benchmarks (test_campaign_parallel.py);
+#: written out once per session by :func:`pytest_sessionfinish`
+_CAMPAIGN_STATS = {}
+
+
+@pytest.fixture(scope="session")
+def bench_campaign_stats():
+    """Mutable session-wide sink for campaign-engine measurements."""
+    return _CAMPAIGN_STATS
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _CAMPAIGN_STATS:
+        return
+    out = os.environ.get("REPRO_BENCH_CAMPAIGN_JSON", "BENCH_campaign.json")
+    with open(out, "w") as fh:
+        json.dump(_CAMPAIGN_STATS, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\n[bench] campaign stats written to {out}")
 
 
 def _proc_sweep():

@@ -1,0 +1,111 @@
+"""Benchmark: parallel campaign engine throughput and determinism.
+
+The acceptance claim under test: on the 16-seed x 3-plan racy NPB-MZ LU
+campaign, ``jobs=4`` beats ``jobs=1`` by >= 1.5x wall-clock while the
+checkpoint file stays byte-for-byte identical (the worker count is only
+a wall-clock knob).  The measured curve, the serial cell throughput and
+the raw interpreter stepping rate are exported via
+``bench_campaign_stats`` into ``BENCH_campaign.json`` for CI archival
+and regression gating.
+
+The speedup assertion is guarded on the host's core count: on a
+single-core box parallel dispatch cannot beat serial and the run only
+records the (honest) curve.
+"""
+
+import os
+import time
+
+from repro.campaign import CampaignConfig, default_plan_matrix, run_campaign
+from repro.runtime import Interpreter, RunConfig
+from repro.workloads import BENCHMARKS
+
+_SEEDS = 16
+_PLANS = ("none", "downgrade", "crash")
+_JOB_SWEEP = (1, 2, 4)
+#: wall-clock speedup jobs=4 must reach over jobs=1 (only asserted when
+#: the host actually has >= 4 cores to parallelize onto)
+_MIN_SPEEDUP = 1.5
+
+
+def _config(jobs, checkpoint):
+    return CampaignConfig(
+        seeds=range(_SEEDS),
+        plans=default_plan_matrix(2, list(_PLANS)),
+        budget_steps=200_000,
+        retries=0,
+        jobs=jobs,
+        record_timing=False,
+        checkpoint=checkpoint,
+    )
+
+
+def test_parallel_speedup_16x3(benchmark, bench_campaign_stats, tmp_path):
+    program = BENCHMARKS["lu"](inject=True)
+    cells = _SEEDS * len(_PLANS)
+    wall = {}
+    blobs = {}
+
+    def sweep():
+        for jobs in _JOB_SWEEP:
+            path = tmp_path / f"ck-{jobs}.json"
+            start = time.perf_counter()
+            result = run_campaign(program, _config(jobs, str(path)))
+            wall[jobs] = time.perf_counter() - start
+            blobs[jobs] = path.read_bytes()
+            assert not result.degraded
+            assert len(result.outcomes) == cells
+        return wall
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    speedup = {jobs: wall[1] / wall[jobs] for jobs in _JOB_SWEEP}
+    throughput = cells / wall[1]
+    cores = os.cpu_count() or 1
+    print()
+    print(f"campaign: {cells} cells ({_SEEDS} seeds x {len(_PLANS)} plans), "
+          f"{cores} cores")
+    print(f"serial cell throughput: {throughput:.1f} cells/s")
+    for jobs in _JOB_SWEEP:
+        print(f"  jobs={jobs}: {wall[jobs]:6.2f}s  "
+              f"speedup {speedup[jobs]:.2f}x")
+
+    bench_campaign_stats.update({
+        "cells": cells,
+        "seeds": _SEEDS,
+        "plans": list(_PLANS),
+        "cores": cores,
+        "cell_throughput": round(throughput, 3),
+        "wall_seconds": {str(j): round(wall[j], 4) for j in _JOB_SWEEP},
+        "speedup": {str(j): round(speedup[j], 3) for j in _JOB_SWEEP},
+    })
+
+    # the determinism guarantee holds unconditionally...
+    assert blobs[2] == blobs[1]
+    assert blobs[4] == blobs[1]
+    # ...the speedup claim only where there are cores to win on
+    if cores >= 4:
+        assert speedup[4] >= _MIN_SPEEDUP, (
+            f"jobs=4 speedup {speedup[4]:.2f}x < {_MIN_SPEEDUP}x "
+            f"on a {cores}-core host"
+        )
+
+
+def test_interpreter_stepping_rate(bench_campaign_stats):
+    """Raw scheduler stepping rate on fault-free LU (best of 3): the
+    single-run hot-path number CI gates on."""
+    program = BENCHMARKS["lu"](inject=False)
+    best_rate = 0.0
+    steps = 0
+    for _ in range(3):
+        start = time.perf_counter()
+        result = Interpreter(
+            program, RunConfig(nprocs=2, num_threads=2)
+        ).run()
+        elapsed = time.perf_counter() - start
+        steps = result.stats["scheduler_steps"]
+        best_rate = max(best_rate, steps / elapsed)
+    print(f"\nstepping rate: {best_rate:,.0f} steps/s ({steps} steps)")
+    bench_campaign_stats["scheduler_steps"] = steps
+    bench_campaign_stats["stepping_rate"] = round(best_rate, 1)
+    assert best_rate > 0

@@ -6,9 +6,12 @@ rate and the offline analyses' cost on a fixed workload, so regressions
 in the substrate show up as benchmark deltas.
 """
 
+import tracemalloc
+
 import pytest
 
 from repro.analysis.dynamic_.hybrid import analyze
+from repro.analysis.dynamic_.vectorclock import VectorClock
 from repro.analysis.static_ import run_static_analysis
 from repro.home import Home
 from repro.minilang import parse
@@ -35,7 +38,16 @@ def test_parse_lu_benchmark(benchmark, lu_source):
 
 
 def test_static_analysis_lu(benchmark):
+    # cache=False: measure the analysis itself, not the memo lookup
     program = build_lu_mz(inject=True)
+    report = benchmark(run_static_analysis, program, cache=False)
+    assert report.instrumentation.n_instrumented > 0
+
+
+def test_static_analysis_lu_cached(benchmark):
+    """The memoized path campaigns hit after the first cell."""
+    program = build_lu_mz(inject=True)
+    run_static_analysis(program)  # warm the cache
     report = benchmark(run_static_analysis, program)
     assert report.instrumentation.n_instrumented > 0
 
@@ -53,3 +65,68 @@ def test_interpret_lu_base(benchmark):
 def test_hybrid_analysis_lu(benchmark, lu_home_run):
     reports = benchmark(analyze, lu_home_run.log)
     assert reports[0].pairs
+
+
+# -- vector-clock hot path ---------------------------------------------------
+#
+# The happens-before replay executes one tick (and usually one or more
+# joins) per event, so these dict-sized operations dominate the dynamic
+# phase.  The immutable-with-cached-hash rework eliminated the
+# copy-then-mutate double allocation in tick/join and made no-op joins
+# and repeat hashes allocation-free; these benchmarks pin that down.
+
+
+@pytest.fixture(scope="module")
+def clocks():
+    wide = VectorClock({tid: tid + 1 for tid in range(8)})
+    behind = VectorClock({tid: 1 for tid in range(8)})
+    return wide, behind
+
+
+def test_vectorclock_tick(benchmark, clocks):
+    wide, _ = clocks
+    out = benchmark(wide.tick, 3)
+    assert out.get(3) == wide.get(3) + 1
+
+
+def test_vectorclock_join_noop(benchmark, clocks):
+    wide, behind = clocks
+    out = benchmark(wide.join, behind)
+    assert out is wide  # no-op joins return self without allocating
+
+
+def test_vectorclock_join_merge(benchmark, clocks):
+    wide, behind = clocks
+    out = benchmark(behind.join, wide)
+    assert out.get(7) == 8
+
+
+def test_vectorclock_hash_cached(benchmark, clocks):
+    wide, _ = clocks
+    hash(wide)  # first call computes and caches
+    assert benchmark(hash, wide) == hash(wide)
+
+
+def test_vectorclock_noop_join_and_hash_are_allocation_free(clocks):
+    """Regression guard for the allocation profile (not a timing test):
+    after warm-up, no-op joins and repeat hashes allocate nothing."""
+    wide, behind = clocks
+    wide.join(behind)
+    hash(wide)
+    tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        for _ in range(1000):
+            wide.join(behind)
+            hash(wide)
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    grown = sum(
+        stat.size_diff
+        for stat in after.compare_to(before, "lineno")
+        if stat.size_diff > 0
+    )
+    # tracemalloc's own bookkeeping contributes a few hundred bytes;
+    # 1000 dict copies would be ~100 KiB
+    assert grown < 4096, f"hot path allocated {grown} bytes per 1000 ops"

@@ -33,7 +33,7 @@ from ...events import (
     ThreadJoin,
 )
 from ...events.event import Event
-from .vectorclock import VectorClock, join_all
+from .vectorclock import VectorClock, VectorClockBuilder
 
 
 @dataclass
@@ -102,47 +102,66 @@ def compute_happens_before(
             result.threads.add(tid)
         return vc[tid]
 
+    #: clocks this event must absorb before its program-order tick;
+    #: reused across iterations so the common no-edge event stays
+    #: allocation-free until the tick itself
+    incoming: List[VectorClock] = []
+
     for event in log:
         if event.proc != proc:
             continue
         tid = event.thread
         current = thread_clock(tid)
+        incoming.clear()
 
         if isinstance(event, ThreadFork):
-            fork_vc[event.team] = current.copy()
+            # Clocks are immutable, so the fork snapshot is the clock
+            # itself — no defensive copy.
+            fork_vc[event.team] = current
             team_members.setdefault(event.team, set()).add(tid)
             team_members[event.team].update(event.children)
         elif isinstance(event, ThreadBegin):
             base = fork_vc.get(event.team)
             if base is not None:
-                current = current.join(base)
+                incoming.append(base)
             team_members.setdefault(event.team, set()).add(tid)
         elif isinstance(event, ThreadJoin):
             for child in event.children:
                 child_vc = vc.get(child)
                 if child_vc is not None:
-                    current = current.join(child_vc)
+                    incoming.append(child_vc)
         elif isinstance(event, BarrierEvent):
             key = (event.team, event.epoch)
             joined = barrier_vc.get(key)
             if joined is None:
                 members = team_members.get(event.team, {tid})
-                joined = join_all(
-                    vc[m] for m in members if m in vc
-                ).join(current)
+                builder = VectorClockBuilder()
+                for member in members:
+                    member_vc = vc.get(member)
+                    if member_vc is not None:
+                        builder.join(member_vc)
+                builder.join(current)
+                joined = builder.into_clock()
                 barrier_vc[key] = joined
-            current = current.join(joined)
+            incoming.append(joined)
         elif isinstance(event, LockAcquire):
             if not _is_ignored(event.lock):
                 if lock_edges and event.lock in lock_vc:
-                    current = current.join(lock_vc[event.lock])
+                    incoming.append(lock_vc[event.lock])
                 held[tid].add(event.lock)
         elif isinstance(event, LockRelease):
             if not _is_ignored(event.lock):
                 held[tid].discard(event.lock)
 
-        # Advance program order and record the event's clock.
-        current = current.tick(tid)
+        # Absorb the synchronization edges and advance program order in
+        # one mutating pass — a single dict allocation per event.
+        if incoming:
+            builder = current.mutable()
+            for clock in incoming:
+                builder.join(clock)
+            current = builder.tick(tid).into_clock()
+        else:
+            current = current.tick(tid)
         vc[tid] = current
         result.clocks[event.seq] = current
         result.locks_held[event.seq] = frozenset(held.get(tid, ()))
@@ -150,6 +169,6 @@ def compute_happens_before(
         # Release edge is sourced *after* the event's own tick so that
         # the release itself happens-before the matching acquire.
         if isinstance(event, LockRelease) and lock_edges and not _is_ignored(event.lock):
-            lock_vc[event.lock] = current.copy()
+            lock_vc[event.lock] = current
 
     return result

@@ -33,7 +33,11 @@ from .races import (  # noqa: F401
     StaticRaceReport,
     find_races,
 )
-from .report import StaticReport, run_static_analysis  # noqa: F401
+from .report import (  # noqa: F401
+    StaticReport,
+    clear_static_analysis_cache,
+    run_static_analysis,
+)
 from .threadlevel import (  # noqa: F401
     StaticWarning,
     ThreadLevelInfo,
@@ -72,5 +76,6 @@ __all__ = [
     "infer_thread_level",
     "check_thread_level",
     "StaticReport",
+    "clear_static_analysis_cache",
     "run_static_analysis",
 ]

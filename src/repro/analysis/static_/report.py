@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ...minilang import ast_nodes as A
 from ..cfg import CFG, build_program_cfgs
@@ -163,6 +164,23 @@ class StaticReport:
         }
 
 
+#: memoization of :func:`run_static_analysis`, keyed on program
+#: *identity* plus the analysis options.  Retry loops, campaign
+#: matrices and benchmarks call ``Home.prepare`` repeatedly on the very
+#: same AST object; the analysis is pure and the AST is treated as
+#: immutable everywhere (the interpreter never mutates it), so the
+#: report can be shared.  Entries hold a strong reference to the
+#: program, which both bounds staleness (LRU eviction) and guarantees
+#: the ``id()`` key cannot be reused while the entry lives.
+_STATIC_CACHE: "OrderedDict[tuple, Tuple[A.Program, StaticReport]]" = OrderedDict()
+_STATIC_CACHE_CAPACITY = 8
+
+
+def clear_static_analysis_cache() -> None:
+    """Drop all memoized static reports (tests / long-lived sessions)."""
+    _STATIC_CACHE.clear()
+
+
 def run_static_analysis(
     program: A.Program,
     policy: InstrumentPolicy = "hybrid-only",
@@ -170,13 +188,41 @@ def run_static_analysis(
     with_cfgs: bool = True,
     dataflow: bool = True,
     races: bool = True,
+    cache: bool = True,
 ) -> StaticReport:
     """The full compile-time phase of HOME (paper Fig. 3, left column).
 
     With ``races`` enabled the static data-race pass runs before
     instrumentation, so its candidate variables become the monitored-
     variable set of the instrumented program (race-directed narrowing).
+
+    Results are memoized on program identity (pass ``cache=False`` to
+    force a fresh analysis, e.g. when benchmarking the phase itself).
     """
+    key = (id(program), policy, interprocedural, with_cfgs, dataflow, races)
+    if cache:
+        hit = _STATIC_CACHE.get(key)
+        if hit is not None and hit[0] is program:
+            _STATIC_CACHE.move_to_end(key)
+            return hit[1]
+    report = _run_static_analysis(
+        program, policy, interprocedural, with_cfgs, dataflow, races
+    )
+    if cache:
+        _STATIC_CACHE[key] = (program, report)
+        while len(_STATIC_CACHE) > _STATIC_CACHE_CAPACITY:
+            _STATIC_CACHE.popitem(last=False)
+    return report
+
+
+def _run_static_analysis(
+    program: A.Program,
+    policy: InstrumentPolicy,
+    interprocedural: bool,
+    with_cfgs: bool,
+    dataflow: bool,
+    races: bool,
+) -> StaticReport:
     sites = collect_sites(program, interprocedural=interprocedural)
     warnings = check_thread_level(program, sites)
     cfgs = build_program_cfgs(program) if with_cfgs or dataflow or races else {}

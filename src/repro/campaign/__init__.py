@@ -23,10 +23,12 @@ from .outcome import (
     violation_from_dict,
     violation_to_dict,
 )
+from .parallel import CellTask, resolve_jobs
 from .runner import (
     CampaignConfig,
     CampaignResult,
     CampaignRunner,
+    CellExecutor,
     default_plan_matrix,
     run_campaign,
 )
@@ -37,6 +39,8 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "CampaignRunner",
+    "CellExecutor",
+    "CellTask",
     "RUN_STATUSES",
     "RunOutcome",
     "STATUS_BUDGET",
@@ -45,6 +49,7 @@ __all__ = [
     "STATUS_OK",
     "default_plan_matrix",
     "load_checkpoint",
+    "resolve_jobs",
     "run_campaign",
     "save_checkpoint",
     "violation_from_dict",

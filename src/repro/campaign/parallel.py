@@ -1,0 +1,142 @@
+"""Parallel cell dispatch for campaigns.
+
+Every campaign cell is a deterministic, independent simulation, so the
+matrix is embarrassingly parallel.  The dispatcher here runs cells
+out-of-order on a :class:`~concurrent.futures.ProcessPoolExecutor`
+while preserving the campaign's contract:
+
+* the static phase runs **once** in the parent; the prepared program
+  and :class:`StaticReport` are shipped to each worker exactly once via
+  the pool initializer (a picklable :class:`CellExecutor`), not once
+  per cell;
+* each cell is crash-isolated twice over — ``run_cell`` already
+  converts in-cell exceptions into error outcomes, and
+  :func:`_run_cell` catches anything that escapes so a diseased cell
+  returns an outcome instead of poisoning the pool;
+* if the pool itself dies (a worker process is killed outright), the
+  dispatcher finishes the unfinished cells in-process — parallelism is
+  an optimization, never a new failure mode;
+* callers reassemble outcomes in canonical matrix order, so reports,
+  checkpoints and exit codes are independent of completion order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from ..faults import FaultPlan
+from .outcome import STATUS_ERROR, RunOutcome
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One (seed, plan) cell of the campaign matrix, picklable for
+    dispatch to a worker process."""
+
+    #: canonical position in the matrix — outcomes are merged by this
+    #: index so parallel completion order never leaks into artifacts
+    index: int
+    seed: int
+    plan_name: str
+    plan: Optional[FaultPlan]
+
+
+def resolve_jobs(jobs, cells: int) -> int:
+    """Resolve a ``--jobs`` value to a concrete worker count.
+
+    ``"auto"``/``None``/``0`` mean one worker per CPU core; the result
+    is always capped by the number of runnable cells and floored at 1.
+    """
+    if jobs in (None, 0, "auto", ""):
+        resolved = os.cpu_count() or 1
+    else:
+        resolved = int(jobs)
+        if resolved < 1:
+            raise ValueError(f"--jobs must be >= 1 or 'auto', got {jobs!r}")
+    return max(1, min(resolved, max(cells, 1)))
+
+
+#: per-worker cell executor, installed once by the pool initializer
+_WORKER = None
+
+
+def _init_worker(executor) -> None:
+    global _WORKER
+    _WORKER = executor
+
+
+def _run_cell(task: CellTask) -> RunOutcome:
+    """Worker entry point: run one cell with total crash isolation."""
+    try:
+        return _WORKER.run_cell(task.seed, task.plan_name, task.plan)
+    except BaseException as err:  # noqa: BLE001 - a worker must always
+        # hand back *an* outcome; anything escaping run_cell's own
+        # isolation becomes an error record for this cell alone
+        return RunOutcome(
+            seed=task.seed,
+            plan=task.plan_name,
+            status=STATUS_ERROR,
+            error=f"worker: {type(err).__name__}: {err}",
+        )
+
+
+def run_cells_parallel(
+    executor,
+    tasks: Sequence[CellTask],
+    jobs: int,
+    on_complete: Callable[[CellTask, RunOutcome], None],
+) -> Tuple[Dict[int, RunOutcome], Optional[str]]:
+    """Run *tasks* on a pool of *jobs* workers, out-of-order.
+
+    *executor* is the parent's :class:`CellExecutor`; it is shipped to
+    each worker once and reused in-process if the pool breaks.
+    *on_complete* fires after every finished cell (progress +
+    checkpointing), in completion order.
+
+    Returns ``(outcomes_by_index, pool_error)`` where *pool_error* is a
+    description of a pool-level failure that forced the in-process
+    fallback, or ``None`` on a clean parallel run.
+    """
+    results: Dict[int, RunOutcome] = {}
+    pool_error: Optional[str] = None
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=_init_worker, initargs=(executor,)
+        ) as pool:
+            futures = {pool.submit(_run_cell, task): task for task in tasks}
+            for future in as_completed(futures):
+                task = futures[future]
+                try:
+                    outcome = future.result()
+                except Exception as err:  # noqa: BLE001 - a broken pool
+                    # invalidates every pending future; stop draining and
+                    # let the fallback below finish the remaining cells
+                    pool_error = f"{type(err).__name__}: {err}"
+                    break
+                results[task.index] = outcome
+                on_complete(task, outcome)
+    except Exception as err:  # noqa: BLE001 - pool construction/teardown
+        pool_error = f"{type(err).__name__}: {err}"
+    if pool_error is not None:
+        for task in tasks:
+            if task.index in results:
+                continue
+            outcome = _run_cell_inprocess(executor, task)
+            results[task.index] = outcome
+            on_complete(task, outcome)
+    return results, pool_error
+
+
+def _run_cell_inprocess(executor, task: CellTask) -> RunOutcome:
+    try:
+        return executor.run_cell(task.seed, task.plan_name, task.plan)
+    except BaseException as err:  # noqa: BLE001 - same contract as workers
+        return RunOutcome(
+            seed=task.seed,
+            plan=task.plan_name,
+            status=STATUS_ERROR,
+            error=f"worker: {type(err).__name__}: {err}",
+        )

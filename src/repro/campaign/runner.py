@@ -24,6 +24,14 @@ Findings from all analyzable cells are merged and deduplicated.  When
 *no* cell is analyzable the campaign degrades to a clearly-flagged
 static-only report built from the compile-time candidates — reduced
 evidence, never silence.
+
+Cells are independent deterministic simulations, so the matrix can run
+on ``config.jobs`` worker processes (see :mod:`.parallel`): the static
+phase runs once, a picklable :class:`CellExecutor` ships the prepared
+program to each worker, cells complete out-of-order, and outcomes are
+reassembled in canonical matrix order — the merged report, checkpoint
+and exit code are identical to a serial run (wall-clock timing fields
+aside; ``record_timing=False`` makes even those bit-exact).
 """
 
 from __future__ import annotations
@@ -48,6 +56,7 @@ from .outcome import (
     RunOutcome,
     report_violation_dicts,
 )
+from .parallel import CellTask, resolve_jobs, run_cells_parallel
 
 #: large odd prime so derived retry seeds never collide with the seed
 #: grid itself (campaign seeds are small consecutive integers)
@@ -77,6 +86,15 @@ class CampaignConfig:
     resume: bool = False
     #: degradation drill: pretend every dynamic run failed
     force_fail: bool = False
+    #: parallel cell workers: an int, or ``"auto"`` for one per CPU
+    #: core.  1 (the default) runs strictly serially in-process.  Every
+    #: cell is deterministic and independent, so any worker count
+    #: produces the same merged report, checkpoint and exit code — only
+    #: wall-clock timing fields differ (see ``record_timing``).
+    jobs: "int | str" = 1
+    #: stamp host wall-clock seconds on outcomes; switch off for
+    #: bit-exact artifacts across repeated or differently-parallel runs
+    record_timing: bool = True
 
     def resolved_plans(self) -> Dict[str, Optional[FaultPlan]]:
         if self.plans is not None:
@@ -142,6 +160,103 @@ class CampaignResult:
         }
 
 
+class CellExecutor:
+    """Runs single campaign cells from pre-computed static state.
+
+    Picklable: a parallel campaign ships one executor to every worker
+    process (program prepared and static analysis done exactly once, in
+    the parent), and the serial path runs the very same object
+    in-process — both paths execute identical per-cell code.
+    """
+
+    def __init__(
+        self,
+        tool: CheckingTool,
+        config: CampaignConfig,
+        to_run: A.Program,
+        static: Optional[object],
+    ) -> None:
+        self.tool = tool
+        self.config = config
+        self.to_run = to_run
+        self.static = static
+
+    def run_cell(self, seed: int, plan_name: str, plan: Optional[FaultPlan]) -> RunOutcome:
+        """One (seed, plan) cell: budgeted attempts, then salvage."""
+        cfg = self.config
+        started = time.perf_counter()
+        if cfg.force_fail:
+            return RunOutcome(
+                seed=seed, plan=plan_name, status=STATUS_FORCED,
+                error="forced failure (--force-fail)",
+            )
+        partial = None
+        partial_attempt = 0
+        last_error: Optional[str] = None
+        result = None
+        attempt = 0
+        for attempt in range(cfg.retries + 1):
+            sim_seed = seed + _RETRY_SEED_STRIDE * attempt
+            budget = max(1, int(cfg.budget_steps * cfg.retry_budget_factor**attempt))
+            try:
+                run_config = self.tool.run_config(
+                    cfg.nprocs, cfg.num_threads, sim_seed,
+                    static=self.static,
+                    thread_level_mode=cfg.thread_level_mode,
+                    fault_plan=plan if plan else None,
+                    max_steps=budget,
+                    max_wall_seconds=cfg.budget_seconds,
+                    capture_partial=True,
+                )
+                result = Interpreter(self.to_run, run_config).run()
+            except Exception as err:  # noqa: BLE001 - cell isolation:
+                # one diseased run must never take down the campaign
+                last_error = f"{type(err).__name__}: {err}"
+                result = None
+                continue
+            if result.completed:
+                break
+            # budget exhausted: keep the longest partial trace seen
+            if partial is None or len(result.log) > len(partial.log):
+                partial = result
+                partial_attempt = attempt
+            result = None
+        if result is None and partial is not None:
+            result = partial
+            attempt = partial_attempt
+        wall = time.perf_counter() - started
+        if result is None:
+            return RunOutcome(
+                seed=seed, plan=plan_name, attempt=attempt,
+                sim_seed=seed + _RETRY_SEED_STRIDE * attempt,
+                status=STATUS_ERROR,
+                error=last_error or "run produced no trace",
+                wall_seconds=wall if cfg.record_timing else 0.0,
+            )
+        outcome = RunOutcome(
+            seed=seed, plan=plan_name, attempt=attempt,
+            sim_seed=result.config.seed,
+            status=STATUS_OK if result.completed else STATUS_BUDGET,
+            deadlocked=result.deadlocked,
+            failure=result.failure,
+            events=len(result.log),
+            faults_fired=len(result.stats.get("faults_injected", ())),
+            crashed_ranks=list(
+                result.stats.get("faults", {}).get("crashed_ranks", ())
+            ),
+        )
+        try:
+            violations = self.tool.analyze(result, self.static)
+        except Exception as err:  # noqa: BLE001 - partial traces may
+            # violate analyzer invariants; record, don't propagate
+            outcome.analysis_error = f"{type(err).__name__}: {err}"
+        else:
+            outcome.violations = report_violation_dicts(violations)
+        if cfg.record_timing:
+            outcome.wall_seconds = time.perf_counter() - started
+        return outcome
+
+
 class CampaignRunner:
     """Run one program through the campaign matrix with crash isolation."""
 
@@ -157,8 +272,12 @@ class CampaignRunner:
         self.tool = tool if tool is not None else Home()
         self._progress = progress
         #: prepared once: instrumentation is deterministic and the
-        #: interpreter never mutates the AST, so all cells share it
+        #: interpreter never mutates the AST, so all cells (and all
+        #: worker processes) share it
         self._to_run, self._static = self.tool.prepare(program)
+        self._executor = CellExecutor(
+            self.tool, self.config, self._to_run, self._static
+        )
 
     # -- helpers -------------------------------------------------------------
 
@@ -215,98 +334,59 @@ class CampaignRunner:
 
     def run_cell(self, seed: int, plan_name: str, plan: Optional[FaultPlan]) -> RunOutcome:
         """One (seed, plan) cell: budgeted attempts, then salvage."""
-        cfg = self.config
-        started = time.perf_counter()
-        if cfg.force_fail:
-            return RunOutcome(
-                seed=seed, plan=plan_name, status=STATUS_FORCED,
-                error="forced failure (--force-fail)",
-            )
-        partial = None
-        partial_attempt = 0
-        last_error: Optional[str] = None
-        result = None
-        attempt = 0
-        for attempt in range(cfg.retries + 1):
-            sim_seed = seed + _RETRY_SEED_STRIDE * attempt
-            budget = max(1, int(cfg.budget_steps * cfg.retry_budget_factor**attempt))
-            try:
-                run_config = self.tool.run_config(
-                    cfg.nprocs, cfg.num_threads, sim_seed,
-                    static=self._static,
-                    thread_level_mode=cfg.thread_level_mode,
-                    fault_plan=plan if plan else None,
-                    max_steps=budget,
-                    max_wall_seconds=cfg.budget_seconds,
-                    capture_partial=True,
-                )
-                result = Interpreter(self._to_run, run_config).run()
-            except Exception as err:  # noqa: BLE001 - cell isolation:
-                # one diseased run must never take down the campaign
-                last_error = f"{type(err).__name__}: {err}"
-                result = None
-                continue
-            if result.completed:
-                break
-            # budget exhausted: keep the longest partial trace seen
-            if partial is None or len(result.log) > len(partial.log):
-                partial = result
-                partial_attempt = attempt
-            result = None
-        if result is None and partial is not None:
-            result = partial
-            attempt = partial_attempt
-        wall = time.perf_counter() - started
-        if result is None:
-            return RunOutcome(
-                seed=seed, plan=plan_name, attempt=attempt,
-                sim_seed=seed + _RETRY_SEED_STRIDE * attempt,
-                status=STATUS_ERROR,
-                error=last_error or "run produced no trace",
-                wall_seconds=wall,
-            )
-        outcome = RunOutcome(
-            seed=seed, plan=plan_name, attempt=attempt,
-            sim_seed=result.config.seed,
-            status=STATUS_OK if result.completed else STATUS_BUDGET,
-            deadlocked=result.deadlocked,
-            failure=result.failure,
-            events=len(result.log),
-            faults_fired=len(result.stats.get("faults_injected", ())),
-            crashed_ranks=list(
-                result.stats.get("faults", {}).get("crashed_ranks", ())
-            ),
-            wall_seconds=wall,
-        )
-        try:
-            violations = self.tool.analyze(result, self._static)
-        except Exception as err:  # noqa: BLE001 - partial traces may
-            # violate analyzer invariants; record, don't propagate
-            outcome.analysis_error = f"{type(err).__name__}: {err}"
-        else:
-            outcome.violations = report_violation_dicts(violations)
-        outcome.wall_seconds = time.perf_counter() - started
-        return outcome
+        return self._executor.run_cell(seed, plan_name, plan)
 
     # -- the campaign --------------------------------------------------------
 
     def run(self) -> CampaignResult:
         cfg = self.config
         banked = self._load_resume()
-        outcomes: List[RunOutcome] = []
         cells = self._matrix()
-        for index, (seed, plan_name, plan) in enumerate(cells, 1):
-            key = f"{seed}/{plan_name}"
-            cached = banked.get(key)
+        total = len(cells)
+        #: canonical matrix index -> outcome; artifacts are always
+        #: assembled from this in index order, so completion order (and
+        #: therefore the worker count) never changes what is written
+        completed: Dict[int, RunOutcome] = {}
+        pending: List[CellTask] = []
+        for index, (seed, plan_name, plan) in enumerate(cells):
+            cached = banked.get(f"{seed}/{plan_name}")
             if cached is not None:
-                outcomes.append(cached)
-                self._say(f"[{index}/{len(cells)}] {cached.describe()} (resumed)")
+                completed[index] = cached
             else:
-                outcome = self.run_cell(seed, plan_name, plan)
-                outcomes.append(outcome)
-                self._say(f"[{index}/{len(cells)}] {outcome.describe()}")
+                pending.append(CellTask(index, seed, plan_name, plan))
+        announced = 0
+        for index in sorted(completed):
+            announced += 1
+            self._say(f"[{announced}/{total}] {completed[index].describe()} (resumed)")
+
+        def bank(task: CellTask, outcome: RunOutcome) -> None:
+            nonlocal announced
+            completed[task.index] = outcome
+            announced += 1
+            self._say(f"[{announced}/{total}] {outcome.describe()}")
             if cfg.checkpoint:
-                save_checkpoint(cfg.checkpoint, self._checkpoint_meta(), outcomes)
+                save_checkpoint(
+                    cfg.checkpoint,
+                    self._checkpoint_meta(),
+                    [completed[i] for i in sorted(completed)],
+                )
+
+        jobs = resolve_jobs(cfg.jobs, len(pending))
+        if pending and jobs > 1:
+            _, pool_error = run_cells_parallel(self._executor, pending, jobs, bank)
+            if pool_error is not None:
+                self._say(
+                    f"worker pool failed ({pool_error}); remaining cells "
+                    "were completed in-process"
+                )
+        else:
+            for task in pending:
+                bank(task, self._executor.run_cell(task.seed, task.plan_name, task.plan))
+        outcomes = [completed[index] for index in sorted(completed)]
+        if cfg.checkpoint:
+            # final save covers the all-resumed case and guarantees the
+            # on-disk state is the canonical-order, complete matrix
+            save_checkpoint(cfg.checkpoint, self._checkpoint_meta(), outcomes)
         merged = ViolationReport()
         for outcome in outcomes:
             if outcome.analyzable:

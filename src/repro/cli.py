@@ -288,6 +288,16 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     except KeyError as err:
         print(f"error: {err.args[0]}", file=sys.stderr)
         return 2
+    jobs = args.jobs
+    if jobs != "auto":
+        try:
+            jobs = int(jobs)
+            if jobs < 1:
+                raise ValueError
+        except ValueError:
+            print(f"error: --jobs must be a positive integer or 'auto', "
+                  f"got {args.jobs!r}", file=sys.stderr)
+            return 2
     config = CampaignConfig(
         seeds=range(args.seeds),
         plans=plans,
@@ -300,6 +310,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         resume=args.resume,
         force_fail=args.force_fail,
+        jobs=jobs,
+        record_timing=not args.no_timing,
     )
     progress = print if args.verbose else None
     result = run_campaign(program, config, progress=progress)
@@ -498,6 +510,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="reuse finished runs from --checkpoint")
     p.add_argument("--force-fail", action="store_true",
                    help="degradation drill: fail every dynamic run")
+    p.add_argument("--jobs", default="auto", metavar="N",
+                   help="parallel cell worker processes (positive int or "
+                        "'auto' = one per CPU core; 1 = serial; default "
+                        "auto).  The merged report, checkpoint and exit "
+                        "code are identical for every worker count")
+    p.add_argument("--no-timing", action="store_true",
+                   help="zero the wall_seconds fields so report/checkpoint "
+                        "files are bit-exact across repeated runs")
     p.add_argument("--json", metavar="PATH",
                    help="write the merged campaign report as JSON")
     p.add_argument(

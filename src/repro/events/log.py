@@ -8,7 +8,6 @@ in log" wrapper design.
 
 from __future__ import annotations
 
-import itertools
 from collections import defaultdict
 from typing import Dict, Iterable, Iterator, List, Tuple, Type, TypeVar
 
@@ -32,21 +31,36 @@ E = TypeVar("E", bound=Event)
 class EventLog:
     """Totally ordered (by emission) log of runtime events."""
 
+    __slots__ = ("_events", "_next_seq")
+
     def __init__(self) -> None:
         self._events: List[Event] = []
-        self._seq = itertools.count(0)
+        self._next_seq = 0
 
     # -- recording -----------------------------------------------------------
 
     def next_seq(self) -> int:
         """Allocate the next emission sequence number."""
-        return next(self._seq)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        return seq
 
     def append(self, event: Event) -> None:
         self._events.append(event)
 
     def extend(self, events: Iterable[Event]) -> None:
         self._events.extend(events)
+
+    def reserve_seqs(self, upto: int) -> None:
+        """Fast-forward the seq allocator past *upto* (trace loaders)."""
+        if upto >= self._next_seq:
+            self._next_seq = upto + 1
+
+    def raw_append(self):
+        """The underlying list's bound ``append`` — the interpreter's
+        per-event hot path binds this once instead of paying a method
+        dispatch per emission."""
+        return self._events.append
 
     # -- querying ------------------------------------------------------------
 

@@ -154,8 +154,7 @@ def load_log(source: Union[str, Path, TextIO], strict: bool = True):
             meta["salvaged"] = True
             meta["dropped_lines"] = dropped
         # keep the seq allocator consistent for appended events
-        for _ in range(max_seq + 1):
-            log.next_seq()
+        log.reserve_seqs(max_seq)
         return log, meta
     finally:
         if own:

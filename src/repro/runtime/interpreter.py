@@ -166,6 +166,9 @@ class Interpreter:
             max_wall_seconds=config.max_wall_seconds,
         )
         self.log = EventLog()
+        #: bound list.append — emission is the single hottest call site
+        #: in the interpreter, so skip the EventLog method dispatch
+        self._log_append = self.log.raw_append()
         self.outputs: List[tuple] = []
         self.notes: List[str] = []
         self.procs: List[ProcessCtx] = []
@@ -181,7 +184,7 @@ class Interpreter:
     # -- event helpers ------------------------------------------------------
 
     def emit(self, ctor, ctx: ThreadCtx, **fields) -> None:
-        self.log.append(
+        self._log_append(
             ctor(
                 proc=ctx.proc.rank,
                 thread=ctx.tid,
@@ -190,6 +193,17 @@ class Interpreter:
                 **fields,
             )
         )
+
+    def emit_batch(self, events) -> None:
+        """Append pre-built events in one call.
+
+        Wrappers that emit several events per MPI call (one
+        ``MonitoredWrite`` per monitored variable plus the call bracket)
+        construct the ``__slots__``-ed event objects themselves —
+        allocating seqs via :meth:`EventLog.next_seq` in emission order
+        — and land them with a single ``list.extend``.
+        """
+        self.log.extend(events)
 
     def note(self, text: str) -> None:
         self.notes.append(text)

@@ -76,13 +76,26 @@ def _prologue(
     call_id = interp.next_call_id()
     if instrumented:
         ctx.charge(charge.wrapper_cost)
-        for kind, value in monitored:
-            ctx.charge(charge.monitored_event_cost)
-            interp.emit(
-                MonitoredWrite, ctx,
-                kind=kind, value=value, mpi_op=op, callsite=node.nid, loc=_loc(node),
-                call_id=call_id,
-            )
+        if monitored:
+            # Build all monitored-variable writes locally and land them
+            # with one batched append.  Each write is charged *before*
+            # its event is stamped, so the per-event virtual times match
+            # one-at-a-time emission exactly.
+            log = interp.log
+            rank = ctx.proc.rank
+            tid = ctx.tid
+            loc = _loc(node)
+            batch = []
+            for kind, value in monitored:
+                ctx.charge(charge.monitored_event_cost)
+                batch.append(
+                    MonitoredWrite(
+                        proc=rank, thread=tid, seq=log.next_seq(),
+                        time=ctx.clock, kind=kind, value=value, mpi_op=op,
+                        callsite=node.nid, loc=loc, call_id=call_id,
+                    )
+                )
+            interp.emit_batch(batch)
     skipped = not _thread_level_gate(interp, ctx, op)
     args = dict(args_dict)
     if skipped:
