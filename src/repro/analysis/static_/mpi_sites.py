@@ -28,6 +28,7 @@ QUERY_OPS = frozenset(
     {
         "mpi_comm_rank", "mpi_comm_size", "mpi_wtime",
         "mpi_is_thread_main", "mpi_initialized",
+        "mpi_comm_get_errhandler", "mpi_error_string", "mpi_set_timeout",
     }
 )
 

@@ -9,6 +9,7 @@ clearly-flagged static-only report when every dynamic run fails.
 
 from .checkpoint import (
     CHECKPOINT_FORMAT,
+    CHECKPOINT_SCHEMA_VERSION,
     CHECKPOINT_VERSION,
     load_checkpoint,
     save_checkpoint,
@@ -35,6 +36,7 @@ from .runner import (
 
 __all__ = [
     "CHECKPOINT_FORMAT",
+    "CHECKPOINT_SCHEMA_VERSION",
     "CHECKPOINT_VERSION",
     "CampaignConfig",
     "CampaignResult",

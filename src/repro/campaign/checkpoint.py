@@ -18,14 +18,19 @@ from ..errors import AnalysisError
 from .outcome import RunOutcome
 
 CHECKPOINT_FORMAT = "repro-campaign"
-CHECKPOINT_VERSION = 1
+#: Bump whenever the payload layout changes.  A resume against a
+#: checkpoint written with a different schema warns and restarts cold
+#: (see CampaignRunner._load_resume) instead of misreading old fields.
+CHECKPOINT_SCHEMA_VERSION = 2
+#: Backward-compat alias for the pre-schema_version name.
+CHECKPOINT_VERSION = CHECKPOINT_SCHEMA_VERSION
 
 
 def save_checkpoint(path: str, meta: Dict, outcomes: List[RunOutcome]) -> None:
     """Atomically write the campaign state to *path*."""
     payload = {
         "format": CHECKPOINT_FORMAT,
-        "version": CHECKPOINT_VERSION,
+        "schema_version": CHECKPOINT_SCHEMA_VERSION,
         "meta": dict(meta),
         "outcomes": [o.as_dict() for o in outcomes],
     }
@@ -56,9 +61,11 @@ def load_checkpoint(path: str) -> Dict:
         raise AnalysisError(f"corrupt campaign checkpoint {path!r}: {err}")
     if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
         raise AnalysisError(f"{path!r} is not a campaign checkpoint")
-    if payload.get("version") != CHECKPOINT_VERSION:
+    found = payload.get("schema_version", payload.get("version"))
+    if found != CHECKPOINT_SCHEMA_VERSION:
         raise AnalysisError(
-            f"unsupported campaign checkpoint version {payload.get('version')!r}"
+            f"unsupported campaign checkpoint schema_version {found!r} "
+            f"(expected {CHECKPOINT_SCHEMA_VERSION})"
         )
     outcomes = [RunOutcome.from_dict(o) for o in payload.get("outcomes", [])]
     return {"meta": payload.get("meta", {}), "outcomes": outcomes}

@@ -36,6 +36,7 @@ aside; ``record_timing=False`` makes even those bit-exact).
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -285,6 +286,15 @@ class CampaignRunner:
         if self._progress is not None:
             self._progress(message)
 
+    def _warn(self, message: str) -> None:
+        """One-line warning that must reach the user even without a
+        progress callback (e.g. a quiet ``--resume`` that found an
+        unusable checkpoint)."""
+        if self._progress is not None:
+            self._progress(f"warning: {message}")
+        else:
+            print(f"warning: {message}", file=sys.stderr)
+
     def _matrix(self) -> List[Tuple[int, str, Optional[FaultPlan]]]:
         cells = []
         for plan_name, plan in self.config.resolved_plans().items():
@@ -314,16 +324,18 @@ class CampaignRunner:
         cfg = self.config
         if not (cfg.resume and cfg.checkpoint):
             return {}
+        import os
+
+        if not os.path.exists(cfg.checkpoint):
+            return {}  # nothing to resume: a normal first run
         try:
             state = load_checkpoint(cfg.checkpoint)
-        except FileNotFoundError:
-            return {}
         except Exception as err:  # noqa: BLE001 - a bad checkpoint must
             # never kill the campaign; it just means a cold start
-            self._say(f"ignoring unusable checkpoint: {err}")
+            self._warn(f"ignoring unusable checkpoint: {err}; starting cold")
             return {}
         if state["meta"].get("program") not in (None, self.program.name):
-            self._say(
+            self._warn(
                 "checkpoint is for program "
                 f"{state['meta'].get('program')!r}; starting cold"
             )

@@ -41,8 +41,12 @@ TOOLS = {
 
 def _load_program(path: str):
     source = Path(path).read_text()
-    program = parse(source)
-    validate(program)
+    try:
+        program = parse(source)
+        validate(program)
+    except errors.MiniLangError as err:
+        err.path = path
+        raise
     return program
 
 
@@ -489,8 +493,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("file", nargs="?", default=None,
                    help="mini-language program (or use --npb)")
-    p.add_argument("--npb", choices=("lu", "bt", "sp"),
-                   help="campaign over a built-in NPB multi-zone variant")
+    p.add_argument("--npb", choices=("lu", "bt", "sp", "ft"),
+                   help="campaign over a built-in NPB multi-zone variant "
+                        "(ft = the fault-tolerant error-path pair)")
     p.add_argument("--clean", action="store_true",
                    help="with --npb: use the violation-free variant")
     p.add_argument("--seeds", type=int, default=4,
@@ -564,7 +569,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.func(args)
     except errors.MiniLangError as err:
-        print(f"error: {err}", file=sys.stderr)
+        path = getattr(err, "path", None)
+        if path is not None:
+            # compiler-style one-liner: file:line:col: error: message
+            print(f"{path}:{err.line}:{err.col}: error: {err.bare}",
+                  file=sys.stderr)
+        else:
+            print(f"error: {err}", file=sys.stderr)
         return 2
     except FileNotFoundError as err:
         print(f"error: {err}", file=sys.stderr)

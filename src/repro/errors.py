@@ -17,6 +17,9 @@ class MiniLangError(ReproError):
     def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
         self.line = line
         self.col = col
+        #: undecorated message, for callers that format their own
+        #: location prefix (e.g. the CLI's file:line:col diagnostics)
+        self.bare = message
         if line:
             message = f"{message} (line {line}, col {col})"
         super().__init__(message)

@@ -7,6 +7,7 @@ Marmot model and the ITC model all consume subsets of this stream.
 
 from .event import (  # noqa: F401
     BarrierEvent,
+    ErrorHandlerEvent,
     Event,
     FaultEvent,
     LockAcquire,
@@ -15,6 +16,7 @@ from .event import (  # noqa: F401
     MonitoredKind,
     MonitoredWrite,
     MPICall,
+    MPIErrorEvent,
     ThreadBegin,
     ThreadEnd,
     ThreadFork,
@@ -37,6 +39,8 @@ __all__ = [
     "ThreadFork",
     "ThreadJoin",
     "MPICall",
+    "MPIErrorEvent",
+    "ErrorHandlerEvent",
     "EventLog",
     "dump_log",
     "load_log",

@@ -155,6 +155,38 @@ class FaultEvent(Event):
     op: str = ""          # MPI op at the injection point, if any
 
 
+@dataclass(frozen=True, slots=True)
+class MPIErrorEvent(Event):
+    """An MPI operation surfaced an error class instead of completing.
+
+    Recorded whenever the fault-tolerance layer converts a fault into
+    an error code — whether the handler then aborts, returns the code,
+    or runs a user handler function.
+    """
+
+    op: str = ""          # failing MPI op
+    comm: int = 0         # communicator handle
+    error_class: str = "" # symbolic name, e.g. 'MPI_ERR_PROC_FAILED'
+    code: int = 0         # numeric error class
+    handler: str = ""     # 'fatal', 'return', or the handler function name
+    detail: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorHandlerEvent(Event):
+    """Enter/exit bracket of a user error-handler invocation.
+
+    The reentrancy rule uses these spans: a handler making MPI calls
+    while another thread is inside MPI is a thread-safety violation
+    below ``MPI_THREAD_MULTIPLE``.
+    """
+
+    phase: str = "enter"  # 'enter' or 'exit'
+    comm: int = 0
+    code: int = 0
+    handler: str = ""
+
+
 #: MPI operations considered collectives by the violation rules.
 COLLECTIVE_OPS = frozenset(
     {
@@ -194,4 +226,11 @@ MONITORED_KINDS_BY_OP: Dict[str, Tuple[MonitoredKind, ...]] = {
     "mpi_allgather": (MonitoredKind.COLLECTIVE, MonitoredKind.COMM),
     "mpi_scatter": (MonitoredKind.COLLECTIVE, MonitoredKind.COMM),
     "mpi_alltoall": (MonitoredKind.COLLECTIVE, MonitoredKind.COMM),
+    # Fault-tolerance surface.  Shrink is deliberately NOT in
+    # COLLECTIVE_OPS: its races are claimed by the dedicated
+    # recovery-race rule, not the generic collective rule.
+    "mpi_comm_shrink": (MonitoredKind.COLLECTIVE, MonitoredKind.COMM),
+    "mpi_comm_revoke": (MonitoredKind.COMM,),
+    "mpi_comm_failure_ack": (MonitoredKind.COMM,),
+    "mpi_comm_set_errhandler": (MonitoredKind.COMM,),
 }

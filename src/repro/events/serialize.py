@@ -19,6 +19,7 @@ from typing import Any, Dict, Iterable, Optional, TextIO, Union
 from ..errors import AnalysisError
 from .event import (
     BarrierEvent,
+    ErrorHandlerEvent,
     Event,
     FaultEvent,
     LockAcquire,
@@ -27,6 +28,7 @@ from .event import (
     MonitoredKind,
     MonitoredWrite,
     MPICall,
+    MPIErrorEvent,
     ThreadBegin,
     ThreadEnd,
     ThreadFork,
@@ -41,6 +43,7 @@ _TYPES = {
     for cls in (
         MemAccess, MonitoredWrite, LockAcquire, LockRelease, BarrierEvent,
         ThreadFork, ThreadJoin, ThreadBegin, ThreadEnd, MPICall, FaultEvent,
+        MPIErrorEvent, ErrorHandlerEvent,
     )
 }
 

@@ -51,6 +51,11 @@ class FaultInjector:
         #: seeded independently of the scheduler RNG so adding a fault
         #: kind never perturbs scheduling decisions of unrelated runs
         self.rng = random.Random((seed << 16) ^ 0x5EED_FA17)
+        #: third independent stream for retry-backoff jitter: retries
+        #: must perturb neither scheduling nor other fault decisions,
+        #: and exists even for empty plans (retry policies are program
+        #: state, not fault-plan state)
+        self.retry_rng = random.Random((seed << 16) ^ 0x4E72_7DAD)
         self._mpi_calls: Dict[int, int] = defaultdict(int)
         self._sends: Dict[int, int] = defaultdict(int)
         self._deliveries: Dict[int, int] = defaultdict(int)
@@ -137,6 +142,14 @@ class FaultInjector:
         if spec is None or spec.delay <= 0:
             return 0.0, None
         return self.rng.uniform(0.0, spec.delay), spec
+
+    def retry_backoff(
+        self, base: float, factor: float, attempt: int, jitter: float = 0.25
+    ) -> float:
+        """Virtual-time cost of the *attempt*-th retry: exponential
+        backoff with bounded deterministic jitter from the dedicated
+        retry stream."""
+        return base * (factor ** attempt) * (1.0 + jitter * self.retry_rng.random())
 
     # -- reporting -----------------------------------------------------------
 

@@ -24,6 +24,18 @@ from .constants import (  # noqa: F401
     THREAD_LEVEL_NAMES,
 )
 from .deadlock import DeadlockDiagnosis, diagnose  # noqa: F401
+from .errors import (  # noqa: F401
+    ERROR_CLASS_NAMES,
+    MPI_ERR_OTHER,
+    MPI_ERR_PROC_FAILED,
+    MPI_ERR_REVOKED,
+    MPI_ERR_TIMEOUT,
+    MPI_ERRORS_ARE_FATAL,
+    MPI_ERRORS_RETURN,
+    MPI_SUCCESS,
+    error_string,
+)
+from .ftmpi import FTState, RetryPolicy, TimeoutWaiter  # noqa: F401
 from .message import Mailbox, Message, envelope_matches  # noqa: F401
 from .requests import Request, RequestTable  # noqa: F401
 from .world import MPIWorld, ProcState  # noqa: F401
@@ -55,4 +67,16 @@ __all__ = [
     "MPI_THREAD_SERIALIZED",
     "MPI_THREAD_MULTIPLE",
     "THREAD_LEVEL_NAMES",
+    "FTState",
+    "RetryPolicy",
+    "TimeoutWaiter",
+    "ERROR_CLASS_NAMES",
+    "MPI_SUCCESS",
+    "MPI_ERR_OTHER",
+    "MPI_ERR_PROC_FAILED",
+    "MPI_ERR_TIMEOUT",
+    "MPI_ERR_REVOKED",
+    "MPI_ERRORS_ARE_FATAL",
+    "MPI_ERRORS_RETURN",
+    "error_string",
 ]

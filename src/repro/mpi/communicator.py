@@ -75,6 +75,13 @@ class CommRegistry:
     def world(self) -> Communicator:
         return self.comms[MPI_COMM_WORLD]
 
+    def derive(self, name: str, members: List[int]) -> int:
+        """Allocate and register a fresh communicator (dup/split/shrink
+        results all funnel through the same id counter)."""
+        new_cid = next(_COMM_COUNTER)
+        self.comms[new_cid] = Communicator(new_cid, name, list(members))
+        return new_cid
+
     # -- dup ------------------------------------------------------------------
     #
     # Comm creation is collective.  Each rank's n-th dup of communicator C

@@ -8,6 +8,8 @@ exactly like the paper's examples.
 
 from __future__ import annotations
 
+from .errors import ERROR_LANGUAGE_CONSTANTS
+
 # Thread support levels (MPI-2 §12.4).
 MPI_THREAD_SINGLE = 0
 MPI_THREAD_FUNNELED = 1
@@ -49,4 +51,5 @@ LANGUAGE_CONSTANTS = {
     "MPI_MAX": MPI_MAX,
     "MPI_MIN": MPI_MIN,
     "MPI_PROD": MPI_PROD,
+    **ERROR_LANGUAGE_CONSTANTS,
 }

@@ -47,7 +47,7 @@ class DeadlockDiagnosis:
         return any("mpi" in info.reason.lower() for info in self.blocked)
 
     def ranks(self) -> List[int]:
-        return sorted({info.reason and info.proc for info in self.blocked})
+        return sorted({info.proc for info in self.blocked})
 
     def summary(self) -> str:
         lines = [f"DEADLOCK involving {self.nblocked} blocked thread(s):"]

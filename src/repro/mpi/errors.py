@@ -1,0 +1,55 @@
+"""MPI error classes and error-handler constants.
+
+The fault-tolerance layer surfaces faults as MPI error codes instead of
+killing the simulation.  Error classes are negative integers well below
+the sentinel argument values (``MPI_ANY_SOURCE``/``MPI_ANY_TAG`` are
+``-1``), so a builtin's return value is unambiguous: ``>= 0`` success
+(possibly a payload such as a communicator id), ``<= MPI_ERR_OTHER``
+an error class.
+
+This module has no intra-package imports so :mod:`repro.mpi.constants`
+and :mod:`repro.mpi.ftmpi` can both use it without cycles.
+"""
+
+from __future__ import annotations
+
+#: Success — what every MPI call returns when nothing went wrong.
+MPI_SUCCESS = 0
+
+#: Generic error class (catch-all for usage errors surfaced as codes).
+MPI_ERR_OTHER = -100
+#: A peer rank involved in the operation has failed (ULFM semantics).
+MPI_ERR_PROC_FAILED = -101
+#: The operation's retry budget expired without completing.
+MPI_ERR_TIMEOUT = -102
+#: The communicator was revoked by some rank (ULFM ``comm_revoke``).
+MPI_ERR_REVOKED = -103
+
+#: Predefined error handlers.
+MPI_ERRORS_ARE_FATAL = 0
+MPI_ERRORS_RETURN = 1
+
+ERROR_CLASS_NAMES = {
+    MPI_SUCCESS: "MPI_SUCCESS",
+    MPI_ERR_OTHER: "MPI_ERR_OTHER",
+    MPI_ERR_PROC_FAILED: "MPI_ERR_PROC_FAILED",
+    MPI_ERR_TIMEOUT: "MPI_ERR_TIMEOUT",
+    MPI_ERR_REVOKED: "MPI_ERR_REVOKED",
+}
+
+#: Constants exposed to mini-language programs (merged into
+#: :data:`repro.mpi.constants.LANGUAGE_CONSTANTS`).
+ERROR_LANGUAGE_CONSTANTS = {
+    "MPI_SUCCESS": MPI_SUCCESS,
+    "MPI_ERR_OTHER": MPI_ERR_OTHER,
+    "MPI_ERR_PROC_FAILED": MPI_ERR_PROC_FAILED,
+    "MPI_ERR_TIMEOUT": MPI_ERR_TIMEOUT,
+    "MPI_ERR_REVOKED": MPI_ERR_REVOKED,
+    "MPI_ERRORS_ARE_FATAL": MPI_ERRORS_ARE_FATAL,
+    "MPI_ERRORS_RETURN": MPI_ERRORS_RETURN,
+}
+
+
+def error_string(code: int) -> str:
+    """Human-readable name for an error class (``mpi_error_string``)."""
+    return ERROR_CLASS_NAMES.get(code, f"MPI_ERR_UNKNOWN({code})")

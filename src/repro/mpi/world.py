@@ -19,6 +19,7 @@ from .constants import (
     MPI_THREAD_SINGLE,
     THREAD_LEVEL_NAMES,
 )
+from .ftmpi import FTState
 from .message import Mailbox, Message
 from .requests import Request, RequestTable
 
@@ -39,6 +40,7 @@ class ProcState:
     #: per-communicator dup/split instance counters
     dup_counter: Dict[int, int] = field(default_factory=dict)
     split_counter: Dict[int, int] = field(default_factory=dict)
+    shrink_counter: Dict[int, int] = field(default_factory=dict)
     #: rank died mid-run (injected MPI_Abort); its threads unwound
     crashed: bool = False
 
@@ -60,6 +62,7 @@ class MPIWorld:
         self.nprocs = nprocs
         self.comms = CommRegistry(nprocs)
         self.collectives = CollectiveEngine()
+        self.ft = FTState(self.comms)
         self.procs: List[ProcState] = [ProcState(rank) for rank in range(nprocs)]
         self._mailboxes: Dict[tuple, Mailbox] = {}
         #: virtual time at which the (Marmot-style) central manager frees up

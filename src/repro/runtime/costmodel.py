@@ -48,6 +48,9 @@ class CostModel:
     lock: float = 4.0
     #: Cost of forking or joining an OpenMP team, per member.
     fork_per_thread: float = 25.0
+    #: Base wait before the first retry of a timed-out MPI operation
+    #: (doubled per attempt by the fault-tolerance layer's backoff).
+    retry_backoff: float = 120.0
 
     def scaled(self, factor: float) -> "CostModel":
         """Uniformly scale all base costs (used in calibration tests)."""
@@ -61,6 +64,7 @@ class CostModel:
             barrier=self.barrier * factor,
             lock=self.lock * factor,
             fork_per_thread=self.fork_per_thread * factor,
+            retry_backoff=self.retry_backoff * factor,
         )
 
 

@@ -83,6 +83,7 @@ class ThreadCtx:
     __slots__ = (
         "proc", "tid", "scope", "team", "team_index", "held_locks",
         "call_depth", "task", "construct_visits", "is_pthread",
+        "handler_depth",
     )
 
     def __init__(
@@ -105,6 +106,8 @@ class ThreadCtx:
         self.construct_visits: Dict[int, int] = {}
         #: True for explicitly spawned (pthread-style) threads
         self.is_pthread = False
+        #: nesting depth of MPI error-handler invocations on this thread
+        self.handler_depth = 0
 
     # -- clock --------------------------------------------------------------
 
@@ -165,6 +168,11 @@ class Interpreter:
             max_steps=config.max_steps,
             max_wall_seconds=config.max_wall_seconds,
         )
+        # When the whole job stalls, let the FT layer time out the
+        # earliest armed waiter instead of declaring deadlock.  With no
+        # retry policies set this never fires and deadlock detection is
+        # unchanged.
+        self.scheduler.stall_handler = self.world.ft.escape_earliest
         self.log = EventLog()
         #: bound list.append — emission is the single hottest call site
         #: in the interpreter, so skip the EventLog method dispatch

@@ -18,7 +18,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 import numpy as np
 
 from ..errors import MPIUsageError, RankCrashFault, SimAbort
-from ..events import FaultEvent, MonitoredWrite, MPICall
+from ..events import ErrorHandlerEvent, FaultEvent, MonitoredWrite, MPICall, MPIErrorEvent
 from ..events.event import MonitoredKind
 from ..mpi.collectives import apply_reduce
 from ..mpi.constants import (
@@ -27,6 +27,16 @@ from ..mpi.constants import (
     MPI_THREAD_SINGLE,
     THREAD_LEVEL_NAMES,
 )
+from ..mpi.errors import (
+    MPI_ERR_PROC_FAILED,
+    MPI_ERR_REVOKED,
+    MPI_ERR_TIMEOUT,
+    MPI_ERRORS_ARE_FATAL,
+    MPI_ERRORS_RETURN,
+    MPI_SUCCESS,
+    error_string,
+)
+from ..mpi.ftmpi import RetryPolicy
 from ..mpi.requests import Request
 from .scheduler import Block, Step
 from .values import ArrayValue, as_int
@@ -153,6 +163,7 @@ def _crash_gate(interp, ctx, op: str) -> None:
             f"#{spec.at_call} ({op})"
         )
         ctx.proc.mpi.crashed = True
+        interp.world.ft.mark_failed(rank)
         interp.faults.record(spec, rank, detail)
         interp.emit(FaultEvent, ctx, kind=spec.kind, detail=detail, op=op)
         interp.note(f"fault injected: {detail}")
@@ -194,6 +205,137 @@ def _post_send_faulted(
         interp.faults.record(spec, ctx.proc.rank, detail)
         interp.emit(FaultEvent, ctx, kind=spec.kind, detail=detail, op=op)
     return msg
+
+
+# ---------------------------------------------------------------------------
+# Fault tolerance: error surfacing, timeouts, handler dispatch
+# ---------------------------------------------------------------------------
+
+
+def _ft_wait(interp, ctx, comm_id: int, what: str, ready, peer_failed=None,
+             always_block: bool = False) -> Gen:
+    """Block until *ready()*, with fault-tolerant escapes.
+
+    Returns ``MPI_SUCCESS`` once ready; otherwise the error class the
+    wait failed over to: ``MPI_ERR_REVOKED`` (communicator revoked),
+    ``MPI_ERR_PROC_FAILED`` (*peer_failed()* true and no completion
+    possible), or ``MPI_ERR_TIMEOUT`` (retry budget exhausted).
+
+    When the FT layer is inactive on this communicator the behavior is
+    the legacy one — a single bare Block whose wake predicate is
+    *ready* — so fault-free runs are byte-identical to the pre-FT
+    simulator.  Timeouts only fire through the scheduler's stall hook:
+    a blocked op can never out-wait a runnable peer, so an armed waiter
+    escapes only when the entire job has stalled.
+    """
+    ft = interp.world.ft
+    if not ft.active(comm_id):
+        if always_block or not ready():
+            yield Block(what, ready)
+        return MPI_SUCCESS
+    policy = ft.policy(comm_id)
+    attempt = 0
+    first = True
+    while True:
+        if not (always_block and first):
+            if ready():
+                return MPI_SUCCESS
+            if ft.is_revoked(comm_id):
+                return MPI_ERR_REVOKED
+            if peer_failed is not None and peer_failed():
+                return MPI_ERR_PROC_FAILED
+        first = False
+        waiter = ft.arm(ctx.clock + policy.timeout) if policy is not None else None
+
+        def wake(w=waiter):
+            return (
+                ready()
+                or ft.is_revoked(comm_id)
+                or (peer_failed is not None and peer_failed())
+                or (w is not None and w.escaped)
+            )
+
+        yield Block(what, wake)
+        if waiter is None:
+            continue
+        if waiter.escaped and not (
+            ready()
+            or ft.is_revoked(comm_id)
+            or (peer_failed is not None and peer_failed())
+        ):
+            # Pure timeout: back off and retry, bounded.
+            if attempt >= policy.max_retries:
+                return MPI_ERR_TIMEOUT
+            backoff = interp.faults.retry_backoff(
+                policy.backoff_base, policy.backoff_factor, attempt
+            )
+            ctx.charge(backoff)
+            attempt += 1
+            interp.note(
+                f"rank {ctx.proc.rank}: {what}: timed out, retry "
+                f"{attempt}/{policy.max_retries} after backoff {backoff:.1f}"
+            )
+            continue
+        ft.disarm(waiter)
+
+
+def _dispatch_error(interp, ctx, node, op: str, comm_id: int, code: int,
+                    info: "_CallInfo", instrumented: bool, detail: str = "") -> Gen:
+    """Surface error *code* through the communicator's error handler.
+
+    ``MPI_ERRORS_ARE_FATAL`` aborts the rank (the pre-FT behavior for
+    any fault); ``MPI_ERRORS_RETURN`` and user handler functions let
+    the builtin hand the error class back to the program.  A user
+    handler runs *inside* the failing MPI call — exactly the reentrancy
+    hazard the new violation rule checks — as ``handler(comm, code)``.
+    Must be called before the op's ``_epilogue``.
+    """
+    ft = interp.world.ft
+    handler = ft.handler(comm_id)
+    hname = (
+        "fatal" if handler == MPI_ERRORS_ARE_FATAL
+        else "return" if handler == MPI_ERRORS_RETURN
+        else str(handler)
+    )
+    interp.emit(
+        MPIErrorEvent, ctx,
+        op=op, comm=comm_id, error_class=error_string(code), code=code,
+        handler=hname, detail=detail,
+    )
+    interp.note(
+        f"rank {ctx.proc.rank}: {op} on comm {comm_id} raised "
+        f"{error_string(code)} (handler: {hname})"
+        + (f": {detail}" if detail else "")
+    )
+    if handler == MPI_ERRORS_ARE_FATAL:
+        if not info.skipped:
+            ctx.proc.mpi.calls_in_flight -= 1
+        raise SimAbort(
+            f"rank {ctx.proc.rank}: {op}: {error_string(code)} "
+            f"with MPI_ERRORS_ARE_FATAL"
+        )
+    if isinstance(handler, str):
+        fn = interp._functions.get(handler)
+        if fn is None:
+            interp.note(
+                f"rank {ctx.proc.rank}: unknown error handler {handler!r}; "
+                "treating as MPI_ERRORS_RETURN"
+            )
+        else:
+            interp.emit(
+                ErrorHandlerEvent, ctx,
+                phase="enter", comm=comm_id, code=code, handler=handler,
+            )
+            ctx.handler_depth += 1
+            try:
+                yield from interp._call_user(fn, [comm_id, code], ctx)
+            finally:
+                ctx.handler_depth -= 1
+                interp.emit(
+                    ErrorHandlerEvent, ctx,
+                    phase="exit", comm=comm_id, code=code, handler=handler,
+                )
+    return code
 
 
 _GATE_EXEMPT = frozenset({"mpi_init", "mpi_init_thread", "mpi_finalize",
@@ -369,10 +511,21 @@ def mpi_send(interp, ctx, node, args, instrumented) -> Gen:
     msg = _post_send_faulted(interp, ctx, dest, tag, comm_id, payload, sync,
                              "mpi_send")
     if msg.sync:
-        yield Block(
+        ft = interp.world.ft
+        comm = interp.world.comm(comm_id)
+        err = yield from _ft_wait(
+            interp, ctx, comm_id,
             f"mpi_send (sync) to rank {dest} tag {tag} comm {comm_id}",
             lambda: msg.consumed,
+            peer_failed=lambda: ft.peer_failed(comm, dest),
         )
+        if err != MPI_SUCCESS:
+            code = yield from _dispatch_error(
+                interp, ctx, node, "mpi_send", comm_id, err, info, instrumented
+            )
+            _epilogue(interp, ctx, node, "mpi_send", info, instrumented,
+                      dict(adict, error=error_string(err)))
+            return code
         ctx.advance_to(msg.consumed_time)
     _epilogue(interp, ctx, node, "mpi_send", info, instrumented,
               dict(adict, msg_id=msg.msg_id))
@@ -380,17 +533,25 @@ def mpi_send(interp, ctx, node, args, instrumented) -> Gen:
 
 
 def _match_blocking(interp, ctx, comm_id: int, src: int, tag: int, what: str) -> Gen:
+    """Match a message for a blocking receive; returns ``(msg, errcode)``
+    where *msg* is None iff *errcode* is not ``MPI_SUCCESS``."""
     world = interp.world
     me = ctx.proc.rank
+    comm = world.comm(comm_id)
+    ft = world.ft
     msg = world.match_recv(me, comm_id, src, tag)
     while msg is None:
-        yield Block(
+        err = yield from _ft_wait(
+            interp, ctx, comm_id,
             f"{what} waiting for message (src={src}, tag={tag}, comm={comm_id}) "
             f"at rank {me}",
             lambda: world.peek_recv(me, comm_id, src, tag) is not None,
+            peer_failed=lambda: ft.peer_failed(comm, src),
         )
+        if err != MPI_SUCCESS:
+            return None, err
         msg = world.match_recv(me, comm_id, src, tag)
-    return msg
+    return msg, MPI_SUCCESS
 
 
 def mpi_recv(interp, ctx, node, args, instrumented) -> Gen:
@@ -406,7 +567,14 @@ def mpi_recv(interp, ctx, node, args, instrumented) -> Gen:
         _epilogue(interp, ctx, node, "mpi_recv", info, instrumented, adict)
         return -1
     yield Step(interp.cm.mpi_call)
-    msg = yield from _match_blocking(interp, ctx, comm_id, src, tag, "mpi_recv")
+    msg, err = yield from _match_blocking(interp, ctx, comm_id, src, tag, "mpi_recv")
+    if err != MPI_SUCCESS:
+        code = yield from _dispatch_error(
+            interp, ctx, node, "mpi_recv", comm_id, err, info, instrumented
+        )
+        _epilogue(interp, ctx, node, "mpi_recv", info, instrumented,
+                  dict(adict, error=error_string(err)))
+        return code
     ctx.advance_to(msg.avail_time)
     if msg.sync:
         msg.consumed_time = ctx.clock
@@ -438,10 +606,21 @@ def mpi_isend(interp, ctx, node, args, instrumented) -> Gen:
     msg = _post_send_faulted(interp, ctx, dest, tag, comm_id, payload, False,
                              "mpi_isend")
     if msg.sync:
-        yield Block(
+        ft = interp.world.ft
+        comm = interp.world.comm(comm_id)
+        err = yield from _ft_wait(
+            interp, ctx, comm_id,
             f"mpi_isend (rendezvous) to rank {dest} tag {tag} comm {comm_id}",
             lambda: msg.consumed,
+            peer_failed=lambda: ft.peer_failed(comm, dest),
         )
+        if err != MPI_SUCCESS:
+            code = yield from _dispatch_error(
+                interp, ctx, node, "mpi_isend", comm_id, err, info, instrumented
+            )
+            _epilogue(interp, ctx, node, "mpi_isend", info, instrumented,
+                      dict(adict, error=error_string(err)))
+            return code
         ctx.advance_to(msg.consumed_time)
     req.done = True
     req.complete_time = ctx.clock
@@ -479,9 +658,14 @@ def mpi_irecv(interp, ctx, node, args, instrumented) -> Gen:
 def _complete_recv_request(interp, ctx, req: Request) -> Gen:
     """Complete a pending receive request, waking early if another thread
     races us to it (the Concurrent-Request violation scenario: the loser
-    must not hang waiting for a message that was already consumed)."""
+    must not hang waiting for a message that was already consumed).
+
+    Returns ``MPI_SUCCESS`` or the error class the wait failed with.
+    """
     world = interp.world
     me = ctx.proc.rank
+    comm = world.comm(req.comm)
+    ft = world.ft
     while not req.done:
         msg = world.match_recv(me, req.comm, req.src, req.tag)
         if msg is not None:
@@ -492,19 +676,27 @@ def _complete_recv_request(interp, ctx, req: Request) -> Gen:
             req.done = True
             req.complete_time = ctx.clock
             req.msg_id = msg.msg_id
-            return
-        yield Block(
+            return MPI_SUCCESS
+        err = yield from _ft_wait(
+            interp, ctx, req.comm,
             f"mpi_wait(request {req.handle}) waiting for message "
             f"(src={req.src}, tag={req.tag}, comm={req.comm}) at rank {me}",
             lambda: req.done
             or world.peek_recv(me, req.comm, req.src, req.tag) is not None,
+            peer_failed=(
+                (lambda: ft.peer_failed(comm, req.src))
+                if req.kind == "recv" else None
+            ),
         )
+        if err != MPI_SUCCESS:
+            return err
     # Completed by a racing thread.
     interp.note(
         f"rank {me}: request {req.handle} was completed by another thread "
         f"while thread {ctx.tid} waited — concurrent request usage"
     )
     ctx.advance_to(req.complete_time)
+    return MPI_SUCCESS
 
 
 def mpi_wait(interp, ctx, node, args, instrumented) -> Gen:
@@ -532,7 +724,14 @@ def mpi_wait(interp, ctx, node, args, instrumented) -> Gen:
                 )
             ctx.advance_to(req.complete_time)
         else:
-            yield from _complete_recv_request(interp, ctx, req)
+            err = yield from _complete_recv_request(interp, ctx, req)
+            if err != MPI_SUCCESS:
+                table.free(handle)
+                code = yield from _dispatch_error(
+                    interp, ctx, node, "mpi_wait", req.comm, err, info, instrumented)
+                _epilogue(interp, ctx, node, "mpi_wait", info, instrumented,
+                          dict(adict, error=error_string(err)))
+                return code
         adict = dict(adict, msg_id=req.msg_id, peer=req.src, tag=req.tag,
                      comm=req.comm, kind=req.kind)
         table.free(handle)
@@ -592,13 +791,23 @@ def mpi_probe(interp, ctx, node, args, instrumented) -> Gen:
         return -1
     world = interp.world
     me = ctx.proc.rank
+    comm = world.comm(comm_id)
+    ft = world.ft
     yield Step(interp.cm.mpi_call)
     msg = world.peek_recv(me, comm_id, src, tag)
     while msg is None:
-        yield Block(
+        err = yield from _ft_wait(
+            interp, ctx, comm_id,
             f"mpi_probe waiting (src={src}, tag={tag}, comm={comm_id}) at rank {me}",
             lambda: world.peek_recv(me, comm_id, src, tag) is not None,
+            peer_failed=lambda: ft.peer_failed(comm, src),
         )
+        if err != MPI_SUCCESS:
+            code = yield from _dispatch_error(
+                interp, ctx, node, "mpi_probe", comm_id, err, info, instrumented)
+            _epilogue(interp, ctx, node, "mpi_probe", info, instrumented,
+                      dict(adict, error=error_string(err)))
+            return code
         msg = world.peek_recv(me, comm_id, src, tag)
     ctx.advance_to(msg.avail_time)
     _epilogue(interp, ctx, node, "mpi_probe", info, instrumented,
@@ -637,7 +846,13 @@ def mpi_iprobe(interp, ctx, node, args, instrumented) -> Gen:
 def _collective(interp, ctx, node, op: str, comm_id: int, instrumented: bool,
                 value: Any = None, root: Optional[int] = None,
                 reduce_op: Optional[int] = None, extra: Optional[dict] = None) -> Gen:
-    """Common collective machinery; returns the completed slot."""
+    """Common collective machinery; returns ``(slot, errcode)``.
+
+    ``slot`` is None when the call was skipped, malformed, or failed;
+    ``errcode`` is ``MPI_SUCCESS`` unless a fault-tolerance escape fired
+    (peer death, revocation, timeout) — in that case the error has
+    already been dispatched to the communicator's handler.
+    """
     monitored = [
         (MonitoredKind.COLLECTIVE, op),
         (MonitoredKind.COMM, comm_id),
@@ -648,10 +863,11 @@ def _collective(interp, ctx, node, op: str, comm_id: int, instrumented: bool,
     info = _prologue(interp, ctx, node, op, instrumented, monitored, adict)
     if info.skipped:
         _epilogue(interp, ctx, node, op, info, instrumented, adict)
-        return None
+        return None, MPI_SUCCESS
     world = interp.world
     comm = world.comm(comm_id)
     engine = world.collectives
+    ft = world.ft
     yield Step(interp.cm.mpi_call)
     index = engine.next_index(comm_id, ctx.proc.rank)
     try:
@@ -662,17 +878,26 @@ def _collective(interp, ctx, node, op: str, comm_id: int, instrumented: bool,
     except MPIUsageError as err:
         interp.note(str(err))
         _epilogue(interp, ctx, node, op, info, instrumented, adict)
-        return None
-    yield Block(
+        return None, MPI_SUCCESS
+    err = yield from _ft_wait(
+        interp, ctx, comm_id,
         f"{op} on {comm.name} (slot {index}) at rank {ctx.proc.rank}",
         lambda: engine.complete(comm, index),
+        peer_failed=lambda: any(w in ft.failed for w in comm.members),
+        always_block=True,
     )
+    if err != MPI_SUCCESS:
+        code = yield from _dispatch_error(
+            interp, ctx, node, op, comm_id, err, info, instrumented)
+        _epilogue(interp, ctx, node, op, info, instrumented,
+                  dict(adict, error=error_string(err)))
+        return None, code
     ctx.advance_to(engine.completion_time(comm, index))
     ctx.charge(interp.cm.barrier)
     if slot.mismatch:
         interp.note(slot.mismatch)
     _epilogue(interp, ctx, node, op, info, instrumented, adict)
-    return slot
+    return slot, MPI_SUCCESS
 
 
 def _contribution(value: Any) -> Any:
@@ -683,16 +908,19 @@ def _contribution(value: Any) -> Any:
 
 def mpi_barrier(interp, ctx, node, args, instrumented) -> Gen:
     comm_id = as_int(args[0], "communicator")
-    yield from _collective(interp, ctx, node, "mpi_barrier", comm_id, instrumented)
-    return 0
+    _slot, err = yield from _collective(
+        interp, ctx, node, "mpi_barrier", comm_id, instrumented)
+    return err if err != MPI_SUCCESS else 0
 
 
 def mpi_bcast(interp, ctx, node, args, instrumented) -> Gen:
     value, root, comm_id = args[0], as_int(args[1], "root"), as_int(args[2], "communicator")
-    slot = yield from _collective(
+    slot, err = yield from _collective(
         interp, ctx, node, "mpi_bcast", comm_id, instrumented,
         value=_contribution(value), root=root,
     )
+    if err != MPI_SUCCESS:
+        return err
     if slot is None or slot.mismatch:
         return value if not isinstance(value, ArrayValue) else 0
     comm = interp.world.comm(comm_id)
@@ -709,10 +937,12 @@ def mpi_reduce(interp, ctx, node, args, instrumented) -> Gen:
         args[0], as_int(args[1], "op"), as_int(args[2], "root"),
         as_int(args[3], "communicator"),
     )
-    slot = yield from _collective(
+    slot, err = yield from _collective(
         interp, ctx, node, "mpi_reduce", comm_id, instrumented,
         value=_contribution(value), root=root, reduce_op=op_h,
     )
+    if err != MPI_SUCCESS:
+        return err
     if slot is None or slot.mismatch:
         return 0
     comm = interp.world.comm(comm_id)
@@ -728,10 +958,12 @@ def mpi_reduce(interp, ctx, node, args, instrumented) -> Gen:
 
 def mpi_allreduce(interp, ctx, node, args, instrumented) -> Gen:
     value, op_h, comm_id = args[0], as_int(args[1], "op"), as_int(args[2], "communicator")
-    slot = yield from _collective(
+    slot, err = yield from _collective(
         interp, ctx, node, "mpi_allreduce", comm_id, instrumented,
         value=_contribution(value), reduce_op=op_h,
     )
+    if err != MPI_SUCCESS:
+        return err
     if slot is None or slot.mismatch:
         return 0
     comm = interp.world.comm(comm_id)
@@ -747,10 +979,12 @@ def mpi_gather(interp, ctx, node, args, instrumented) -> Gen:
     value, recvbuf, root, comm_id = (
         args[0], args[1], as_int(args[2], "root"), as_int(args[3], "communicator"),
     )
-    slot = yield from _collective(
+    slot, err = yield from _collective(
         interp, ctx, node, "mpi_gather", comm_id, instrumented,
         value=_contribution(value), root=root,
     )
+    if err != MPI_SUCCESS:
+        return err
     if slot is None or slot.mismatch:
         return 0
     comm = interp.world.comm(comm_id)
@@ -764,10 +998,12 @@ def mpi_gather(interp, ctx, node, args, instrumented) -> Gen:
 
 def mpi_allgather(interp, ctx, node, args, instrumented) -> Gen:
     value, recvbuf, comm_id = args[0], args[1], as_int(args[2], "communicator")
-    slot = yield from _collective(
+    slot, err = yield from _collective(
         interp, ctx, node, "mpi_allgather", comm_id, instrumented,
         value=_contribution(value),
     )
+    if err != MPI_SUCCESS:
+        return err
     if slot is None or slot.mismatch:
         return 0
     comm = interp.world.comm(comm_id)
@@ -781,10 +1017,12 @@ def mpi_allgather(interp, ctx, node, args, instrumented) -> Gen:
 
 def mpi_scatter(interp, ctx, node, args, instrumented) -> Gen:
     sendbuf, root, comm_id = args[0], as_int(args[1], "root"), as_int(args[2], "communicator")
-    slot = yield from _collective(
+    slot, err = yield from _collective(
         interp, ctx, node, "mpi_scatter", comm_id, instrumented,
         value=_contribution(sendbuf), root=root,
     )
+    if err != MPI_SUCCESS:
+        return err
     if slot is None or slot.mismatch:
         return 0
     comm = interp.world.comm(comm_id)
@@ -797,10 +1035,12 @@ def mpi_scatter(interp, ctx, node, args, instrumented) -> Gen:
 
 def mpi_alltoall(interp, ctx, node, args, instrumented) -> Gen:
     sendbuf, recvbuf, comm_id = args[0], args[1], as_int(args[2], "communicator")
-    slot = yield from _collective(
+    slot, err = yield from _collective(
         interp, ctx, node, "mpi_alltoall", comm_id, instrumented,
         value=_contribution(sendbuf),
     )
+    if err != MPI_SUCCESS:
+        return err
     if slot is None or slot.mismatch:
         return 0
     comm = interp.world.comm(comm_id)
@@ -832,10 +1072,21 @@ def mpi_comm_dup(interp, ctx, node, args, instrumented) -> Gen:
         _epilogue(interp, ctx, node, "mpi_comm_dup", info, instrumented, adict)
         return comm_id
     registry.dup_arrive(comm_id, instance, ctx.proc.rank)
-    yield Block(
+    ft = interp.world.ft
+    comm = interp.world.comm(comm_id)
+    err = yield from _ft_wait(
+        interp, ctx, comm_id,
         f"mpi_comm_dup({comm_id}) instance {instance} at rank {ctx.proc.rank}",
         lambda: registry.dup_complete(comm_id, instance),
+        peer_failed=lambda: any(w in ft.failed for w in comm.members),
+        always_block=True,
     )
+    if err != MPI_SUCCESS:
+        code = yield from _dispatch_error(
+            interp, ctx, node, "mpi_comm_dup", comm_id, err, info, instrumented)
+        _epilogue(interp, ctx, node, "mpi_comm_dup", info, instrumented,
+                  dict(adict, error=error_string(err)))
+        return code
     new_cid = registry.dup_result(comm_id, instance)
     ctx.charge(interp.cm.barrier)
     _epilogue(interp, ctx, node, "mpi_comm_dup", info, instrumented, adict)
@@ -857,10 +1108,21 @@ def mpi_comm_split(interp, ctx, node, args, instrumented) -> Gen:
         _epilogue(interp, ctx, node, "mpi_comm_split", info, instrumented, adict)
         return comm_id
     registry.split_arrive(comm_id, instance, ctx.proc.rank, color, key)
-    yield Block(
+    ft = interp.world.ft
+    comm = interp.world.comm(comm_id)
+    err = yield from _ft_wait(
+        interp, ctx, comm_id,
         f"mpi_comm_split({comm_id}) instance {instance} at rank {ctx.proc.rank}",
         lambda: registry.split_complete(comm_id, instance),
+        peer_failed=lambda: any(w in ft.failed for w in comm.members),
+        always_block=True,
     )
+    if err != MPI_SUCCESS:
+        code = yield from _dispatch_error(
+            interp, ctx, node, "mpi_comm_split", comm_id, err, info, instrumented)
+        _epilogue(interp, ctx, node, "mpi_comm_split", info, instrumented,
+                  dict(adict, error=error_string(err)))
+        return code
     new_cid = registry.split_result(comm_id, instance, ctx.proc.rank)
     ctx.charge(interp.cm.barrier)
     _epilogue(interp, ctx, node, "mpi_comm_split", info, instrumented, adict)
@@ -886,10 +1148,21 @@ def mpi_ssend(interp, ctx, node, args, instrumented) -> Gen:
     yield Step(interp.cm.mpi_call)
     msg = _post_send_faulted(interp, ctx, dest, tag, comm_id, payload, True,
                              "mpi_ssend")
-    yield Block(
+    ft = interp.world.ft
+    comm = interp.world.comm(comm_id)
+    err = yield from _ft_wait(
+        interp, ctx, comm_id,
         f"mpi_ssend to rank {dest} tag {tag} comm {comm_id}",
         lambda: msg.consumed,
+        peer_failed=lambda: ft.peer_failed(comm, dest),
     )
+    if err != MPI_SUCCESS:
+        code = yield from _dispatch_error(
+            interp, ctx, node, "mpi_ssend", comm_id, err, info, instrumented
+        )
+        _epilogue(interp, ctx, node, "mpi_ssend", info, instrumented,
+                  dict(adict, error=error_string(err)))
+        return code
     ctx.advance_to(msg.consumed_time)
     _epilogue(interp, ctx, node, "mpi_ssend", info, instrumented,
               dict(adict, msg_id=msg.msg_id))
@@ -934,9 +1207,15 @@ def mpi_sendrecv(interp, ctx, node, args, instrumented) -> Gen:
     # wait on it here.
     _post_send_faulted(interp, ctx, dest, sendtag, comm_id, payload, False,
                        "mpi_sendrecv")
-    msg = yield from _match_blocking(
+    msg, err = yield from _match_blocking(
         interp, ctx, comm_id, source, recvtag, "mpi_sendrecv"
     )
+    if err != MPI_SUCCESS:
+        code = yield from _dispatch_error(
+            interp, ctx, node, "mpi_sendrecv", comm_id, err, info, instrumented)
+        _epilogue(interp, ctx, node, "mpi_sendrecv", info, instrumented,
+                  dict(adict, error=error_string(err)))
+        return code
     ctx.advance_to(msg.avail_time)
     if msg.sync:
         msg.consumed_time = ctx.clock
@@ -968,10 +1247,141 @@ def mpi_waitall(interp, ctx, node, args, instrumented) -> Gen:
         if req.done:
             ctx.advance_to(req.complete_time)
         else:
-            yield from _complete_recv_request(interp, ctx, req)
+            err = yield from _complete_recv_request(interp, ctx, req)
+            if err != MPI_SUCCESS:
+                table.free(handle)
+                code = yield from _dispatch_error(
+                    interp, ctx, node, "mpi_waitall", req.comm, err, info,
+                    instrumented)
+                _epilogue(interp, ctx, node, "mpi_waitall", info, instrumented,
+                          dict(adict, error=error_string(err)))
+                return code
         table.free(handle)
     _epilogue(interp, ctx, node, "mpi_waitall", info, instrumented, adict)
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Fault tolerance & recovery (error handlers, timeouts, ULFM-style shrink)
+# ---------------------------------------------------------------------------
+
+
+def mpi_comm_set_errhandler(interp, ctx, node, args, instrumented) -> Gen:
+    """Attach an error handler to a communicator.
+
+    The handler may be MPI_ERRORS_ARE_FATAL, MPI_ERRORS_RETURN, or the
+    name of a two-argument function ``handler(comm, code)`` defined in
+    the program, which then runs inside any failing MPI call on that
+    communicator.
+    """
+    comm_id = as_int(args[0], "communicator")
+    hval = args[1] if isinstance(args[1], str) else as_int(args[1], "error handler")
+    adict = {"comm": comm_id, "handler": str(hval)}
+    info = _prologue(interp, ctx, node, "mpi_comm_set_errhandler", instrumented,
+                     [(MonitoredKind.COMM, comm_id)], adict)
+    if not info.skipped:
+        yield Step(interp.cm.mpi_call)
+        interp.world.ft.set_handler(comm_id, hval)
+    _epilogue(interp, ctx, node, "mpi_comm_set_errhandler", info, instrumented,
+              adict)
+    return 0
+
+
+def mpi_comm_get_errhandler(interp, ctx, node, args, instrumented) -> Gen:
+    return interp.world.ft.handler(as_int(args[0], "communicator"))
+    yield  # pragma: no cover
+
+
+def mpi_error_string(interp, ctx, node, args, instrumented) -> Gen:
+    return error_string(as_int(args[0], "error code"))
+    yield  # pragma: no cover
+
+
+def mpi_set_timeout(interp, ctx, node, args, instrumented) -> Gen:
+    """Arm a timeout/retry policy on a communicator: blocking operations
+    on it surface MPI_ERR_TIMEOUT after the retry budget is spent instead
+    of hanging until the deadlock detector fires.
+
+    Signature: mpi_set_timeout(comm, timeout[, max_retries]).  Query
+    style on purpose: it must not shift fault-plan call counting.
+    """
+    comm_id = as_int(args[0], "communicator")
+    timeout = float(as_int(args[1], "timeout") if not isinstance(args[1], float)
+                    else args[1])
+    retries = as_int(args[2], "max retries") if len(args) > 2 else 3
+    interp.world.ft.set_policy(comm_id, RetryPolicy(
+        timeout=timeout, max_retries=retries,
+        backoff_base=interp.cm.retry_backoff,
+    ))
+    return 0
+    yield  # pragma: no cover
+
+
+def mpi_comm_failure_ack(interp, ctx, node, args, instrumented) -> Gen:
+    """Acknowledge locally-known failed processes; returns how many."""
+    comm_id = as_int(args[0], "communicator")
+    adict = {"comm": comm_id}
+    info = _prologue(interp, ctx, node, "mpi_comm_failure_ack", instrumented,
+                     [(MonitoredKind.COMM, comm_id)], adict)
+    acked = 0
+    if not info.skipped:
+        yield Step(interp.cm.mpi_call)
+        acked = interp.world.ft.ack_failures(ctx.proc.rank)
+    _epilogue(interp, ctx, node, "mpi_comm_failure_ack", info, instrumented,
+              dict(adict, acked=acked))
+    return acked
+
+
+def mpi_comm_revoke(interp, ctx, node, args, instrumented) -> Gen:
+    """Revoke a communicator: every pending and future blocking call on
+    it (at any rank) surfaces MPI_ERR_REVOKED instead of completing."""
+    comm_id = as_int(args[0], "communicator")
+    adict = {"comm": comm_id}
+    info = _prologue(interp, ctx, node, "mpi_comm_revoke", instrumented,
+                     [(MonitoredKind.COMM, comm_id)], adict)
+    if not info.skipped:
+        yield Step(interp.cm.mpi_call)
+        interp.world.ft.revoke(comm_id)
+        interp.note(
+            f"rank {ctx.proc.rank}: mpi_comm_revoke({comm_id}) — pending "
+            f"operations on the communicator will surface MPI_ERR_REVOKED"
+        )
+    _epilogue(interp, ctx, node, "mpi_comm_revoke", info, instrumented, adict)
+    return 0
+
+
+def mpi_comm_shrink(interp, ctx, node, args, instrumented) -> Gen:
+    """ULFM-style recovery collective: survivors of *comm* agree on a new
+    communicator excluding failed ranks.  Collective among survivors —
+    failed members count as arrived.  Each calling thread gets its own
+    shrink instance; two threads shrinking the same communicator race to
+    create two different replacements (the recovery-race hazard)."""
+    comm_id = as_int(args[0], "communicator")
+    pstate = ctx.proc.mpi
+    ft = interp.world.ft
+    instance = pstate.shrink_counter.get(comm_id, 0)
+    pstate.shrink_counter[comm_id] = instance + 1
+    adict = {"comm": comm_id, "instance": instance}
+    monitored = [
+        (MonitoredKind.COLLECTIVE, "mpi_comm_shrink"),
+        (MonitoredKind.COMM, comm_id),
+    ]
+    info = _prologue(interp, ctx, node, "mpi_comm_shrink", instrumented,
+                     monitored, adict)
+    if info.skipped:
+        _epilogue(interp, ctx, node, "mpi_comm_shrink", info, instrumented, adict)
+        return comm_id
+    yield Step(interp.cm.mpi_call)
+    ft.shrink_arrive(comm_id, instance, ctx.proc.rank)
+    yield Block(
+        f"mpi_comm_shrink({comm_id}) instance {instance} at rank {ctx.proc.rank}",
+        lambda: ft.shrink_complete(comm_id, instance),
+    )
+    new_cid = ft.shrink_result(comm_id, instance)
+    ctx.charge(interp.cm.barrier)
+    _epilogue(interp, ctx, node, "mpi_comm_shrink", info, instrumented,
+              dict(adict, new_comm=new_cid))
+    return new_cid
 
 
 BUILTINS = {
@@ -1004,4 +1414,11 @@ BUILTINS = {
     "mpi_alltoall": mpi_alltoall,
     "mpi_comm_dup": mpi_comm_dup,
     "mpi_comm_split": mpi_comm_split,
+    "mpi_comm_set_errhandler": mpi_comm_set_errhandler,
+    "mpi_comm_get_errhandler": mpi_comm_get_errhandler,
+    "mpi_error_string": mpi_error_string,
+    "mpi_set_timeout": mpi_set_timeout,
+    "mpi_comm_failure_ack": mpi_comm_failure_ack,
+    "mpi_comm_revoke": mpi_comm_revoke,
+    "mpi_comm_shrink": mpi_comm_shrink,
 }

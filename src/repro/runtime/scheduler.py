@@ -103,6 +103,18 @@ class BlockedInfo:
         return f"[rank {self.proc} thread {self.thread}] blocked: {self.reason}"
 
 
+def _blocked_by_rank(infos: List["BlockedInfo"]) -> str:
+    """Summarize every blocked rank with its pending operations, so a
+    deadlock report names the full wait set (timeout-vs-deadlock triage
+    needs more than a count)."""
+    by_rank: dict = {}
+    for info in infos:
+        by_rank.setdefault(info.proc, []).append(f"t{info.thread}: {info.reason}")
+    return "; ".join(
+        f"rank {proc} [{', '.join(reasons)}]" for proc, reasons in sorted(by_rank.items())
+    )
+
+
 class Scheduler:
     """Runs a set of cooperative tasks to completion (or deadlock)."""
 
@@ -127,6 +139,11 @@ class Scheduler:
         self._live: List[Task] = []
         self.total_steps = 0
         self._rr_cursor = -1
+        #: called when no task is runnable but some are blocked; returns
+        #: True if it unblocked something (e.g. timed out a waiter), in
+        #: which case runnability is re-evaluated instead of raising
+        #: DeadlockError
+        self.stall_handler: Optional[Callable[[], bool]] = None
 
     # -- task management -----------------------------------------------------
 
@@ -190,13 +207,18 @@ class Scheduler:
             blocked = [t for t in self._live if t.state == _BLOCKED]
             if not blocked:
                 return False  # everything finished
-            raise DeadlockError(
-                f"deadlock: {len(blocked)} task(s) blocked with no runnable task",
-                blocked=[
+            while not runnable and self.stall_handler and self.stall_handler():
+                runnable = self._runnable()
+            if not runnable:
+                infos = [
                     BlockedInfo(t.name, t.proc, t.thread, t.block.reason if t.block else "?")
                     for t in blocked
-                ],
-            )
+                ]
+                raise DeadlockError(
+                    f"deadlock: {len(blocked)} task(s) blocked with no "
+                    f"runnable task; {_blocked_by_rank(infos)}",
+                    blocked=infos,
+                )
         task = self._pick(runnable)
         task.state = _READY
         task.block = None

@@ -14,8 +14,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis.dynamic_.hybrid import ConcurrencyReport
-from ..events import EventLog, MPICall, ThreadFork
-from .spec import ALL_RULES, ProcessView, Violation
+from ..events import ErrorHandlerEvent, EventLog, MPICall, ThreadFork
+from .spec import ALL_RULES, HandlerSpan, ProcessView, Violation
 
 
 @dataclass
@@ -88,6 +88,39 @@ def extract_thread_level(log: EventLog, proc: int) -> Optional[int]:
     return None
 
 
+def extract_handler_spans(log: EventLog, proc: int) -> List[HandlerSpan]:
+    """Pair ErrorHandlerEvent enter/exit brackets into spans, per thread.
+
+    A handler that never exits (its rank aborted inside it) yields an
+    open span reaching to the end of the trace.
+    """
+    open_stacks: Dict[int, List[ErrorHandlerEvent]] = {}
+    spans: List[HandlerSpan] = []
+    for event in log:
+        if type(event) is not ErrorHandlerEvent or event.proc != proc:
+            continue
+        if event.phase == "enter":
+            open_stacks.setdefault(event.thread, []).append(event)
+        else:
+            stack = open_stacks.get(event.thread)
+            if not stack:
+                continue
+            enter = stack.pop()
+            spans.append(HandlerSpan(
+                thread=enter.thread, comm=enter.comm, handler=enter.handler,
+                t0=enter.time, t1=event.time, seq0=enter.seq, seq1=event.seq,
+            ))
+    for stack in open_stacks.values():
+        for enter in stack:
+            spans.append(HandlerSpan(
+                thread=enter.thread, comm=enter.comm, handler=enter.handler,
+                t0=enter.time, t1=float("inf"),
+                seq0=enter.seq, seq1=2 ** 63,
+            ))
+    spans.sort(key=lambda s: s.seq0)
+    return spans
+
+
 def build_view(log: EventLog, proc: int, report: ConcurrencyReport) -> ProcessView:
     """Assemble the per-process rule input."""
     calls = log.mpi_calls(proc)
@@ -102,6 +135,7 @@ def build_view(log: EventLog, proc: int, report: ConcurrencyReport) -> ProcessVi
         had_parallel=had_parallel,
         report=report,
         calls=calls,
+        handler_spans=extract_handler_spans(log, proc),
     )
 
 

@@ -38,6 +38,9 @@ CONCURRENT_RECV = "ConcurrentRecvViolation"
 CONCURRENT_REQUEST = "ConcurrentRequestViolation"
 PROBE = "ProbeViolation"
 COLLECTIVE = "CollectiveCallViolation"
+#: Error-path classes (fault-tolerance extension, not in the paper's six).
+HANDLER_REENTRANCY = "ErrorHandlerReentrancyViolation"
+RECOVERY_RACE = "RecoveryRaceViolation"
 
 ALL_VIOLATION_CLASSES = (
     INITIALIZATION,
@@ -46,6 +49,8 @@ ALL_VIOLATION_CLASSES = (
     CONCURRENT_REQUEST,
     PROBE,
     COLLECTIVE,
+    HANDLER_REENTRANCY,
+    RECOVERY_RACE,
 )
 
 RECV_OPS = frozenset({"mpi_recv", "mpi_irecv", "mpi_sendrecv"})
@@ -74,6 +79,19 @@ class Violation:
         return f"[{self.vclass}] rank {self.proc} at {where}: {self.message}"
 
 
+@dataclass(frozen=True)
+class HandlerSpan:
+    """One user error-handler invocation (enter..exit bracket)."""
+
+    thread: int
+    comm: int
+    handler: str
+    t0: float
+    t1: float
+    seq0: int
+    seq1: int
+
+
 @dataclass
 class ProcessView:
     """Everything the rules need to know about one process's execution."""
@@ -85,6 +103,8 @@ class ProcessView:
     report: ConcurrencyReport
     #: MPICall 'begin' events of this process, in emission order
     calls: List = field(default_factory=list)
+    #: user error-handler invocations (fault-tolerance extension)
+    handler_spans: List[HandlerSpan] = field(default_factory=list)
 
     def non_main_calls(self) -> List:
         return [
@@ -350,6 +370,74 @@ def check_collective(view: ProcessView) -> List[Violation]:
     return out
 
 
+def check_error_handler_reentrancy(view: ProcessView) -> List[Violation]:
+    """isErrorHandlerReentrancyViolation (fault-tolerance extension).
+
+    An MPI error handler runs *inside* the failing MPI call.  Below
+    ``MPI_THREAD_MULTIPLE``, a handler body that itself calls MPI while
+    another thread is inside the library nests MPI within MPI across
+    threads — the provided thread level cannot have promised that.
+    """
+    out: List[Violation] = []
+    level = view.thread_level
+    if level is None or level >= MPI_THREAD_MULTIPLE:
+        return out
+    level_name = THREAD_LEVEL_NAMES.get(level, str(level))
+    for span in view.handler_spans:
+        inner = [
+            c for c in view.calls
+            if c.thread == span.thread and span.seq0 < c.seq < span.seq1
+        ]
+        if not inner:
+            continue
+        racing = [
+            c for c in view.calls
+            if c.thread != span.thread and span.t0 <= c.time <= span.t1
+        ]
+        if not racing:
+            continue
+        offenders = inner + racing
+        out.append(
+            Violation(
+                HANDLER_REENTRANCY,
+                view.proc,
+                f"error handler {span.handler!r} (comm {span.comm}) makes "
+                f"{len(inner)} MPI call(s) while thread(s) "
+                f"{tuple(sorted({c.thread for c in racing}))} are inside MPI "
+                f"under {level_name}",
+                callsites=tuple(sorted({c.callsite for c in offenders})),
+                locs=tuple(sorted({c.loc for c in offenders})),
+                threads=tuple(sorted({c.thread for c in offenders})),
+                ops=tuple(sorted({c.op for c in offenders})),
+            )
+        )
+    return out
+
+
+def check_recovery_race(view: ProcessView) -> List[Violation]:
+    """isRecoveryRaceViolation (fault-tolerance extension).
+
+    Two threads of one rank racing ``mpi_comm_shrink`` on the same
+    communicator each complete their own shrink instance and obtain
+    *different* replacement communicators — subsequent communication
+    on "the" recovered communicator is split across two.
+    """
+    out: List[Violation] = []
+    shrink = frozenset({"mpi_comm_shrink"})
+    for pair in view.report.pairs_for_ops(shrink, shrink):
+        if not _same_comm(pair):
+            continue
+        out.append(
+            _pair_violation(
+                RECOVERY_RACE, view.proc, pair,
+                f"two threads race mpi_comm_shrink on communicator "
+                f"{pair.a.arg(MonitoredKind.COMM)} — each obtains a "
+                "different replacement communicator",
+            )
+        )
+    return out
+
+
 ALL_RULES = (
     check_initialization,
     check_finalization,
@@ -357,4 +445,6 @@ ALL_RULES = (
     check_concurrent_request,
     check_probe,
     check_collective,
+    check_error_handler_reentrancy,
+    check_recovery_race,
 )

@@ -9,6 +9,7 @@ from .common import (  # noqa: F401
     injection_registry,
     score_report,
 )
+from .ft_mz import FT_SPEC, build_ft_mz, ft_mz_source  # noqa: F401
 from .lu_mz import LU_SPEC, build_lu_mz, lu_mz_source  # noqa: F401
 from .races import (  # noqa: F401
     RACE_CLASSES,
@@ -22,12 +23,14 @@ BENCHMARKS = {
     "lu": build_lu_mz,
     "bt": build_bt_mz,
     "sp": build_sp_mz,
+    "ft": build_ft_mz,
 }
 
 SPECS = {
     "lu": LU_SPEC,
     "bt": BT_SPEC,
     "sp": SP_SPEC,
+    "ft": FT_SPEC,
 }
 
 __all__ = [
@@ -40,12 +43,15 @@ __all__ = [
     "build_lu_mz",
     "build_bt_mz",
     "build_sp_mz",
+    "build_ft_mz",
     "lu_mz_source",
     "bt_mz_source",
     "sp_mz_source",
+    "ft_mz_source",
     "LU_SPEC",
     "BT_SPEC",
     "SP_SPEC",
+    "FT_SPEC",
     "BENCHMARKS",
     "SPECS",
     "RACE_CLASSES",

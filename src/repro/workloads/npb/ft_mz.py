@@ -1,0 +1,135 @@
+"""FT-MZ: fault-tolerant multi-zone mini benchmark.
+
+Unlike the LU/BT/SP rows, this pair exercises the simulator's
+fault-tolerance surface — MPI error handlers, failure acknowledgement
+and ULFM-style communicator shrink — and carries the two *error-path*
+thread-safety hazards the extended rules detect:
+
+* the **racy** variant (``inject=True``) initializes at
+  ``MPI_THREAD_SERIALIZED`` and installs an error handler that itself
+  calls MPI (``mpi_comm_failure_ack``).  Under a rank-crash fault both
+  survivor threads take ``MPI_ERR_PROC_FAILED`` out of their receives
+  and run the handler concurrently — the handler's MPI call overlaps
+  the other thread's, the ``ErrorHandlerReentrancyViolation``.  Its
+  recovery step shrinks the world from *both* threads of a parallel
+  region, so each thread obtains a different replacement communicator —
+  the ``RecoveryRaceViolation``.  Both hazards are latent in the code
+  (the shrink race needs no fault at all to be detectable);
+* the **fixed** variant (``inject=False``) initializes at
+  ``MPI_THREAD_MULTIPLE``, installs a flag-setting handler that makes
+  no MPI calls, exchanges from the main thread only and shrinks exactly
+  once, serially, after an error was observed.  It must report zero
+  violations under any fault plan.
+
+Both variants terminate under a healthy library *and* under the builtin
+rank-crash plan: messages already mailed before the crash still match,
+later receives surface ``MPI_ERR_PROC_FAILED`` through the handler
+instead of hanging, and shrink treats failed ranks as arrived.
+"""
+
+from __future__ import annotations
+
+from ...minilang import Program, parse
+from .common import NPBSpec
+
+FT_SPEC = NPBSpec(
+    name="ft_mz",
+    zones=16,
+    steps=2,
+    stages=1,
+    zone_weight=4,
+    compute_units=1,
+    serial_units=40,
+)
+
+_SHARED_DECLS = """
+var halo_out[4];
+var halo_in[4];
+var ft_errors[2];
+var shrink_size[4];
+"""
+
+_RACY_HANDLER = """
+func ft_handler(comm, code) {
+    ft_errors[0] = code;
+    mpi_comm_failure_ack(comm);
+    compute(200);
+    return 0;
+}
+"""
+
+_FIXED_HANDLER = """
+func ft_flag_handler(comm, code) {
+    ft_errors[0] = code;
+    return 0;
+}
+"""
+
+
+def _racy_main(spec: NPBSpec) -> str:
+    return f"""
+func main() {{
+    var provided = mpi_init_thread(MPI_THREAD_SERIALIZED);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var size = mpi_comm_size(MPI_COMM_WORLD);
+    mpi_comm_set_errhandler(MPI_COMM_WORLD, "ft_handler");
+    if (size >= 2) {{
+        var partner = rank + 1 - 2 * (rank % 2);
+        for (var step = 0; step < {spec.steps}; step = step + 1) {{
+            compute({spec.serial_units});
+            mpi_send(halo_out, 2, partner, 50 + step, MPI_COMM_WORLD);
+            mpi_send(halo_out, 2, partner, 50 + step, MPI_COMM_WORLD);
+            omp parallel num_threads(2) {{
+                mpi_recv(halo_in, 2, partner, 50 + step, MPI_COMM_WORLD);
+            }}
+        }}
+    }}
+    omp parallel num_threads(2) {{
+        var newcomm = mpi_comm_shrink(MPI_COMM_WORLD);
+        shrink_size[omp_get_thread_num()] = mpi_comm_size(newcomm);
+    }}
+    mpi_finalize();
+}}"""
+
+
+def _fixed_main(spec: NPBSpec) -> str:
+    return f"""
+func main() {{
+    var provided = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var size = mpi_comm_size(MPI_COMM_WORLD);
+    mpi_comm_set_errhandler(MPI_COMM_WORLD, "ft_flag_handler");
+    if (size >= 2) {{
+        var partner = rank + 1 - 2 * (rank % 2);
+        for (var step = 0; step < {spec.steps}; step = step + 1) {{
+            compute({spec.serial_units});
+            if (ft_errors[0] == 0) {{
+                mpi_send(halo_out, 2, partner, 50 + step, MPI_COMM_WORLD);
+                mpi_recv(halo_in, 2, partner, 50 + step, MPI_COMM_WORLD);
+            }}
+        }}
+    }}
+    if (ft_errors[0] < 0) {{
+        var newcomm = mpi_comm_shrink(MPI_COMM_WORLD);
+        shrink_size[0] = mpi_comm_size(newcomm);
+    }}
+    mpi_finalize();
+}}"""
+
+
+def ft_mz_source(inject: bool = True) -> str:
+    """Mini-language source of the FT-MZ benchmark pair."""
+    spec = FT_SPEC
+    parts = [f"program {spec.name};", _SHARED_DECLS]
+    if inject:
+        parts.append(_RACY_HANDLER)
+        parts.append(_racy_main(spec))
+    else:
+        parts.append(_FIXED_HANDLER)
+        parts.append(_fixed_main(spec))
+    return "\n".join(parts) + "\n"
+
+
+def build_ft_mz(inject: bool = True) -> Program:
+    """The FT-MZ mini benchmark (racy error paths, or the fixed twin)."""
+    return parse(ft_mz_source(inject=inject))

@@ -6,6 +6,7 @@ import pytest
 
 from repro.campaign import (
     CHECKPOINT_FORMAT,
+    CHECKPOINT_SCHEMA_VERSION,
     RunOutcome,
     load_checkpoint,
     save_checkpoint,
@@ -101,11 +102,27 @@ class TestCheckpointFile:
         with pytest.raises(AnalysisError, match="not a campaign checkpoint"):
             load_checkpoint(str(path))
 
-    def test_wrong_version_rejected(self, tmp_path):
+    def test_wrong_schema_version_rejected(self, tmp_path):
         path = tmp_path / "c.json"
-        path.write_text(json.dumps({"format": CHECKPOINT_FORMAT, "version": 99}))
-        with pytest.raises(AnalysisError, match="unsupported campaign checkpoint"):
+        path.write_text(
+            json.dumps({"format": CHECKPOINT_FORMAT, "schema_version": 99})
+        )
+        with pytest.raises(AnalysisError, match="schema_version 99"):
             load_checkpoint(str(path))
+
+    def test_pre_schema_version_checkpoint_rejected(self, tmp_path):
+        # checkpoints written before the schema_version field carry only
+        # the old "version" key; a resume must restart cold, not misread
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"format": CHECKPOINT_FORMAT, "version": 1}))
+        with pytest.raises(AnalysisError, match="schema_version"):
+            load_checkpoint(str(path))
+
+    def test_saved_payload_carries_schema_version(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        save_checkpoint(path, {}, self.outcomes())
+        payload = json.loads((tmp_path / "c.json").read_text())
+        assert payload["schema_version"] == CHECKPOINT_SCHEMA_VERSION
 
     def test_missing_file_is_filenotfound(self, tmp_path):
         with pytest.raises(AnalysisError, match="cannot read"):

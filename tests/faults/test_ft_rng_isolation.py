@@ -1,0 +1,60 @@
+"""Retry-backoff RNG stream isolation and campaign determinism.
+
+The backoff jitter draws from a third RNG stream so arming retries can
+never perturb fault decisions or scheduling — and campaigns stay
+bit-identical whether cells run serially or under ``--jobs > 1``.
+"""
+
+from repro.campaign import CampaignConfig, run_campaign
+from repro.faults import FaultInjector, builtin_plans
+from repro.workloads.npb import build_ft_mz
+
+
+class TestBackoffStreamIsolation:
+    def test_backoff_leaves_fault_rng_untouched(self):
+        inj = FaultInjector(None, nprocs=2, seed=9)
+        fault_state = inj.rng.getstate()
+        for attempt in range(5):
+            inj.retry_backoff(120.0, 2.0, attempt)
+        assert inj.rng.getstate() == fault_state
+
+    def test_backoff_deterministic_per_seed(self):
+        a = FaultInjector(None, nprocs=2, seed=3)
+        b = FaultInjector(None, nprocs=2, seed=3)
+        seq_a = [a.retry_backoff(120.0, 2.0, i) for i in range(4)]
+        seq_b = [b.retry_backoff(120.0, 2.0, i) for i in range(4)]
+        assert seq_a == seq_b
+        c = FaultInjector(None, nprocs=2, seed=4)
+        assert [c.retry_backoff(120.0, 2.0, i) for i in range(4)] != seq_a
+
+    def test_backoff_grows_exponentially(self):
+        inj = FaultInjector(None, nprocs=2, seed=0)
+        first = inj.retry_backoff(120.0, 2.0, 0)
+        third = inj.retry_backoff(120.0, 2.0, 2)
+        # jitter is bounded, so attempt 2 always beats attempt 0
+        assert 0 < first < third
+
+    def test_backoff_exists_without_a_plan(self):
+        # retry policies are program state, not fault-plan state: an
+        # empty plan must still produce deterministic backoff
+        inj = FaultInjector(None, nprocs=2, seed=1)
+        assert inj.retry_backoff(50.0, 2.0, 0) > 0
+
+
+class TestCampaignJobsDeterminism:
+    def test_ft_campaign_identical_across_jobs(self):
+        program = build_ft_mz(inject=True)
+        plans = {name: builtin_plans(2)[name] for name in ("none", "crash")}
+        results = []
+        for jobs in (1, 2):
+            config = CampaignConfig(
+                seeds=(0, 1), plans=plans, nprocs=2, num_threads=2,
+                jobs=jobs, record_timing=False,
+            )
+            results.append(run_campaign(program, config))
+        serial, parallel = results
+        assert not serial.degraded and not parallel.degraded
+        assert [o.as_dict() for o in serial.outcomes] == [
+            o.as_dict() for o in parallel.outcomes
+        ]
+        assert serial.report.classes() == parallel.report.classes()

@@ -1,0 +1,314 @@
+"""Fault-tolerant MPI semantics: error handlers, timeouts, ULFM recovery."""
+
+import io
+
+from helpers import run_src
+
+from repro.events import ErrorHandlerEvent, MPIErrorEvent, dump_log, load_log
+from repro.faults import RANK_CRASH, FaultPlan, FaultSpec, builtin_plans
+from repro.home import Home
+from repro.mpi.errors import (
+    MPI_ERR_PROC_FAILED,
+    MPI_ERR_REVOKED,
+    MPI_ERR_TIMEOUT,
+    MPI_ERRORS_ARE_FATAL,
+    MPI_ERRORS_RETURN,
+)
+from repro.violations import HANDLER_REENTRANCY, RECOVERY_RACE
+from repro.workloads.npb import build_ft_mz
+
+REVOKED_RECV = """
+program t;
+var buf[2];
+func main() {
+    mpi_init();
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    mpi_comm_set_errhandler(MPI_COMM_WORLD, MPI_ERRORS_RETURN);
+    mpi_comm_revoke(MPI_COMM_WORLD);
+    var rc = mpi_recv(buf, 1, 1 - rank, 9, MPI_COMM_WORLD);
+    print(rc);
+    mpi_finalize();
+}
+"""
+
+USER_HANDLER = """
+program t;
+var buf[2];
+var seen[2];
+func h(comm, code) {
+    seen[0] = comm + 1;
+    seen[1] = code;
+    return 0;
+}
+func main() {
+    mpi_init();
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    mpi_comm_set_errhandler(MPI_COMM_WORLD, "h");
+    mpi_comm_revoke(MPI_COMM_WORLD);
+    var rc = mpi_recv(buf, 1, 1 - rank, 9, MPI_COMM_WORLD);
+    print(seen[0], seen[1], rc);
+    mpi_finalize();
+}
+"""
+
+# rank 1's calls: init=1, set_errhandler=2, first send=3, second send=4
+CRASH_SENDER = """
+program t;
+var buf[2];
+func main() {
+    mpi_init();
+    mpi_comm_set_errhandler(MPI_COMM_WORLD, MPI_ERRORS_RETURN);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    if (rank == 0) {
+        var rc = mpi_recv(buf, 1, 1, 7, MPI_COMM_WORLD);
+        print(rc);
+        var rc2 = mpi_recv(buf, 1, 1, 8, MPI_COMM_WORLD);
+        print(rc2);
+        var acked = mpi_comm_failure_ack(MPI_COMM_WORLD);
+        print(acked);
+    } else {
+        mpi_send(buf, 1, 0, 7, MPI_COMM_WORLD);
+        mpi_send(buf, 1, 0, 8, MPI_COMM_WORLD);
+    }
+    mpi_finalize();
+}
+"""
+
+TIMEOUT_RECV = """
+program t;
+var buf[2];
+func main() {
+    mpi_init();
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    mpi_comm_set_errhandler(MPI_COMM_WORLD, MPI_ERRORS_RETURN);
+    mpi_set_timeout(MPI_COMM_WORLD, 100, 2);
+    if (rank == 0) {
+        var rc = mpi_recv(buf, 1, 1, 9, MPI_COMM_WORLD);
+        print(rc);
+    }
+    mpi_finalize();
+}
+"""
+
+SHRINK_AFTER_CRASH = """
+program t;
+var buf[2];
+func main() {
+    mpi_init();
+    mpi_comm_set_errhandler(MPI_COMM_WORLD, MPI_ERRORS_RETURN);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    if (rank == 2) {
+        mpi_send(buf, 1, 0, 5, MPI_COMM_WORLD);
+    }
+    var nc = mpi_comm_shrink(MPI_COMM_WORLD);
+    print(mpi_comm_size(nc));
+    mpi_finalize();
+}
+"""
+
+THREADED_SHRINK = """
+program t;
+var ids[2];
+func main() {
+    mpi_init_thread(MPI_THREAD_MULTIPLE);
+    omp parallel num_threads(2) {
+        var nc = mpi_comm_shrink(MPI_COMM_WORLD);
+        ids[omp_get_thread_num()] = nc;
+    }
+    if (ids[0] != ids[1]) { print(1); } else { print(0); }
+    mpi_finalize();
+}
+"""
+
+
+def crash_plan(rank, at_call):
+    return FaultPlan((FaultSpec(RANK_CRASH, rank=rank, at_call=at_call),),
+                     name="c")
+
+
+class TestErrorHandlers:
+    def test_default_handler_is_fatal(self):
+        src = REVOKED_RECV.replace(
+            "    mpi_comm_set_errhandler(MPI_COMM_WORLD, MPI_ERRORS_RETURN);\n",
+            "")
+        result = run_src(src, nprocs=2, threads=1)
+        assert not result.deadlocked
+        assert result.printed_lines() == []
+        aborted = [n for n in result.notes if "MPI_ERRORS_ARE_FATAL" in n]
+        assert len(aborted) >= 2  # both ranks died in their recv
+
+    def test_errors_return_surfaces_revoked(self):
+        result = run_src(REVOKED_RECV, nprocs=2, threads=1)
+        assert not result.deadlocked
+        assert result.printed_lines() == [str(MPI_ERR_REVOKED)] * 2
+
+    def test_get_errhandler_roundtrip(self):
+        src = """
+program t;
+func main() {
+    mpi_init();
+    print(mpi_comm_get_errhandler(MPI_COMM_WORLD));
+    mpi_comm_set_errhandler(MPI_COMM_WORLD, MPI_ERRORS_RETURN);
+    print(mpi_comm_get_errhandler(MPI_COMM_WORLD));
+    mpi_finalize();
+}
+"""
+        result = run_src(src, nprocs=1, threads=1)
+        assert result.printed_lines() == [
+            str(MPI_ERRORS_ARE_FATAL), str(MPI_ERRORS_RETURN)
+        ]
+
+    def test_user_handler_called_with_comm_and_code(self):
+        result = run_src(USER_HANDLER, nprocs=2, threads=1)
+        assert not result.deadlocked
+        # handler saw (comm=0 -> stored +1, code); the call returned the
+        # code (array slots print as floats, scalars as ints)
+        expected = f"1.0 {MPI_ERR_REVOKED}.0 {MPI_ERR_REVOKED}"
+        assert result.printed_lines() == [expected] * 2
+        phases = [e.phase for e in result.log
+                  if type(e) is ErrorHandlerEvent and e.proc == 0]
+        assert phases == ["enter", "exit"]
+        errors = [e for e in result.log if type(e) is MPIErrorEvent]
+        assert {e.proc for e in errors} == {0, 1}
+        assert all(e.error_class == "MPI_ERR_REVOKED" for e in errors)
+
+    def test_unknown_handler_falls_back_to_return(self):
+        src = USER_HANDLER.replace('"h"', '"no_such_handler"')
+        result = run_src(src, nprocs=2, threads=1)
+        # handler never ran: seen[] untouched, the code still came back
+        assert result.printed_lines() == [f"0.0 0.0 {MPI_ERR_REVOKED}"] * 2
+        assert any("unknown error handler" in n for n in result.notes)
+
+
+class TestProcessFailure:
+    def test_recv_from_crashed_peer_surfaces_proc_failed(self):
+        result = run_src(CRASH_SENDER, nprocs=2, threads=1,
+                         fault_plan=crash_plan(rank=1, at_call=3))
+        assert not result.deadlocked
+        # both recvs fail: rank 1 died before mailing anything
+        assert result.printed_lines() == [
+            str(MPI_ERR_PROC_FAILED), str(MPI_ERR_PROC_FAILED), "1",
+        ]
+
+    def test_messages_mailed_before_crash_still_deliver(self):
+        result = run_src(CRASH_SENDER, nprocs=2, threads=1,
+                         fault_plan=crash_plan(rank=1, at_call=4))
+        assert not result.deadlocked
+        # first recv matches the message mailed before the crash
+        # (mpi_recv returns the matched source on success)
+        assert result.printed_lines() == [
+            "1", str(MPI_ERR_PROC_FAILED), "1",
+        ]
+
+
+class TestTimeouts:
+    def test_retry_budget_exhaustion_surfaces_timeout(self):
+        result = run_src(TIMEOUT_RECV, nprocs=2, threads=1)
+        assert not result.deadlocked
+        assert result.failure is None
+        assert result.printed_lines() == [str(MPI_ERR_TIMEOUT)]
+        retries = [n for n in result.notes if "timed out, retry" in n]
+        assert len(retries) == 2  # max_retries=2, then the error surfaces
+
+    def test_timeout_is_deterministic(self):
+        a = run_src(TIMEOUT_RECV, nprocs=2, threads=1, seed=5)
+        b = run_src(TIMEOUT_RECV, nprocs=2, threads=1, seed=5)
+        assert a.notes == b.notes
+        assert a.makespan == b.makespan
+        assert len(a.log) == len(b.log)
+
+
+class TestUlfmRecovery:
+    def test_revoke_wakes_blocked_peer(self):
+        src = """
+program t;
+var buf[2];
+func main() {
+    mpi_init();
+    mpi_comm_set_errhandler(MPI_COMM_WORLD, MPI_ERRORS_RETURN);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    if (rank == 0) {
+        mpi_comm_revoke(MPI_COMM_WORLD);
+    } else {
+        var rc = mpi_recv(buf, 1, 0, 9, MPI_COMM_WORLD);
+        print(rc);
+    }
+    mpi_finalize();
+}
+"""
+        result = run_src(src, nprocs=2, threads=1)
+        assert not result.deadlocked
+        assert result.printed_lines() == [str(MPI_ERR_REVOKED)]
+
+    def test_barrier_surfaces_proc_failed(self):
+        src = """
+program t;
+func main() {
+    mpi_init();
+    mpi_comm_set_errhandler(MPI_COMM_WORLD, MPI_ERRORS_RETURN);
+    var rc = mpi_barrier(MPI_COMM_WORLD);
+    print(rc);
+    mpi_finalize();
+}
+"""
+        result = run_src(src, nprocs=2, threads=1,
+                         fault_plan=crash_plan(rank=1, at_call=3))
+        assert not result.deadlocked
+        assert result.printed_lines() == [str(MPI_ERR_PROC_FAILED)]
+
+    def test_shrink_excludes_failed_rank(self):
+        result = run_src(SHRINK_AFTER_CRASH, nprocs=3, threads=1,
+                         fault_plan=crash_plan(rank=2, at_call=3))
+        assert not result.deadlocked
+        assert result.printed_lines() == ["2", "2"]
+
+    def test_shrink_without_failures_keeps_size(self):
+        result = run_src(SHRINK_AFTER_CRASH, nprocs=3, threads=1)
+        assert not result.deadlocked
+        # rank 2's eager send is simply never received; nobody failed
+        assert result.printed_lines() == ["3", "3", "3"]
+
+    def test_concurrent_shrinks_produce_distinct_comms(self):
+        result = run_src(THREADED_SHRINK, nprocs=2, threads=2)
+        assert not result.deadlocked
+        assert result.printed_lines() == ["1", "1"]
+
+
+class TestFtEventSerialization:
+    def test_error_and_handler_events_roundtrip(self):
+        result = run_src(USER_HANDLER, nprocs=2, threads=1)
+        buf = io.StringIO()
+        dump_log(result.log, buf)
+        buf.seek(0)
+        loaded, _ = load_log(buf)
+        assert len(loaded) == len(result.log)
+        assert any(type(e) is MPIErrorEvent for e in loaded)
+        assert any(type(e) is ErrorHandlerEvent for e in loaded)
+        for original, reloaded in zip(result.log, loaded):
+            assert original == reloaded
+
+
+class TestFtWorkloadEndToEnd:
+    def check(self, inject, plan_name):
+        program = build_ft_mz(inject=inject)
+        plan = builtin_plans(2)[plan_name] if plan_name else None
+        return Home().check(program, nprocs=2, num_threads=2, seed=0,
+                            fault_plan=plan)
+
+    def test_crash_reveals_error_path_violations(self):
+        report = self.check(True, "crash")
+        assert not report.execution.deadlocked
+        classes = report.violations.classes()
+        assert HANDLER_REENTRANCY in classes
+        assert RECOVERY_RACE in classes
+
+    def test_fixed_variant_is_clean_under_crash(self):
+        report = self.check(False, "crash")
+        assert not report.execution.deadlocked
+        assert not report.violations.classes()
+
+    def test_shrink_race_found_even_fault_free(self):
+        report = self.check(True, None)
+        classes = report.violations.classes()
+        assert RECOVERY_RACE in classes
+        assert HANDLER_REENTRANCY not in classes

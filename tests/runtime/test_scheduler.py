@@ -137,6 +137,23 @@ class TestBlocking:
             sched.run()
         assert {b.reason for b in exc.value.blocked} == {"r1", "r2"}
 
+    def test_deadlock_message_names_ranks_and_pending_ops(self):
+        # timeout-vs-deadlock triage needs the full wait set in the
+        # message itself, grouped per rank with each pending operation
+        def stuck(reason):
+            yield Block(reason, lambda: False)
+
+        sched = Scheduler(seed=0)
+        sched.spawn("a", 0, 0, stuck("mpi_recv from rank 1 tag 9"))
+        sched.spawn("b", 0, 1, stuck("mpi_barrier on comm 0"))
+        sched.spawn("c", 1, 0, stuck("mpi_recv from rank 0 tag 9"))
+        with pytest.raises(DeadlockError) as exc:
+            sched.run()
+        message = str(exc.value)
+        assert "rank 0 [t0: mpi_recv from rank 1 tag 9, " \
+               "t1: mpi_barrier on comm 0]" in message
+        assert "rank 1 [t0: mpi_recv from rank 0 tag 9]" in message
+
     def test_spawn_during_run(self):
         log = []
         sched = Scheduler(seed=0)

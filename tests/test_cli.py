@@ -75,6 +75,20 @@ class TestCheck:
         assert main(["check", str(bad)]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_parse_error_is_single_file_line_col_diagnostic(self, tmp_path,
+                                                            capsys):
+        bad = tmp_path / "bad.hmp"
+        bad.write_text("program p;\nfunc main() { var = ; }")
+        assert main(["check", str(bad)]) == 2
+        err = capsys.readouterr().err.strip()
+        # one grep-able compiler-style line: file:line:col: error: message
+        assert len(err.splitlines()) == 1
+        assert err.startswith(f"{bad}:2:")
+        prefix, _, rest = err.partition(": error: ")
+        path, line, col = prefix.rsplit(":", 2)
+        assert (path, line) == (str(bad), "2")
+        assert col.isdigit() and rest
+
 
 class TestStatic:
     def test_static_reports_sites(self, racy_file, capsys):
