@@ -1,0 +1,145 @@
+"""Static collective-matching pass benchmark.
+
+Times the PARCOACH-family collective-divergence pass across the NPB-MZ
+suite (clean kernels, divergent variants and their matched twins) and
+measures the payoff of divergence-directed narrowing: collective
+monitoring only switches on when the static pass produced candidates,
+so candidate-free programs record zero ``CollectiveArrive`` events.
+The point being measured: the pass must stay a small fraction of the
+static phase, every divergent injection must surface as a candidate,
+and the matched twins must be pruned (not silently missed).
+"""
+
+import time
+
+from repro.analysis.static_ import run_static_analysis
+from repro.analysis.static_.collectives import (
+    PRUNE_DIV_BALANCED,
+    PRUNE_DIV_SERIAL,
+)
+from repro.events import CollectiveArrive
+from repro.home import Home
+from repro.workloads.npb import BENCHMARKS, SPECS, build_divergent_npb
+
+EXPECTED_KINDS = {
+    "collective-order": 1,
+    "barrier-divergence": 2,
+    "mpi-collective": 1,
+}
+
+
+def _workloads():
+    out = {name: build(inject=True) for name, build in BENCHMARKS.items()}
+    for name, spec in SPECS.items():
+        out[f"{name}-div"] = build_divergent_npb(spec)
+        out[f"{name}-matched"] = build_divergent_npb(spec, fixed=True)
+    return out
+
+
+def _static_sweep(collectives):
+    reports = {}
+    for name, program in _workloads().items():
+        start = time.perf_counter()
+        report = run_static_analysis(program, collectives=collectives)
+        elapsed = time.perf_counter() - start
+        reports[name] = (report, elapsed)
+    return reports
+
+
+def _collective_events(report):
+    return sum(
+        1 for e in report.execution.log if type(e) is CollectiveArrive
+    )
+
+
+def test_collective_pass_candidates(benchmark):
+    reports = benchmark.pedantic(
+        _static_sweep, args=(True,), rounds=1, iterations=1
+    )
+
+    print()
+    print("static collective pass on NPB-MZ (clean / divergent / matched)")
+    print(f"  {'bench':<12} {'cands':>6} {'sites':>6} {'pruned':>7} {'ms':>7}")
+    for name, (report, elapsed) in reports.items():
+        coll = report.collectives
+        pruned = sum(coll.pruned.values())
+        print(f"  {name:<12} {len(coll.candidates):>6} "
+              f"{len(coll.sites):>6} {pruned:>7} {elapsed * 1e3:>7.1f}")
+        if name.endswith("-div"):
+            # every divergence injection surfaces, with the right kind
+            kinds = {}
+            for cand in coll.candidates:
+                kinds[cand.kind] = kinds.get(cand.kind, 0) + 1
+            assert kinds == EXPECTED_KINDS
+        else:
+            # clean kernels and matched twins stay candidate-free
+            assert not coll.candidates
+        if name.endswith("-matched"):
+            # the fixes register as prunes, not silence: the balanced
+            # arms and the master-funneled allreduce each leave a mark
+            assert coll.pruned[PRUNE_DIV_BALANCED] >= 1
+            assert coll.pruned[PRUNE_DIV_SERIAL] >= 1
+
+    benchmark.extra_info["divergent_candidates"] = sum(
+        len(r.collectives.candidates)
+        for name, (r, _) in reports.items()
+        if name.endswith("-div")
+    )
+    benchmark.extra_info["matched_pruned"] = sum(
+        sum(r.collectives.pruned.values())
+        for name, (r, _) in reports.items()
+        if name.endswith("-matched")
+    )
+
+
+def test_collective_pass_runtime_overhead():
+    """The collective pass must not dominate the static phase."""
+    slow = 0.0
+    fast = 0.0
+    for name, program in _workloads().items():
+        start = time.perf_counter()
+        run_static_analysis(program, collectives=False)
+        fast += time.perf_counter() - start
+        start = time.perf_counter()
+        run_static_analysis(program, collectives=True)
+        slow += time.perf_counter() - start
+    print(f"\nstatic phase: {fast * 1e3:.1f} ms without collectives, "
+          f"{slow * 1e3:.1f} ms with ({slow / fast:.1f}x)")
+    # generous bound: the pass stays within an order of magnitude of
+    # the rest of the static phase
+    assert slow < fast * 10
+
+
+def test_narrowing_event_reduction(benchmark):
+    """Divergence-directed monitoring versus the candidate-free twin."""
+
+    def _sweep():
+        rows = {}
+        for kind in ("divergent", "matched"):
+            program = build_divergent_npb(fixed=kind == "matched")
+            rows[kind] = Home().check(
+                program, nprocs=2, num_threads=2, seed=0
+            )
+        return rows
+
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print("divergence-directed narrowing: collective events (LU-MZ)")
+    print(f"  {'variant':<10} {'cands':>6} {'arrive-ev':>10} "
+          f"{'confirmed':>10}")
+    for kind, report in rows.items():
+        triage = report.extras.get("divergence_triage") or {"confirmed": []}
+        print(f"  {kind:<10} {report.extras['divergence_candidates']:>6} "
+              f"{_collective_events(report):>10} "
+              f"{len(triage['confirmed']):>10}")
+
+    divergent = rows["divergent"]
+    # monitoring switched on, and every candidate was confirmed
+    assert _collective_events(divergent) > 0
+    assert len(divergent.extras["divergence_triage"]["confirmed"]) == 4
+    matched = rows["matched"]
+    # candidate-free twin: monitoring stays off entirely
+    assert _collective_events(matched) == 0
+    assert not matched.execution.config.monitor_collectives
+    benchmark.extra_info["divergent_arrivals"] = _collective_events(divergent)
+    benchmark.extra_info["matched_arrivals"] = _collective_events(matched)

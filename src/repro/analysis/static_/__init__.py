@@ -8,6 +8,14 @@ from .candidates import (  # noqa: F401
     find_candidates,
 )
 from .checklist import Checklist, ChecklistEntry, build_checklist  # noqa: F401
+from .collectives import (  # noqa: F401
+    COLLECTIVE_COLORS,
+    DIV_PRUNE_KINDS,
+    CollectiveDivergenceCandidate,
+    CollectiveDivergenceReport,
+    ColorSite,
+    find_collective_divergence,
+)
 from .dataflow import (  # noqa: F401
     DataflowFacts,
     SymEnvelope,
@@ -33,8 +41,14 @@ from .races import (  # noqa: F401
     StaticRaceReport,
     find_races,
 )
+from .prunes import (  # noqa: F401
+    make_prune_dict,
+    prune_summary,
+)
 from .report import (  # noqa: F401
+    STATIC_REPORT_SCHEMA_VERSION,
     StaticReport,
+    check_report_schema,
     clear_static_analysis_cache,
     run_static_analysis,
 )
@@ -71,11 +85,21 @@ __all__ = [
     "StaticRaceReport",
     "RACE_PRUNE_KINDS",
     "find_races",
+    "COLLECTIVE_COLORS",
+    "DIV_PRUNE_KINDS",
+    "ColorSite",
+    "CollectiveDivergenceCandidate",
+    "CollectiveDivergenceReport",
+    "find_collective_divergence",
+    "make_prune_dict",
+    "prune_summary",
     "StaticWarning",
     "ThreadLevelInfo",
     "infer_thread_level",
     "check_thread_level",
+    "STATIC_REPORT_SCHEMA_VERSION",
     "StaticReport",
+    "check_report_schema",
     "clear_static_analysis_cache",
     "run_static_analysis",
 ]

@@ -13,6 +13,12 @@ plus three client analyses:
 can prove safe.
 """
 
+from .divergence import (  # noqa: F401
+    ThreadDependenceAnalysis,
+    branch_taints,
+    expr_thread_dependent,
+    solve_thread_dependence,
+)
 from .engine import DataflowResult, ForwardAnalysis, solve  # noqa: F401
 from .facts import (  # noqa: F401
     PRUNE_ENVELOPE,
@@ -39,6 +45,10 @@ __all__ = [
     "ForwardAnalysis",
     "DataflowResult",
     "solve",
+    "ThreadDependenceAnalysis",
+    "branch_taints",
+    "expr_thread_dependent",
+    "solve_thread_dependence",
     "DataflowFacts",
     "SymEnvelope",
     "compute_dataflow",

@@ -1,0 +1,43 @@
+"""Shared per-kind prune-counter plumbing for the static passes.
+
+Both candidate passes that enumerate-then-prune (the data-race pass in
+:mod:`.races` and the collective-divergence pass in :mod:`.collectives`)
+keep a ``Dict[str, int]`` of prune tallies keyed by a fixed tuple of
+kind names, sum them for report headlines, and render them as one
+``label: total pruned (kind=a n, kind=b m)`` summary line.  This module
+is the single implementation of that plumbing so the two reports (and
+any future pass) cannot drift apart in dict shape or render format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+
+def make_prune_dict(kinds: Sequence[str]) -> Dict[str, int]:
+    """A fresh zeroed tally, one slot per declared prune kind."""
+    return {kind: 0 for kind in kinds}
+
+
+def count_prune(pruned: Dict[str, int], kind: str) -> None:
+    """Bump *kind* (tolerating kinds declared after the dict was made)."""
+    pruned[kind] = pruned.get(kind, 0) + 1
+
+
+def total_pruned(pruned: Mapping[str, int]) -> int:
+    return sum(pruned.values())
+
+
+def prune_summary(label: str, pruned: Mapping[str, int]) -> str:
+    """One human-readable summary line, e.g.
+    ``races pruned: 7 (race-mhp 3, race-lock 4)``.
+
+    Zero-count kinds are elided; an all-zero tally still renders (with
+    no parenthetical) so reports always show the pass ran.
+    """
+    total = total_pruned(pruned)
+    parts = [f"{kind} {count}" for kind, count in pruned.items() if count]
+    line = f"{label}: {total}"
+    if parts:
+        line += " (" + ", ".join(parts) + ")"
+    return line

@@ -49,6 +49,8 @@ from .dataflow.engine import solve
 from .dataflow.lockstate import LockStateAnalysis, critical_token
 from .dataflow.mhp import MHPInfo, compute_mhp, may_happen_in_parallel
 from .mpi_sites import fold_static_value, functions_called_from_parallel
+from .prunes import count_prune as _count_prune
+from .prunes import make_prune_dict, total_pruned as _total_pruned
 
 #: sharing classes (per parallel/worksharing region)
 SHARED = "shared"
@@ -158,7 +160,7 @@ class StaticRaceReport:
     #: interprocedural array accesses delegated to the dynamic phase
     unresolved: List[AccessSite] = field(default_factory=list)
     pruned: Dict[str, int] = field(
-        default_factory=lambda: {kind: 0 for kind in RACE_PRUNE_KINDS}
+        default_factory=lambda: make_prune_dict(RACE_PRUNE_KINDS)
     )
 
     @property
@@ -169,10 +171,10 @@ class StaticRaceReport:
 
     @property
     def total_pruned(self) -> int:
-        return sum(self.pruned.values())
+        return _total_pruned(self.pruned)
 
     def count_prune(self, kind: str) -> None:
-        self.pruned[kind] = self.pruned.get(kind, 0) + 1
+        _count_prune(self.pruned, kind)
 
     def as_dict(self) -> Dict[str, object]:
         def site(s: AccessSite) -> Dict[str, object]:

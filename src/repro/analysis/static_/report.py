@@ -10,11 +10,53 @@ from ...minilang import ast_nodes as A
 from ..cfg import CFG, build_program_cfgs
 from .candidates import ViolationCandidate, candidate_summary, find_candidates
 from .checklist import Checklist, build_checklist
+from .collectives import CollectiveDivergenceReport, find_collective_divergence
 from .dataflow import DataflowFacts, compute_dataflow
 from .instrument import InstrumentationResult, InstrumentPolicy, instrument_program
 from .mpi_sites import MPISite, collect_sites
+from .prunes import prune_summary
 from .races import StaticRaceReport, find_races
 from .threadlevel import StaticWarning, ThreadLevelInfo, check_thread_level, infer_thread_level
+
+#: version of the ``repro static --json`` payload.  Bumped whenever a
+#: section is added or reshaped so downstream consumers can detect
+#: reports newer than themselves (mirror of the campaign checkpoint
+#: ``schema_version`` pattern).  Version 2 added the ``schema_version``
+#: field itself and the ``collectives`` divergence section.
+STATIC_REPORT_SCHEMA_VERSION = 2
+
+#: top-level sections a version-2 report may contain
+KNOWN_REPORT_SECTIONS = frozenset({
+    "schema_version", "program", "thread_level", "sites", "instrumentation",
+    "checklist_entries", "candidates", "candidate_counts", "dataflow",
+    "races", "collectives", "prunes",
+})
+
+
+def check_report_schema(payload: Dict[str, object]) -> List[str]:
+    """Validate a ``repro static --json`` payload, warn-don't-crash.
+
+    Returns human-readable warnings for a payload produced by a newer
+    (or older) writer: an unexpected ``schema_version`` or unknown
+    top-level sections.  Never raises — consumers are expected to keep
+    reading the sections they know about.
+    """
+    warnings: List[str] = []
+    version = payload.get("schema_version")
+    if version is None:
+        warnings.append(
+            "static report has no schema_version (pre-v2 writer); "
+            "divergence sections will be absent"
+        )
+    elif version != STATIC_REPORT_SCHEMA_VERSION:
+        warnings.append(
+            f"static report schema_version {version} != supported "
+            f"{STATIC_REPORT_SCHEMA_VERSION}; unknown sections are ignored"
+        )
+    for section in payload:
+        if section not in KNOWN_REPORT_SECTIONS:
+            warnings.append(f"ignoring unknown report section {section!r}")
+    return warnings
 
 
 @dataclass
@@ -33,19 +75,24 @@ class StaticReport:
     dataflow_facts: Optional[DataflowFacts] = None
     #: static data-race pass outcome (None when disabled)
     races: Optional[StaticRaceReport] = None
+    #: collective-matching / barrier-divergence pass (None when disabled)
+    collectives: Optional[CollectiveDivergenceReport] = None
 
     @property
     def hybrid_sites(self) -> List[MPISite]:
         return [s for s in self.sites if s.in_parallel]
 
     def prune_counts(self) -> Dict[str, int]:
-        """Per-category prune counters, dataflow and race passes merged
-        — the single place CLI/JSON consumers read them from."""
+        """Per-category prune counters with the dataflow, race and
+        divergence passes merged — the single place CLI/JSON consumers
+        read them from."""
         counts: Dict[str, int] = {}
         if self.dataflow_facts is not None:
             counts.update(self.dataflow_facts.pruned)
         if self.races is not None:
             counts.update(self.races.pruned)
+        if self.collectives is not None:
+            counts.update(self.collectives.pruned)
         return counts
 
     def summary(self) -> str:
@@ -68,12 +115,8 @@ class StaticReport:
             )
         facts = self.dataflow_facts
         if facts is not None and facts.total_pruned:
-            per_kind = ", ".join(
-                f"{k}: {v}" for k, v in sorted(facts.pruned.items()) if v
-            )
             lines.append(
-                f"  dataflow-pruned candidate pairs: {facts.total_pruned} "
-                f"({per_kind})"
+                "  " + prune_summary("dataflow-pruned candidate pairs", facts.pruned)
             )
         races = self.races
         if races is not None:
@@ -89,12 +132,25 @@ class StaticReport:
                     f"{len(races.unresolved)} (delegated to dynamic phase)"
                 )
             if races.total_pruned:
-                per_kind = ", ".join(
-                    f"{k}: {v}" for k, v in sorted(races.pruned.items()) if v
-                )
                 lines.append(
-                    f"  race-pruned access pairs: {races.total_pruned} "
-                    f"({per_kind})"
+                    "  " + prune_summary("race-pruned access pairs", races.pruned)
+                )
+        collectives = self.collectives
+        if collectives is not None:
+            if collectives.candidates:
+                kinds: Dict[str, int] = {}
+                for cand in collectives.candidates:
+                    kinds[cand.kind] = kinds.get(cand.kind, 0) + 1
+                per_kind = ", ".join(f"{k}: {v}" for k, v in sorted(kinds.items()))
+                lines.append(
+                    f"  collective-divergence candidates: "
+                    f"{len(collectives.candidates)} ({per_kind})"
+                )
+            if collectives.total_pruned:
+                lines.append(
+                    "  " + prune_summary(
+                        "divergence-pruned branches", collectives.pruned
+                    )
                 )
         for w in self.warnings:
             lines.append(f"  {w}")
@@ -108,6 +164,7 @@ class StaticReport:
         """JSON-serializable view of the report (for ``repro static --json``)."""
         facts = self.dataflow_facts
         return {
+            "schema_version": STATIC_REPORT_SCHEMA_VERSION,
             "program": self.program_name,
             "thread_level": {
                 "name": self.thread_level.level_name,
@@ -158,8 +215,12 @@ class StaticReport:
                 },
             },
             "races": None if self.races is None else self.races.as_dict(),
-            #: merged per-prune counters (dataflow + race passes), always
-            #: present so JSON consumers need no per-section probing
+            "collectives": None
+            if self.collectives is None
+            else self.collectives.as_dict(),
+            #: merged per-prune counters (dataflow + race + divergence
+            #: passes), always present so JSON consumers need no
+            #: per-section probing
             "prunes": self.prune_counts(),
         }
 
@@ -188,6 +249,7 @@ def run_static_analysis(
     with_cfgs: bool = True,
     dataflow: bool = True,
     races: bool = True,
+    collectives: bool = True,
     cache: bool = True,
 ) -> StaticReport:
     """The full compile-time phase of HOME (paper Fig. 3, left column).
@@ -195,18 +257,25 @@ def run_static_analysis(
     With ``races`` enabled the static data-race pass runs before
     instrumentation, so its candidate variables become the monitored-
     variable set of the instrumented program (race-directed narrowing).
+    ``collectives`` adds the PARCOACH-family collective-matching pass;
+    its candidate sites narrow the dynamic collective confirm pass the
+    same way.
 
     Results are memoized on program identity (pass ``cache=False`` to
     force a fresh analysis, e.g. when benchmarking the phase itself).
     """
-    key = (id(program), policy, interprocedural, with_cfgs, dataflow, races)
+    key = (
+        id(program), policy, interprocedural, with_cfgs, dataflow, races,
+        collectives,
+    )
     if cache:
         hit = _STATIC_CACHE.get(key)
         if hit is not None and hit[0] is program:
             _STATIC_CACHE.move_to_end(key)
             return hit[1]
     report = _run_static_analysis(
-        program, policy, interprocedural, with_cfgs, dataflow, races
+        program, policy, interprocedural, with_cfgs, dataflow, races,
+        collectives,
     )
     if cache:
         _STATIC_CACHE[key] = (program, report)
@@ -222,10 +291,12 @@ def _run_static_analysis(
     with_cfgs: bool,
     dataflow: bool,
     races: bool,
+    collectives: bool,
 ) -> StaticReport:
     sites = collect_sites(program, interprocedural=interprocedural)
     warnings = check_thread_level(program, sites)
-    cfgs = build_program_cfgs(program) if with_cfgs or dataflow or races else {}
+    need_cfgs = with_cfgs or dataflow or races or collectives
+    cfgs = build_program_cfgs(program) if need_cfgs else {}
     facts = compute_dataflow(program, cfgs, sites) if dataflow else None
     race_report = (
         find_races(
@@ -234,6 +305,16 @@ def _run_static_analysis(
             unsafe_funcs=facts.unsafe_funcs if facts is not None else None,
         )
         if races
+        else None
+    )
+    collective_report = (
+        find_collective_divergence(
+            program,
+            cfgs,
+            sites=sites,
+            unsafe_funcs=facts.unsafe_funcs if facts is not None else None,
+        )
+        if collectives
         else None
     )
     instrumentation = instrument_program(
@@ -256,4 +337,5 @@ def _run_static_analysis(
         candidates=candidates,
         dataflow_facts=facts,
         races=race_report,
+        collectives=collective_report,
     )

@@ -128,6 +128,21 @@ class CampaignResult:
     def faults_fired(self) -> int:
         return sum(o.faults_fired for o in self.outcomes)
 
+    def divergence_triage(self) -> Optional[Dict]:
+        """Campaign-level confirmed/refuted triage of the static
+        collective-divergence candidates against the *merged* report —
+        a candidate any cell confirmed is confirmed.  None when the
+        static phase ran without the collectives pass (or found no
+        candidates), or when the report is static-only (degraded: no
+        execution ever monitored the sites, so refuted would be a lie).
+        """
+        collectives = getattr(self.static, "collectives", None)
+        if collectives is None or not collectives.candidates or self.degraded:
+            return None
+        from ..home.pipeline import triage_divergence_candidates
+
+        return triage_divergence_candidates(collectives, self.report)
+
     def summary(self) -> str:
         counts = ", ".join(
             f"{status}={n}" for status, n in sorted(self.status_counts().items())
@@ -144,11 +159,19 @@ class CampaignResult:
                 "below are STATIC-ONLY candidates, unconfirmed by any "
                 "execution !!!"
             )
+        triage = self.divergence_triage()
+        if triage is not None:
+            lines.append(
+                "collective-divergence triage: "
+                f"{len(triage['confirmed'])} confirmed, "
+                f"{len(triage['refuted'])} refuted"
+            )
         lines.append(self.report.summary())
         return "\n".join(lines)
 
     def as_dict(self) -> Dict:
-        return {
+        triage = self.divergence_triage()
+        out = {
             "program": self.program,
             "runs": len(self.outcomes),
             "status_counts": self.status_counts(),
@@ -159,6 +182,9 @@ class CampaignResult:
             "violations": report_violation_dicts(self.report),
             "outcomes": [o.as_dict() for o in self.outcomes],
         }
+        if triage is not None:
+            out["divergence_triage"] = triage
+        return out
 
 
 class CellExecutor:

@@ -150,6 +150,10 @@ def cmd_check(args: argparse.Namespace) -> int:
             print("  race-directed monitoring: "
                   + ", ".join(report.extras["monitored_vars"]))
             print(render_race_triage(report.extras["race_triage"]))
+        if report.extras.get("divergence_triage"):
+            from .violations.render import render_divergence_triage
+
+            print(render_divergence_triage(report.extras["divergence_triage"]))
     return 1 if len(report.violations) or report.deadlocked else 0
 
 
@@ -217,6 +221,7 @@ def cmd_static(args: argparse.Namespace) -> int:
         program,
         dataflow=not args.no_dataflow,
         races=not args.no_races,
+        collectives=not args.no_collectives,
     )
     if args.json:
         print(json.dumps(report.as_dict(), indent=2))
@@ -233,6 +238,13 @@ def cmd_static(args: argparse.Namespace) -> int:
         print()
         print(render_race_candidates(
             report.races.candidates, source=Path(args.file).read_text()
+        ))
+    if report.collectives is not None and report.collectives.candidates:
+        from .violations.render import render_divergence_candidates
+
+        print()
+        print(render_divergence_candidates(
+            report.collectives.candidates, source=Path(args.file).read_text()
         ))
     facts = report.dataflow_facts
     if facts is not None and facts.envelopes:
@@ -279,7 +291,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print("error: give either FILE or --npb, not both / neither",
               file=sys.stderr)
         return 2
-    if args.npb:
+    if args.npb == "div":
+        from .workloads.npb import build_divergent_npb
+
+        program = build_divergent_npb(fixed=args.clean)
+    elif args.npb:
         from .workloads.npb import BENCHMARKS
 
         program = BENCHMARKS[args.npb](inject=not args.clean)
@@ -475,6 +491,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the static data-race pass",
     )
+    p.add_argument(
+        "--no-collectives",
+        action="store_true",
+        help="skip the static collective-matching / barrier-divergence pass",
+    )
     p.set_defaults(func=cmd_static)
 
     p = sub.add_parser("run", help="execute a program without checking")
@@ -493,9 +514,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("file", nargs="?", default=None,
                    help="mini-language program (or use --npb)")
-    p.add_argument("--npb", choices=("lu", "bt", "sp", "ft"),
+    p.add_argument("--npb", choices=("lu", "bt", "sp", "ft", "div"),
                    help="campaign over a built-in NPB multi-zone variant "
-                        "(ft = the fault-tolerant error-path pair)")
+                        "(ft = the fault-tolerant error-path pair, "
+                        "div = the collective-divergence pair)")
     p.add_argument("--clean", action="store_true",
                    help="with --npb: use the violation-free variant")
     p.add_argument("--seeds", type=int, default=4,

@@ -7,6 +7,7 @@ Marmot model and the ITC model all consume subsets of this stream.
 
 from .event import (  # noqa: F401
     BarrierEvent,
+    CollectiveArrive,
     ErrorHandlerEvent,
     Event,
     FaultEvent,
@@ -34,6 +35,7 @@ __all__ = [
     "LockAcquire",
     "LockRelease",
     "BarrierEvent",
+    "CollectiveArrive",
     "ThreadBegin",
     "ThreadEnd",
     "ThreadFork",

@@ -122,6 +122,28 @@ class ThreadEnd(Event):
 
 
 @dataclass(frozen=True, slots=True)
+class CollectiveArrive(Event):
+    """A team member *encountered* a collective construct.
+
+    The dynamic half of the PARCOACH collective-matching check: every
+    thread of a team must encounter the same ordered sequence of
+    collective constructs (explicit barrier, worksharing entry, an MPI
+    collective issued from inside the region).  Emitted at encounter —
+    before any blocking — so divergent arrivals are on record even when
+    the run subsequently deadlocks.  Only emitted when
+    ``RunConfig.monitor_collectives`` is on (divergence-directed
+    narrowing keeps default traces byte-identical).
+    """
+
+    team: int = 0
+    kind: str = ""       # "barrier" | "for" | "sections" | "single" | "mpi"
+    op: str = ""         # MPI op name when kind == "mpi"
+    callsite: int = 0    # AST node id of the construct / call
+    loc: str = ""        # "line:col" (stable across program clones)
+    index: int = 0       # position in this member's arrival sequence
+
+
+@dataclass(frozen=True, slots=True)
 class MPICall(Event):
     """Begin/end bracket of an MPI routine invocation.
 

@@ -19,6 +19,7 @@ from typing import Any, Dict, Iterable, Optional, TextIO, Union
 from ..errors import AnalysisError
 from .event import (
     BarrierEvent,
+    CollectiveArrive,
     ErrorHandlerEvent,
     Event,
     FaultEvent,
@@ -42,8 +43,8 @@ _TYPES = {
     cls.__name__: cls
     for cls in (
         MemAccess, MonitoredWrite, LockAcquire, LockRelease, BarrierEvent,
-        ThreadFork, ThreadJoin, ThreadBegin, ThreadEnd, MPICall, FaultEvent,
-        MPIErrorEvent, ErrorHandlerEvent,
+        CollectiveArrive, ThreadFork, ThreadJoin, ThreadBegin, ThreadEnd,
+        MPICall, FaultEvent, MPIErrorEvent, ErrorHandlerEvent,
     )
 }
 

@@ -1,5 +1,17 @@
 """HOME: the integrated static/dynamic thread-safety checker."""
 
-from .pipeline import Home, HomeOptions, check_program  # noqa: F401
+from .pipeline import (  # noqa: F401
+    Home,
+    HomeOptions,
+    check_program,
+    triage_divergence_candidates,
+    triage_race_candidates,
+)
 
-__all__ = ["Home", "HomeOptions", "check_program"]
+__all__ = [
+    "Home",
+    "HomeOptions",
+    "check_program",
+    "triage_divergence_candidates",
+    "triage_race_candidates",
+]

@@ -40,7 +40,11 @@ from ..minilang import ast_nodes as A
 from ..runtime import ExecutionResult
 from ..runtime.costmodel import HOME_CHARGE, ITC_CHARGE
 from ..violations import ViolationReport, match_violations
-from ..violations.spec import Violation
+from ..violations.spec import (
+    BARRIER_DIVERGENCE,
+    COLLECTIVE_ORDER_MISMATCH,
+    Violation,
+)
 
 
 @dataclass(frozen=True)
@@ -55,6 +59,10 @@ class HomeOptions:
     #: run the static data-race pass and narrow memory monitoring to
     #: its candidate variables
     races: bool = True
+    #: run the static collective-divergence pass and narrow collective
+    #: monitoring to its candidate sites (divergence-directed narrowing,
+    #: the PARCOACH collective-matching family)
+    collectives: bool = True
     #: per-access charge while race-directed memory monitoring is on;
     #: the ITC model's unit cost, so overhead comparisons are per-event
     #: fair — HOME just monitors far fewer events
@@ -124,6 +132,45 @@ def triage_race_candidates(
     return triage
 
 
+def triage_divergence_candidates(
+    collectives, violations: ViolationReport
+) -> Dict[str, Any]:
+    """Judge each static collective-divergence candidate against the
+    dynamic collective-matching findings.
+
+    Binary and exhaustive — every candidate lands in exactly one bin:
+
+    * **confirmed** — a dynamic barrier-divergence / collective-order
+      finding involves one of the candidate's collective sites;
+    * **refuted** — the sites were monitored but no mismatch was
+      observed under this schedule.
+
+    Unlike race triage there is no missed-by-dynamic bin: collective
+    arrivals are recorded at *encounter* (before any blocking), so a
+    monitored multi-thread team always produces comparable sequences.
+    """
+    dynamic_locs: Dict[str, set] = {}
+    for violation in violations:
+        if violation.vclass in (BARRIER_DIVERGENCE, COLLECTIVE_ORDER_MISMATCH):
+            for loc in violation.locs:
+                dynamic_locs.setdefault(loc, set()).add(violation.vclass)
+    triage: Dict[str, Any] = {"confirmed": [], "refuted": []}
+    for cand in collectives.candidates:
+        locs = sorted(cand.monitored_locs)
+        hit_classes = sorted(
+            {vc for loc in locs for vc in dynamic_locs.get(loc, ())}
+        )
+        entry: Dict[str, Any] = {
+            "kind": cand.kind,
+            "func": cand.func,
+            "branch_loc": cand.branch_loc,
+            "locs": locs,
+            "violation_classes": hit_classes,
+        }
+        triage["confirmed" if hit_classes else "refuted"].append(entry)
+    return triage
+
+
 class Home(CheckingTool):
     """The integrated static+dynamic thread-safety checker."""
 
@@ -141,6 +188,7 @@ class Home(CheckingTool):
             interprocedural=self.options.interprocedural,
             dataflow=self.options.dataflow,
             races=self.options.races,
+            collectives=self.options.collectives,
         )
         return static.instrumented_program, static
 
@@ -158,6 +206,18 @@ class Home(CheckingTool):
             overrides.setdefault(
                 "charge",
                 replace(self.charge, mem_event_cost=self.options.race_memory_cost),
+            )
+        if (
+            self.options.collectives
+            and isinstance(static, StaticReport)
+            and static.collectives is not None
+            and static.collectives.candidates
+        ):
+            # Divergence-directed narrowing: record collective arrivals
+            # only at the static pass's candidate sites.
+            overrides.setdefault("monitor_collectives", True)
+            overrides.setdefault(
+                "collective_sites", static.collectives.monitored_locs
             )
         return super().run_config(nprocs, num_threads, seed, static=static, **overrides)
 
@@ -214,6 +274,14 @@ class Home(CheckingTool):
             report.extras["race_triage"] = triage_race_candidates(
                 report.execution, races
             )
+        if report.static is not None and report.static.collectives is not None:
+            collectives = report.static.collectives
+            report.extras["divergence_pruned"] = dict(collectives.pruned)
+            report.extras["divergence_candidates"] = len(collectives.candidates)
+            if collectives.candidates:
+                report.extras["divergence_triage"] = triage_divergence_candidates(
+                    collectives, report.violations
+                )
         return report
 
 
@@ -243,6 +311,27 @@ def static_only_violations(static: StaticReport) -> ViolationReport:
                 ops=tuple(sorted({cand.site_a.op, cand.site_b.op})),
             )
         )
+    if static.collectives is not None:
+        for dcand in static.collectives.candidates:
+            vclass = (
+                COLLECTIVE_ORDER_MISMATCH
+                if dcand.kind == "collective-order"
+                else BARRIER_DIVERGENCE
+            )
+            report.add(
+                Violation(
+                    vclass=vclass,
+                    proc=-1,
+                    message=(
+                        f"STATIC-ONLY (unconfirmed by any execution): "
+                        f"{dcand.kind} in {dcand.func} at "
+                        f"{dcand.branch_loc}: {dcand.reason}"
+                    ),
+                    callsites=tuple(sorted({s.nid for s in dcand.sites})),
+                    locs=tuple(dcand.locs()),
+                    ops=tuple(sorted({s.op for s in dcand.sites if s.op})),
+                )
+            )
     return report
 
 

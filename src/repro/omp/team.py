@@ -90,6 +90,70 @@ class SingleState:
         return True
 
 
+@dataclass
+class CollectiveLedger:
+    """Per-member ordered collective arrivals (PARCOACH dynamic check).
+
+    Each member records the ``(kind, loc, op)`` of every collective
+    construct it *encounters*, in order; a member that completes its
+    region body is *closed*.  Two closed members with different
+    sequences — different length (one skipped a collective under a
+    divergent branch) or a different color at some index — witness a
+    collective-matching violation.  Open members (blocked in a deadlock
+    or aborted) are only comparable on their recorded prefix.
+
+    Pure data, like the rest of the team state: the interpreter drives
+    it and owns event emission.
+    """
+
+    size: int
+    sequences: List[List[Tuple[str, str, str]]] = field(default_factory=list)
+    closed: List[bool] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.sequences:
+            self.sequences = [[] for _ in range(self.size)]
+        if not self.closed:
+            self.closed = [False] * self.size
+
+    def record(self, team_index: int, kind: str, loc: str, op: str = "") -> int:
+        """Record an arrival; returns its index in the member sequence."""
+        seq = self.sequences[team_index]
+        seq.append((kind, loc, op))
+        return len(seq) - 1
+
+    def close(self, team_index: int) -> None:
+        self.closed[team_index] = True
+
+    def first_mismatch(self) -> Optional[Tuple[int, int, int]]:
+        """``(index, member_a, member_b)`` of the first divergence
+        between two comparable members, or None when matched.
+
+        A position is comparable for a member if it has an arrival
+        there, or is closed (its sequence is complete, so "no arrival"
+        is definitive).  Open members are skipped past their recorded
+        prefix.
+        """
+        longest = max((len(s) for s in self.sequences), default=0)
+        for i in range(longest):
+            witness: Optional[Tuple[int, Optional[Tuple[str, str]]]] = None
+            for member, seq in enumerate(self.sequences):
+                if i < len(seq):
+                    # compare by collective *color* (kind, op), not
+                    # source location: balanced branch arms match
+                    kind, _loc, op = seq[i]
+                    color: Optional[Tuple[str, str]] = (kind, op)
+                elif self.closed[member]:
+                    color = None  # definitively no arrival at i
+                else:
+                    continue  # open member, prefix exhausted: unknown
+                if witness is None:
+                    witness = (member, color)
+                elif witness[1] != color:
+                    return (i, witness[0], member)
+        return None
+
+
 class Team:
     """One OpenMP team (a parallel region instance)."""
 
@@ -112,6 +176,9 @@ class Team:
         self._constructs: Dict[Tuple[int, int], object] = {}
         #: latest member clocks, updated at region end for the join.
         self.final_clocks: List[float] = [0.0] * size
+        #: per-member collective arrivals (populated only when the run
+        #: config enables collective monitoring)
+        self.collectives = CollectiveLedger(size)
 
     def register_worker(self, team_index: int, tid: int) -> None:
         self.member_tids[team_index] = tid

@@ -51,6 +51,15 @@ class RunConfig:
     #: shared variables, the monitor-everything ITC behaviour; HOME
     #: narrows this to the static race pass's candidate variables)
     monitored_vars: Optional[frozenset] = None
+    #: record CollectiveArrive events at OMP/MPI collective encounters
+    #: (the PARCOACH-style dynamic collective-matching confirm pass)
+    monitor_collectives: bool = False
+    #: restrict collective monitoring to these "line:col" site locs
+    #: (None = every collective site; HOME narrows this to the static
+    #: divergence pass's candidate sites).  Loc-keyed, not nid-keyed:
+    #: instrumentation clones the AST and reassigns nids, but source
+    #: locations survive the clone.
+    collective_sites: Optional[frozenset] = None
     #: hard cap on scheduler iterations (runaway-program guard)
     max_steps: int = DEFAULT_MAX_STEPS
     #: host wall-clock budget for one run; 0 = unlimited

@@ -17,6 +17,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 from ..errors import DeadlockError, SchedulerError, SimAbort
 from ..events import (
     BarrierEvent,
+    CollectiveArrive,
     EventLog,
     FaultEvent,
     LockAcquire,
@@ -27,6 +28,7 @@ from ..events import (
     ThreadFork,
     ThreadJoin,
 )
+from ..events.event import COLLECTIVE_OPS
 from ..faults import FaultInjector
 from ..minilang import ast_nodes as A
 from ..mpi import LANGUAGE_CONSTANTS, MPIWorld
@@ -83,7 +85,7 @@ class ThreadCtx:
     __slots__ = (
         "proc", "tid", "scope", "team", "team_index", "held_locks",
         "call_depth", "task", "construct_visits", "is_pthread",
-        "handler_depth",
+        "handler_depth", "serialized_depth",
     )
 
     def __init__(
@@ -108,6 +110,10 @@ class ThreadCtx:
         self.is_pthread = False
         #: nesting depth of MPI error-handler invocations on this thread
         self.handler_depth = 0
+        #: nesting depth of master / claimed-single bodies — MPI
+        #: collectives issued here are the sanctioned funneled pattern,
+        #: not a per-thread collective arrival
+        self.serialized_depth = 0
 
     # -- clock --------------------------------------------------------------
 
@@ -225,6 +231,44 @@ class Interpreter:
     def next_call_id(self) -> int:
         self._mpi_calls += 1
         return next(self._call_id)
+
+    def _collective_arrive(
+        self, ctx: "ThreadCtx", node: A.Node, kind: str, op: str = ""
+    ) -> None:
+        """PARCOACH-style confirm pass: record that this team member
+        encountered a collective construct.
+
+        Called at *encounter*, before any blocking, so divergent
+        arrivals are in the ledger and on the trace even when the run
+        subsequently deadlocks.  Off unless the run config enables
+        collective monitoring, and narrowable to the static divergence
+        candidates' site locs.
+        """
+        config = self.config
+        if not config.monitor_collectives:
+            return
+        team = ctx.team
+        if team is None or team.size < 2:
+            return
+        if kind == "mpi" and ctx.serialized_depth > 0:
+            # funneled MPI collective under master/single: one arrival
+            # on behalf of the whole team, the sanctioned pattern
+            return
+        loc = f"{node.loc.line}:{node.loc.col}"
+        sites = config.collective_sites
+        if sites is not None and loc not in sites:
+            return
+        index = team.collectives.record(ctx.team_index, kind, loc, op)
+        self.emit(
+            CollectiveArrive, ctx, team=team.team_id, kind=kind, op=op,
+            callsite=node.nid, loc=loc, index=index,
+        )
+
+    def _collective_close(self, ctx: "ThreadCtx") -> None:
+        """Mark this member's collective sequence complete (it reached
+        the end of the region body)."""
+        if self.config.monitor_collectives and ctx.team is not None:
+            ctx.team.collectives.close(ctx.team_index)
 
     # -- top level ------------------------------------------------------------
 
@@ -354,13 +398,18 @@ class Interpreter:
         if isinstance(node, A.OmpCritical):
             return (yield from self._exec_critical(node, ctx))
         if isinstance(node, A.OmpBarrier):
+            self._collective_arrive(ctx, node, "barrier")
             yield from self._team_barrier(ctx)
             return None
         if isinstance(node, A.OmpSingle):
             return (yield from self._exec_single(node, ctx))
         if isinstance(node, A.OmpMaster):
             if ctx.team is None or ctx.team_index == 0:
-                return (yield from self._exec_block(node.body, ctx))
+                ctx.serialized_depth += 1
+                try:
+                    return (yield from self._exec_block(node.body, ctx))
+                finally:
+                    ctx.serialized_depth -= 1
             return None
         if isinstance(node, A.OmpAtomic):
             return (yield from self._exec_atomic(node, ctx))
@@ -496,6 +545,7 @@ class Interpreter:
             if flow is not None:
                 raise SimAbort(f"return inside omp parallel at {node.loc}")
             yield from self._fold_reductions(ctx, reduction_outers)
+            self._collective_close(ctx)
         finally:
             team.final_clocks[0] = ctx.clock
             ctx.scope, ctx.team, ctx.team_index, ctx.construct_visits = saved
@@ -504,6 +554,15 @@ class Interpreter:
         ctx.advance_to(max(team.final_clocks))
         ctx.charge(self.cm.barrier)
         self.emit(ThreadJoin, ctx, team=team.team_id, children=tuple(worker_tids))
+        if self.config.monitor_collectives and team.size > 1:
+            mismatch = team.collectives.first_mismatch()
+            if mismatch is not None:
+                idx, a, b = mismatch
+                self.note(
+                    f"rank {pctx.rank} team {team.team_id}: collective "
+                    f"arrival mismatch at position {idx} between members "
+                    f"{a} and {b}"
+                )
         return None
 
     def _worker_body(self, node: A.OmpParallel, wctx: ThreadCtx,
@@ -514,6 +573,7 @@ class Interpreter:
             if flow is not None:
                 raise SimAbort(f"return inside omp parallel at {node.loc}")
             yield from self._fold_reductions(wctx, reduction_outers)
+            self._collective_close(wctx)
         except SimAbort as err:
             self.note(f"rank {wctx.proc.rank} thread {wctx.tid}: aborted: {err}")
         finally:
@@ -585,6 +645,7 @@ class Interpreter:
         return var, iters
 
     def _exec_omp_for(self, node: A.OmpFor, ctx: ThreadCtx) -> Gen:
+        self._collective_arrive(ctx, node, "for")
         var, iterations = yield from self._loop_header(node.loop, ctx)
         team = ctx.team
         chunk = None
@@ -642,6 +703,7 @@ class Interpreter:
         return None
 
     def _exec_omp_sections(self, node: A.OmpSections, ctx: ThreadCtx) -> Gen:
+        self._collective_arrive(ctx, node, "sections")
         team = ctx.team
         if team is None or team.size == 1:
             for section in node.sections:
@@ -663,6 +725,7 @@ class Interpreter:
         return None
 
     def _exec_single(self, node: A.OmpSingle, ctx: ThreadCtx) -> Gen:
+        self._collective_arrive(ctx, node, "single")
         team = ctx.team
         if team is None or team.size == 1:
             flow = yield from self._exec_block(node.body, ctx)
@@ -672,7 +735,11 @@ class Interpreter:
         key = (node.nid, ctx.visit(node.nid))
         state = team.construct_state(key, lambda: SingleState())
         if state.try_claim():
-            flow = yield from self._exec_block(node.body, ctx)
+            ctx.serialized_depth += 1
+            try:
+                flow = yield from self._exec_block(node.body, ctx)
+            finally:
+                ctx.serialized_depth -= 1
             if flow is not None:
                 raise SimAbort(f"return inside omp single at {node.loc}")
         if not node.nowait:
@@ -816,12 +883,17 @@ class Interpreter:
         name = node.name
         # HOME's instrumented wrappers and plain MPI builtins.
         if name.startswith("hmpi_") or name.startswith("mpi_"):
-            handler = self._mpi_table.get(name[1:] if name.startswith("hmpi_") else name)
+            op = name[1:] if name.startswith("hmpi_") else name
+            handler = self._mpi_table.get(op)
             if handler is not None:
                 args = []
                 for arg in node.args:
                     val = yield from self._eval(arg, ctx)
                     args.append(val)
+                if op in COLLECTIVE_OPS:
+                    # an MPI collective issued from inside a team is a
+                    # per-thread collective arrival (PARCOACH matching)
+                    self._collective_arrive(ctx, node, "mpi", op=op)
                 instrumented = name.startswith("hmpi_")
                 return (yield from handler(self, ctx, node, args, instrumented))
         builtin = _SIMPLE_BUILTINS.get(name)

@@ -14,8 +14,16 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis.dynamic_.hybrid import ConcurrencyReport
-from ..events import ErrorHandlerEvent, EventLog, MPICall, ThreadFork
-from .spec import ALL_RULES, HandlerSpan, ProcessView, Violation
+from ..events import (
+    CollectiveArrive,
+    ErrorHandlerEvent,
+    EventLog,
+    MPICall,
+    ThreadEnd,
+    ThreadFork,
+    ThreadJoin,
+)
+from .spec import ALL_RULES, CollectiveTrace, HandlerSpan, ProcessView, Violation
 
 
 @dataclass
@@ -121,6 +129,54 @@ def extract_handler_spans(log: EventLog, proc: int) -> List[HandlerSpan]:
     return spans
 
 
+def extract_collective_traces(log: EventLog, proc: int) -> List[CollectiveTrace]:
+    """Rebuild each team's per-member collective arrival sequences.
+
+    Membership comes from the team's ThreadFork (master tid + children,
+    in team-index order).  A worker is *closed* when its ThreadEnd was
+    recorded; the master when the team's ThreadJoin was (the master
+    only joins after finishing its own region body).  Members still
+    blocked or aborted when the trace ends stay open, so the matching
+    rule only compares their recorded prefix.  Teams that recorded no
+    arrivals (monitoring off, or size-1 teams) yield no trace.
+    """
+    members_of: Dict[int, Tuple[int, ...]] = {}
+    arrivals: Dict[int, Dict[int, List[Tuple[int, Tuple[str, str, str, int]]]]] = {}
+    closed_tids: Dict[int, set] = {}
+    for event in log:
+        if event.proc != proc:
+            continue
+        etype = type(event)
+        if etype is CollectiveArrive:
+            arrivals.setdefault(event.team, {}).setdefault(
+                event.thread, []
+            ).append((event.index, (event.kind, event.loc, event.op, event.callsite)))
+        elif etype is ThreadFork:
+            members_of[event.team] = (event.thread,) + tuple(event.children)
+        elif etype is ThreadEnd:
+            closed_tids.setdefault(event.team, set()).add(event.thread)
+        elif etype is ThreadJoin:
+            closed_tids.setdefault(event.team, set()).add(event.thread)
+    traces: List[CollectiveTrace] = []
+    for team in sorted(arrivals):
+        members = members_of.get(team)
+        if members is None:
+            continue
+        by_thread = arrivals[team]
+        team_closed = closed_tids.get(team, set())
+        sequences = tuple(
+            tuple(entry for _idx, entry in sorted(by_thread.get(tid, [])))
+            for tid in members
+        )
+        traces.append(CollectiveTrace(
+            team=team,
+            members=members,
+            sequences=sequences,
+            closed=tuple(tid in team_closed for tid in members),
+        ))
+    return traces
+
+
 def build_view(log: EventLog, proc: int, report: ConcurrencyReport) -> ProcessView:
     """Assemble the per-process rule input."""
     calls = log.mpi_calls(proc)
@@ -136,6 +192,7 @@ def build_view(log: EventLog, proc: int, report: ConcurrencyReport) -> ProcessVi
         report=report,
         calls=calls,
         handler_spans=extract_handler_spans(log, proc),
+        collective_traces=extract_collective_traces(log, proc),
     )
 
 

@@ -132,6 +132,62 @@ def render_race_candidates(
     return "\n\n".join(blocks)
 
 
+def render_divergence_candidates(
+    candidates: Sequence,
+    source: Optional[str] = None,
+    context: int = 1,
+) -> str:
+    """Static collective-divergence candidates as readable text.
+
+    *candidates* is duck-typed (``CollectiveDivergenceCandidate``
+    objects from the static collectives pass), mirroring
+    :func:`render_race_candidates`.
+    """
+    if not candidates:
+        return "no collective-divergence candidates"
+    blocks = [f"{len(candidates)} collective-divergence candidate(s):"]
+    for cand in candidates:
+        lines = [str(cand)]
+        if source is not None:
+            seen = set()
+            for loc in cand.locs():
+                if loc in seen:
+                    continue
+                seen.add(loc)
+                excerpt = excerpt_at(source, loc, context)
+                if excerpt is not None:
+                    lines.append(excerpt.render())
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def render_divergence_triage(triage: Dict) -> str:
+    """Static-vs-dynamic collective-divergence triage as text.
+
+    Binary: every static candidate is either *confirmed* by a dynamic
+    barrier-divergence / collective-order finding at one of its sites,
+    or *refuted* (monitored, no mismatch observed) — never silently
+    dropped.
+    """
+    labels = {
+        "confirmed": "confirmed by dynamic phase",
+        "refuted": "refuted (monitored, no divergence observed)",
+    }
+    lines = ["collective-divergence triage:"]
+    for key in ("confirmed", "refuted"):
+        entries = triage.get(key, [])
+        lines.append(f"  {labels[key]}: {len(entries)}")
+        for entry in entries:
+            locs = ", ".join(entry.get("locs", []))
+            detail = f"    {entry['kind']} in {entry['func']}"
+            detail += f" (branch at {entry['branch_loc']}"
+            detail += f"; sites {locs})" if locs else ")"
+            lines.append(detail)
+            for vclass in entry.get("violation_classes", []):
+                lines.append(f"      dynamic finding: {vclass}")
+    return "\n".join(lines)
+
+
 def render_race_triage(triage: Dict) -> str:
     """The HOME pipeline's static-vs-dynamic race triage as text."""
     order = ("confirmed", "refuted", "missed_by_dynamic")

@@ -41,6 +41,10 @@ COLLECTIVE = "CollectiveCallViolation"
 #: Error-path classes (fault-tolerance extension, not in the paper's six).
 HANDLER_REENTRANCY = "ErrorHandlerReentrancyViolation"
 RECOVERY_RACE = "RecoveryRaceViolation"
+#: Collective-matching classes (PARCOACH-family extension): threads of
+#: one team encountering different collective sequences.
+BARRIER_DIVERGENCE = "BarrierDivergenceViolation"
+COLLECTIVE_ORDER_MISMATCH = "CollectiveOrderMismatchViolation"
 
 ALL_VIOLATION_CLASSES = (
     INITIALIZATION,
@@ -51,6 +55,8 @@ ALL_VIOLATION_CLASSES = (
     COLLECTIVE,
     HANDLER_REENTRANCY,
     RECOVERY_RACE,
+    BARRIER_DIVERGENCE,
+    COLLECTIVE_ORDER_MISMATCH,
 )
 
 RECV_OPS = frozenset({"mpi_recv", "mpi_irecv", "mpi_sendrecv"})
@@ -92,6 +98,25 @@ class HandlerSpan:
     seq1: int
 
 
+@dataclass(frozen=True)
+class CollectiveTrace:
+    """One team's per-member collective arrival sequences.
+
+    Built from ``CollectiveArrive`` events (emitted at construct
+    *encounter*, so present even when the run deadlocked).  ``members``
+    are process-local thread ids in team-index order; ``sequences[i]``
+    is member *i*'s ordered arrivals as ``(kind, loc, op, callsite)``
+    tuples; ``closed[i]`` is True when member *i* completed its region
+    body (its sequence is definitively complete, not cut short by a
+    deadlock or abort).
+    """
+
+    team: int
+    members: Tuple[int, ...]
+    sequences: Tuple[Tuple[Tuple[str, str, str, int], ...], ...]
+    closed: Tuple[bool, ...]
+
+
 @dataclass
 class ProcessView:
     """Everything the rules need to know about one process's execution."""
@@ -105,6 +130,8 @@ class ProcessView:
     calls: List = field(default_factory=list)
     #: user error-handler invocations (fault-tolerance extension)
     handler_spans: List[HandlerSpan] = field(default_factory=list)
+    #: per-team collective arrival traces (collective monitoring only)
+    collective_traces: List[CollectiveTrace] = field(default_factory=list)
 
     def non_main_calls(self) -> List:
         return [
@@ -438,6 +465,95 @@ def check_recovery_race(view: ProcessView) -> List[Violation]:
     return out
 
 
+def _trace_mismatch(trace: CollectiveTrace, proc: int) -> Optional[Violation]:
+    """First divergence of one team's arrival sequences, as a finding.
+
+    Position *i* is comparable for a member when it recorded an arrival
+    there, or is closed (so "no arrival at *i*" is definitive).  Open
+    members — blocked in a deadlock or aborted — are only compared on
+    their recorded prefix, which keeps fault-truncated runs from
+    producing false divergence reports.
+    """
+    seqs = trace.sequences
+    longest = max((len(s) for s in seqs), default=0)
+    for i in range(longest):
+        # Members are compared by collective *color* — (kind, op), the
+        # PARCOACH matching criterion — not source location: two
+        # barriers on different lines (balanced branch arms) match.
+        # None stands for "definitively ended before position i".
+        first_with: Dict[Optional[Tuple[str, str]], Tuple[int, Optional[Tuple[str, str, str, int]]]] = {}
+        for member, seq in enumerate(seqs):
+            if i < len(seq):
+                entry: Optional[Tuple[str, str, str, int]] = seq[i]
+                color: Optional[Tuple[str, str]] = (entry[0], entry[2])
+            elif trace.closed[member]:
+                entry = None
+                color = None
+            else:
+                continue  # open member, prefix exhausted: unknown
+            first_with.setdefault(color, (member, entry))
+        if len(first_with) <= 1:
+            continue
+        real = [e for _m, e in first_with.values() if e is not None]
+        members = sorted(m for m, _e in first_with.values())
+        threads = tuple(trace.members[m] for m in members)
+        callsites = tuple(sorted({e[3] for e in real}))
+        locs = tuple(sorted({e[1] for e in real}))
+        ops = tuple(sorted({e[2] for e in real if e[2]}))
+
+        def _desc(entry: Optional[Tuple[str, str, str, int]]) -> str:
+            if entry is None:
+                return "region end (no further collectives)"
+            kind, loc, op, _callsite = entry
+            return f"{op or kind}@{loc}"
+
+        described = "; ".join(
+            f"member {m} (thread {trace.members[m]}): {_desc(e)}"
+            for m, e in sorted(first_with.values())
+        )
+        if None in first_with:
+            return Violation(
+                BARRIER_DIVERGENCE,
+                proc,
+                f"team {trace.team}: members diverge at collective "
+                f"#{i} — {described}",
+                callsites=callsites,
+                locs=locs,
+                threads=threads,
+                ops=ops,
+            )
+        return Violation(
+            COLLECTIVE_ORDER_MISMATCH,
+            proc,
+            f"team {trace.team}: members arrive at different collectives "
+            f"at position {i} — {described}",
+            callsites=callsites,
+            locs=locs,
+            threads=threads,
+            ops=ops,
+        )
+    return None
+
+
+def check_collective_matching(view: ProcessView) -> List[Violation]:
+    """PARCOACH dynamic collective check (collective-matching family).
+
+    Every thread of a team must encounter the same ordered sequence of
+    collective constructs; the first position where two comparable
+    members disagree is reported — as a
+    :data:`BARRIER_DIVERGENCE` when a member's region body *ended*
+    while another member kept arriving (it skipped collectives under a
+    divergent branch), or a :data:`COLLECTIVE_ORDER_MISMATCH` when both
+    arrived but at differently-colored sites.
+    """
+    out: List[Violation] = []
+    for trace in view.collective_traces:
+        finding = _trace_mismatch(trace, view.proc)
+        if finding is not None:
+            out.append(finding)
+    return out
+
+
 ALL_RULES = (
     check_initialization,
     check_finalization,
@@ -447,4 +563,5 @@ ALL_RULES = (
     check_collective,
     check_error_handler_reentrancy,
     check_recovery_race,
+    check_collective_matching,
 )

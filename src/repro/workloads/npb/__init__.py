@@ -9,6 +9,11 @@ from .common import (  # noqa: F401
     injection_registry,
     score_report,
 )
+from .divergence import (  # noqa: F401
+    DIVERGENCE_CLASSES,
+    build_divergent_npb,
+    divergent_npb_source,
+)
 from .ft_mz import FT_SPEC, build_ft_mz, ft_mz_source  # noqa: F401
 from .lu_mz import LU_SPEC, build_lu_mz, lu_mz_source  # noqa: F401
 from .races import (  # noqa: F401
@@ -58,4 +63,7 @@ __all__ = [
     "RACY_VARS",
     "build_racy_npb",
     "racy_npb_source",
+    "DIVERGENCE_CLASSES",
+    "build_divergent_npb",
+    "divergent_npb_source",
 ]

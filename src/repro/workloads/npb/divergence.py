@@ -1,0 +1,148 @@
+"""NPB kernels with collective-divergence injections.
+
+Same methodology as the race injections of :mod:`.races`, but for the
+PARCOACH-family collective-matching pass: each racy variant makes a
+strict subset of an OpenMP team encounter a collective construct (or
+encounter collectives in a different order), the divergence patterns
+PARCOACH catalogues:
+
+* **divergent-order** — a thread-dependent branch whose arms contain
+  the same collectives in *opposite order* (barrier/single vs
+  single/barrier): the team still completes, but threads arrive at
+  differently-colored collectives position by position;
+* **divergent-single** — a ``single nowait`` guarded by a
+  ``omp_get_thread_num()`` branch, so one thread never encounters it;
+* **divergent-collective** — an MPI collective (``mpi_allreduce``)
+  issued from inside ``omp parallel`` under a thread-dependent branch:
+  collective over threads *and* ranks, the hybrid case the paper's
+  static/dynamic split is built for;
+* **divergent-barrier** — a thread-dependent *extra* ``omp barrier``:
+  the canonical mismatched-barrier hang.  The racy run deadlocks —
+  which is exactly why arrivals are recorded at *encounter*: the
+  divergence is on record before the team wedges.  It runs last so the
+  other injections still execute.
+
+``build_divergent_npb(..., fixed=True)`` generates the matched twin of
+every injection — balanced arms, unconditional single, the allreduce
+funneled through ``omp master`` (the sanctioned hybrid pattern the
+static pass prunes as ``div-serial``), unconditional barrier.  The
+static pass must report **zero** candidates on it and the dynamic
+confirm pass zero violations; that asymmetry is the acceptance test of
+the divergence-directed narrowing.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ...minilang import Program, parse
+from .common import NPBSpec, _base_functions, _main_loop
+from .lu_mz import LU_SPEC
+
+#: injection names, in source order
+DIVERGENCE_CLASSES: Tuple[str, ...] = (
+    "divergent-order", "divergent-single", "divergent-collective",
+    "divergent-barrier",
+)
+
+
+def _divergence_functions(spec: NPBSpec, fixed: bool) -> str:
+    """The four divergence injections (or their matched twins)."""
+    if fixed:
+        order_then = """
+            omp barrier;
+            omp single nowait { dscratch[0] = dscratch[0] + 1.0; }"""
+        order_else = """
+            omp barrier;
+            omp single nowait { dscratch[1] = dscratch[1] + 1.0; }"""
+        single_body = """
+        omp single nowait { dscratch[2] = dscratch[2] + 1.0; }"""
+        collective_body = """
+        omp master {
+            dscratch[3] = mpi_allreduce(residual[0], MPI_SUM, MPI_COMM_WORLD);
+        }
+        omp barrier;"""
+        sync_body = """
+        omp barrier;
+        omp critical { dscratch[0] = dscratch[0] + 1.0; }"""
+    else:
+        order_then = """
+            omp barrier;
+            omp single nowait { dscratch[0] = dscratch[0] + 1.0; }"""
+        order_else = """
+            omp single nowait { dscratch[1] = dscratch[1] + 1.0; }
+            omp barrier;"""
+        single_body = """
+        if (tid > 0) {
+            omp single nowait { dscratch[2] = dscratch[2] + 1.0; }
+        }"""
+        collective_body = """
+        if (tid == 0) {
+            dscratch[3] = mpi_allreduce(residual[0], MPI_SUM, MPI_COMM_WORLD);
+        }"""
+        sync_body = """
+        if (tid == 0) {
+            omp barrier;
+        }
+        omp critical { dscratch[0] = dscratch[0] + 1.0; }"""
+    return f"""
+func div_order() {{
+    omp parallel num_threads(2) {{
+        var tid = omp_get_thread_num();
+        if (tid == 0) {{{order_then}
+        }} else {{{order_else}
+        }}
+    }}
+    return 0;
+}}
+
+func div_single() {{
+    omp parallel num_threads(2) {{
+        var tid = omp_get_thread_num();{single_body}
+    }}
+    return 0;
+}}
+
+func div_collective() {{
+    omp parallel num_threads(2) {{
+        var tid = omp_get_thread_num();{collective_body}
+    }}
+    return 0;
+}}
+
+func div_sync() {{
+    omp parallel num_threads(2) {{
+        var tid = omp_get_thread_num();{sync_body}
+    }}
+    return 0;
+}}
+"""
+
+
+def divergent_npb_source(spec: NPBSpec = LU_SPEC, fixed: bool = False) -> str:
+    """An NPB kernel (clean MPI behaviour) plus divergence injections."""
+    suffix = "_matched" if fixed else "_divergent"
+    spec = NPBSpec(**{**spec.__dict__, "name": spec.name + suffix})
+    parts = [
+        f"program {spec.name};",
+        "var dscratch[4];",
+        _base_functions(spec),
+        _divergence_functions(spec, fixed),
+        f"""
+func main() {{
+    var provided = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var size = mpi_comm_size(MPI_COMM_WORLD);
+{_main_loop(spec)}
+    div_order();
+    div_single();
+    div_collective();
+    div_sync();
+    mpi_finalize();
+}}""",
+    ]
+    return "\n".join(parts) + "\n"
+
+
+def build_divergent_npb(spec: NPBSpec = LU_SPEC, fixed: bool = False) -> Program:
+    return parse(divergent_npb_source(spec, fixed=fixed))

@@ -184,3 +184,83 @@ class TestLinearizeNesting:
         assert first == second
         assert set(first) == set(cfg.nodes)
         assert len(first) == len(set(first))
+
+
+class TestWorksharingLinearization:
+    """Regression pins for worksharing + nested-parallel CFG shape: the
+    divergence pass and the implicit-ws-barrier MHP both rely on the
+    begin/end bracket structure and the single-skip edge staying put."""
+
+    def test_omp_for_bracket_order(self):
+        cfg = cfg_of(
+            "omp parallel num_threads(2) {\n"
+            "  omp for for (var i = 0; i < 4; i = i + 1) { compute(1); }\n"
+            "  omp barrier;\n"
+            "}"
+        )
+        labels = [n.label for n in cfg.linearize() if n.label]
+        assert labels.index("omp parallel") < labels.index("omp for")
+        assert labels.index("omp for") < labels.index("end omp for")
+        assert labels.index("end omp for") < labels.index("omp barrier")
+        assert labels.index("omp barrier") < labels.index("end omp parallel")
+
+    def test_single_has_skip_edge(self):
+        # threads that lose the single claim jump begin -> end directly
+        cfg = cfg_of(
+            "omp parallel num_threads(2) {\n"
+            "  omp single { compute(1); }\n"
+            "}"
+        )
+        nodes = cfg.linearize()
+        begin = [n for n in nodes if n.label == "omp single"][0]
+        end = [n for n in nodes if n.label == "end omp single"][0]
+        assert cfg.graph.has_edge(begin.cfg_id, end.cfg_id)
+        assert len(cfg.successors(begin)) == 2  # body and skip
+
+    def test_sections_fan_in_to_one_end(self):
+        cfg = cfg_of(
+            "omp parallel num_threads(2) {\n"
+            "  omp sections {\n"
+            "    omp section { compute(1); }\n"
+            "    omp section { compute(2); }\n"
+            "  }\n"
+            "}"
+        )
+        nodes = cfg.linearize()
+        end = [n for n in nodes if n.label == "end omp sections"][0]
+        preds = [
+            n for n in nodes
+            if cfg.graph.has_edge(n.cfg_id, end.cfg_id)
+        ]
+        assert len(preds) == 2  # one per section body
+
+    def test_nested_parallel_brackets_nest(self):
+        cfg = cfg_of(
+            "omp parallel num_threads(2) {\n"
+            "  omp parallel num_threads(2) {\n"
+            "    omp for for (var i = 0; i < 2; i = i + 1) { compute(1); }\n"
+            "  }\n"
+            "}"
+        )
+        labels = [n.label for n in cfg.linearize() if n.label]
+        outer_begin = labels.index("omp parallel")
+        inner_begin = labels.index("omp parallel", outer_begin + 1)
+        inner_end = labels.index("end omp parallel")
+        outer_end = labels.index("end omp parallel", inner_end + 1)
+        assert outer_begin < inner_begin < labels.index("omp for")
+        assert labels.index("end omp for") < inner_end < outer_end
+
+    def test_worksharing_loop_back_edge_stays_inside_bracket(self):
+        cfg = cfg_of(
+            "omp parallel num_threads(2) {\n"
+            "  omp for for (var i = 0; i < 4; i = i + 1) { compute(1); }\n"
+            "}"
+        )
+        nodes = cfg.linearize()
+        head = [n for n in nodes if n.kind == "loop-head"][0]
+        body = [n for n in nodes if n.label == "Call" or n.kind == "stmt"]
+        # some body node loops back to the head; the ws-end is fed by
+        # the loop head (loop exit), not by the body directly
+        assert any(cfg.graph.has_edge(n.cfg_id, head.cfg_id) for n in body)
+        end = [n for n in nodes if n.label == "end omp for"][0]
+        assert cfg.graph.has_edge(head.cfg_id, end.cfg_id)

@@ -223,3 +223,108 @@ func main() {
         assert info.phase == 0
         (info,) = infos_for(src, "x", implicit_ws_barriers=True)
         assert info.phase == 1
+
+
+class TestNowaitRegionExits:
+    """Satellite audit of ``implicit_ws_barriers`` against nowait-style
+    region exits: only the *closing* barrier of a non-nowait worksharing
+    construct bumps the phase, every nowait variant leaves it alone, and
+    a worksharing construct under a conditional poisons phase
+    reliability exactly like a conditional explicit barrier."""
+
+    WS = PROG + """
+func main() {
+    var x = 0;
+    omp parallel num_threads(2) {
+        omp single nowait { x = 1; }
+        %s
+        omp single nowait { x = 2; }
+    }
+}"""
+
+    def _phases(self, construct):
+        first, second = infos_for(self.WS % construct, "x")
+        return first, second
+
+    def test_single_nowait_exit_does_not_bump_phase(self):
+        a, b = self._phases("omp single nowait { compute(1); }")
+        assert a.phase == b.phase
+        assert may_happen_in_parallel(a, b)
+
+    def test_single_exit_bumps_phase(self):
+        a, b = self._phases("omp single { compute(1); }")
+        assert b.phase == a.phase + 1
+        assert not may_happen_in_parallel(a, b)
+
+    def test_for_nowait_exit_does_not_bump_phase(self):
+        a, b = self._phases(
+            "omp for nowait for (var i = 0; i < 4; i = i + 1) { compute(1); }"
+        )
+        assert a.phase == b.phase
+        assert may_happen_in_parallel(a, b)
+
+    def test_sections_exit_bumps_phase(self):
+        a, b = self._phases(
+            "omp sections { omp section { compute(1); } "
+            "omp section { compute(2); } }"
+        )
+        assert b.phase == a.phase + 1
+        assert not may_happen_in_parallel(a, b)
+
+    def test_sections_nowait_exit_does_not_bump_phase(self):
+        a, b = self._phases(
+            "omp sections nowait { omp section { compute(1); } }"
+        )
+        assert a.phase == b.phase
+        assert may_happen_in_parallel(a, b)
+
+    def test_conditional_worksharing_exit_poisons_reliability(self):
+        # the closing barrier only executes on threads entering the If,
+        # which is the same unreliability as a conditional omp barrier
+        a, b = self._phases(
+            "if (1 == 1) { omp for for (var i = 0; i < 4; i = i + 1) { } }"
+        )
+        assert not a.phase_reliable and not b.phase_reliable
+        assert may_happen_in_parallel(a, b)
+
+
+class TestNestedParallelPhases:
+    """Nested parallel regions never phase-prune (instances overlap)."""
+
+    NESTED_WS = PROG + """
+func main() {
+    var x = 0;
+    omp parallel num_threads(2) {
+        omp parallel num_threads(2) {
+            omp single nowait { x = 1; }
+            omp barrier;
+            omp single nowait { x = 2; }
+        }
+    }
+}"""
+
+    def test_nested_region_sites_never_pruned(self):
+        a, b = infos_for(self.NESTED_WS, "x")
+        assert len(a.regions) == 2 and a.regions == b.regions
+        assert a.phase != b.phase
+        # the barrier orders phases *within one inner-team instance*,
+        # but sibling inner teams overlap freely: no pruning
+        assert may_happen_in_parallel(a, b)
+
+    def test_outer_phase_unaffected_by_inner_constructs(self):
+        src = PROG + """
+func main() {
+    var x = 0;
+    omp parallel num_threads(2) {
+        omp single nowait { x = 1; }
+        omp parallel num_threads(2) {
+            omp single { compute(1); }
+        }
+        omp single nowait { x = 2; }
+    }
+}"""
+        a, b = infos_for(src, "x")
+        # the inner region's implicit exits must not leak into the
+        # outer region's phase counter
+        assert a.phase == b.phase
+        assert a.regions == b.regions == (a.regions[0],)

@@ -410,3 +410,71 @@ func main() {
     def test_no_msg_races_on_clean(self, clean_file, capsys):
         main(["check", clean_file, "--msg-races"])
         assert "no nondeterministic message matches" in capsys.readouterr().out
+
+
+OMP_DIVERGENT = """
+program divcli;
+func main() {
+    var provided = mpi_init_thread(MPI_THREAD_MULTIPLE);
+    omp parallel num_threads(2) {
+        var tid = omp_get_thread_num();
+        if (tid > 0) {
+            omp single nowait { compute(1); }
+        }
+    }
+    mpi_finalize();
+}
+"""
+
+
+class TestStaticCollectives:
+    @pytest.fixture
+    def divergent_file(self, tmp_path):
+        path = tmp_path / "divergent.hmp"
+        path.write_text(OMP_DIVERGENT)
+        return str(path)
+
+    def test_static_text_shows_divergence_candidates(self, divergent_file,
+                                                     capsys):
+        main(["static", divergent_file])
+        out = capsys.readouterr().out
+        assert "collective-divergence candidate" in out
+        assert "barrier-divergence" in out
+        assert "omp single nowait" in out  # source excerpt at the site
+
+    def test_static_no_collectives_flag(self, divergent_file, capsys):
+        main(["static", divergent_file, "--no-collectives"])
+        out = capsys.readouterr().out
+        assert "collective-divergence" not in out
+
+    def test_static_json_has_collectives_section(self, divergent_file, capsys):
+        import json
+
+        main(["static", divergent_file, "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["collectives"]["candidate_count"] == 1
+        assert data["collectives"]["monitored_locs"]
+
+    def test_check_verbose_prints_divergence_triage(self, divergent_file,
+                                                    capsys):
+        code = main(["check", divergent_file, "-v"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "collective-divergence triage:" in out
+        assert "confirmed by dynamic phase: 1" in out
+        assert "BarrierDivergenceViolation" in out
+
+    def test_campaign_npb_div_confirms(self, capsys):
+        code = main(["campaign", "--npb", "div", "--seeds", "1",
+                     "--plans", "none"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "collective-divergence triage: 4 confirmed, 0 refuted" in out
+        assert "BarrierDivergenceViolation" in out
+
+    def test_campaign_npb_div_clean_stays_quiet(self, capsys):
+        code = main(["campaign", "--npb", "div", "--clean", "--seeds", "1",
+                     "--plans", "none"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no thread-safety violations detected" in out

@@ -1,0 +1,244 @@
+"""Dynamic collective-matching: ledger, trace extraction, rule, render."""
+
+import io
+
+from repro.analysis.dynamic_.hybrid import ConcurrencyReport
+from repro.analysis.static_ import find_collective_divergence
+from repro.events import CollectiveArrive, dump_log, load_log
+from repro.minilang import parse
+from repro.mpi.constants import MPI_THREAD_MULTIPLE
+from repro.omp.team import CollectiveLedger
+from repro.violations import (
+    BARRIER_DIVERGENCE,
+    COLLECTIVE_ORDER_MISMATCH,
+    CollectiveTrace,
+    ProcessView,
+    check_collective_matching,
+    extract_collective_traces,
+    render_divergence_candidates,
+    render_divergence_triage,
+)
+
+from ..helpers import run_src
+
+
+class TestCollectiveLedger:
+    def test_matched_sequences_no_mismatch(self):
+        ledger = CollectiveLedger(size=2)
+        for member in (0, 1):
+            ledger.record(member, "barrier", "3:5")
+            ledger.record(member, "single", "4:5")
+            ledger.close(member)
+        assert ledger.first_mismatch() is None
+
+    def test_color_match_across_different_locs(self):
+        # balanced branch arms: same colors, different source lines
+        ledger = CollectiveLedger(size=2)
+        ledger.record(0, "barrier", "3:9")
+        ledger.record(1, "barrier", "5:9")
+        ledger.close(0)
+        ledger.close(1)
+        assert ledger.first_mismatch() is None
+
+    def test_closed_short_member_is_divergence(self):
+        ledger = CollectiveLedger(size=2)
+        ledger.record(0, "barrier", "3:5")
+        ledger.close(0)
+        ledger.close(1)
+        assert ledger.first_mismatch() == (0, 0, 1)
+
+    def test_open_member_prefix_only(self):
+        # member 1 is blocked (deadlock): its missing tail is unknown,
+        # not a divergence — but its recorded prefix still compares
+        ledger = CollectiveLedger(size=2)
+        ledger.record(0, "barrier", "3:5")
+        ledger.record(0, "single", "4:5")
+        ledger.close(0)
+        ledger.record(1, "barrier", "3:5")
+        assert ledger.first_mismatch() is None
+        ledger.record(1, "mpi", "6:5", "mpi_allreduce")
+        assert ledger.first_mismatch() == (1, 0, 1)
+
+    def test_order_mismatch_position(self):
+        ledger = CollectiveLedger(size=2)
+        ledger.record(0, "barrier", "3:5")
+        ledger.record(0, "single", "4:5")
+        ledger.record(1, "single", "4:5")
+        ledger.record(1, "barrier", "3:5")
+        assert ledger.first_mismatch() == (0, 0, 1)
+
+
+def trace(sequences, closed=None, members=None):
+    sequences = tuple(
+        tuple((kind, loc, op, 7) for kind, loc, op in seq) for seq in sequences
+    )
+    if closed is None:
+        closed = (True,) * len(sequences)
+    if members is None:
+        members = tuple(range(len(sequences)))
+    return CollectiveTrace(
+        team=1, members=members, sequences=sequences, closed=tuple(closed)
+    )
+
+
+def view_with(traces):
+    return ProcessView(
+        proc=0, thread_level=MPI_THREAD_MULTIPLE, main_thread=0,
+        had_parallel=True, report=ConcurrencyReport(0),
+        collective_traces=list(traces),
+    )
+
+
+BARRIER = ("barrier", "3:5", "")
+BARRIER2 = ("barrier", "9:5", "")
+SINGLE = ("single", "4:5", "")
+ALLREDUCE = ("mpi", "6:5", "mpi_allreduce")
+
+
+class TestCheckCollectiveMatching:
+    def test_matched_team_clean(self):
+        found = check_collective_matching(
+            view_with([trace([[BARRIER, SINGLE], [BARRIER, SINGLE]])])
+        )
+        assert found == []
+
+    def test_balanced_arms_different_locs_clean(self):
+        found = check_collective_matching(
+            view_with([trace([[BARRIER], [BARRIER2]])])
+        )
+        assert found == []
+
+    def test_length_mismatch_is_barrier_divergence(self):
+        (v,) = check_collective_matching(
+            view_with([trace([[BARRIER, ALLREDUCE], [BARRIER]])])
+        )
+        assert v.vclass == BARRIER_DIVERGENCE
+        assert "region end" in v.message
+        assert "mpi_allreduce@6:5" in v.message
+
+    def test_order_mismatch_class(self):
+        (v,) = check_collective_matching(
+            view_with([trace([[BARRIER, SINGLE], [SINGLE, BARRIER]])])
+        )
+        assert v.vclass == COLLECTIVE_ORDER_MISMATCH
+
+    def test_open_member_short_prefix_not_reported(self):
+        found = check_collective_matching(
+            view_with([trace([[BARRIER, SINGLE], [BARRIER]],
+                             closed=(True, False))])
+        )
+        assert found == []
+
+    def test_open_member_recorded_prefix_still_compares(self):
+        (v,) = check_collective_matching(
+            view_with([trace([[BARRIER], [SINGLE]], closed=(True, False))])
+        )
+        assert v.vclass == COLLECTIVE_ORDER_MISMATCH
+
+    def test_only_first_mismatch_per_trace(self):
+        found = check_collective_matching(
+            view_with([trace([[SINGLE, BARRIER, ALLREDUCE],
+                              [BARRIER, SINGLE, BARRIER]])])
+        )
+        assert len(found) == 1
+
+    def test_one_violation_per_divergent_team(self):
+        found = check_collective_matching(
+            view_with([
+                trace([[BARRIER], []]),
+                trace([[SINGLE], [SINGLE]]),
+                trace([[ALLREDUCE], []]),
+            ])
+        )
+        assert len(found) == 2
+
+
+DIV_BARRIER = """
+program t;
+func main() {
+    omp parallel num_threads(2) {
+        var tid = omp_get_thread_num();
+        if (tid == 0) {
+            omp barrier;
+        }
+    }
+}"""
+
+BALANCED = """
+program t;
+func main() {
+    omp parallel num_threads(2) {
+        var tid = omp_get_thread_num();
+        if (tid == 0) {
+            omp barrier;
+        } else {
+            omp barrier;
+        }
+    }
+}"""
+
+
+class TestExtractionFromRealRuns:
+    def test_monitoring_off_records_nothing(self):
+        result = run_src(BALANCED)
+        assert not any(isinstance(e, CollectiveArrive) for e in result.log)
+        assert extract_collective_traces(result.log, 0) == []
+
+    def test_balanced_run_completes_and_matches(self):
+        result = run_src(BALANCED, monitor_collectives=True)
+        assert not result.deadlocked
+        (tr,) = extract_collective_traces(result.log, 0)
+        assert len(tr.members) == 2
+        assert all(tr.closed)
+        # both arms: one explicit barrier each, at different locs
+        kinds = [tuple(e[0] for e in seq) for seq in tr.sequences]
+        assert kinds == [("barrier",), ("barrier",)]
+        assert check_collective_matching(view_with([tr])) == []
+
+    def test_deadlocked_run_keeps_master_open(self):
+        # the extra master barrier wedges the team, yet the divergence
+        # is already on record (arrivals are emitted at encounter)
+        result = run_src(DIV_BARRIER, monitor_collectives=True)
+        assert result.deadlocked
+        (tr,) = extract_collective_traces(result.log, 0)
+        assert not all(tr.closed)  # master never joined
+        (v,) = check_collective_matching(view_with([tr]))
+        assert v.vclass == BARRIER_DIVERGENCE
+
+    def test_collective_arrive_serialize_roundtrip(self):
+        result = run_src(DIV_BARRIER, monitor_collectives=True)
+        buf = io.StringIO()
+        dump_log(result.log, buf)
+        buf.seek(0)
+        loaded, _meta = load_log(buf)
+        originals = [e for e in result.log if isinstance(e, CollectiveArrive)]
+        reloaded = [e for e in loaded if isinstance(e, CollectiveArrive)]
+        assert originals and originals == reloaded
+        (tr,) = extract_collective_traces(loaded, 0)
+        assert check_collective_matching(view_with([tr]))
+
+
+class TestRendering:
+    def test_candidates_render_with_excerpts(self):
+        report = find_collective_divergence(parse(DIV_BARRIER))
+        text = render_divergence_candidates(report.candidates,
+                                            source=DIV_BARRIER)
+        assert "collective-divergence candidate" in text
+        assert "omp barrier" in text  # excerpt pulled from source
+
+    def test_empty_candidates_render(self):
+        assert "no collective-divergence" in render_divergence_candidates([])
+
+    def test_triage_render(self):
+        triage = {
+            "confirmed": [{
+                "kind": "barrier-divergence", "func": "main",
+                "branch_loc": "5:9", "locs": ["6:13"],
+                "violation_classes": [BARRIER_DIVERGENCE],
+            }],
+            "refuted": [],
+        }
+        text = render_divergence_triage(triage)
+        assert "confirmed by dynamic phase: 1" in text
+        assert "barrier-divergence in main (branch at 5:9; sites 6:13)" in text
+        assert f"dynamic finding: {BARRIER_DIVERGENCE}" in text

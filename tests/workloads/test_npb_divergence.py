@@ -1,0 +1,191 @@
+"""Divergent NPB variants: collective-divergence injections, their
+matched twins, and the divergence-directed narrowing of HOME's
+collective monitoring — including the fault-plan no-false-divergence
+coverage (thread-downgrade, lock-jitter) and default-trace identity."""
+
+import pytest
+
+from repro.analysis.static_ import run_static_analysis
+from repro.analysis.static_.collectives import (
+    PRUNE_DIV_BALANCED,
+    PRUNE_DIV_SERIAL,
+)
+from repro.campaign import CampaignConfig, run_campaign
+from repro.events import CollectiveArrive
+from repro.faults import FaultPlan, builtin_plans
+from repro.home import Home
+from repro.minilang import validate
+from repro.workloads.npb import (
+    DIVERGENCE_CLASSES,
+    build_lu_mz,
+    build_divergent_npb,
+    divergent_npb_source,
+)
+
+
+class TestGeneration:
+    def test_racy_variant_validates(self):
+        prog = build_divergent_npb()
+        validate(prog)
+        assert prog.name.endswith("_divergent")
+
+    def test_fixed_variant_validates(self):
+        prog = build_divergent_npb(fixed=True)
+        validate(prog)
+        assert prog.name.endswith("_matched")
+
+    def test_injection_registry(self):
+        assert len(DIVERGENCE_CLASSES) == 4
+        source = divergent_npb_source()
+        fixed = divergent_npb_source(fixed=True)
+        for fn in ("div_order", "div_single", "div_collective", "div_sync"):
+            assert f"func {fn}()" in source and f"func {fn}()" in fixed
+        # the matched twin funnels the allreduce through omp master
+        assert "omp master" not in source
+        assert "omp master" in fixed
+
+
+class TestStaticDetection:
+    def test_racy_variant_reports_all_injections(self):
+        report = run_static_analysis(build_divergent_npb())
+        coll = report.collectives
+        by_func = {(c.kind, c.func) for c in coll.candidates}
+        assert by_func == {
+            ("collective-order", "div_order"),
+            ("barrier-divergence", "div_single"),
+            ("mpi-collective", "div_collective"),
+            ("barrier-divergence", "div_sync"),
+        }
+
+    def test_fixed_variant_reports_zero_candidates(self):
+        report = run_static_analysis(build_divergent_npb(fixed=True))
+        assert not report.collectives.candidates
+
+    def test_fix_shows_up_as_prunes_not_silence(self):
+        coll = run_static_analysis(build_divergent_npb(fixed=True)).collectives
+        assert coll.pruned[PRUNE_DIV_BALANCED] >= 1  # balanced div_order arms
+        assert coll.pruned[PRUNE_DIV_SERIAL] >= 1    # funneled allreduce
+
+
+class TestDivergenceDirectedNarrowing:
+    @pytest.fixture(scope="class")
+    def racy_report(self):
+        return Home().check(build_divergent_npb(), nprocs=2, num_threads=2,
+                            seed=0)
+
+    @pytest.fixture(scope="class")
+    def fixed_report(self):
+        return Home().check(build_divergent_npb(fixed=True), nprocs=2,
+                            num_threads=2, seed=0)
+
+    def test_candidates_switch_monitoring_on(self, racy_report):
+        assert racy_report.execution.config.monitor_collectives
+        assert racy_report.extras["divergence_candidates"] == 4
+        assert any(
+            isinstance(e, CollectiveArrive) for e in racy_report.execution.log
+        )
+
+    def test_all_candidates_confirmed(self, racy_report):
+        triage = racy_report.extras["divergence_triage"]
+        assert len(triage["confirmed"]) == 4
+        assert not triage["refuted"]
+        confirmed_funcs = {entry["func"] for entry in triage["confirmed"]}
+        assert confirmed_funcs == {
+            "div_order", "div_single", "div_collective", "div_sync",
+        }
+
+    def test_divergent_run_deadlocks_yet_confirms(self, racy_report):
+        # div_sync wedges the team — arrivals recorded at encounter
+        # still witness the divergence
+        assert racy_report.execution.deadlocked
+        classes = set(racy_report.violations.classes())
+        assert "BarrierDivergenceViolation" in classes
+        assert "CollectiveOrderMismatchViolation" in classes
+
+    def test_mpi_collective_case_confirmed_dynamically(self, racy_report):
+        triage = racy_report.extras["divergence_triage"]
+        (entry,) = [
+            e for e in triage["confirmed"] if e["kind"] == "mpi-collective"
+        ]
+        assert entry["violation_classes"]
+
+    def test_fixed_variant_monitoring_stays_off(self, fixed_report):
+        assert not fixed_report.execution.config.monitor_collectives
+        assert not any(
+            isinstance(e, CollectiveArrive) for e in fixed_report.execution.log
+        )
+        assert fixed_report.extras["divergence_candidates"] == 0
+
+    def test_fixed_variant_clean(self, fixed_report):
+        assert not fixed_report.execution.deadlocked
+        for vclass in ("BarrierDivergenceViolation",
+                       "CollectiveOrderMismatchViolation", "DataRace"):
+            assert vclass not in fixed_report.violations.classes()
+
+
+DIVERGENCE_CLASSES_DYN = (
+    "BarrierDivergenceViolation", "CollectiveOrderMismatchViolation",
+)
+
+
+class TestFaultPlanRobustness:
+    """Satellite: fault injection must never manufacture divergence.
+
+    Thread-downgrade and lock-jitter perturb scheduling and thread
+    levels but leave every thread's collective *encounter sequence*
+    intact, so the matched variant stays clean under both."""
+
+    @pytest.fixture(scope="class")
+    def fixed_campaign(self):
+        plans = {
+            name: builtin_plans(2)[name]
+            for name in ("none", "downgrade", "jitter")
+        }
+        config = CampaignConfig(seeds=[0, 1], plans=plans)
+        return run_campaign(build_divergent_npb(fixed=True), config)
+
+    def test_no_divergence_findings_under_faults(self, fixed_campaign):
+        classes = set(fixed_campaign.report.classes())
+        assert not classes.intersection(DIVERGENCE_CLASSES_DYN)
+
+    def test_no_candidates_means_no_triage_section(self, fixed_campaign):
+        assert fixed_campaign.divergence_triage() is None
+        assert "divergence_triage" not in fixed_campaign.as_dict()
+
+    def test_racy_campaign_confirms_under_fault_matrix(self):
+        plans = {
+            name: builtin_plans(2)[name]
+            for name in ("none", "downgrade", "jitter")
+        }
+        result = run_campaign(
+            build_divergent_npb(), CampaignConfig(seeds=[0], plans=plans)
+        )
+        triage = result.divergence_triage()
+        assert triage is not None
+        assert len(triage["confirmed"]) == 4 and not triage["refuted"]
+        assert "collective-divergence triage: 4 confirmed" in result.summary()
+
+
+class TestDefaultTraceIdentity:
+    """Collective monitoring is strictly opt-in: a candidate-free
+    program's traces and campaign artifacts are unchanged by the
+    feature's presence."""
+
+    def test_clean_program_has_no_collective_events(self):
+        report = Home().check(build_lu_mz(), nprocs=2, num_threads=2, seed=0)
+        assert not report.execution.config.monitor_collectives
+        assert not any(
+            isinstance(e, CollectiveArrive) for e in report.execution.log
+        )
+
+    def test_empty_plan_campaign_bit_identical_to_none(self):
+        prog = build_lu_mz()
+        base = run_campaign(prog, CampaignConfig(
+            seeds=[0], plans=None, record_timing=False))
+        empty = run_campaign(prog, CampaignConfig(
+            seeds=[0], plans={"none": FaultPlan(name="none")},
+            record_timing=False))
+        assert base.as_dict() == empty.as_dict()
+        assert [o.events for o in base.outcomes] == [
+            o.events for o in empty.outcomes
+        ]
