@@ -1,0 +1,158 @@
+"""CI gate: the static phase's precision must never silently regress.
+
+Runs ``repro static --json`` over every NPB workload variant (clean,
+racy, clause-fixed, divergent/matched, interprocedural/funneled) and
+compares the precision-bearing counts against the checked-in baseline
+``benchmarks/baselines/static_precision.json``:
+
+* ``unresolved`` — interprocedural array accesses delegated to the
+  dynamic phase; growing this number means the summary layer stopped
+  covering an access it used to analyze (FAIL if above baseline);
+* ``race_candidates`` / ``collective_candidates`` / ``candidates`` —
+  statically reported violations; dropping below baseline means a
+  detection was lost (FAIL), growing above means new false candidates
+  appeared on a pinned workload (FAIL on the *-fixed twins, warn
+  otherwise).
+
+Usage::
+
+    python benchmarks/check_static_precision.py            # check
+    python benchmarks/check_static_precision.py --write-baseline
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+BASELINE = os.path.join(
+    os.path.dirname(__file__), "baselines", "static_precision.json"
+)
+
+
+def _workload_sources():
+    """name -> minilang source text, for every NPB workload variant."""
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    )
+    from repro.workloads.npb import (
+        SPECS,
+        build_source,
+        divergent_npb_source,
+        interproc_npb_source,
+        racy_npb_source,
+    )
+
+    out = {}
+    for name, spec in SPECS.items():
+        out[name] = build_source(spec, inject=True)
+        out[f"{name}-racy"] = racy_npb_source(spec)
+        out[f"{name}-race-fixed"] = racy_npb_source(spec, fixed=True)
+    out["div"] = divergent_npb_source()
+    out["div-fixed"] = divergent_npb_source(fixed=True)
+    out["ip"] = interproc_npb_source()
+    out["ip-fixed"] = interproc_npb_source(fixed=True)
+    return out
+
+
+def _static_json(source):
+    """Run ``repro static --json`` on *source* in a subprocess."""
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".mini", delete=False
+    ) as fh:
+        fh.write(source)
+        path = fh.name
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(
+        os.path.dirname(__file__), os.pardir, "src"
+    )
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "static", path, "--json"],
+            capture_output=True, text=True, env=env,
+        )
+    finally:
+        os.unlink(path)
+    if proc.returncode not in (0, 1):  # 1 = warnings present, still JSON
+        raise RuntimeError(
+            f"repro static failed ({proc.returncode}): {proc.stderr}"
+        )
+    return json.loads(proc.stdout)
+
+
+def _metrics(payload):
+    races = payload.get("races") or {}
+    collectives = payload.get("collectives") or {}
+    return {
+        "unresolved": len(races.get("unresolved", [])),
+        "race_candidates": len(races.get("candidates", [])),
+        "collective_candidates": len(collectives.get("candidates", [])),
+        "candidates": len(payload.get("candidates", [])),
+        "monitored_vars": len(races.get("monitored_vars", [])),
+    }
+
+
+def collect():
+    return {
+        name: _metrics(_static_json(source))
+        for name, source in sorted(_workload_sources().items())
+    }
+
+
+def main(argv):
+    current = collect()
+    if "--write-baseline" in argv:
+        with open(BASELINE, "w") as fh:
+            json.dump(current, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {BASELINE} ({len(current)} workloads)")
+        return 0
+
+    with open(BASELINE) as fh:
+        baseline = json.load(fh)
+
+    failures = []
+    print(f"{'workload':<16} {'metric':<22} {'base':>5} {'now':>5}")
+    for name, base_metrics in sorted(baseline.items()):
+        cur_metrics = current.get(name)
+        if cur_metrics is None:
+            failures.append(f"{name}: workload missing from current run")
+            continue
+        for metric, base in sorted(base_metrics.items()):
+            now = cur_metrics.get(metric, 0)
+            marker = ""
+            if metric == "unresolved" and now > base:
+                marker = "  <-- REGRESSION (coverage lost)"
+                failures.append(
+                    f"{name}: unresolved grew {base} -> {now}"
+                )
+            elif metric != "unresolved" and now < base:
+                marker = "  <-- REGRESSION (detection lost)"
+                failures.append(
+                    f"{name}: {metric} dropped {base} -> {now}"
+                )
+            elif metric != "unresolved" and now > base:
+                if name.endswith("-fixed"):
+                    marker = "  <-- REGRESSION (fixed twin not silent)"
+                    failures.append(
+                        f"{name}: {metric} grew {base} -> {now} "
+                        "on a fixed twin"
+                    )
+                else:
+                    marker = "  (new candidates; refresh baseline)"
+            print(f"{name:<16} {metric:<22} {base:>5} {now:>5}{marker}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<16} (not in baseline; refresh with --write-baseline)")
+
+    if failures:
+        print("\nstatic precision regressed:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nstatic precision OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,5 +1,15 @@
 """Compile-time (static) analysis phase of HOME."""
 
+from .callgraph import (  # noqa: F401
+    GUARD_BOTTOM,
+    CallGraph,
+    CallSite,
+    GuardContext,
+    ParallelContext,
+    build_callgraph,
+    parallel_guard_contexts,
+    resolve_parallel_contexts,
+)
 from .candidates import (  # noqa: F401
     StaticEnvelope,
     ViolationCandidate,
@@ -52,6 +62,13 @@ from .report import (  # noqa: F401
     clear_static_analysis_cache,
     run_static_analysis,
 )
+from .summaries import (  # noqa: F401
+    FunctionSummary,
+    LinForm,
+    SummaryAccess,
+    SummaryTable,
+    compute_summaries,
+)
 from .threadlevel import (  # noqa: F401
     StaticWarning,
     ThreadLevelInfo,
@@ -60,6 +77,19 @@ from .threadlevel import (  # noqa: F401
 )
 
 __all__ = [
+    "CallGraph",
+    "CallSite",
+    "GUARD_BOTTOM",
+    "GuardContext",
+    "ParallelContext",
+    "build_callgraph",
+    "parallel_guard_contexts",
+    "resolve_parallel_contexts",
+    "FunctionSummary",
+    "LinForm",
+    "SummaryAccess",
+    "SummaryTable",
+    "compute_summaries",
     "MPISite",
     "ViolationCandidate",
     "StaticEnvelope",

@@ -1,0 +1,458 @@
+"""Context-recording call graph of a mini-language program.
+
+Every static pass that looks across function boundaries needs the same
+three facts about a call: *who* calls *whom*, *where* (which OpenMP
+context brackets the call expression), and *how* (the argument
+expressions, for summary instantiation).  This module computes them
+once:
+
+* :class:`CallSite` — one user-function call expression with its full
+  lexical OpenMP context (innermost parallel region, worksharing loop,
+  master/single nesting, critical/atomic guards) and the argument
+  expressions;
+* :class:`CallGraph` — the program's call multigraph with recursion
+  detection (nontrivial SCCs and self-loops), a bottom-up function
+  order for summary composition, spawn-reachability, and the
+  parallel-guard meet used to check funneled/serialized compliance of
+  MPI calls reached only via helpers;
+* :func:`resolve_parallel_contexts` — for functions whose *entire*
+  parallel execution funnels through one transparent call site, the
+  MHP context of that site, so the MHP analysis can replace its
+  "context unknown" answer with the caller's context.
+
+The graph treats ``thread_spawn("f")`` as a call edge flagged
+``spawned``: the target runs concurrently with everything after the
+spawn, so nothing about it (or its callees) may be context-resolved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ...minilang import ast_nodes as A
+from .dataflow.lockstate import critical_token
+from .dataflow.mhp import MHPInfo
+
+#: guard token for ``omp atomic`` (mirrors :mod:`.races`)
+_ATOMIC_TOKEN = "atomic"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call of a user-defined function, with lexical OpenMP context."""
+
+    caller: str
+    callee: str
+    nid: int                        # CallExpr node id
+    loc: str                        # "line:col"
+    args: Tuple[A.Expr, ...]
+    #: innermost lexical ``omp parallel`` nid (None: sequential context)
+    region: Optional[int]
+    parallel_depth: int
+    in_master: bool                 # inside omp master *or* omp single
+    #: inside ``omp master`` proper (always the same thread, so the
+    #: chain is serialized even when encounters repeat in a loop)
+    master_only: bool
+    criticals: Tuple[str, ...]      # enclosing critical-section names
+    guards: FrozenSet[str]          # critical/atomic guard tokens
+    #: enclosing ``omp for`` nid, its index variable and encounter
+    #: serialization (same convention as :class:`..races.AccessSite`)
+    omp_for: Optional[int] = None
+    loop_var: Optional[str] = None
+    omp_for_serial: bool = True
+    #: (omp single nid, encounters-serial) of the innermost single
+    single: Optional[Tuple[int, bool]] = None
+    #: the call is a ``thread_spawn`` of the callee
+    spawned: bool = False
+
+    @property
+    def serialized(self) -> bool:
+        """The whole call runs on one thread per encounter, and the
+        encounters themselves are ordered.
+
+        ``omp master`` always qualifies (one fixed thread).  ``omp
+        single`` qualifies only when its encounters are serialized — a
+        ``nowait`` single inside a loop may have different threads in
+        different encounters concurrently, so it does *not*.
+        """
+        return self.master_only or (self.single is not None and self.single[1])
+
+
+@dataclass(frozen=True)
+class ParallelContext:
+    """Resolved execution context of a context-transparent function."""
+
+    info: MHPInfo       # MHP context of the unique parallel call site
+    serialized: bool    # call chain passes through master/serial-single
+    nid: int            # call-site nid the context was taken from
+
+
+@dataclass(frozen=True)
+class GuardContext:
+    """Meet of master/critical guards over every parallel call path."""
+
+    in_master: bool
+    criticals: FrozenSet[str]
+
+    def meet(self, other: "GuardContext") -> "GuardContext":
+        return GuardContext(
+            self.in_master and other.in_master,
+            self.criticals & other.criticals,
+        )
+
+
+#: bottom element of the guard meet-lattice (an unguarded path exists);
+#: the top element ("no path seen yet") is represented as ``None``
+GUARD_BOTTOM = GuardContext(False, frozenset())
+
+
+def _loop_index_name(init: Optional[A.Stmt]) -> Optional[str]:
+    if isinstance(init, A.VarDecl):
+        return init.name
+    if isinstance(init, A.Assign) and isinstance(init.target, A.Name):
+        return init.target.ident
+    return None
+
+
+class _CallSiteWalker:
+    """Collects every user-function call of one function, in context."""
+
+    def __init__(self, func: A.FuncDef, user_funcs: FrozenSet[str]) -> None:
+        self.func = func
+        self.user_funcs = user_funcs
+        self.sites: List[CallSite] = []
+        self.region_stack: List[int] = []
+        self.master_depth = 0       # omp master or omp single
+        self.strict_master_depth = 0  # omp master only
+        self.criticals: List[str] = []
+        self.guard_stack: List[str] = []
+        self.ompfor_stack: List[Tuple[int, Optional[str], bool]] = []
+        self.single_stack: List[Tuple[int, bool]] = []
+        self.loop_depth = 0
+
+    def run(self) -> List[CallSite]:
+        self._walk_stmt(self.func.body)
+        return self.sites
+
+    def _record(self, call: A.CallExpr, callee: str, spawned: bool) -> None:
+        ompfor = self.ompfor_stack[-1] if self.ompfor_stack else None
+        self.sites.append(
+            CallSite(
+                caller=self.func.name,
+                callee=callee,
+                nid=call.nid,
+                loc=f"{call.loc.line}:{call.loc.col}",
+                args=tuple(call.args),
+                region=self.region_stack[-1] if self.region_stack else None,
+                parallel_depth=len(self.region_stack),
+                in_master=self.master_depth > 0,
+                master_only=self.strict_master_depth > 0,
+                criticals=tuple(self.criticals),
+                guards=frozenset(self.guard_stack),
+                omp_for=ompfor[0] if ompfor else None,
+                loop_var=ompfor[1] if ompfor else None,
+                omp_for_serial=ompfor[2] if ompfor else True,
+                single=self.single_stack[-1] if self.single_stack else None,
+                spawned=spawned,
+            )
+        )
+
+    def _walk_expr(self, expr: A.Expr) -> None:
+        if isinstance(expr, A.CallExpr):
+            for arg in expr.args:
+                self._walk_expr(arg)
+            if expr.name in self.user_funcs:
+                self._record(expr, expr.name, spawned=False)
+            elif (
+                expr.name == "thread_spawn"
+                and expr.args
+                and isinstance(expr.args[0], A.StrLit)
+                and expr.args[0].value in self.user_funcs
+            ):
+                self._record(expr, expr.args[0].value, spawned=True)
+            return
+        for child in expr.children():
+            if isinstance(child, A.Expr):
+                self._walk_expr(child)
+
+    def _walk_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.Block):
+            for sub in stmt.stmts:
+                self._walk_stmt(sub)
+            return
+        if isinstance(stmt, A.OmpParallel):
+            if stmt.num_threads is not None:
+                self._walk_expr(stmt.num_threads)
+            self.region_stack.append(stmt.nid)
+            self._walk_stmt(stmt.body)
+            self.region_stack.pop()
+            return
+        if isinstance(stmt, A.OmpFor):
+            loop = stmt.loop
+            serial = (self.loop_depth == 0) or not stmt.nowait
+            self.ompfor_stack.append(
+                (stmt.nid, _loop_index_name(loop.init), serial)
+            )
+            self.loop_depth += 1
+            self._walk_stmt(loop)
+            self.loop_depth -= 1
+            self.ompfor_stack.pop()
+            return
+        if isinstance(stmt, A.OmpSingle):
+            serial = (self.loop_depth == 0) or not stmt.nowait
+            self.single_stack.append((stmt.nid, serial))
+            self.master_depth += 1
+            self._walk_stmt(stmt.body)
+            self.master_depth -= 1
+            self.single_stack.pop()
+            return
+        if isinstance(stmt, A.OmpMaster):
+            self.master_depth += 1
+            self.strict_master_depth += 1
+            self._walk_stmt(stmt.body)
+            self.strict_master_depth -= 1
+            self.master_depth -= 1
+            return
+        if isinstance(stmt, A.OmpCritical):
+            self.criticals.append(stmt.name or "<anonymous>")
+            self.guard_stack.append(critical_token(stmt.name))
+            self._walk_stmt(stmt.body)
+            self.guard_stack.pop()
+            self.criticals.pop()
+            return
+        if isinstance(stmt, A.OmpAtomic):
+            self.guard_stack.append(_ATOMIC_TOKEN)
+            self._walk_stmt(stmt.stmt)
+            self.guard_stack.pop()
+            return
+        if isinstance(stmt, (A.While, A.For)):
+            self.loop_depth += 1
+            for child in stmt.children():
+                if isinstance(child, A.Expr):
+                    self._walk_expr(child)
+                elif isinstance(child, A.Stmt):
+                    self._walk_stmt(child)
+            self.loop_depth -= 1
+            return
+        for child in stmt.children():
+            if isinstance(child, A.Expr):
+                self._walk_expr(child)
+            elif isinstance(child, A.Stmt):
+                self._walk_stmt(child)
+
+
+#: OpenMP constructs that make a function body context-opaque for MHP
+#: resolution: its execution is not a plain single-threaded inlining of
+#: the call site (it forks, synchronizes, or distributes work).
+_CONTEXT_OPAQUE = (
+    A.OmpParallel, A.OmpBarrier, A.OmpFor, A.OmpSections, A.OmpSingle,
+)
+
+
+@dataclass
+class CallGraph:
+    """The program call graph plus everything derived from it."""
+
+    sites: List[CallSite]
+    user_funcs: FrozenSet[str]
+    graph: nx.DiGraph
+    #: members of nontrivial SCCs or self-loops
+    recursive: FrozenSet[str]
+    #: functions reverse-topologically ordered (callees before callers);
+    #: SCC members appear in arbitrary relative order
+    bottom_up: List[str]
+    #: functions transitively reachable from a ``thread_spawn`` target
+    spawn_reachable: FrozenSet[str]
+    #: functions reachable (transitively) from inside a parallel region
+    reached_from_parallel: FrozenSet[str]
+    sites_by_callee: Dict[str, List[CallSite]] = field(default_factory=dict)
+    sites_by_caller: Dict[str, List[CallSite]] = field(default_factory=dict)
+    #: body-opacity per function (contains parallel/barrier/worksharing)
+    context_opaque: FrozenSet[str] = frozenset()
+
+
+def build_callgraph(program: A.Program) -> CallGraph:
+    """Collect every user-call site and derive the graph facts."""
+    user_funcs = frozenset(fn.name for fn in program.functions)
+    sites: List[CallSite] = []
+    for fn in program.functions:
+        sites.extend(_CallSiteWalker(fn, user_funcs).run())
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(user_funcs)
+    by_callee: Dict[str, List[CallSite]] = {}
+    by_caller: Dict[str, List[CallSite]] = {}
+    for cs in sites:
+        graph.add_edge(cs.caller, cs.callee)
+        by_callee.setdefault(cs.callee, []).append(cs)
+        by_caller.setdefault(cs.caller, []).append(cs)
+
+    recursive: Set[str] = set()
+    for scc in nx.strongly_connected_components(graph):
+        if len(scc) > 1:
+            recursive |= scc
+    recursive |= {cs.caller for cs in sites if cs.caller == cs.callee}
+
+    # Bottom-up order over the condensation (callees first).
+    condensation = nx.condensation(graph)
+    bottom_up: List[str] = []
+    for comp in reversed(list(nx.topological_sort(condensation))):
+        bottom_up.extend(sorted(condensation.nodes[comp]["members"]))
+
+    spawn_roots = {cs.callee for cs in sites if cs.spawned}
+    spawn_reachable: Set[str] = set()
+    for root in spawn_roots:
+        spawn_reachable.add(root)
+        spawn_reachable |= nx.descendants(graph, root)
+
+    parallel_roots = {
+        cs.callee for cs in sites if cs.region is not None or cs.spawned
+    }
+    reached: Set[str] = set()
+    for root in parallel_roots:
+        reached.add(root)
+        reached |= nx.descendants(graph, root)
+
+    opaque = frozenset(
+        fn.name
+        for fn in program.functions
+        if any(isinstance(node, _CONTEXT_OPAQUE) for node in fn.body.walk())
+        or any(
+            isinstance(node, A.CallExpr) and node.name == "thread_spawn"
+            for node in fn.body.walk()
+        )
+    )
+
+    return CallGraph(
+        sites=sites,
+        user_funcs=user_funcs,
+        graph=graph,
+        recursive=frozenset(recursive),
+        bottom_up=bottom_up,
+        spawn_reachable=frozenset(spawn_reachable),
+        reached_from_parallel=frozenset(reached),
+        sites_by_callee=by_callee,
+        sites_by_caller=by_caller,
+        context_opaque=opaque,
+    )
+
+
+def parallel_guard_contexts(cg: CallGraph) -> Dict[str, GuardContext]:
+    """Guards that hold on *every* path into each parallel-reached
+    function: the meet, over all call sites executed in parallel
+    context, of the master/critical guards bracketing the site (plus the
+    guards inherited by the caller itself when the caller is only
+    reached interprocedurally).
+
+    An MPI site reached only via helpers inherits these guards, which is
+    what lets the thread-level checker prove funneled/serialized
+    compliance across calls — and what keeps it honest: one unguarded
+    parallel path drives the meet to bottom.
+    """
+    ctx: Dict[str, Optional[GuardContext]] = {
+        fname: None for fname in cg.reached_from_parallel
+    }
+    changed = True
+    iterations = 0
+    while changed and iterations < len(cg.user_funcs) + 2:
+        changed = False
+        iterations += 1
+        for cs in cg.sites:
+            if cs.callee not in ctx:
+                continue
+            if cs.spawned:
+                contribution: Optional[GuardContext] = GUARD_BOTTOM
+            elif cs.region is not None:
+                contribution = GuardContext(
+                    cs.in_master, frozenset(cs.criticals)
+                )
+            elif cs.caller in ctx:
+                caller_ctx = ctx[cs.caller]
+                if caller_ctx is None:
+                    continue  # caller's own paths not resolved yet
+                contribution = GuardContext(
+                    caller_ctx.in_master or cs.in_master,
+                    caller_ctx.criticals | frozenset(cs.criticals),
+                )
+            else:
+                continue  # sequential call site: no parallel path
+            current = ctx[cs.callee]
+            new = contribution if current is None else current.meet(contribution)
+            if new != current:
+                ctx[cs.callee] = new
+                changed = True
+    # A guard still at top after the fixpoint has no parallel entry path
+    # the fixpoint could see — collapse to bottom rather than overclaim.
+    return {
+        fname: (GUARD_BOTTOM if g is None else g) for fname, g in ctx.items()
+    }
+
+
+def resolve_parallel_contexts(
+    cg: CallGraph, mhp: Dict[int, MHPInfo]
+) -> Dict[str, ParallelContext]:
+    """Functions whose parallel execution funnels through exactly one
+    call site, mapped to that site's MHP context.
+
+    A function qualifies when it has exactly one call site in the whole
+    program, is not recursive, not spawn-reachable, and its body is
+    context-transparent (no parallel regions, barriers or worksharing
+    constructs of its own).  Chains resolve transitively: if the unique
+    call site is itself in a context-resolved function, the resolved
+    caller context is substituted and ``serialized`` flags accumulate
+    along the chain.  The result is fully resolved — a context's
+    ``info`` either carries lexical regions or belongs to a function
+    with no context entry.
+    """
+    candidates: Dict[str, CallSite] = {}
+    for fname in cg.user_funcs:
+        callers = cg.sites_by_callee.get(fname, [])
+        if len(callers) != 1:
+            continue
+        (cs,) = callers
+        if (
+            cs.spawned
+            or fname in cg.recursive
+            or fname in cg.spawn_reachable
+            or fname in cg.context_opaque
+        ):
+            continue
+        candidates[fname] = cs
+
+    resolved: Dict[str, ParallelContext] = {}
+
+    def resolve(fname: str, seen: FrozenSet[str]) -> Optional[ParallelContext]:
+        if fname in resolved:
+            return resolved[fname]
+        cs = candidates.get(fname)
+        if cs is None or fname in seen:
+            return None
+        info = mhp.get(cs.nid)
+        if info is None:
+            return None
+        if not info.regions:
+            # the unique caller is itself only interprocedurally
+            # parallel: chain upward.  The root call site (the one with
+            # lexical regions) becomes the context identity, so every
+            # function on one chain shares a ``nid``.
+            parent = resolve(cs.caller, seen | {fname})
+            if parent is None:
+                return None
+            ctx = ParallelContext(
+                info=parent.info,
+                serialized=cs.serialized or parent.serialized,
+                nid=parent.nid,
+            )
+        else:
+            ctx = ParallelContext(
+                info=info, serialized=cs.serialized, nid=cs.nid
+            )
+        resolved[fname] = ctx
+        return ctx
+
+    for fname in candidates:
+        resolve(fname, frozenset())
+    return resolved

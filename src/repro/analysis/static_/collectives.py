@@ -48,7 +48,18 @@ the runtime needs to track.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ...events.event import COLLECTIVE_OPS
 from ...minilang import ast_nodes as A
@@ -56,6 +67,9 @@ from ..cfg import CFG, build_program_cfgs
 from .dataflow.divergence import TaintSet, branch_taints, expr_thread_dependent
 from .mpi_sites import MPISite, functions_called_from_parallel
 from .prunes import count_prune, make_prune_dict, prune_summary, total_pruned
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .summaries import SummaryTable
 
 #: divergence-prune categories (rendered next to the race-prune counters)
 PRUNE_DIV_UNIFORM = "div-uniform"
@@ -284,12 +298,20 @@ class _DivergenceWalker:
         report: CollectiveDivergenceReport,
         mpi_nids: Optional[FrozenSet[int]],
         reachable_from_parallel: bool,
+        callee_seqs: Optional[Dict[str, ColorSeq]] = None,
+        recursive_collective: FrozenSet[str] = frozenset(),
     ) -> None:
         self.func = func
         self.taints = taints
         self.report = report
         self.mpi_nids = mpi_nids
         self.reachable_from_parallel = reachable_from_parallel
+        #: bottom-up summarized top-level color sequences of callees
+        #: (``None`` disables interprocedural splicing)
+        self.callee_seqs = callee_seqs
+        #: recursive functions whose cycle reaches a collective: spliced
+        #: as an opaque-but-uniform ``("call", name)`` token
+        self.recursive_collective = recursive_collective
         self.region_stack: List[int] = []
         self.serial_depth = 0  # master / claimed-single nesting
 
@@ -509,7 +531,10 @@ class _DivergenceWalker:
         out: List[SeqEntry] = []
         scan = stmt.stmt if isinstance(stmt, A.OmpAtomic) else stmt
         for sub in scan.walk():
-            if not isinstance(sub, A.CallExpr) or sub.name not in COLLECTIVE_OPS:
+            if not isinstance(sub, A.CallExpr):
+                continue
+            if sub.name not in COLLECTIVE_OPS:
+                out.extend(self._user_call_entries(sub))
                 continue
             if not self._in_parallel():
                 continue  # serial SPMD collective — matched per rank
@@ -522,12 +547,73 @@ class _DivergenceWalker:
             out.extend(self._collective_entry(site, sub))
         return tuple(out)
 
+    def _user_call_entries(self, call: A.CallExpr) -> ColorSeq:
+        """Splice the summarized color sequence of a user callee.
+
+        The callee was walked first (bottom-up call-graph order), its
+        sites already colored and recorded; splicing its *top-level*
+        sequence here makes a collective hidden two calls down
+        participate in the caller's arm comparison.  A recursive callee
+        whose cycle reaches a collective contributes an opaque token —
+        identical calls still match across arms, differing ones never
+        do.  Sequential callers skip splicing: their branches are pruned
+        as non-parallel anyway, and the callee's own walk owns any
+        intra-callee divergence.
+        """
+        if self.callee_seqs is None or not self._in_parallel():
+            return ()
+        if call.name in self.recursive_collective:
+            return (("call", call.name),)
+        seq = self.callee_seqs.get(call.name)
+        if not seq:
+            return ()
+        if self.serial_depth > 0:
+            # master/single around the call: mirror _collective_entry
+            # for every site the callee chain reaches
+            for site in _entry_sites(seq):
+                if site.kind == "mpi":
+                    self.report.count_prune(PRUNE_DIV_SERIAL)
+                else:
+                    self._emit(
+                        KIND_BARRIER_DIVERGENCE,
+                        call,
+                        f"OMP collective `{site.kind}` reached via "
+                        f"`{call.name}` under master/single executes on "
+                        "a strict subset of the team",
+                        [site],
+                    )
+            return ()
+        return seq
+
+
+def _collective_reaching(summaries: "SummaryTable", program: A.Program) -> FrozenSet[str]:
+    """Functions whose transitive callee closure contains a collective
+    construct (explicit barrier, worksharing, or an MPI collective)."""
+    import networkx as nx
+
+    direct: Set[str] = set()
+    for fn in program.functions:
+        for node in fn.body.walk():
+            if isinstance(node, (A.OmpBarrier, A.OmpFor, A.OmpSections, A.OmpSingle)):
+                direct.add(fn.name)
+                break
+            if isinstance(node, A.CallExpr) and node.name in COLLECTIVE_OPS:
+                direct.add(fn.name)
+                break
+    graph = summaries.callgraph.graph
+    reaching = set(direct)
+    for name in direct:
+        if name in graph:
+            reaching |= nx.ancestors(graph, name)
+    return frozenset(reaching)
+
 
 def find_collective_divergence(
     program: A.Program,
     cfgs: Optional[Dict[str, CFG]] = None,
     sites: Optional[Sequence[MPISite]] = None,
     unsafe_funcs: Optional[Set[str]] = None,
+    summaries: Optional["SummaryTable"] = None,
 ) -> CollectiveDivergenceReport:
     """Run the static collective-matching pass over *program*.
 
@@ -536,6 +622,16 @@ def find_collective_divergence(
     transitively reachable from a parallel region, the same set the MHP
     facts use) extends the parallel context beyond lexical regions.
     Both are recomputed when omitted.
+
+    *summaries* (a :class:`.summaries.SummaryTable`) turns the pass
+    interprocedural: functions are walked in bottom-up call-graph
+    order, each function's top-level color sequence is recorded, and
+    caller walks splice callee sequences at their call sites — so an
+    MPI collective hidden in a helper called under a thread-dependent
+    branch unbalances that branch's arms.  The summary taints
+    (parameters fed thread-dependent arguments, functions returning
+    thread-dependent values) also extend branch-divergence detection
+    across calls.
     """
     if cfgs is None:
         cfgs = build_program_cfgs(program)
@@ -547,11 +643,46 @@ def find_collective_divergence(
             s.nid for s in sites if s.op in COLLECTIVE_OPS
         )
     report = CollectiveDivergenceReport()
-    for fn in program.functions:
-        cfg = cfgs.get(fn.name)
-        taints = branch_taints(fn, cfg) if cfg is not None else {}
-        walker = _DivergenceWalker(
-            fn, taints, report, mpi_nids, fn.name in unsafe_funcs
+
+    fn_by_name = {fn.name: fn for fn in program.functions}
+    order = list(program.functions)
+    callee_seqs: Optional[Dict[str, ColorSeq]] = None
+    recursive_collective: FrozenSet[str] = frozenset()
+    tainted_params: Dict[str, FrozenSet[str]] = {}
+    tainted_calls: FrozenSet[str] = frozenset()
+    if summaries is not None:
+        cg = summaries.callgraph
+        order = [fn_by_name[n] for n in cg.bottom_up if n in fn_by_name]
+        order += [fn for fn in program.functions if fn.name not in set(cg.bottom_up)]
+        callee_seqs = {}
+        recursive_collective = cg.recursive & _collective_reaching(
+            summaries, program
         )
-        walker.seq_stmt(fn.body)
+        tainted_params = summaries.tainted_params
+        tainted_calls = summaries.ret_tainted
+
+    for fn in order:
+        cfg = cfgs.get(fn.name)
+        taints = (
+            branch_taints(
+                fn,
+                cfg,
+                extra_tainted=tainted_params.get(fn.name, frozenset()),
+                tainted_calls=tainted_calls,
+            )
+            if cfg is not None
+            else {}
+        )
+        walker = _DivergenceWalker(
+            fn,
+            taints,
+            report,
+            mpi_nids,
+            fn.name in unsafe_funcs,
+            callee_seqs=callee_seqs,
+            recursive_collective=recursive_collective,
+        )
+        top_seq = walker.seq_stmt(fn.body)
+        if callee_seqs is not None and fn.name not in cg.recursive:
+            callee_seqs[fn.name] = top_seq
     return report

@@ -45,13 +45,21 @@ _UNIFORM_CALLS = frozenset({
 })
 
 
-def expr_thread_dependent(expr: Optional[A.Expr], tainted: TaintSet) -> bool:
-    """May *expr* evaluate differently across threads of one team?"""
+def expr_thread_dependent(
+    expr: Optional[A.Expr],
+    tainted: TaintSet,
+    tainted_calls: FrozenSet[str] = frozenset(),
+) -> bool:
+    """May *expr* evaluate differently across threads of one team?
+
+    *tainted_calls* names user functions whose return value is known
+    (from interprocedural summaries) to be thread-dependent.
+    """
     if expr is None:
         return False
     for sub in expr.walk():
         if isinstance(sub, A.CallExpr):
-            if sub.name in THREAD_DEPENDENT_CALLS:
+            if sub.name in THREAD_DEPENDENT_CALLS or sub.name in tainted_calls:
                 return True
         elif isinstance(sub, A.Name):
             if sub.ident in tainted:
@@ -62,9 +70,15 @@ def expr_thread_dependent(expr: Optional[A.Expr], tainted: TaintSet) -> bool:
 class ThreadDependenceAnalysis(ForwardAnalysis[TaintSet]):
     """Forward may-taint of thread-dependent variable names."""
 
-    def __init__(self, always_tainted: Iterable[str] = ()) -> None:
+    def __init__(
+        self,
+        always_tainted: Iterable[str] = (),
+        tainted_calls: Iterable[str] = (),
+    ) -> None:
         #: names that stay tainted through every kill (omp-for indices)
         self.always_tainted = frozenset(always_tainted)
+        #: user functions returning thread-dependent values (summaries)
+        self.tainted_calls = frozenset(tainted_calls)
 
     def boundary(self, cfg: C.CFG) -> TaintSet:
         return self.always_tainted
@@ -85,8 +99,10 @@ class ThreadDependenceAnalysis(ForwardAnalysis[TaintSet]):
             if isinstance(target, A.Index) and isinstance(target.base, A.Name):
                 # a[tid] = e or a[i] = tid-dep: the array as a whole may
                 # now hold thread-dependent values
-                if expr_thread_dependent(target.index, tainted) or (
-                    expr_thread_dependent(stmt.value, tainted)
+                if expr_thread_dependent(
+                    target.index, tainted, self.tainted_calls
+                ) or expr_thread_dependent(
+                    stmt.value, tainted, self.tainted_calls
                 ):
                     return tainted | {target.base.ident}
         return tainted
@@ -94,7 +110,7 @@ class ThreadDependenceAnalysis(ForwardAnalysis[TaintSet]):
     def _assign(
         self, name: str, value: Optional[A.Expr], tainted: TaintSet
     ) -> TaintSet:
-        if expr_thread_dependent(value, tainted):
+        if expr_thread_dependent(value, tainted, self.tainted_calls):
             return tainted | {name}
         if name in self.always_tainted:
             return tainted
@@ -121,12 +137,33 @@ def solve_thread_dependence(
     return solve(cfg, ThreadDependenceAnalysis(omp_for_indices(func)))
 
 
+def solve_thread_dependence_with(
+    cfg: C.CFG,
+    always_tainted: Iterable[str],
+    tainted_calls: Iterable[str] = (),
+) -> DataflowResult[TaintSet]:
+    """Thread-dependence facts with explicit seeds — the entry point the
+    interprocedural summary fixpoint uses (tainted formal parameters as
+    extra always-tainted names, taint-returning callees as sources)."""
+    return solve(cfg, ThreadDependenceAnalysis(always_tainted, tainted_calls))
+
+
 def branch_taints(
-    func: A.FuncDef, cfg: C.CFG
+    func: A.FuncDef,
+    cfg: C.CFG,
+    extra_tainted: Iterable[str] = (),
+    tainted_calls: Iterable[str] = (),
 ) -> Dict[int, TaintSet]:
     """Taint fact *before* each BRANCH / LOOP_HEAD node, keyed by the
-    AST nid of the ``If`` / loop statement it tests."""
-    result = solve_thread_dependence(func, cfg)
+    AST nid of the ``If`` / loop statement it tests.
+
+    *extra_tainted* / *tainted_calls* inject interprocedural summary
+    knowledge (tainted formals, taint-returning callees)."""
+    result = solve_thread_dependence_with(
+        cfg,
+        omp_for_indices(func) | frozenset(extra_tainted),
+        tainted_calls,
+    )
     out: Dict[int, TaintSet] = {}
     for node in cfg.nodes.values():
         if node.kind not in (C.BRANCH, C.LOOP_HEAD) or node.ast is None:

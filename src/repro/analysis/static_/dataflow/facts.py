@@ -16,7 +16,7 @@ for the report/CLI/benchmark surfaces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Set
 
 from ....minilang import ast_nodes as A
 from ....mpi.constants import MPI_ANY_SOURCE, MPI_ANY_TAG
@@ -32,6 +32,10 @@ from .intervals import (
 from .lockstate import LockStateAnalysis
 from .mhp import MHPInfo, compute_mhp, may_happen_in_parallel
 from .values import SymInterval, provably_disjoint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..callgraph import ParallelContext
+    from ..summaries import SummaryTable
 
 #: prune categories surfaced in reports / extras
 PRUNE_ENVELOPE = "envelope"
@@ -72,6 +76,9 @@ class DataflowFacts:
     mhp: Dict[int, MHPInfo] = field(default_factory=dict)
     #: functions whose parallel regions may overlap other code
     unsafe_funcs: Set[str] = field(default_factory=set)
+    #: call-graph-resolved parallel contexts for regionless functions
+    #: (``None`` without the interprocedural summary layer)
+    contexts: Optional[Dict[str, "ParallelContext"]] = None
     #: total worklist iterations across all solved analyses
     iterations: int = 0
     #: candidate pairs removed per prune category (filled by the
@@ -100,7 +107,10 @@ class DataflowFacts:
 
     def may_happen_in_parallel(self, a: MPISite, b: MPISite) -> bool:
         return may_happen_in_parallel(
-            self.mhp.get(a.nid), self.mhp.get(b.nid), self.unsafe_funcs
+            self.mhp.get(a.nid),
+            self.mhp.get(b.nid),
+            self.unsafe_funcs,
+            contexts=self.contexts,
         )
 
     def count_prune(self, kind: str) -> None:
@@ -141,13 +151,31 @@ def compute_dataflow(
     program: A.Program,
     cfgs: Dict[str, C.CFG],
     sites: Sequence[MPISite],
+    summaries: Optional["SummaryTable"] = None,
 ) -> DataflowFacts:
-    """Solve all three analyses and project the results onto *sites*."""
+    """Solve all three analyses and project the results onto *sites*.
+
+    *summaries* (a :class:`..summaries.SummaryTable`) sharpens two of
+    them: its call graph resolves parallel contexts for regionless MPI
+    sites (replacing "context unknown" MHP answers), and its
+    lock-transparent function set lets held user locks survive calls.
+    Each MHP-consuming pass resolves contexts against its *own* phase
+    map — phase numbering differs between MHP modes, so the race pass
+    cannot share this resolution.
+    """
     from ..candidates import _ENVELOPE_POSITIONS
 
     facts = DataflowFacts()
     facts.mhp = compute_mhp(program)
     facts.unsafe_funcs = functions_called_from_parallel(program)
+    lock_transparent: FrozenSet[str] = frozenset()
+    if summaries is not None:
+        from ..callgraph import resolve_parallel_contexts
+
+        facts.contexts = resolve_parallel_contexts(
+            summaries.callgraph, facts.mhp
+        )
+        lock_transparent = summaries.lock_transparent
 
     globals_env = program_globals_env(program)
     user_funcs = frozenset(fn.name for fn in program.functions)
@@ -192,7 +220,9 @@ def compute_dataflow(
                 user_functions=user_funcs,
             ),
         )
-        lock_result = solve(cfg, LockStateAnalysis(user_funcs))
+        lock_result = solve(
+            cfg, LockStateAnalysis(user_funcs, lock_transparent=lock_transparent)
+        )
         facts.iterations += env_result.iterations + lock_result.iterations
         node_of_call = _call_node_map(cfg)
 

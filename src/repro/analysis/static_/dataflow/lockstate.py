@@ -16,6 +16,11 @@ anything the analysis cannot see releases conservatively:
 * ``omp_unset_lock`` with a non-literal name drops every user lock;
 * a call to a user-defined function drops every user lock (the callee
   could release them) — critical tokens survive, criticals are lexical.
+
+The interprocedural summary layer sharpens the last rule: functions the
+call-graph pass proves *lock-transparent* (no ``omp_set_lock`` /
+``omp_unset_lock`` anywhere in their transitive callee closure) cannot
+release anything, so held user locks survive calls to them.
 """
 
 from __future__ import annotations
@@ -79,8 +84,13 @@ def calls_in(node: C.CFGNode) -> Iterator[A.CallExpr]:
 class LockStateAnalysis(ForwardAnalysis[Optional[LockSet]]):
     """Forward must-hold analysis; the fact is a frozenset of tokens."""
 
-    def __init__(self, user_functions: Set[str] = frozenset()) -> None:
+    def __init__(
+        self,
+        user_functions: Set[str] = frozenset(),
+        lock_transparent: FrozenSet[str] = frozenset(),
+    ) -> None:
         self.user_functions = set(user_functions)
+        self.lock_transparent = frozenset(lock_transparent)
 
     def boundary(self, cfg: C.CFG) -> LockSet:
         return frozenset()
@@ -109,6 +119,8 @@ class LockStateAnalysis(ForwardAnalysis[Optional[LockSet]]):
                 return held - {lock_token(call.args[0].value)}
             return frozenset(t for t in held if not t.startswith(LOCK_PREFIX))
         if name in self.user_functions:
+            if name in self.lock_transparent:
+                return held  # callee provably touches no user locks
             # the callee may release user locks; criticals are lexical
             return frozenset(t for t in held if not t.startswith(LOCK_PREFIX))
         return held

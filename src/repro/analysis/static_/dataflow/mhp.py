@@ -25,9 +25,12 @@ overlap region instances, so such functions are excluded wholesale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ....minilang import ast_nodes as A
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..callgraph import ParallelContext
 
 
 @dataclass(frozen=True)
@@ -247,6 +250,7 @@ def may_happen_in_parallel(
     a: Optional[MHPInfo],
     b: Optional[MHPInfo],
     unsafe_funcs: Set[str] = frozenset(),
+    contexts: Optional[Dict[str, "ParallelContext"]] = None,
 ) -> bool:
     """Can the two sites execute concurrently within one process?
 
@@ -254,9 +258,49 @@ def may_happen_in_parallel(
     ``False``.  ``unsafe_funcs`` are functions reachable from a parallel
     region or a spawned thread — their region instances can overlap, so
     nothing about them is pruned.
+
+    *contexts* (``Dict[str, ParallelContext]`` from
+    :func:`..callgraph.resolve_parallel_contexts`) upgrades the
+    historical "context unknown" answers for regionless sites.  With it:
+
+    * a regionless site in a context-resolved function is substituted by
+      its unique call site's context and re-checked — the callee body is
+      context-transparent, so it executes exactly as if inlined there;
+    * two regionless sites reached through one *serialized*
+      single-level-region call chain (``omp master`` / serial ``omp
+      single`` around the root call) are executed by one thread per
+      region encounter, and encounters of an outermost region are
+      ordered by its join barrier — provably sequential;
+    * once contexts are known, a (resolved) regionless site belongs to
+      fork-join sequential code, which cannot overlap parallel-region
+      code — provided neither side sits in an ``unsafe_funcs`` member
+      (that set owns spawn-reachability, the only way sequential-looking
+      code runs concurrently).
+
+    Without *contexts* the legacy conservative behaviour is unchanged.
     """
     if a is None or b is None:
         return True
+    if contexts is not None:
+        ca = contexts.get(a.func) if not a.regions else None
+        cb = contexts.get(b.func) if not b.regions else None
+        if (
+            ca is not None
+            and cb is not None
+            and ca.nid == cb.nid
+            and ca.serialized
+            and cb.serialized
+            and len(ca.info.regions) == 1
+        ):
+            return False  # one thread per encounter; encounters ordered
+        ra = ca.info if ca is not None else a
+        rb = cb.info if cb is not None else b
+        if ra.func not in unsafe_funcs and rb.func not in unsafe_funcs:
+            if not ra.regions or not rb.regions:
+                return False  # fork-join: sequential vs anything else
+        if ca is not None or cb is not None:
+            # contexts are fully resolved — one substitution suffices
+            return may_happen_in_parallel(ra, rb, unsafe_funcs)
     if a.func in unsafe_funcs or b.func in unsafe_funcs:
         return True
     if not a.regions or not b.regions:

@@ -61,7 +61,11 @@ def fold_static_value(expr: A.Expr) -> Optional[object]:
     """Best-effort constant folding of an expression.
 
     The one shared folding helper of the static phase: literals,
-    language constants (``MPI_ANY_TAG`` …), and unary minus.  Everything
+    language constants (``MPI_ANY_TAG`` …), unary minus (nested too) and
+    constant arithmetic (``+ - * / %`` with the runtime's C-like
+    truncating semantics — see :meth:`repro.runtime.values._apply`).
+    Division/modulo by zero never folds (the runtime aborts there), and
+    booleans never participate in arithmetic.  Everything
     dataflow-dependent is the job of
     :mod:`repro.analysis.static_.dataflow`.
     """
@@ -77,8 +81,40 @@ def fold_static_value(expr: A.Expr) -> Optional[object]:
         return LANGUAGE_CONSTANTS[expr.ident]
     if isinstance(expr, A.Unary) and expr.op == "-":
         inner = fold_static_value(expr.operand)
-        if isinstance(inner, (int, float)):
+        if _is_number(inner):
             return -inner
+    if isinstance(expr, A.Binary) and expr.op in ("+", "-", "*", "/", "%"):
+        left = fold_static_value(expr.left)
+        right = fold_static_value(expr.right)
+        if _is_number(left) and _is_number(right):
+            return _fold_arith(expr.op, left, right)
+    return None
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _fold_arith(op: str, a, b) -> Optional[object]:
+    """Constant arithmetic with the runtime's C-like semantics."""
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        if b == 0:
+            return None  # the runtime aborts: not a static constant
+        if isinstance(a, int) and isinstance(b, int):
+            q = abs(a) // abs(b)
+            return q if (a >= 0) == (b >= 0) else -q
+        return a / b
+    if op == "%":
+        if b == 0 or not (isinstance(a, int) and isinstance(b, int)):
+            return None  # runtime aborts on zero / non-int operands
+        r = abs(a) % abs(b)
+        return r if a >= 0 else -r
     return None
 
 
@@ -165,9 +201,19 @@ class _SiteCollector:
 
 
 def collect_sites(
-    program: A.Program, interprocedural: bool = True
+    program: A.Program,
+    interprocedural: bool = True,
+    callgraph: Optional[object] = None,
 ) -> List[MPISite]:
-    """All MPI sites in *program*, with hybrid-context classification."""
+    """All MPI sites in *program*, with hybrid-context classification.
+
+    Interprocedural sites additionally inherit the master/critical
+    guards that hold on *every* parallel path into their function (the
+    call-graph guard meet), so the thread-level checker and the
+    MPI-candidate serialization pruning see a funneled helper as
+    funneled.  *callgraph* lets callers share an already-built
+    :class:`..callgraph.CallGraph`.
+    """
     per_func: Dict[str, _SiteCollector] = {}
     for fn in program.functions:
         collector = _SiteCollector(fn)
@@ -182,11 +228,39 @@ def collect_sites(
                     if not site.in_parallel:
                         site.in_parallel = True
                         site.call_chain = tuple(sorted(hybrid_funcs[fname])) + (fname,)
+        _inherit_guards(program, per_func, hybrid_funcs, callgraph)
 
     sites: List[MPISite] = []
     for collector in per_func.values():
         sites.extend(collector.sites)
     return sites
+
+
+def _inherit_guards(
+    program: A.Program,
+    per_func: Dict[str, _SiteCollector],
+    hybrid_funcs: Dict[str, Set[str]],
+    callgraph: Optional[object],
+) -> None:
+    """Merge every-parallel-path guards into interprocedural sites."""
+    if not hybrid_funcs:
+        return
+    from .callgraph import build_callgraph, parallel_guard_contexts
+
+    cg = callgraph if callgraph is not None else build_callgraph(program)
+    inherited = parallel_guard_contexts(cg)
+    for fname, collector in per_func.items():
+        guard = inherited.get(fname)
+        if guard is None or (not guard.in_master and not guard.criticals):
+            continue
+        for site in collector.sites:
+            if site.in_parallel and not site.lexical_parallel:
+                if guard.in_master:
+                    site.in_master = True
+                if guard.criticals:
+                    site.criticals = tuple(
+                        sorted(set(site.criticals) | guard.criticals)
+                    )
 
 
 def functions_called_from_parallel(program: A.Program) -> Set[str]:

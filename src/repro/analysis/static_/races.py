@@ -40,7 +40,11 @@ false positives.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .callgraph import CallSite, ParallelContext
+    from .summaries import LinForm, SummaryTable
 
 from ...minilang import ast_nodes as A
 from ...mpi.constants import LANGUAGE_CONSTANTS
@@ -66,8 +70,11 @@ PRUNE_RACE_MHP = "race-mhp"
 PRUNE_RACE_LOCK = "race-lock"
 PRUNE_RACE_GUARD = "race-guard"
 PRUNE_RACE_SUBSCRIPT = "race-subscript"
+#: subscript-disjointness prune of a pair with a summary-instantiated side
+PRUNE_RACE_INTERPROC = "race-interproc"
 RACE_PRUNE_KINDS = (
     PRUNE_RACE_MHP, PRUNE_RACE_LOCK, PRUNE_RACE_GUARD, PRUNE_RACE_SUBSCRIPT,
+    PRUNE_RACE_INTERPROC,
 )
 
 #: guard token for ``omp atomic`` (one process-wide lock at runtime)
@@ -107,14 +114,24 @@ class AccessSite:
     in_master: bool = False
     #: (omp single nid, encounters-serial) of the innermost single
     single: Optional[Tuple[int, bool]] = None
+    #: interval linear form ``(sym, coeff, lo, hi)`` of the subscript —
+    #: set on summary-instantiated sites, where ``subscript`` is None
+    lin: Optional[Tuple[Optional[str], int, int, int]] = None
+    #: callee the access was instantiated from (None: lexical access)
+    via: Optional[str] = None
 
     @property
     def kind(self) -> str:
         return "write" if self.is_write else "read"
 
     def describe(self) -> str:
-        sub = "[...]" if self.is_array and self.subscript is not None else ""
-        return f"{self.kind} of {self.var}{sub} at {self.func}:{self.loc}"
+        sub = "[...]" if self.is_array and (
+            self.subscript is not None or self.lin is not None
+        ) else ""
+        where = f"{self.func}:{self.loc}"
+        if self.via:
+            where = f"{self.via}:{self.loc} (called from {self.func})"
+        return f"{self.kind} of {self.var}{sub} at {where}"
 
 
 @dataclass
@@ -159,6 +176,11 @@ class StaticRaceReport:
     accesses: List[AccessSite] = field(default_factory=list)
     #: interprocedural array accesses delegated to the dynamic phase
     unresolved: List[AccessSite] = field(default_factory=list)
+    #: formerly-unresolved accesses fully covered by summary
+    #: instantiation (every parallel path analyzed statically)
+    resolved_interproc: List[AccessSite] = field(default_factory=list)
+    #: count of summary-instantiated access sites that joined pairing
+    instantiated_sites: int = 0
     pruned: Dict[str, int] = field(
         default_factory=lambda: make_prune_dict(RACE_PRUNE_KINDS)
     )
@@ -178,7 +200,7 @@ class StaticRaceReport:
 
     def as_dict(self) -> Dict[str, object]:
         def site(s: AccessSite) -> Dict[str, object]:
-            return {
+            row: Dict[str, object] = {
                 "var": s.var,
                 "kind": s.kind,
                 "func": s.func,
@@ -186,6 +208,9 @@ class StaticRaceReport:
                 "array": s.is_array,
                 "interprocedural": s.region is None,
             }
+            if s.via is not None:
+                row["via"] = s.via
+            return row
 
         return {
             "candidates": [
@@ -201,6 +226,10 @@ class StaticRaceReport:
             "monitored_vars": sorted(self.monitored_vars),
             "accesses": len(self.accesses),
             "unresolved": [site(s) for s in self.unresolved],
+            "interproc": {
+                "resolved": [site(s) for s in self.resolved_interproc],
+                "instantiated_sites": self.instantiated_sites,
+            },
             "regions": [
                 {
                     "func": r.func,
@@ -568,6 +597,27 @@ def _linear_form(
     return None
 
 
+def _interval_form(
+    site: AccessSite,
+) -> Optional[Tuple[Optional[str], int, int, int]]:
+    """``(sym, coeff, lo, hi)``: the subscript is ``coeff*sym + d`` with
+    ``d`` in ``[lo, hi]``.  Lexical sites derive a point interval from
+    their raw subscript; summary-instantiated sites carry ``lin``."""
+    if site.lin is not None:
+        return site.lin
+    form = _linear_form(site.subscript, site.loop_var)
+    if form is None:
+        return None
+    sym, coeff, offset = form
+    return (sym, coeff, offset, offset)
+
+
+def _nonzero_multiple_in(coeff: int, lo: int, hi: int) -> bool:
+    """Is some nonzero multiple of ``coeff`` inside ``[lo, hi]``?"""
+    magnitude = abs(coeff)
+    return hi // magnitude >= 1 or -((-lo) // magnitude) <= -1
+
+
 def _subscripts_disjoint(
     a: AccessSite,
     b: AccessSite,
@@ -575,20 +625,28 @@ def _subscripts_disjoint(
     mhp_b: Optional[MHPInfo],
     overlap_unsafe: bool,
 ) -> bool:
-    """Can the two element accesses provably never touch one address?"""
-    fa = _linear_form(a.subscript, a.loop_var)
-    fb = _linear_form(b.subscript, b.loop_var)
+    """Can the two element accesses provably never touch one address?
+
+    Generalized over interval forms: ``c*sym + [lo, hi]``.  Two same-
+    symbol forms with equal nonzero coefficient collide only when
+    ``c * (i - i')`` can equal some delta difference, i.e. when a
+    nonzero multiple of ``c`` falls in ``[lo_b - hi_a, hi_b - lo_a]``
+    (the zero multiple is the same iteration/thread — program-ordered).
+    Point forms reduce to the historical ZIV/SIV tests.
+    """
+    fa = _interval_form(a)
+    fb = _interval_form(b)
     if fa is None or fb is None:
         return False
-    (sa, ca, oa), (sb, cb, ob) = fa, fb
+    (sa, ca, la, ha), (sb, cb, lb, hb) = fa, fb
     if sa is None and sb is None:
-        return oa != ob  # ZIV: two distinct constant elements
+        return ha < lb or hb < la  # ZIV: disjoint constant ranges
     if overlap_unsafe:
         return False  # overlapping region instances repeat the symbols
     if sa == _SYM_LOOP and sb == _SYM_LOOP:
-        # SIV within one omp for: iteration i only touches c*i+o, and
-        # distinct iterations run on threads whose accesses may overlap
-        # — identical nonzero-coefficient forms are iteration-disjoint.
+        # SIV within one omp for: iteration i only touches c*i+[lo,hi],
+        # and only cross-iteration overlap races (same iteration = same
+        # thread = program order).
         return (
             a.omp_for is not None
             and a.omp_for == b.omp_for
@@ -596,10 +654,10 @@ def _subscripts_disjoint(
             and b.omp_for_serial
             and ca == cb
             and ca != 0
-            and oa == ob
+            and not _nonzero_multiple_in(ca, lb - ha, hb - la)
         )
     if sa == _SYM_TID and sb == _SYM_TID:
-        # each thread of one team owns its c*tid+o element
+        # each thread of one team owns its c*tid+[lo,hi] slice
         return (
             mhp_a is not None
             and mhp_b is not None
@@ -607,7 +665,7 @@ def _subscripts_disjoint(
             and mhp_a.regions == mhp_b.regions
             and ca == cb
             and ca != 0
-            and oa == ob
+            and not _nonzero_multiple_in(ca, lb - ha, hb - la)
         )
     return False
 
@@ -643,7 +701,10 @@ def _serialized_by_construct(
 def _pair_reason(a: AccessSite, b: AccessSite) -> str:
     kinds = f"{a.kind}/{b.kind}"
     if a.is_array or b.is_array:
-        if a.subscript is not None and b.subscript is not None:
+        def has_element(s: AccessSite) -> bool:
+            return s.subscript is not None or s.lin is not None
+
+        if has_element(a) and has_element(b):
             detail = "subscripts not provably disjoint"
         else:
             detail = "whole-array use overlaps element accesses"
@@ -652,6 +713,9 @@ def _pair_reason(a: AccessSite, b: AccessSite) -> str:
         reason = f"unsynchronized {kinds} of shared variable"
     if a.region is None or b.region is None:
         reason += "; reached from a parallel region"
+    via = sorted({v for v in (a.via, b.via) if v})
+    if via:
+        reason += "; instantiated from " + ", ".join(via)
     return reason
 
 
@@ -659,12 +723,24 @@ def find_races(
     program: A.Program,
     cfgs: Optional[Dict[str, C.CFG]] = None,
     unsafe_funcs: Optional[Set[str]] = None,
+    summaries: Optional["SummaryTable"] = None,
+    interprocedural: bool = True,
 ) -> StaticRaceReport:
     """Run the full static race pass over *program*.
 
     With *cfgs* supplied, the must-held lock-state analysis widens each
     access's lexical guard set path-sensitively (a user lock taken three
     statements earlier still serializes).
+
+    With *summaries* (or by default, computed on the fly while
+    *interprocedural* is true), every parallel call site instantiates
+    the callee's parameterized array accesses under the caller context,
+    so previously-``unresolved`` interprocedural accesses join pairing
+    with interval subscript forms, and the MHP test uses resolved
+    call-site contexts for regionless sites.  Unresolved accesses whose
+    every parallel path was analyzed move to ``resolved_interproc``;
+    anything that escaped instantiation anywhere stays delegated to the
+    dynamic phase.
     """
     unsafe = (
         set(unsafe_funcs)
@@ -673,6 +749,11 @@ def find_races(
     )
     mhp = compute_mhp(program, record_all=True, implicit_ws_barriers=True)
     globals_ = {decl.name: decl.is_array for decl in program.globals}
+
+    if summaries is None and interprocedural:
+        from .summaries import compute_summaries
+
+        summaries = compute_summaries(program)
 
     report = StaticRaceReport()
     user_funcs = frozenset(fn.name for fn in program.functions)
@@ -684,6 +765,13 @@ def find_races(
         report.regions.extend(walker.regions)
         if cfgs and fn.name in cfgs and walker.accesses:
             _widen_guards(walker.accesses, cfgs[fn.name], user_funcs)
+
+    contexts = None
+    if summaries is not None:
+        from .callgraph import resolve_parallel_contexts
+
+        contexts = resolve_parallel_contexts(summaries.callgraph, mhp)
+        _instantiate_summaries(report, summaries, cfgs, user_funcs)
 
     by_key: Dict[Tuple[str, str], List[AccessSite]] = {}
     for site in report.accesses:
@@ -697,8 +785,109 @@ def find_races(
                 a, b = sites[i], sites[j]
                 if not (a.is_write or b.is_write):
                     continue
-                _check_pair(report, key, a, b, mhp, unsafe)
+                _check_pair(report, key, a, b, mhp, unsafe, contexts)
     return report
+
+
+def _instantiate_summaries(
+    report: StaticRaceReport,
+    table: "SummaryTable",
+    cfgs: Optional[Dict[str, C.CFG]],
+    user_funcs: FrozenSet[str],
+) -> None:
+    """Materialize summary accesses at parallel call sites and settle
+    which unresolved accesses are now fully covered."""
+    cg = table.callgraph
+    instantiated: Dict[int, int] = {}
+    escaped = set(table.escaped)
+    by_caller: Dict[str, List[AccessSite]] = {}
+
+    for cs in cg.sites:
+        if cs.region is None or cs.spawned:
+            continue
+        summary = table.summary_for(cs.callee)
+        if summary is None:
+            continue
+        for acc in summary.accesses:
+            lin = _instantiate_form(acc.form, summary.params, cs)
+            if lin is None:
+                escaped.add(acc.nid)
+                continue
+            site = AccessSite(
+                nid=cs.nid,
+                var=acc.var,
+                key=acc.key,
+                is_write=acc.is_write,
+                func=cs.caller,
+                loc=acc.loc,
+                region=cs.region,
+                is_array=True,
+                subscript=None,
+                omp_for=cs.omp_for,
+                loop_var=cs.loop_var,
+                omp_for_serial=cs.omp_for_serial,
+                guards=acc.guards | cs.guards,
+                in_master=cs.in_master,
+                single=cs.single,
+                lin=lin,
+                via=acc.func,
+            )
+            instantiated[acc.nid] = instantiated.get(acc.nid, 0) + 1
+            by_caller.setdefault(cs.caller, []).append(site)
+
+    for fname, sites in by_caller.items():
+        # must-held locks at the call statement persist through the call
+        # only when the whole callee chain leaves lock state alone
+        if cfgs and fname in cfgs:
+            transparent = [
+                s for s in sites if s.via in table.lock_transparent
+            ]
+            if transparent:
+                _widen_guards(transparent, cfgs[fname], user_funcs)
+        report.accesses.extend(sites)
+        report.instantiated_sites += len(sites)
+
+    still_unresolved: List[AccessSite] = []
+    for site in report.unresolved:
+        covered = (
+            instantiated.get(site.nid, 0) >= 1
+            and site.nid not in escaped
+            and site.func not in cg.spawn_reachable
+            and site.func not in cg.recursive
+        )
+        if covered:
+            report.resolved_interproc.append(site)
+        else:
+            still_unresolved.append(site)
+    report.unresolved = still_unresolved
+
+
+def _instantiate_form(
+    form: "LinForm",
+    params: Tuple[str, ...],
+    cs: "CallSite",
+) -> Optional[Tuple[Optional[str], int, int, int]]:
+    """Rewrite a callee-parameter form under the call-site context."""
+    from .summaries import TID_BASE
+
+    if form.base is None:
+        return (None, 0, form.lo, form.hi)
+    if form.base == TID_BASE:
+        return (_SYM_TID, form.coeff, form.lo, form.hi)
+    try:
+        position = params.index(form.base)
+    except ValueError:
+        return None
+    if position >= len(cs.args):
+        return None
+    arg = _linear_form(cs.args[position], cs.loop_var)
+    if arg is None:
+        return None
+    sym, arg_coeff, arg_offset = arg
+    shift = form.coeff * arg_offset
+    if sym is None:
+        return (None, 0, shift + form.lo, shift + form.hi)
+    return (sym, form.coeff * arg_coeff, shift + form.lo, shift + form.hi)
 
 
 def _widen_guards(
@@ -743,9 +932,10 @@ def _check_pair(
     b: AccessSite,
     mhp: Dict[int, MHPInfo],
     unsafe: Set[str],
+    contexts: Optional[Dict[str, "ParallelContext"]] = None,
 ) -> None:
     mhp_a, mhp_b = mhp.get(a.nid), mhp.get(b.nid)
-    if not may_happen_in_parallel(mhp_a, mhp_b, unsafe):
+    if not may_happen_in_parallel(mhp_a, mhp_b, unsafe, contexts):
         report.count_prune(PRUNE_RACE_MHP)
         return
     if a.guards & b.guards:
@@ -758,11 +948,13 @@ def _check_pair(
     if (
         a.is_array
         and b.is_array
-        and a.subscript is not None
-        and b.subscript is not None
+        and (a.subscript is not None or a.lin is not None)
+        and (b.subscript is not None or b.lin is not None)
         and _subscripts_disjoint(a, b, mhp_a, mhp_b, overlap_unsafe)
     ):
-        report.count_prune(PRUNE_RACE_SUBSCRIPT)
+        report.count_prune(
+            PRUNE_RACE_INTERPROC if (a.via or b.via) else PRUNE_RACE_SUBSCRIPT
+        )
         return
     scope, var = key
     report.candidates.append(

@@ -16,21 +16,28 @@ from .instrument import InstrumentationResult, InstrumentPolicy, instrument_prog
 from .mpi_sites import MPISite, collect_sites
 from .prunes import prune_summary
 from .races import StaticRaceReport, find_races
+from .summaries import SummaryTable, compute_summaries
 from .threadlevel import StaticWarning, ThreadLevelInfo, check_thread_level, infer_thread_level
 
 #: version of the ``repro static --json`` payload.  Bumped whenever a
 #: section is added or reshaped so downstream consumers can detect
 #: reports newer than themselves (mirror of the campaign checkpoint
 #: ``schema_version`` pattern).  Version 2 added the ``schema_version``
-#: field itself and the ``collectives`` divergence section.
-STATIC_REPORT_SCHEMA_VERSION = 2
+#: field itself and the ``collectives`` divergence section.  Version 3
+#: added the ``interproc`` summary section and reshaped ``prunes`` from
+#: a flat merge into uniform per-pass sub-dicts
+#: (``{"dataflow": .., "races": .., "collectives": .., "total": N}``).
+STATIC_REPORT_SCHEMA_VERSION = 3
 
-#: top-level sections a version-2 report may contain
+#: top-level sections a version-3 report may contain
 KNOWN_REPORT_SECTIONS = frozenset({
     "schema_version", "program", "thread_level", "sites", "instrumentation",
     "checklist_entries", "candidates", "candidate_counts", "dataflow",
-    "races", "collectives", "prunes",
+    "races", "collectives", "prunes", "interproc",
 })
+
+#: per-pass sub-keys of the version-3 ``prunes`` section
+PRUNE_SECTIONS = ("dataflow", "races", "collectives")
 
 
 def check_report_schema(payload: Dict[str, object]) -> List[str]:
@@ -53,9 +60,22 @@ def check_report_schema(payload: Dict[str, object]) -> List[str]:
             f"static report schema_version {version} != supported "
             f"{STATIC_REPORT_SCHEMA_VERSION}; unknown sections are ignored"
         )
+        if isinstance(version, int) and version < 3:
+            warnings.append(
+                "pre-v3 'prunes' is a flat merged dict; per-pass "
+                "sub-sections and the 'interproc' section will be absent"
+            )
     for section in payload:
         if section not in KNOWN_REPORT_SECTIONS:
             warnings.append(f"ignoring unknown report section {section!r}")
+    prunes = payload.get("prunes")
+    if version == STATIC_REPORT_SCHEMA_VERSION and isinstance(prunes, dict):
+        missing = [k for k in (*PRUNE_SECTIONS, "total") if k not in prunes]
+        if missing:
+            warnings.append(
+                f"v{version} 'prunes' section lacks {missing}; "
+                "treating absent passes as zero-count"
+            )
     return warnings
 
 
@@ -77,6 +97,8 @@ class StaticReport:
     races: Optional[StaticRaceReport] = None
     #: collective-matching / barrier-divergence pass (None when disabled)
     collectives: Optional[CollectiveDivergenceReport] = None
+    #: interprocedural function-summary layer (None when disabled)
+    summaries: Optional[SummaryTable] = None
 
     @property
     def hybrid_sites(self) -> List[MPISite]:
@@ -84,8 +106,10 @@ class StaticReport:
 
     def prune_counts(self) -> Dict[str, int]:
         """Per-category prune counters with the dataflow, race and
-        divergence passes merged — the single place CLI/JSON consumers
-        read them from."""
+        divergence passes merged flat — kept for the CLI text rendering
+        and in-process consumers (category names never collide across
+        passes).  The JSON payload nests the same counters per pass
+        under ``prunes``."""
         counts: Dict[str, int] = {}
         if self.dataflow_facts is not None:
             counts.update(self.dataflow_facts.pruned)
@@ -94,6 +118,21 @@ class StaticReport:
         if self.collectives is not None:
             counts.update(self.collectives.pruned)
         return counts
+
+    def prune_sections(self) -> Dict[str, object]:
+        """Version-3 ``prunes`` payload: uniform per-pass counter dicts
+        plus the grand total."""
+        sections: Dict[str, object] = {
+            "dataflow": {} if self.dataflow_facts is None
+            else dict(self.dataflow_facts.pruned),
+            "races": {} if self.races is None else dict(self.races.pruned),
+            "collectives": {} if self.collectives is None
+            else dict(self.collectives.pruned),
+        }
+        sections["total"] = sum(
+            sum(counts.values()) for counts in sections.values()
+        )
+        return sections
 
     def summary(self) -> str:
         lines = [
@@ -218,21 +257,40 @@ class StaticReport:
             "collectives": None
             if self.collectives is None
             else self.collectives.as_dict(),
-            #: merged per-prune counters (dataflow + race + divergence
-            #: passes), always present so JSON consumers need no
-            #: per-section probing
-            "prunes": self.prune_counts(),
+            "interproc": None
+            if self.summaries is None
+            else {
+                "functions": len(self.summaries.functions),
+                "opaque": sorted(
+                    name
+                    for name, s in self.summaries.functions.items()
+                    if s.opaque
+                ),
+                "recursive": sorted(self.summaries.callgraph.recursive),
+                "lock_transparent": sorted(self.summaries.lock_transparent),
+                "escaped_accesses": len(self.summaries.escaped),
+                "tainted_returns": sorted(self.summaries.ret_tainted),
+            },
+            #: per-pass prune counters (dataflow / races / collectives)
+            #: plus the grand total, always present so JSON consumers
+            #: need no per-section probing
+            "prunes": self.prune_sections(),
         }
 
 
-#: memoization of :func:`run_static_analysis`, keyed on program
-#: *identity* plus the analysis options.  Retry loops, campaign
-#: matrices and benchmarks call ``Home.prepare`` repeatedly on the very
-#: same AST object; the analysis is pure and the AST is treated as
-#: immutable everywhere (the interpreter never mutates it), so the
-#: report can be shared.  Entries hold a strong reference to the
-#: program, which both bounds staleness (LRU eviction) and guarantees
-#: the ``id()`` key cannot be reused while the entry lives.
+#: memoization of :func:`run_static_analysis`, keyed on the program's
+#: root node id (``program.nid``) plus the analysis options.  Retry
+#: loops, campaign matrices and benchmarks call ``Home.prepare``
+#: repeatedly on the very same AST object; the analysis is pure and the
+#: AST is treated as immutable everywhere (the interpreter never
+#: mutates it), so the report can be shared.  ``nid`` comes from the
+#: process-global node counter and is never reused, unlike ``id()``,
+#: whose values recycle as soon as a program is garbage-collected —
+#: building and dropping programs in a loop must never alias cache
+#: entries.  (A weakref key is impossible: ``Node.__slots__`` carries
+#: no ``__weakref__``.)  Entries still hold a strong reference to the
+#: program so the report's AST back-references stay alive, and the
+#: identity check below is belt-and-braces.
 _STATIC_CACHE: "OrderedDict[tuple, Tuple[A.Program, StaticReport]]" = OrderedDict()
 _STATIC_CACHE_CAPACITY = 8
 
@@ -250,6 +308,7 @@ def run_static_analysis(
     dataflow: bool = True,
     races: bool = True,
     collectives: bool = True,
+    summaries: bool = True,
     cache: bool = True,
 ) -> StaticReport:
     """The full compile-time phase of HOME (paper Fig. 3, left column).
@@ -259,14 +318,17 @@ def run_static_analysis(
     variable set of the instrumented program (race-directed narrowing).
     ``collectives`` adds the PARCOACH-family collective-matching pass;
     its candidate sites narrow the dynamic collective confirm pass the
-    same way.
+    same way.  ``summaries`` computes the context-sensitive
+    interprocedural function-summary layer once and shares it with
+    every consumer pass (races, MHP facts, lock state, collectives).
 
-    Results are memoized on program identity (pass ``cache=False`` to
-    force a fresh analysis, e.g. when benchmarking the phase itself).
+    Results are memoized on the program's root node id (pass
+    ``cache=False`` to force a fresh analysis, e.g. when benchmarking
+    the phase itself).
     """
     key = (
-        id(program), policy, interprocedural, with_cfgs, dataflow, races,
-        collectives,
+        program.nid, policy, interprocedural, with_cfgs, dataflow, races,
+        collectives, summaries,
     )
     if cache:
         hit = _STATIC_CACHE.get(key)
@@ -275,7 +337,7 @@ def run_static_analysis(
             return hit[1]
     report = _run_static_analysis(
         program, policy, interprocedural, with_cfgs, dataflow, races,
-        collectives,
+        collectives, summaries,
     )
     if cache:
         _STATIC_CACHE[key] = (program, report)
@@ -292,17 +354,36 @@ def _run_static_analysis(
     dataflow: bool,
     races: bool,
     collectives: bool,
+    summaries: bool = True,
 ) -> StaticReport:
-    sites = collect_sites(program, interprocedural=interprocedural)
+    callgraph = None
+    if summaries and (dataflow or races or collectives):
+        from .callgraph import build_callgraph
+
+        callgraph = build_callgraph(program)
+    sites = collect_sites(
+        program, interprocedural=interprocedural, callgraph=callgraph
+    )
     warnings = check_thread_level(program, sites)
     need_cfgs = with_cfgs or dataflow or races or collectives
     cfgs = build_program_cfgs(program) if need_cfgs else {}
-    facts = compute_dataflow(program, cfgs, sites) if dataflow else None
+    table = (
+        compute_summaries(program, callgraph=callgraph, cfgs=cfgs)
+        if callgraph is not None
+        else None
+    )
+    facts = (
+        compute_dataflow(program, cfgs, sites, summaries=table)
+        if dataflow
+        else None
+    )
     race_report = (
         find_races(
             program,
             cfgs,
             unsafe_funcs=facts.unsafe_funcs if facts is not None else None,
+            summaries=table,
+            interprocedural=table is not None,
         )
         if races
         else None
@@ -313,6 +394,7 @@ def _run_static_analysis(
             cfgs,
             sites=sites,
             unsafe_funcs=facts.unsafe_funcs if facts is not None else None,
+            summaries=table,
         )
         if collectives
         else None
@@ -338,4 +420,5 @@ def _run_static_analysis(
         dataflow_facts=facts,
         races=race_report,
         collectives=collective_report,
+        summaries=table,
     )

@@ -6,6 +6,13 @@ This is the compile-time half of the Initialization-Violation rule: a
 program that requests ``MPI_THREAD_SINGLE`` (or calls plain
 ``MPI_Init``) yet performs MPI calls inside ``omp parallel`` regions is
 statically unsafe — no execution is needed to know it.
+
+The check is interprocedural for free: :func:`~.mpi_sites.collect_sites`
+marks sites in functions reachable from parallel regions as hybrid and
+merges the master/critical guards holding on *every* parallel path into
+their function (the call-graph guard meet), so an MPI call reached only
+via a helper is checked for funneled/serialized compliance exactly like
+a lexical one.
 """
 
 from __future__ import annotations

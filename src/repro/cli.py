@@ -222,6 +222,7 @@ def cmd_static(args: argparse.Namespace) -> int:
         dataflow=not args.no_dataflow,
         races=not args.no_races,
         collectives=not args.no_collectives,
+        summaries=not args.no_summaries,
     )
     if args.json:
         print(json.dumps(report.as_dict(), indent=2))
@@ -295,6 +296,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         from .workloads.npb import build_divergent_npb
 
         program = build_divergent_npb(fixed=args.clean)
+    elif args.npb == "ip":
+        from .workloads.npb import build_interproc_npb
+
+        program = build_interproc_npb(fixed=args.clean)
     elif args.npb:
         from .workloads.npb import BENCHMARKS
 
@@ -496,6 +501,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the static collective-matching / barrier-divergence pass",
     )
+    p.add_argument(
+        "--no-summaries",
+        action="store_true",
+        help="skip the context-sensitive interprocedural summary layer",
+    )
     p.set_defaults(func=cmd_static)
 
     p = sub.add_parser("run", help="execute a program without checking")
@@ -514,10 +524,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("file", nargs="?", default=None,
                    help="mini-language program (or use --npb)")
-    p.add_argument("--npb", choices=("lu", "bt", "sp", "ft", "div"),
+    p.add_argument("--npb", choices=("lu", "bt", "sp", "ft", "div", "ip"),
                    help="campaign over a built-in NPB multi-zone variant "
                         "(ft = the fault-tolerant error-path pair, "
-                        "div = the collective-divergence pair)")
+                        "div = the collective-divergence pair, "
+                        "ip = the interprocedural helper-chain pair)")
     p.add_argument("--clean", action="store_true",
                    help="with --npb: use the violation-free variant")
     p.add_argument("--seeds", type=int, default=4,

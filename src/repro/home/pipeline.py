@@ -63,6 +63,9 @@ class HomeOptions:
     #: monitoring to its candidate sites (divergence-directed narrowing,
     #: the PARCOACH collective-matching family)
     collectives: bool = True
+    #: compute context-sensitive interprocedural function summaries and
+    #: share them with every static pass (races, MHP, locks, collectives)
+    summaries: bool = True
     #: per-access charge while race-directed memory monitoring is on;
     #: the ITC model's unit cost, so overhead comparisons are per-event
     #: fair — HOME just monitors far fewer events
@@ -189,6 +192,7 @@ class Home(CheckingTool):
             dataflow=self.options.dataflow,
             races=self.options.races,
             collectives=self.options.collectives,
+            summaries=self.options.summaries,
         )
         return static.instrumented_program, static
 

@@ -15,6 +15,12 @@ from .divergence import (  # noqa: F401
     divergent_npb_source,
 )
 from .ft_mz import FT_SPEC, build_ft_mz, ft_mz_source  # noqa: F401
+from .interproc import (  # noqa: F401
+    INTERPROC_CLASS_FUNCS,
+    build_interproc_npb,
+    interproc_npb_source,
+    interproc_registry,
+)
 from .lu_mz import LU_SPEC, build_lu_mz, lu_mz_source  # noqa: F401
 from .races import (  # noqa: F401
     RACE_CLASSES,
@@ -66,4 +72,8 @@ __all__ = [
     "DIVERGENCE_CLASSES",
     "build_divergent_npb",
     "divergent_npb_source",
+    "INTERPROC_CLASS_FUNCS",
+    "build_interproc_npb",
+    "interproc_npb_source",
+    "interproc_registry",
 ]

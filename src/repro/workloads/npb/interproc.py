@@ -1,0 +1,312 @@
+"""NPB kernels whose injected violations hide behind helper-call chains.
+
+Same methodology as the lexical injections of :mod:`.common`, but every
+violating MPI operation (and the data-race write) sits in a *leaf*
+helper reached through a two- or three-deep call chain from the
+``omp parallel`` region — the shape the context-sensitive
+interprocedural summary layer exists for.  A purely lexical static
+phase sees none of these sites as hybrid, pairs no candidates, and
+resolves no subscripts; with the call-graph + summary layer every
+class is reported statically and confirmed dynamically:
+
+* **concurrent recv / request / probe** — the MPI call is in
+  ``ip_*_leaf``, invoked via ``ip_*_mid`` from a parallel region in the
+  ``ip_*`` entry;
+* **collective** — ``mpi_barrier`` two calls down from the team fork
+  (the collective-divergence pass splices the leaf's color into the
+  caller's sequence);
+* **finalization** — ``mpi_finalize`` reached from a thread-dependent
+  branch through the chain;
+* **initialization** — the injected variant requests
+  ``MPI_THREAD_SERIALIZED`` although its helper chains perform
+  concurrent MPI calls;
+* **data race** — ``ip_race_leaf`` writes ``rdata[i]`` under a formal
+  parameter subscript; the racy chain pins ``i = 0`` for every thread,
+  the fixed chain passes the thread id (the summary instantiation
+  proves the elements disjoint, so the fixed twin monitors nothing).
+
+``build_interproc_npb(..., fixed=True)`` generates the funneled twin of
+every injection — MPI funneled through ``omp master`` (the serialized
+chain the MHP context resolution prunes), finalize after the join,
+thread-disjoint race subscripts.  The static phase must report zero
+candidates and the dynamic confirm pass zero violations on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ...minilang import Program, ast_nodes as A, parse
+from ...violations.spec import (
+    COLLECTIVE,
+    CONCURRENT_RECV,
+    CONCURRENT_REQUEST,
+    FINALIZATION,
+    INITIALIZATION,
+    PROBE,
+)
+from .common import InjectionInfo, NPBSpec, _base_functions, _main_loop
+from .lu_mz import LU_SPEC
+
+#: dynamic class of the interprocedural race injection
+DATA_RACE = "DataRace"
+
+#: violation class -> (leaf, mid, entry) helper chain, entry last
+INTERPROC_CLASS_FUNCS: Dict[str, Tuple[str, ...]] = {
+    CONCURRENT_RECV: ("ip_recv_leaf", "ip_recv_mid", "ip_recv"),
+    CONCURRENT_REQUEST: ("ip_wait_leaf", "ip_wait_mid", "ip_wait"),
+    PROBE: ("ip_probe_leaf", "ip_probe_mid", "ip_probe"),
+    COLLECTIVE: ("ip_coll_leaf", "ip_coll_mid", "ip_coll"),
+    FINALIZATION: ("ip_fin_leaf", "ip_fin_mid", "ip_fin"),
+    DATA_RACE: ("ip_race_leaf", "ip_race_mid", "ip_race"),
+}
+
+
+def _interproc_functions(fixed: bool) -> str:
+    """The injected helper chains (or their funneled/disjoint twins)."""
+    # concurrent recv: two messages, two threads receiving through the
+    # chain (fixed: one master thread drains both)
+    recv_body = (
+        """
+        omp master {
+            ip_recv_mid(partner);
+            ip_recv_mid(partner);
+        }"""
+        if fixed
+        else """
+        ip_recv_mid(partner);"""
+    )
+    # concurrent request: both threads wait on the one request (fixed:
+    # only the master waits, once)
+    wait_body = (
+        """
+        omp master {
+            ip_wait_mid(req);
+        }"""
+        if fixed
+        else """
+        ip_wait_mid(req);"""
+    )
+    probe_body = (
+        """
+        omp master {
+            ip_probe_mid(partner);
+            ip_probe_mid(partner);
+        }"""
+        if fixed
+        else """
+        ip_probe_mid(partner);"""
+    )
+    coll_body = (
+        """
+        omp master {
+            ip_coll_mid();
+        }
+        omp barrier;"""
+        if fixed
+        else """
+        ip_coll_mid();"""
+    )
+    fin_par = (
+        ""
+        if fixed
+        else """
+        if (omp_get_thread_num() == 1) {
+            ip_fin_mid();
+        }"""
+    )
+    fin_after = (
+        """
+    ip_fin_mid();"""
+        if fixed
+        else ""
+    )
+    # racy chain collapses every thread onto element 0; the fixed chain
+    # fans threads out by id (summary-provably disjoint)
+    race_mid_arg = "t" if fixed else "0"
+    return f"""
+func ip_recv_leaf(partner) {{
+    var lbuf[2];
+    mpi_recv(lbuf, 1, partner, 71, MPI_COMM_WORLD);
+    return 0;
+}}
+
+func ip_recv_mid(partner) {{
+    ip_recv_leaf(partner);
+    return 0;
+}}
+
+func ip_recv(rank, size) {{
+    var partner = rank + 1 - 2 * (rank % 2);
+    var sbuf[2];
+    mpi_send(sbuf, 1, partner, 71, MPI_COMM_WORLD);
+    mpi_send(sbuf, 1, partner, 71, MPI_COMM_WORLD);
+    omp parallel num_threads(2) {{{recv_body}
+    }}
+    return 0;
+}}
+
+func ip_wait_leaf(r) {{
+    mpi_wait(r);
+    return 0;
+}}
+
+func ip_wait_mid(r) {{
+    ip_wait_leaf(r);
+    return 0;
+}}
+
+func ip_wait(rank, size) {{
+    var partner = rank + 1 - 2 * (rank % 2);
+    var sbuf[2];
+    var rbuf[2];
+    compute(400);
+    mpi_send(sbuf, 1, partner, 72, MPI_COMM_WORLD);
+    var req = mpi_irecv(rbuf, 1, partner, 72, MPI_COMM_WORLD);
+    omp parallel num_threads(2) {{{wait_body}
+    }}
+    return 0;
+}}
+
+func ip_probe_leaf(partner) {{
+    var pbuf[2];
+    var got = 0;
+    while (got == 0) {{
+        got = mpi_iprobe(partner, 73, MPI_COMM_WORLD);
+        compute(1);
+    }}
+    mpi_recv(pbuf, 1, partner, 73, MPI_COMM_WORLD);
+    return 0;
+}}
+
+func ip_probe_mid(partner) {{
+    ip_probe_leaf(partner);
+    return 0;
+}}
+
+func ip_probe(rank, size) {{
+    var partner = rank + 1 - 2 * (rank % 2);
+    var sbuf[2];
+    mpi_send(sbuf, 1, partner, 73, MPI_COMM_WORLD);
+    mpi_send(sbuf, 1, partner, 73, MPI_COMM_WORLD);
+    omp parallel num_threads(2) {{{probe_body}
+    }}
+    return 0;
+}}
+
+func ip_coll_leaf() {{
+    mpi_barrier(MPI_COMM_WORLD);
+    return 0;
+}}
+
+func ip_coll_mid() {{
+    ip_coll_leaf();
+    return 0;
+}}
+
+func ip_coll(rank, size) {{
+    omp parallel num_threads(2) {{{coll_body}
+    }}
+    return 0;
+}}
+
+func ip_race_leaf(i) {{
+    rdata[i] = rdata[i] + 1.0;
+    return 0;
+}}
+
+func ip_race_mid(t) {{
+    ip_race_leaf({race_mid_arg});
+    return 0;
+}}
+
+func ip_race() {{
+    omp parallel num_threads(2) {{
+        ip_race_mid(omp_get_thread_num());
+    }}
+    return 0;
+}}
+
+func ip_fin_leaf() {{
+    mpi_finalize();
+    return 0;
+}}
+
+func ip_fin_mid() {{
+    ip_fin_leaf();
+    return 0;
+}}
+
+func ip_fin(rank) {{
+    omp parallel num_threads(2) {{{fin_par}
+    }}{fin_after}
+    return 0;
+}}
+"""
+
+
+def interproc_npb_source(spec: NPBSpec = LU_SPEC, fixed: bool = False) -> str:
+    """An NPB kernel (clean MPI behaviour) plus helper-chain injections."""
+    suffix = "_funneled" if fixed else "_interproc"
+    spec = NPBSpec(**{**spec.__dict__, "name": spec.name + suffix})
+    # the injected variant under-requests the thread level (the V1
+    # initialization violation, reached only via helper-chain MPI)
+    level = "MPI_THREAD_MULTIPLE" if fixed else "MPI_THREAD_SERIALIZED"
+    parts = [
+        f"program {spec.name};",
+        "var rdata[4];",
+        _base_functions(spec),
+        _interproc_functions(fixed),
+        f"""
+func main() {{
+    var provided = mpi_init_thread({level});
+    var rank = mpi_comm_rank(MPI_COMM_WORLD);
+    var size = mpi_comm_size(MPI_COMM_WORLD);
+{_main_loop(spec)}
+    ip_race();
+    if (size >= 2) {{
+        ip_recv(rank, size);
+        ip_wait(rank, size);
+        ip_probe(rank, size);
+    }}
+    ip_coll(rank, size);
+    ip_fin(rank);
+}}""",
+    ]
+    return "\n".join(parts) + "\n"
+
+
+def build_interproc_npb(spec: NPBSpec = LU_SPEC, fixed: bool = False) -> Program:
+    return parse(interproc_npb_source(spec, fixed=fixed))
+
+
+def interproc_registry(program: Program) -> List[InjectionInfo]:
+    """Locate every helper-chain injection in a generated benchmark.
+
+    Unlike :func:`.common.injection_registry`, each entry's line range
+    spans the *whole* chain (leaf + mid + entry): dynamic findings carry
+    the leaf MPI call's location, static candidates may anchor at the
+    entry's call site, and both must credit the same injection.
+    """
+    registry: List[InjectionInfo] = []
+    for vclass, funcs in INTERPROC_CLASS_FUNCS.items():
+        lines = [
+            node.loc.line
+            for fname in funcs
+            for node in program.function(fname).walk()
+            if node.loc.line > 0
+        ]
+        if lines:
+            registry.append(
+                InjectionInfo(vclass, funcs[-1], min(lines), max(lines))
+            )
+    for node in program.walk():
+        if (
+            isinstance(node, A.CallExpr)
+            and node.name.removeprefix("h") == "mpi_init_thread"
+        ):
+            registry.append(
+                InjectionInfo(INITIALIZATION, "main", node.loc.line, node.loc.line)
+            )
+            break
+    return registry

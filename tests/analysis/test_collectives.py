@@ -269,3 +269,23 @@ class TestReportSchema:
         assert any("from_the_future" in p for p in problems)
         # warn, never raise: consumers keep reading the known sections
         assert isinstance(problems, list)
+
+    def test_pre_v3_flat_prunes_warns(self):
+        problems = check_report_schema({"schema_version": 2})
+        assert any("flat merged dict" in p for p in problems)
+
+    def test_v3_prunes_missing_subsections_warns(self):
+        payload = run_static_analysis(parse(DIVERGENT)).as_dict()
+        del payload["prunes"]["collectives"]
+        problems = check_report_schema(payload)
+        assert any("collectives" in p and "prunes" in p for p in problems)
+
+    def test_v3_prunes_sections_complete_and_summed(self):
+        payload = run_static_analysis(parse(DIVERGENT)).as_dict()
+        prunes = payload["prunes"]
+        assert set(prunes) == {"dataflow", "races", "collectives", "total"}
+        assert prunes["total"] == sum(
+            sum(section.values())
+            for key, section in prunes.items()
+            if key != "total"
+        )

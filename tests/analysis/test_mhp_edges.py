@@ -328,3 +328,167 @@ func main() {
         # outer region's phase counter
         assert a.phase == b.phase
         assert a.regions == b.regions == (a.regions[0],)
+
+
+def resolved_infos(src, var):
+    """(program, MHPInfos of *var* in source order, contexts, callgraph)."""
+    from repro.analysis.static_ import build_callgraph, resolve_parallel_contexts
+
+    prog = parse(src)
+    mhp = compute_mhp(prog, record_all=True, implicit_ws_barriers=True)
+    cg = build_callgraph(prog)
+    contexts = resolve_parallel_contexts(cg, mhp)
+    infos = [
+        mhp[node.nid]
+        for fn in prog.functions
+        for node in fn.body.walk()
+        if isinstance(node, A.Name) and node.ident == var and node.nid in mhp
+    ]
+    return prog, infos, contexts, cg
+
+
+class TestContextResolvedMHP:
+    """Summary-derived MHP answers for sites visible only through calls."""
+
+    MASTER_FUNNEL = PROG + """
+var g;
+func helper() {
+    g = g + 1;
+    return 0;
+}
+func main() {
+    omp parallel num_threads(2) {
+        omp master {
+            helper();
+        }
+    }
+}"""
+
+    def test_call_under_master_serializes_helper_accesses(self):
+        prog, (a, b), contexts, cg = resolved_infos(self.MASTER_FUNNEL, "g")
+        assert not a.regions and not b.regions  # only interprocedurally parallel
+        ctx = contexts["helper"]
+        assert ctx.serialized and len(ctx.info.regions) == 1
+        # legacy answer: context unknown -> maybe
+        assert may_happen_in_parallel(a, b, {"helper"})
+        # summary-derived answer: one thread per encounter, encounters ordered
+        assert not may_happen_in_parallel(a, b, {"helper"}, contexts=contexts)
+
+    def test_call_under_master_prunes_race_candidate(self):
+        report = find_races(parse(self.MASTER_FUNNEL))
+        assert not any(c.var == "g" for c in report.candidates)
+        assert report.pruned.get(PRUNE_RACE_MHP, 0) >= 1
+        legacy = find_races(parse(self.MASTER_FUNNEL), interprocedural=False)
+        assert any(c.var == "g" for c in legacy.candidates)
+
+    def test_two_level_chain_shares_root_context(self):
+        src = PROG + """
+var g;
+func leaf() {
+    g = g + 1;
+    return 0;
+}
+func mid() {
+    leaf();
+    return 0;
+}
+func main() {
+    omp parallel num_threads(2) {
+        omp master {
+            mid();
+        }
+    }
+}"""
+        prog, (a, b), contexts, cg = resolved_infos(src, "g")
+        assert contexts["leaf"].nid == contexts["mid"].nid  # one chain identity
+        assert contexts["leaf"].serialized
+        assert not may_happen_in_parallel(a, b, {"leaf", "mid"}, contexts=contexts)
+        assert not any(c.var == "g" for c in find_races(prog).candidates)
+
+    def test_call_under_serial_single_serializes(self):
+        src = self.MASTER_FUNNEL.replace("omp master", "omp single")
+        prog, (a, b), contexts, cg = resolved_infos(src, "g")
+        assert contexts["helper"].serialized
+        assert not may_happen_in_parallel(a, b, {"helper"}, contexts=contexts)
+        assert not any(c.var == "g" for c in find_races(prog).candidates)
+
+    def test_call_under_nowait_single_in_loop_stays_maybe(self):
+        # nowait single inside a loop: encounters may overlap, so the
+        # chain is not serialized and the candidate must survive
+        src = PROG + """
+var g;
+func helper() {
+    g = g + 1;
+    return 0;
+}
+func main() {
+    omp parallel num_threads(2) {
+        for (var k = 0; k < 2; k = k + 1) {
+            omp single nowait {
+                helper();
+            }
+        }
+    }
+}"""
+        prog, (a, b), contexts, cg = resolved_infos(src, "g")
+        assert "helper" in contexts and not contexts["helper"].serialized
+        assert may_happen_in_parallel(a, b, {"helper"}, contexts=contexts)
+        assert any(c.var == "g" for c in find_races(prog).candidates)
+
+    def test_mutual_recursion_stays_conservative(self):
+        src = PROG + """
+var g;
+func ping(n) {
+    if (n > 0) {
+        pong(n - 1);
+    }
+    g = g + 1;
+    return 0;
+}
+func pong(n) {
+    if (n > 0) {
+        ping(n - 1);
+    }
+    return 0;
+}
+func main() {
+    omp parallel num_threads(2) {
+        omp master {
+            ping(2);
+        }
+    }
+}"""
+        prog, (a, b), contexts, cg = resolved_infos(src, "g")
+        assert {"ping", "pong"} <= cg.recursive
+        # recursive chains are never context-resolved, even under master
+        assert "ping" not in contexts and "pong" not in contexts
+        assert may_happen_in_parallel(a, b, {"ping", "pong"}, contexts=contexts)
+        assert any(c.var == "g" for c in find_races(prog).candidates)
+
+    def test_fork_join_sequential_helper_vs_parallel_code(self):
+        src = PROG + """
+var g;
+func helper() {
+    g = g + 2;
+    return 0;
+}
+func main() {
+    omp parallel num_threads(2) {
+        omp critical {
+            g = g + 1;
+        }
+    }
+    helper();
+}"""
+        prog, infos, contexts, cg = resolved_infos(src, "g")
+        helper_write = infos[0]  # helper body precedes main in source
+        par_write = infos[2]
+        assert not helper_write.regions and par_write.regions
+        assert "helper" not in cg.reached_from_parallel
+        # legacy: regionless -> context unknown -> maybe
+        assert may_happen_in_parallel(helper_write, par_write)
+        # with contexts computed, sequential fork-join code cannot
+        # overlap the parallel region (helper is not spawn-reachable)
+        assert not may_happen_in_parallel(
+            helper_write, par_write, contexts=contexts
+        )

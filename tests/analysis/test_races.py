@@ -23,10 +23,10 @@ from repro.analysis.static_.races import (
 from repro.minilang import parse
 
 
-def races_for(src, with_cfgs=False):
+def races_for(src, with_cfgs=False, interprocedural=True):
     prog = parse(src)
     cfgs = build_program_cfgs(prog) if with_cfgs else None
-    return find_races(prog, cfgs=cfgs)
+    return find_races(prog, cfgs=cfgs, interprocedural=interprocedural)
 
 
 def region_table(report, kind=None, index=0):
@@ -386,10 +386,74 @@ func main() {
         cand = next(c for c in report.candidates if c.var == "g")
         assert "reached from a parallel region" in cand.reason
 
-    def test_unknown_subscript_array_is_delegated(self):
+    def test_param_subscript_array_is_resolved_by_summaries(self):
+        # field[e] with e = omp_get_thread_num() at the call site: the
+        # summary instantiation proves per-thread disjointness, so the
+        # access is analyzed (and pruned) instead of delegated
         report = races_for(self.SRC)
+        assert any(s.var == "field" for s in report.resolved_interproc)
+        assert not any(s.var == "field" for s in report.unresolved)
+        assert not any(c.var == "field" for c in report.candidates)
+        assert report.pruned["race-interproc"] >= 1
+
+    def test_param_subscript_delegated_without_summaries(self):
+        report = races_for(self.SRC, interprocedural=False)
         assert any(s.var == "field" for s in report.unresolved)
         assert not any(c.var == "field" for c in report.candidates)
+
+    def test_nonlinear_argument_stays_delegated(self):
+        # idx[i] is not linear in any distribution symbol: the summary
+        # escapes the access, which must stay delegated to dynamic
+        report = races_for(PROG + "var field[8]; var idx[8];\n" + """
+func work(e) {
+    field[e] = field[e] + 1;
+}
+
+func main() {
+    omp parallel num_threads(2) {
+        omp for for (var i = 0; i < 8; i = i + 1) {
+            work(idx[i]);
+        }
+    }
+}""")
+        assert any(s.var == "field" for s in report.unresolved)
+        assert not any(s.var == "field" for s in report.resolved_interproc)
+
+    def test_loop_distributed_argument_is_resolved(self):
+        # work(z) under the omp for: instantiated SIV pruning applies
+        report = races_for(PROG + "var field[64];\n" + """
+func work(z) {
+    field[z] = field[z] + 1;
+}
+
+func main() {
+    omp parallel num_threads(2) {
+        omp for for (var z = 0; z < 8; z = z + 1) {
+            work(z);
+        }
+    }
+}""")
+        assert any(s.var == "field" for s in report.resolved_interproc)
+        assert not any(c.var == "field" for c in report.candidates)
+
+    def test_loop_shifted_argument_races_across_calls(self):
+        # work reads field[e] and writes field[e + 1]: loop-carried
+        # conflict, visible only through the summary instantiation
+        report = races_for(PROG + "var field[64];\n" + """
+func work(e) {
+    field[e + 1] = field[e] + 1;
+}
+
+func main() {
+    omp parallel num_threads(2) {
+        omp for for (var z = 0; z < 8; z = z + 1) {
+            work(z);
+        }
+    }
+}""")
+        assert any(c.var == "field" for c in report.candidates)
+        cand = next(c for c in report.candidates if c.var == "field")
+        assert "instantiated from work" in cand.reason
 
     def test_function_not_called_from_parallel_is_quiet(self):
         report = races_for(PROG + "var g;\n" + """

@@ -237,3 +237,99 @@ class TestStaticReport:
         assert "main" in report.cfgs
         summary = report.summary()
         assert "MPI call sites" in summary and "instrumented" in summary
+
+
+class TestFoldStaticValue:
+    """Edge cases of the shared constant-folding helper."""
+
+    @staticmethod
+    def fold(text):
+        from repro.analysis.static_.mpi_sites import fold_static_value
+
+        prog = parse(f"program t;\nfunc main() {{ var x = {text}; }}")
+        (decl,) = [
+            n
+            for n in prog.function("main").walk()
+            if isinstance(n, A.VarDecl)
+        ]
+        return fold_static_value(decl.init)
+
+    def test_nested_unary_minus(self):
+        assert self.fold("-(-(3))") == 3
+        assert self.fold("-(-(-(2)))") == -2
+
+    def test_mixed_type_arithmetic_promotes(self):
+        assert self.fold("1 + 2.5") == 3.5
+        assert self.fold("2 * MPI_ANY_TAG") == -2  # int language constant
+
+    def test_truncating_division_toward_zero(self):
+        assert self.fold("7 / -2") == -3
+        assert self.fold("-7 % 2") == -1  # sign follows the dividend
+
+    def test_division_and_modulo_by_zero_never_fold(self):
+        assert self.fold("1 / 0") is None
+        assert self.fold("1 % 0") is None
+
+    def test_float_modulo_never_folds(self):
+        assert self.fold("5.0 % 2") is None
+
+    def test_booleans_do_not_participate_in_arithmetic(self):
+        assert self.fold("true") is True
+        assert self.fold("true + 1") is None
+        assert self.fold("-(true)") is None
+
+    def test_non_constant_name_stays_symbolic(self):
+        # a plain variable — even one later assigned a constant — is the
+        # dataflow layer's job, not the lexical folder's
+        assert self.fold("y + 1") is None
+        assert self.fold("y") is None
+
+
+class TestStaticAnalysisCache:
+    """The memo cache is keyed on ``program.nid`` — a process-global,
+    never-reused counter — so building and dropping programs in a loop
+    can never alias cache entries the way an ``id()`` key could once
+    CPython recycles addresses."""
+
+    SRC = "program cachetest;\nfunc main() { compute(1); }\n"
+
+    def test_same_program_object_hits_cache(self):
+        from repro.analysis.static_.report import clear_static_analysis_cache
+
+        clear_static_analysis_cache()
+        prog = parse(self.SRC)
+        first = run_static_analysis(prog)
+        assert run_static_analysis(prog) is first
+
+    def test_build_and_drop_loop_never_aliases(self):
+        from repro.analysis.static_.report import clear_static_analysis_cache
+
+        clear_static_analysis_cache()
+        seen_nids = set()
+        for i in range(6):
+            prog = parse(f"program p{i};\nfunc main() {{ compute(1); }}\n")
+            report = run_static_analysis(prog)
+            # the report always belongs to *this* program, even though
+            # earlier loop iterations' ASTs have been garbage-collected
+            assert report.program_name == f"p{i}"
+            assert prog.nid not in seen_nids
+            seen_nids.add(prog.nid)
+            del prog, report
+
+    def test_distinct_parses_get_distinct_reports(self):
+        a, b = parse(self.SRC), parse(self.SRC)
+        assert a.nid != b.nid
+        assert run_static_analysis(a) is not run_static_analysis(b)
+
+    def test_option_variants_are_separate_entries(self):
+        prog = parse(self.SRC)
+        with_summaries = run_static_analysis(prog)
+        without = run_static_analysis(prog, summaries=False)
+        assert with_summaries is not without
+        assert run_static_analysis(prog) is with_summaries
+        assert run_static_analysis(prog, summaries=False) is without
+
+    def test_cache_false_bypasses(self):
+        prog = parse(self.SRC)
+        cached = run_static_analysis(prog)
+        assert run_static_analysis(prog, cache=False) is not cached

@@ -145,7 +145,18 @@ class TestStaticRaces:
         ]
         assert cand["var"] == "total"
         assert cand["a"]["loc"] and cand["b"]["loc"]
-        assert set(data["prunes"]) >= {"envelope", "lockstate", "mhp", "race-mhp"}
+        # v3: one uniform `prunes` section with per-pass sub-dicts
+        prunes = data["prunes"]
+        assert set(prunes) == {"dataflow", "races", "collectives", "total"}
+        assert set(prunes["dataflow"]) >= {"envelope", "lockstate", "mhp"}
+        assert "race-mhp" in prunes["races"]
+        assert set(prunes["collectives"]) >= {"div-uniform", "div-serial"}
+        assert prunes["total"] == sum(
+            n for sec in ("dataflow", "races", "collectives")
+            for n in prunes[sec].values()
+        )
+        assert data["schema_version"] == 3
+        assert data["interproc"] is not None
 
     def test_static_no_races_flag(self, omp_racy_file, capsys):
         main(["static", omp_racy_file, "--no-races"])

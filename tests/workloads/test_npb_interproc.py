@@ -1,0 +1,166 @@
+"""Interprocedural NPB variants: every injected violation hides behind a
+two/three-deep helper chain, so only the summary-equipped static phase
+sees it — and the funneled twin must stay silent statically and clean
+dynamically."""
+
+import pytest
+
+from repro.analysis.static_ import run_static_analysis
+from repro.campaign import CampaignConfig, run_campaign
+from repro.home import Home
+from repro.minilang import validate
+from repro.violations.spec import (
+    COLLECTIVE,
+    CONCURRENT_RECV,
+    CONCURRENT_REQUEST,
+    FINALIZATION,
+    INITIALIZATION,
+    PROBE,
+)
+from repro.workloads.npb import (
+    INTERPROC_CLASS_FUNCS,
+    build_interproc_npb,
+    interproc_npb_source,
+    interproc_registry,
+    score_report,
+)
+from repro.workloads.npb.interproc import DATA_RACE
+
+ALL_CLASSES = set(INTERPROC_CLASS_FUNCS) | {INITIALIZATION}
+
+
+class TestGeneration:
+    def test_racy_variant_validates(self):
+        prog = build_interproc_npb()
+        validate(prog)
+        assert prog.name.endswith("_interproc")
+
+    def test_fixed_variant_validates(self):
+        prog = build_interproc_npb(fixed=True)
+        validate(prog)
+        assert prog.name.endswith("_funneled")
+
+    def test_every_chain_present_in_both_variants(self):
+        racy = interproc_npb_source()
+        fixed = interproc_npb_source(fixed=True)
+        for funcs in INTERPROC_CLASS_FUNCS.values():
+            for fname in funcs:
+                assert f"func {fname}(" in racy
+                assert f"func {fname}(" in fixed
+        # the funneled twin serializes MPI chains through omp master
+        assert "omp master" not in racy
+        assert "omp master" in fixed
+
+    def test_registry_spans_whole_chains(self):
+        prog = build_interproc_npb()
+        registry = interproc_registry(prog)
+        assert {info.vclass for info in registry} == ALL_CLASSES
+        by_class = {info.vclass: info for info in registry}
+        for vclass, funcs in INTERPROC_CLASS_FUNCS.items():
+            info = by_class[vclass]
+            assert info.func_name == funcs[-1]  # anchored at the entry
+            # the leaf's lines are inside the credited range
+            for node in prog.function(funcs[0]).walk():
+                if node.loc.line > 0:
+                    assert info.contains_loc(f"{node.loc.line}:1")
+
+
+class TestStaticDetection:
+    @pytest.fixture(scope="class")
+    def racy_report(self):
+        return run_static_analysis(build_interproc_npb())
+
+    @pytest.fixture(scope="class")
+    def fixed_report(self):
+        return run_static_analysis(build_interproc_npb(fixed=True))
+
+    def test_all_mpi_classes_reported_through_chains(self, racy_report):
+        classes = {c.vclass for c in racy_report.candidates}
+        assert {
+            CONCURRENT_RECV, CONCURRENT_REQUEST, PROBE, COLLECTIVE,
+            FINALIZATION,
+        } <= classes
+
+    def test_race_chain_instantiated_and_monitored(self, racy_report):
+        races = racy_report.races
+        assert any(c.var == "rdata" for c in races.candidates)
+        assert races.instantiated_sites >= 1
+        assert "rdata" in races.monitored_vars
+
+    def test_unresolved_shrinks_by_at_least_half(self):
+        with_summ = run_static_analysis(build_interproc_npb(), cache=False)
+        without = run_static_analysis(
+            build_interproc_npb(), summaries=False, cache=False
+        )
+        before = len(without.races.unresolved)
+        after = len(with_summ.races.unresolved)
+        assert before >= 2
+        assert after <= before // 2  # acceptance: >= 50% reduction
+        assert len(with_summ.races.resolved_interproc) == before - after
+
+    def test_lexical_phase_alone_sees_no_race(self):
+        report = run_static_analysis(
+            build_interproc_npb(), summaries=False, cache=False
+        )
+        assert not any(c.var == "rdata" for c in report.races.candidates)
+
+    def test_initialization_warning_present(self, racy_report):
+        assert any("serialized" in w.kind or "serialized" in w.message
+                   for w in racy_report.warnings)
+
+    def test_fixed_variant_statically_silent(self, fixed_report):
+        assert not fixed_report.candidates
+        assert not fixed_report.races.candidates
+        assert not fixed_report.collectives.candidates
+        assert not fixed_report.races.unresolved
+
+    def test_fixed_race_chain_proven_disjoint(self):
+        # the funneled twin passes the thread id down the chain: the
+        # instantiated SIV forms are disjoint, so nothing is monitored
+        report = run_static_analysis(build_interproc_npb(fixed=True))
+        assert not report.races.monitored_vars
+
+
+class TestDynamicConfirmation:
+    @pytest.fixture(scope="class")
+    def racy_report(self):
+        return Home().check(
+            build_interproc_npb(), nprocs=2, num_threads=2, seed=0
+        )
+
+    @pytest.fixture(scope="class")
+    def fixed_report(self):
+        return Home().check(
+            build_interproc_npb(fixed=True), nprocs=2, num_threads=2, seed=0
+        )
+
+    def test_every_injection_confirmed(self, racy_report):
+        prog = build_interproc_npb()
+        score = score_report(racy_report.violations, interproc_registry(prog))
+        assert score["missed"] == []
+        assert score["detected"] == len(ALL_CLASSES)
+        assert score["false_positives"] == 0
+
+    def test_race_confirmed_at_leaf(self, racy_report):
+        assert DATA_RACE in racy_report.violations.classes()
+
+    def test_fixed_variant_clean(self, fixed_report):
+        assert not fixed_report.execution.deadlocked
+        assert not list(fixed_report.violations)
+
+    def test_fixed_variant_completes_both_ranks(self, fixed_report):
+        assert fixed_report.execution.config.nprocs == 2
+
+
+class TestCampaign:
+    def test_campaign_over_interproc_workload(self):
+        result = run_campaign(
+            build_interproc_npb(),
+            CampaignConfig(seeds=[0], plans=None),
+        )
+        classes = set(result.report.classes())
+        # every class from the chains shows up under the campaign too
+        assert {
+            CONCURRENT_RECV, CONCURRENT_REQUEST, PROBE, COLLECTIVE,
+            FINALIZATION, INITIALIZATION, DATA_RACE,
+        } <= classes
