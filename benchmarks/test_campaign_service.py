@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the durable campaign service substrate.
+
+The crash-safe queue sits on the hot path of every supervised cell
+(lease, heartbeat, complete — each a journaled, fsync'd append), so its
+throughput bounds how fine-grained campaign cells can get before
+durability overhead shows.  These pin the journal append/replay rates
+and the end-to-end queue op rate on a tmpfs-backed temp dir.
+"""
+
+import pytest
+
+from repro.campaign import (
+    CellTask,
+    DurableWorkQueue,
+    Journal,
+    RunOutcome,
+    replay_journal,
+)
+
+_N = 200
+
+
+@pytest.fixture()
+def journal_path(tmp_path):
+    return str(tmp_path / "bench.journal.jsonl")
+
+
+def test_journal_append_throughput(benchmark, journal_path):
+    outcome = RunOutcome(seed=0, plan="none", status="ok").as_dict()
+
+    def append_batch():
+        with Journal(journal_path, {"bench": True}, fresh=True) as journal:
+            for i in range(_N):
+                journal.append("done", cell=f"{i}/none", outcome=outcome)
+
+    benchmark.pedantic(append_batch, rounds=3, iterations=1)
+
+
+def test_journal_replay_throughput(benchmark, journal_path):
+    with Journal(journal_path, {"bench": True}, fresh=True) as journal:
+        for i in range(_N):
+            journal.append("lease", cell=f"{i}/none", worker="w0", attempt=1)
+            journal.append(
+                "done", cell=f"{i}/none",
+                outcome=RunOutcome(seed=i, plan="none").as_dict(),
+            )
+    replay = benchmark(replay_journal, journal_path)
+    assert len(replay.records) == 2 * _N
+    assert not replay.truncated
+
+
+def test_queue_lease_complete_cycle(benchmark, journal_path):
+    """Full durable cycle per cell: acquire + heartbeat + complete."""
+
+    def drain_queue():
+        cells = [CellTask(i, i, "none", None) for i in range(_N)]
+        q = DurableWorkQueue(
+            cells, Journal(journal_path, {"bench": True}, fresh=True),
+        )
+        while not q.all_resolved():
+            lease = q.acquire("w0", 0.0)
+            q.heartbeat(lease.task.index, 1.0)
+            q.complete(
+                lease.task.index,
+                RunOutcome(seed=lease.task.seed, plan="none", status="ok"),
+            )
+        q.journal.close()
+        return q
+
+    q = benchmark.pedantic(drain_queue, rounds=3, iterations=1)
+    assert len(q.outcome_list()) == _N
+
+
+def test_queue_restore_from_journal(benchmark, journal_path):
+    cells = [CellTask(i, i, "none", None) for i in range(_N)]
+    q = DurableWorkQueue(
+        cells, Journal(journal_path, {"bench": True}, fresh=True),
+    )
+    while not q.all_resolved():
+        lease = q.acquire("w0", 0.0)
+        q.complete(
+            lease.task.index,
+            RunOutcome(seed=lease.task.seed, plan="none", status="ok"),
+        )
+    q.journal.close()
+
+    def restore():
+        fresh = DurableWorkQueue(
+            [CellTask(i, i, "none", None) for i in range(_N)]
+        )
+        fresh.restore(replay_journal(journal_path))
+        return fresh
+
+    restored = benchmark(restore)
+    assert restored.all_resolved()

@@ -99,6 +99,22 @@ def instrument_program(
 
     if result.instrumented or result.monitored_vars:
         _insert_monitor_setup(new_program, result.monitored_vars)
+
+    # Renumber the finished clone in pre-order so event call-site ids
+    # are a pure function of the source program.  Fresh clone ids come
+    # from a process-global counter and so depend on everything parsed
+    # before — which would make a resumed campaign's reports differ
+    # across process restarts (the durable service resumes journaled
+    # submissions in a new server process and must stay byte-identical).
+    remap: Dict[int, int] = {}
+    for nid, node in enumerate(new_program.walk(), start=1):
+        remap[node.nid] = nid
+        node.nid = nid
+    for site in list(result.instrumented.values()) + result.filtered:
+        site.nid = remap.get(site.nid, site.nid)
+    result.instrumented = {
+        site.nid: site for site in result.instrumented.values()
+    }
     return result
 
 

@@ -1,10 +1,19 @@
-"""Campaign checkpoints: atomic JSON save, validated load.
+"""Campaign checkpoints: atomic, fsync'd, CRC-checked JSON save.
 
 The checkpoint is written after *every* completed cell, so a campaign
 killed at any point resumes with at most one run's work lost.  Writes
-go through a temp file + ``os.replace`` so a crash mid-write can never
-corrupt an existing checkpoint — the loader therefore only ever sees a
-whole file or the previous one.
+go through a temp file that is flushed and ``fsync``'d *before* the
+atomic ``os.replace`` — a crash mid-write can never corrupt an existing
+checkpoint, and a power loss right after the rename cannot surface a
+hole where the data should be.  The payload carries a CRC-32 of its
+canonical encoding, so a damaged file (torn write on a dying disk, a
+flipped bit) is *detected* rather than half-parsed.
+
+A corrupt checkpoint must never kill a campaign: callers that pass
+``quarantine=True`` to :func:`load_checkpoint` get the bad file moved
+aside to ``<path>.corrupt`` (preserving the evidence, freeing the path
+for a fresh checkpoint) and a clear error they can downgrade to a
+warn-and-cold-start.
 """
 
 from __future__ import annotations
@@ -12,6 +21,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import zlib
 from typing import Dict, List
 
 from ..errors import AnalysisError
@@ -21,25 +31,39 @@ CHECKPOINT_FORMAT = "repro-campaign"
 #: Bump whenever the payload layout changes.  A resume against a
 #: checkpoint written with a different schema warns and restarts cold
 #: (see CampaignRunner._load_resume) instead of misreading old fields.
-CHECKPOINT_SCHEMA_VERSION = 2
+#: v3: payload carries a crc field (CRC-32 of the canonical core).
+CHECKPOINT_SCHEMA_VERSION = 3
 #: Backward-compat alias for the pre-schema_version name.
 CHECKPOINT_VERSION = CHECKPOINT_SCHEMA_VERSION
 
+#: suffix a corrupt checkpoint is quarantined under
+CORRUPT_SUFFIX = ".corrupt"
+
+
+def _payload_crc(core: Dict) -> int:
+    return zlib.crc32(
+        json.dumps(core, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    )
+
 
 def save_checkpoint(path: str, meta: Dict, outcomes: List[RunOutcome]) -> None:
-    """Atomically write the campaign state to *path*."""
-    payload = {
+    """Atomically and durably write the campaign state to *path*."""
+    core = {
         "format": CHECKPOINT_FORMAT,
         "schema_version": CHECKPOINT_SCHEMA_VERSION,
         "meta": dict(meta),
         "outcomes": [o.as_dict() for o in outcomes],
     }
+    payload = dict(core)
+    payload["crc"] = _payload_crc(core)
     directory = os.path.dirname(os.path.abspath(path)) or "."
     fd, tmp = tempfile.mkstemp(prefix=".campaign-", suffix=".tmp", dir=directory)
     try:
         with os.fdopen(fd, "w") as fh:
             json.dump(payload, fh, indent=2)
             fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -47,18 +71,49 @@ def save_checkpoint(path: str, meta: Dict, outcomes: List[RunOutcome]) -> None:
         except OSError:
             pass
         raise
+    try:
+        # make the rename itself durable; best-effort (some filesystems
+        # refuse directory fsync)
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass
 
 
-def load_checkpoint(path: str) -> Dict:
+def quarantine_corrupt(path: str) -> str:
+    """Move a damaged checkpoint aside, returning its new path."""
+    target = path + CORRUPT_SUFFIX
+    os.replace(path, target)
+    return target
+
+
+def load_checkpoint(path: str, quarantine: bool = False) -> Dict:
     """Load and validate a checkpoint; returns ``{"meta", "outcomes"}``
-    with outcomes rebuilt as :class:`RunOutcome` objects."""
+    with outcomes rebuilt as :class:`RunOutcome` objects.
+
+    With ``quarantine=True`` a corrupt or truncated file (undecodable
+    JSON, failed CRC) is moved aside to ``<path>.corrupt`` before the
+    error is raised, so the next save starts clean and the evidence
+    survives.  Structurally valid files of the wrong format or schema
+    are *not* quarantined — they are somebody's good data.
+    """
+
+    def corrupt(message: str) -> AnalysisError:
+        if quarantine:
+            target = quarantine_corrupt(path)
+            return AnalysisError(f"{message} (quarantined to {target!r})")
+        return AnalysisError(message)
+
     try:
         with open(path, "r") as fh:
             payload = json.load(fh)
     except OSError as err:
         raise AnalysisError(f"cannot read campaign checkpoint {path!r}: {err}")
     except json.JSONDecodeError as err:
-        raise AnalysisError(f"corrupt campaign checkpoint {path!r}: {err}")
+        raise corrupt(f"corrupt campaign checkpoint {path!r}: {err}")
     if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
         raise AnalysisError(f"{path!r} is not a campaign checkpoint")
     found = payload.get("schema_version", payload.get("version"))
@@ -66,6 +121,15 @@ def load_checkpoint(path: str) -> Dict:
         raise AnalysisError(
             f"unsupported campaign checkpoint schema_version {found!r} "
             f"(expected {CHECKPOINT_SCHEMA_VERSION})"
+        )
+    core = {
+        key: payload.get(key)
+        for key in ("format", "schema_version", "meta", "outcomes")
+    }
+    if payload.get("crc") != _payload_crc(core):
+        raise corrupt(
+            f"corrupt campaign checkpoint {path!r}: payload CRC mismatch "
+            "(truncated or damaged write)"
         )
     outcomes = [RunOutcome.from_dict(o) for o in payload.get("outcomes", [])]
     return {"meta": payload.get("meta", {}), "outcomes": outcomes}

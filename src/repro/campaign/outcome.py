@@ -24,8 +24,13 @@ STATUS_BUDGET = "budget"
 STATUS_ERROR = "error"
 #: --force-fail: the run was never attempted (degradation drill)
 STATUS_FORCED = "forced-fail"
+#: poison cell: killed its worker more times than the retry cap allows;
+#: excluded from further scheduling so it cannot stall the campaign
+STATUS_QUARANTINED = "quarantined"
 
-RUN_STATUSES = (STATUS_OK, STATUS_BUDGET, STATUS_ERROR, STATUS_FORCED)
+RUN_STATUSES = (
+    STATUS_OK, STATUS_BUDGET, STATUS_ERROR, STATUS_FORCED, STATUS_QUARANTINED,
+)
 
 
 def violation_to_dict(violation: Violation, procs: List[int]) -> Dict:

@@ -88,13 +88,16 @@ def run_cells_parallel(
     tasks: Sequence[CellTask],
     jobs: int,
     on_complete: Callable[[CellTask, RunOutcome], None],
+    stop=None,
 ) -> Tuple[Dict[int, RunOutcome], Optional[str]]:
     """Run *tasks* on a pool of *jobs* workers, out-of-order.
 
     *executor* is the parent's :class:`CellExecutor`; it is shipped to
     each worker once and reused in-process if the pool breaks.
     *on_complete* fires after every finished cell (progress +
-    checkpointing), in completion order.
+    checkpointing), in completion order.  A set *stop* event (e.g. from
+    a SIGTERM handler) cancels unstarted cells and returns what
+    finished — already-banked outcomes are never discarded.
 
     Returns ``(outcomes_by_index, pool_error)`` where *pool_error* is a
     description of a pool-level failure that forced the in-process
@@ -102,12 +105,17 @@ def run_cells_parallel(
     """
     results: Dict[int, RunOutcome] = {}
     pool_error: Optional[str] = None
+    interrupted = False
     try:
         with ProcessPoolExecutor(
             max_workers=jobs, initializer=_init_worker, initargs=(executor,)
         ) as pool:
             futures = {pool.submit(_run_cell, task): task for task in tasks}
             for future in as_completed(futures):
+                if stop is not None and stop.is_set():
+                    interrupted = True
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    break
                 task = futures[future]
                 try:
                     outcome = future.result()
@@ -120,10 +128,12 @@ def run_cells_parallel(
                 on_complete(task, outcome)
     except Exception as err:  # noqa: BLE001 - pool construction/teardown
         pool_error = f"{type(err).__name__}: {err}"
-    if pool_error is not None:
+    if pool_error is not None and not interrupted:
         for task in tasks:
             if task.index in results:
                 continue
+            if stop is not None and stop.is_set():
+                break
             outcome = _run_cell_inprocess(executor, task)
             results[task.index] = outcome
             on_complete(task, outcome)

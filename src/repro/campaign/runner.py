@@ -36,12 +36,15 @@ aside; ``record_timing=False`` makes even those bit-exact).
 
 from __future__ import annotations
 
+import os
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..baselines.base import CheckingTool
+from ..errors import AnalysisError
 from ..faults import FaultPlan, builtin_plans
 from ..home.pipeline import Home, static_only_violations
 from ..minilang import ast_nodes as A
@@ -49,15 +52,19 @@ from ..runtime import Interpreter
 from ..runtime.scheduler import DEFAULT_MAX_STEPS
 from ..violations.matcher import ViolationReport
 from .checkpoint import load_checkpoint, save_checkpoint
+from .journal import Journal, replay_journal
 from .outcome import (
     STATUS_BUDGET,
     STATUS_ERROR,
     STATUS_FORCED,
     STATUS_OK,
+    STATUS_QUARANTINED,
     RunOutcome,
     report_violation_dicts,
 )
 from .parallel import CellTask, resolve_jobs, run_cells_parallel
+from .queue import DurableWorkQueue, cell_key
+from .supervisor import Supervisor, SupervisorConfig
 
 #: large odd prime so derived retry seeds never collide with the seed
 #: grid itself (campaign seeds are small consecutive integers)
@@ -96,6 +103,25 @@ class CampaignConfig:
     #: stamp host wall-clock seconds on outcomes; switch off for
     #: bit-exact artifacts across repeated or differently-parallel runs
     record_timing: bool = True
+    #: path of the append-only campaign journal.  Setting this turns on
+    #: the durable service path: every cell transition is journaled
+    #: before it happens, ``kill -9`` at any instant resumes exactly,
+    #: and (with ``jobs > 1``) cells run on supervised disposable
+    #: workers instead of a fragile process pool.
+    journal: Optional[str] = None
+    #: durable path only: seconds a cell may run without a heartbeat
+    #: before its worker is presumed dead and the cell is reclaimed
+    lease_seconds: float = 60.0
+    #: durable path only: crash-reclaims a cell may survive before it
+    #: is quarantined as a poison cell (quarantined on crash
+    #: ``poison_retries + 1``)
+    poison_retries: int = 2
+    #: chaos drill: SIGKILL one busy supervised worker right after the
+    #: Nth fresh completion — exercises lease reclaim end-to-end
+    drill_kill_worker_after: Optional[int] = None
+    #: chaos drill: hard-kill the *coordinator* (``os._exit``) right
+    #: after the Nth fresh completion — exercises journal resume
+    drill_abort_after: Optional[int] = None
 
     def resolved_plans(self) -> Dict[str, Optional[FaultPlan]]:
         if self.plans is not None:
@@ -114,6 +140,11 @@ class CampaignResult:
     #: True when no dynamic run was analyzable and the report was built
     #: from the static phase alone
     degraded: bool = False
+    #: True when the campaign stopped early (SIGTERM/SIGINT): the
+    #: report covers only the cells resolved so far
+    interrupted: bool = False
+    #: full matrix size; equals ``len(outcomes)`` unless interrupted
+    planned_runs: Optional[int] = None
 
     def status_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -153,6 +184,19 @@ class CampaignResult:
             f"analyzable runs: {self.analyzable_runs}/{len(self.outcomes)}; "
             f"faults fired: {self.faults_fired()}",
         ]
+        if self.interrupted:
+            planned = self.planned_runs or len(self.outcomes)
+            lines.append(
+                f"!!! INTERRUPTED: partial campaign — {len(self.outcomes)}/"
+                f"{planned} cell(s) resolved before the stop !!!"
+            )
+        quarantined = self.status_counts().get(STATUS_QUARANTINED, 0)
+        if quarantined:
+            lines.append(
+                f"!!! {quarantined} poison cell(s) QUARANTINED after "
+                "repeatedly killing their workers; those cells contribute "
+                "no findings (see outcomes for which) !!!"
+            )
         if self.degraded:
             lines.append(
                 "!!! DEGRADED REPORT: every dynamic run failed; findings "
@@ -174,6 +218,10 @@ class CampaignResult:
         out = {
             "program": self.program,
             "runs": len(self.outcomes),
+            "planned_runs": self.planned_runs
+            if self.planned_runs is not None else len(self.outcomes),
+            "interrupted": self.interrupted,
+            "quarantined": self.status_counts().get(STATUS_QUARANTINED, 0),
             "status_counts": self.status_counts(),
             "analyzable_runs": self.analyzable_runs,
             "faults_fired": self.faults_fired(),
@@ -185,6 +233,27 @@ class CampaignResult:
         if triage is not None:
             out["divergence_triage"] = triage
         return out
+
+
+def merge_outcomes(
+    outcomes: Sequence[RunOutcome], static: Optional[object]
+) -> Tuple[ViolationReport, bool]:
+    """Merge the analyzable outcomes into one deduplicated report.
+
+    Returns ``(report, degraded)``; when *no* outcome is analyzable the
+    report degrades to the clearly-flagged static-only candidates
+    (reduced evidence, never silence).  Shared by the campaign runner
+    and the streaming service so partial and final reports are built by
+    the exact same code.
+    """
+    merged = ViolationReport()
+    for outcome in outcomes:
+        if outcome.analyzable:
+            merged.merge(outcome.report())
+    degraded = not any(o.analyzable for o in outcomes)
+    if degraded and static is not None:
+        merged = static_only_violations(static)
+    return merged, degraded
 
 
 class CellExecutor:
@@ -306,6 +375,11 @@ class CampaignRunner:
             self.tool, self.config, self._to_run, self._static
         )
 
+    @property
+    def static(self) -> Optional[object]:
+        """The once-computed static report (shared by every cell)."""
+        return self._static
+
     # -- helpers -------------------------------------------------------------
 
     def _say(self, message: str) -> None:
@@ -355,7 +429,9 @@ class CampaignRunner:
         if not os.path.exists(cfg.checkpoint):
             return {}  # nothing to resume: a normal first run
         try:
-            state = load_checkpoint(cfg.checkpoint)
+            # quarantine=True: a corrupt file is moved to <path>.corrupt
+            # so the evidence survives and the next save starts clean
+            state = load_checkpoint(cfg.checkpoint, quarantine=True)
         except Exception as err:  # noqa: BLE001 - a bad checkpoint must
             # never kill the campaign; it just means a cold start
             self._warn(f"ignoring unusable checkpoint: {err}; starting cold")
@@ -376,7 +452,47 @@ class CampaignRunner:
 
     # -- the campaign --------------------------------------------------------
 
-    def run(self) -> CampaignResult:
+    def run(
+        self,
+        stop: Optional[threading.Event] = None,
+        on_cell: Optional[Callable[[List[RunOutcome]], None]] = None,
+    ) -> CampaignResult:
+        """Run the matrix to completion (or until *stop* is set).
+
+        *stop* makes the campaign interruptible: set it (e.g. from a
+        SIGTERM handler) and the runner finishes or releases in-flight
+        cells, checkpoints what it has, and returns a partial result
+        flagged ``interrupted``.  *on_cell*, when given, receives the
+        canonical-order outcome list after every banked cell — the hook
+        the streaming service uses to publish partial reports.
+
+        With ``config.journal`` set the campaign takes the durable
+        service path (journaled work queue + supervised workers);
+        otherwise the legacy pool path runs unchanged.
+        """
+        if self.config.journal:
+            return self._run_durable(stop, on_cell)
+        return self._run_pool(stop, on_cell)
+
+    def _finish(
+        self, outcomes: List[RunOutcome], total: int, interrupted: bool
+    ) -> CampaignResult:
+        merged, degraded = merge_outcomes(outcomes, self._static)
+        return CampaignResult(
+            program=self.program.name,
+            outcomes=outcomes,
+            report=merged,
+            static=self._static,
+            degraded=degraded,
+            interrupted=interrupted,
+            planned_runs=total,
+        )
+
+    def _run_pool(
+        self,
+        stop: Optional[threading.Event],
+        on_cell: Optional[Callable[[List[RunOutcome]], None]],
+    ) -> CampaignResult:
         cfg = self.config
         banked = self._load_resume()
         cells = self._matrix()
@@ -408,10 +524,14 @@ class CampaignRunner:
                     self._checkpoint_meta(),
                     [completed[i] for i in sorted(completed)],
                 )
+            if on_cell is not None:
+                on_cell([completed[i] for i in sorted(completed)])
 
         jobs = resolve_jobs(cfg.jobs, len(pending))
         if pending and jobs > 1:
-            _, pool_error = run_cells_parallel(self._executor, pending, jobs, bank)
+            _, pool_error = run_cells_parallel(
+                self._executor, pending, jobs, bank, stop=stop
+            )
             if pool_error is not None:
                 self._say(
                     f"worker pool failed ({pool_error}); remaining cells "
@@ -419,26 +539,128 @@ class CampaignRunner:
                 )
         else:
             for task in pending:
+                if stop is not None and stop.is_set():
+                    break
                 bank(task, self._executor.run_cell(task.seed, task.plan_name, task.plan))
         outcomes = [completed[index] for index in sorted(completed)]
+        interrupted = len(outcomes) < total
         if cfg.checkpoint:
             # final save covers the all-resumed case and guarantees the
-            # on-disk state is the canonical-order, complete matrix
+            # on-disk state is the canonical-order (partial) matrix
             save_checkpoint(cfg.checkpoint, self._checkpoint_meta(), outcomes)
-        merged = ViolationReport()
-        for outcome in outcomes:
-            if outcome.analyzable:
-                merged.merge(outcome.report())
-        degraded = not any(o.analyzable for o in outcomes)
-        if degraded and self._static is not None:
-            merged = static_only_violations(self._static)
-        return CampaignResult(
-            program=self.program.name,
-            outcomes=outcomes,
-            report=merged,
-            static=self._static,
-            degraded=degraded,
+        return self._finish(outcomes, total, interrupted)
+
+    # -- the durable service path --------------------------------------------
+
+    def _open_journal(self, tasks: List[CellTask]) -> DurableWorkQueue:
+        """Open (or resume) the journal and build the restored queue."""
+        cfg = self.config
+        replay = None
+        fresh = True
+        if cfg.resume and os.path.exists(cfg.journal):
+            try:
+                replay = replay_journal(cfg.journal)
+            except AnalysisError as err:
+                self._warn(f"ignoring unusable journal: {err}; starting cold")
+            else:
+                fresh = False
+                if replay.truncated:
+                    self._warn(
+                        "journal tail was damaged (interrupted write?); "
+                        f"dropped {replay.dropped} trailing line(s) and "
+                        "kept the valid prefix"
+                    )
+        journal = Journal(cfg.journal, self._checkpoint_meta(), fresh=fresh)
+        work = DurableWorkQueue(
+            tasks, journal,
+            lease_seconds=cfg.lease_seconds,
+            poison_retries=cfg.poison_retries,
         )
+        if replay is not None:
+            work.restore(replay, warn=self._warn)
+        return work
+
+    def _run_durable(
+        self,
+        stop: Optional[threading.Event],
+        on_cell: Optional[Callable[[List[RunOutcome]], None]],
+    ) -> CampaignResult:
+        cfg = self.config
+        cells = self._matrix()
+        tasks = [
+            CellTask(index, seed, plan_name, plan)
+            for index, (seed, plan_name, plan) in enumerate(cells)
+        ]
+        total = len(tasks)
+        work = self._open_journal(tasks)
+        # fold in a checkpoint resumed without (or beyond) the journal;
+        # complete() journals each, so the journal converges to the
+        # union of both artifacts
+        banked = self._load_resume()
+        for task in tasks:
+            cached = banked.get(cell_key(task))
+            if cached is not None and not work.resolved(task.index):
+                work.complete(task.index, cached)
+        announced = 0
+        for outcome in work.outcome_list():
+            announced += 1
+            self._say(f"[{announced}/{total}] {outcome.describe()} (resumed)")
+        fresh_done = 0
+
+        def bank(task: CellTask, outcome: RunOutcome) -> None:
+            nonlocal announced, fresh_done
+            announced += 1
+            self._say(f"[{announced}/{total}] {outcome.describe()}")
+            if cfg.checkpoint:
+                save_checkpoint(
+                    cfg.checkpoint, self._checkpoint_meta(), work.outcome_list()
+                )
+            if on_cell is not None:
+                on_cell(work.outcome_list())
+            fresh_done += 1
+            if cfg.drill_abort_after is not None \
+                    and fresh_done >= cfg.drill_abort_after \
+                    and not work.all_resolved():
+                self._say(
+                    "drill: hard-killing the coordinator mid-campaign "
+                    "(journal + checkpoint must carry the resume)"
+                )
+                sys.stdout.flush()
+                sys.stderr.flush()
+                os._exit(137)
+
+        try:
+            jobs = resolve_jobs(cfg.jobs, work.unresolved_count)
+            if jobs > 1:
+                supervisor = Supervisor(
+                    self._executor, work,
+                    SupervisorConfig(
+                        jobs=jobs,
+                        lease_seconds=cfg.lease_seconds,
+                        drill_kill_worker_after=cfg.drill_kill_worker_after,
+                    ),
+                    on_complete=bank, say=self._say, stop=stop,
+                )
+                supervisor.run()
+            else:
+                while not work.all_resolved():
+                    if stop is not None and stop.is_set():
+                        break
+                    lease = work.acquire("serial", time.monotonic())
+                    if lease is None:
+                        break
+                    outcome = self._executor.run_cell(
+                        lease.task.seed, lease.task.plan_name, lease.task.plan
+                    )
+                    if work.complete(lease.task.index, outcome):
+                        bank(lease.task, outcome)
+        finally:
+            work.journal.close()
+        outcomes = work.outcome_list()
+        interrupted = not work.all_resolved()
+        if cfg.checkpoint:
+            save_checkpoint(cfg.checkpoint, self._checkpoint_meta(), outcomes)
+        return self._finish(outcomes, total, interrupted)
 
 
 def run_campaign(
@@ -446,9 +668,13 @@ def run_campaign(
     config: CampaignConfig = CampaignConfig(),
     tool: Optional[CheckingTool] = None,
     progress: Optional[Callable[[str], None]] = None,
+    stop: Optional[threading.Event] = None,
+    on_cell: Optional[Callable[[List[RunOutcome]], None]] = None,
 ) -> CampaignResult:
     """One-call convenience wrapper."""
-    return CampaignRunner(program, config, tool, progress).run()
+    return CampaignRunner(program, config, tool, progress).run(
+        stop=stop, on_cell=on_cell
+    )
 
 
 def default_plan_matrix(nprocs: int, names: Optional[Sequence[str]] = None):

@@ -16,13 +16,23 @@ Subcommands
     Regenerate one of the paper's figures as a text table.
 ``demo``
     Run HOME over the built-in case studies.
+``campaign FILE``
+    Multi-seed fault-injection campaign; ``--journal`` turns on the
+    durable crash-safe service path.
+``serve SPOOL``
+    Durable campaign server over a spool directory of submissions.
+
+Exit codes: 0 success, 1 findings/degraded, 2 usage or input error,
+3 interrupted (SIGTERM/SIGINT landed and a partial result was saved).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 from pathlib import Path
 from typing import List, Optional
 
@@ -37,6 +47,34 @@ TOOLS = {
     "itc": IntelThreadChecker,
     "base": BaseRunner,
 }
+
+#: a SIGTERM/SIGINT landed: the journal/checkpoint were flushed and a
+#: partial report emitted before exiting
+EXIT_INTERRUPTED = 3
+
+
+def _graceful_stop_event() -> threading.Event:
+    """Install SIGTERM/SIGINT handlers that request a graceful stop.
+
+    The first signal sets the returned event; long-running commands
+    poll it, finish or release in-flight work, flush their durable
+    state (journal, checkpoint, partial report) and exit with
+    :data:`EXIT_INTERRUPTED`.  A second SIGINT falls back to the
+    default KeyboardInterrupt so an impatient operator can still bail.
+    """
+    stop = threading.Event()
+
+    def handler(signum, frame):  # noqa: ARG001 - signal signature
+        if stop.is_set() and signum == signal.SIGINT:
+            raise KeyboardInterrupt
+        stop.set()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    return stop
 
 
 def _load_program(path: str):
@@ -337,14 +375,59 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         force_fail=args.force_fail,
         jobs=jobs,
         record_timing=not args.no_timing,
+        journal=args.journal,
+        lease_seconds=args.lease_seconds,
+        poison_retries=args.poison_retries,
+        drill_kill_worker_after=args.drill_kill_worker,
+        drill_abort_after=args.drill_abort_after,
     )
     progress = print if args.verbose else None
-    result = run_campaign(program, config, progress=progress)
+    stop = _graceful_stop_event()
+    result = run_campaign(program, config, progress=progress, stop=stop)
     print(result.summary())
     if args.json:
         Path(args.json).write_text(json.dumps(result.as_dict(), indent=2) + "\n")
         print(f"campaign report written to {args.json}")
+    if result.interrupted:
+        print("campaign interrupted: partial state saved; rerun with "
+              "--resume to continue", file=sys.stderr)
+        return EXIT_INTERRUPTED
     return 1 if result.degraded else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Durable campaign server over a spool directory."""
+    from .campaign import CampaignService, ServeConfig
+
+    jobs = args.jobs
+    if jobs != "auto":
+        try:
+            jobs = int(jobs)
+            if jobs < 1:
+                raise ValueError
+        except ValueError:
+            print(f"error: --jobs must be a positive integer or 'auto', "
+                  f"got {args.jobs!r}", file=sys.stderr)
+            return 2
+    stop = _graceful_stop_event()
+    service = CampaignService(
+        ServeConfig(
+            spool=args.spool,
+            jobs=jobs,
+            poll_seconds=args.poll_seconds,
+            once=args.once,
+        ),
+        progress=print if args.verbose else None,
+        stop=stop,
+    )
+    interrupted = service.run()
+    print(f"serve: {service.processed} submission(s) completed, "
+          f"{service.failed} rejected")
+    if interrupted:
+        print("serve interrupted: in-flight submissions stay in active/ "
+              "and resume on the next start", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    return 1 if service.failed else 0
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
@@ -556,6 +639,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-timing", action="store_true",
                    help="zero the wall_seconds fields so report/checkpoint "
                         "files are bit-exact across repeated runs")
+    p.add_argument("--journal", metavar="PATH",
+                   help="append-only crash journal; turns on the durable "
+                        "service path (supervised workers, lease reclaim, "
+                        "poison-cell quarantine) and makes --resume exact "
+                        "even after kill -9")
+    p.add_argument("--lease-seconds", type=float, default=60.0,
+                   help="durable path: seconds a cell may run without a "
+                        "heartbeat before its worker is presumed dead "
+                        "(default 60)")
+    p.add_argument("--poison-retries", type=int, default=2,
+                   help="durable path: crash-reclaims a cell survives "
+                        "before quarantine (default 2)")
+    p.add_argument("--drill-kill-worker", type=int, default=None,
+                   metavar="N",
+                   help="chaos drill: SIGKILL one busy worker after the "
+                        "Nth completed cell (durable path, jobs > 1)")
+    p.add_argument("--drill-abort-after", type=int, default=None,
+                   metavar="N",
+                   help="chaos drill: hard-kill the coordinator (exit 137) "
+                        "after the Nth fresh cell (durable path)")
     p.add_argument("--json", metavar="PATH",
                    help="write the merged campaign report as JSON")
     p.add_argument(
@@ -567,6 +670,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--procs", type=int, default=2)
     p.add_argument("--threads", type=int, default=2)
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "serve",
+        help="durable campaign server over a spool directory",
+    )
+    p.add_argument("spool",
+                   help="spool directory (incoming/active/reports/done/"
+                        "failed are created under it)")
+    p.add_argument("--jobs", default=1, metavar="N",
+                   help="default worker count for submissions that don't "
+                        "set one (positive int or 'auto'; default 1)")
+    p.add_argument("--once", action="store_true",
+                   help="drain the spool once and exit instead of watching")
+    p.add_argument("--poll-seconds", type=float, default=0.5,
+                   help="incoming/ scan period (default 0.5)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print per-submission progress lines")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("table1", help="regenerate the detection-count table")
     _add_run_args(p)

@@ -88,6 +88,22 @@ class RankCrashFault(SimAbort):
     exactly like a real MPI job losing a rank)."""
 
 
+class WorkerKillFault(RuntimeSimError):
+    """The worker-kill drill fired outside a disposable worker process.
+
+    Inside a supervised campaign worker the drill SIGKILLs the whole
+    process (that is its purpose: a deterministic poison cell for
+    self-testing the service).  Anywhere else — a serial in-process
+    campaign, a plain ``repro check`` — dying would take the
+    coordinator with it, so the drill degrades to this exception and
+    the cell records an error outcome instead.
+
+    Deliberately *not* a :class:`SimAbort`: the interpreter absorbs
+    aborts as a per-rank unwind and completes the run, but a worker
+    kill models the whole process dying — it must escape the
+    interpreter and fail the cell."""
+
+
 class AnalysisError(ReproError):
     """Raised by the static/dynamic analysis layers on malformed input."""
 

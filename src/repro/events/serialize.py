@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, Optional, TextIO, Union
 
 from ..errors import AnalysisError
+from ..jsonlines import read_json_lines
 from .event import (
     BarrierEvent,
     CollectiveArrive,
@@ -113,6 +114,9 @@ def load_log(source: Union[str, Path, TextIO], strict: bool = True):
     reading stops at the first undecodable line and the metadata gains
     ``salvaged: True`` plus a ``dropped_lines`` count, so offline
     analyzers can still consume what the dying run managed to record.
+    Truncation handling is shared with the campaign journal
+    (:func:`repro.jsonlines.read_json_lines`), so both artifacts agree
+    on what a damaged tail means.
     """
     own = isinstance(source, (str, Path))
     fh: TextIO = open(source) if own else source  # type: ignore[arg-type]
@@ -133,30 +137,24 @@ def load_log(source: Union[str, Path, TextIO], strict: bool = True):
                 f"unsupported trace version {header.get('version')}"
             )
         meta = dict(header.get("meta", {}))
+        events, truncation = read_json_lines(
+            fh, lambda line: _event_from_dict(json.loads(line)), start_lineno=2
+        )
+        if truncation is not None and strict:
+            raise AnalysisError(
+                f"corrupt trace line {truncation.lineno} "
+                f"(truncated write or damaged file): {truncation.error}"
+            )
         log = EventLog()
         max_seq = -1
-        dropped = 0
-        for lineno, line in enumerate(fh, start=2):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                event = _event_from_dict(json.loads(line))
-            except (json.JSONDecodeError, AnalysisError) as err:
-                if strict:
-                    raise AnalysisError(
-                        f"corrupt trace line {lineno} "
-                        f"(truncated write or damaged file): {err}"
-                    ) from err
-                # Tolerant mode: everything from the first bad line on
-                # is suspect — salvage the valid prefix only.
-                dropped = 1 + sum(1 for _ in fh)
-                break
+        for event in events:
             log.append(event)
             max_seq = max(max_seq, event.seq)
-        if dropped:
+        if truncation is not None:
+            # Tolerant mode: everything from the first bad line on is
+            # suspect — salvage the valid prefix only.
             meta["salvaged"] = True
-            meta["dropped_lines"] = dropped
+            meta["dropped_lines"] = truncation.dropped
         # keep the seq allocator consistent for appended events
         log.reserve_seqs(max_seq)
         return log, meta

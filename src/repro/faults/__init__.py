@@ -12,8 +12,14 @@ questions at each decision point.  Every fired fault is recorded as a
 findings to the injected condition.
 """
 
-from .injector import FaultInjector, SendPerturbation  # noqa: F401
+from .injector import (  # noqa: F401
+    DISPOSABLE_WORKER_ENV,
+    FaultInjector,
+    SendPerturbation,
+    kill_worker_process,
+)
 from .plan import (  # noqa: F401
+    DRILL_KINDS,
     EAGER_RENDEZVOUS,
     FAULT_KINDS,
     LOCK_JITTER,
@@ -21,6 +27,7 @@ from .plan import (  # noqa: F401
     QUEUE_REORDER,
     RANK_CRASH,
     THREAD_DOWNGRADE,
+    WORKER_KILL,
     FaultPlan,
     FaultSpec,
     builtin_plans,
@@ -39,6 +46,10 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "SendPerturbation",
+    "DISPOSABLE_WORKER_ENV",
+    "DRILL_KINDS",
+    "WORKER_KILL",
     "builtin_plans",
+    "kill_worker_process",
     "random_plan",
 ]

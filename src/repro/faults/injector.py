@@ -11,11 +11,14 @@ findings to injected conditions.
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, NoReturn, Optional
 
+from ..errors import WorkerKillFault
 from .plan import (
     EAGER_RENDEZVOUS,
     LOCK_JITTER,
@@ -23,9 +26,25 @@ from .plan import (
     QUEUE_REORDER,
     RANK_CRASH,
     THREAD_DOWNGRADE,
+    WORKER_KILL,
     FaultPlan,
     FaultSpec,
 )
+
+#: set (to any non-empty value) in processes that may be killed outright
+#: by the worker-kill drill — the campaign supervisor marks its workers
+#: disposable; everywhere else the drill degrades to an exception
+DISPOSABLE_WORKER_ENV = "REPRO_DISPOSABLE_WORKER"
+
+
+def kill_worker_process(detail: str) -> NoReturn:
+    """Die the way a segfaulting cell would — but only when the process
+    is a disposable supervised worker.  In any other process (a serial
+    campaign, ``repro check``) raise :class:`WorkerKillFault` instead,
+    which per-cell isolation converts into an error outcome."""
+    if os.environ.get(DISPOSABLE_WORKER_ENV):
+        os.kill(os.getpid(), signal.SIGKILL)
+    raise WorkerKillFault(detail)
 
 
 @dataclass
@@ -60,6 +79,8 @@ class FaultInjector:
         self._sends: Dict[int, int] = defaultdict(int)
         self._deliveries: Dict[int, int] = defaultdict(int)
         self._crashed: set = set()
+        self._wk_calls: Dict[int, int] = defaultdict(int)
+        self._wk_fired = False
         #: every fault fired, in firing order (surfaced via run stats)
         self.injected: List[Dict] = []
         by_kind: Dict[str, List[FaultSpec]] = defaultdict(list)
@@ -108,6 +129,22 @@ class FaultInjector:
 
     def crashed(self, rank: int) -> bool:
         return rank in self._crashed
+
+    def worker_kill_due(self, rank: int) -> Optional[FaultSpec]:
+        """Called once per MPI invocation; non-None means the whole
+        worker *process* hosting this simulation dies now (the
+        poison-cell drill — see :func:`kill_worker_process`).  Fires at
+        most once per execution."""
+        if not self.enabled or self._wk_fired:
+            return None
+        spec = self._first(WORKER_KILL, rank)
+        if spec is None:
+            return None
+        self._wk_calls[rank] += 1
+        if self._wk_calls[rank] >= spec.at_call:
+            self._wk_fired = True
+            return spec
+        return None
 
     def perturb_send(self, src: int, dst: int) -> SendPerturbation:
         """Faults applied to one point-to-point transmission src→dst."""

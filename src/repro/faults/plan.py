@@ -25,6 +25,16 @@ The taxonomy (each item maps to a real MPI+threads failure mode):
   eager→rendezvous protocol flip that exposes send-side deadlocks);
 * ``lock-jitter`` — lock acquisitions cost extra, seeded, variable
   time, perturbing the interleavings the dynamic phase observes.
+
+One extra *drill* kind exists for the campaign service's self-tests
+(:data:`DRILL_KINDS`, not part of :data:`FAULT_KINDS` so fuzzed
+:func:`random_plan`\\ s never draw it):
+
+* ``worker-kill`` — SIGKILLs the **host worker process** at the Nth
+  MPI call, modelling a cell that segfaults the runner itself.  The
+  supervised campaign layer must reclaim the lease and eventually
+  quarantine the cell as poison; outside a disposable worker it
+  degrades to a :class:`~repro.errors.WorkerKillFault` error outcome.
 """
 
 from __future__ import annotations
@@ -41,6 +51,7 @@ MESSAGE_DELAY = "message-delay"
 QUEUE_REORDER = "queue-reorder"
 EAGER_RENDEZVOUS = "eager-rendezvous"
 LOCK_JITTER = "lock-jitter"
+WORKER_KILL = "worker-kill"
 
 FAULT_KINDS: Tuple[str, ...] = (
     THREAD_DOWNGRADE,
@@ -50,6 +61,11 @@ FAULT_KINDS: Tuple[str, ...] = (
     EAGER_RENDEZVOUS,
     LOCK_JITTER,
 )
+
+#: service self-test drills: valid in hand-built / builtin plans but
+#: excluded from the random fuzzing pool — a fuzzed plan must perturb
+#: the simulated job, never kill the process running it
+DRILL_KINDS: Tuple[str, ...] = (WORKER_KILL,)
 
 
 @dataclass(frozen=True)
@@ -76,7 +92,7 @@ class FaultSpec:
     every: int = 1
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in FAULT_KINDS and self.kind not in DRILL_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.every < 1:
             raise ValueError("every must be >= 1")
@@ -96,6 +112,9 @@ class FaultSpec:
             return f"{self.kind}: permute {where}'s queue (every {self.every})"
         if self.kind == EAGER_RENDEZVOUS:
             return f"{self.kind}: {where} turns rendezvous after {self.every} send(s)"
+        if self.kind == WORKER_KILL:
+            return (f"{self.kind}: SIGKILL the worker process at {where}'s "
+                    f"MPI call #{self.at_call} (poison-cell drill)")
         return f"{self.kind}: up to +{self.delay:g} per lock acquire on {where}"
 
     def as_dict(self) -> Dict:
@@ -175,6 +194,12 @@ def builtin_plans(nprocs: int = 2) -> Dict[str, FaultPlan]:
         "jitter": FaultPlan(
             (FaultSpec(LOCK_JITTER, delay=8.0),),
             name="jitter",
+        ),
+        # poison-cell drill: every attempt at this cell SIGKILLs the
+        # supervised worker running it — the service must quarantine it
+        "killworker": FaultPlan(
+            (FaultSpec(WORKER_KILL, rank=0, at_call=3),),
+            name="killworker",
         ),
     }
     return plans

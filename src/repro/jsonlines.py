@@ -1,0 +1,66 @@
+"""Shared JSON-lines salvage: one tail-truncation policy for all logs.
+
+Two subsystems write append-only JSON-lines files that a dying process
+can leave cut mid-record: event traces (:mod:`repro.events.serialize`)
+and the durable campaign journal (:mod:`repro.campaign.journal`).  Both
+must agree on what a damaged tail means, so the policy lives here,
+once:
+
+* every line **before** the first undecodable line is trusted;
+* the first undecodable line and **everything after it** are suspect
+  and dropped — a partial write tells us nothing about whether later
+  bytes belong to this file's history or to a torn page.
+
+Callers pick strictness themselves: raise on truncation (a trace the
+user asked to analyze verbatim) or salvage the valid prefix (a journal
+being replayed after ``kill -9``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, TextIO, Tuple
+
+from .errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class TailTruncation:
+    """Where and why decoding stopped before end-of-file."""
+
+    #: line number (1-based, in the caller's numbering) of the first
+    #: undecodable line
+    lineno: int
+    #: lines dropped: the undecodable line plus everything after it
+    dropped: int
+    #: the decode failure, as text
+    error: str
+
+
+def read_json_lines(
+    fh: TextIO,
+    decode: Callable[[str], Any],
+    start_lineno: int = 1,
+) -> Tuple[List[Any], Optional[TailTruncation]]:
+    """Decode *fh* line by line until EOF or the first bad line.
+
+    *decode* turns one non-blank line into a record; raising
+    :class:`ValueError` (``json.JSONDecodeError`` included) or
+    :class:`~repro.errors.AnalysisError` marks the line undecodable.
+    Blank lines are skipped.  Returns ``(records, truncation)`` where
+    *truncation* is ``None`` for a clean file.
+    """
+    records: List[Any] = []
+    for lineno, line in enumerate(fh, start=start_lineno):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(decode(line))
+        except (ValueError, AnalysisError) as err:
+            # the bad line plus the unread remainder are all suspect
+            dropped = 1 + sum(1 for _ in fh)
+            return records, TailTruncation(
+                lineno=lineno, dropped=dropped, error=str(err)
+            )
+    return records, None

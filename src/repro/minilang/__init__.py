@@ -7,7 +7,13 @@ this repository is expressed in this language.
 """
 
 from . import ast_nodes as ast  # noqa: F401  (public alias)
-from .ast_nodes import NOLOC, Node, Program, SourceLoc  # noqa: F401
+from .ast_nodes import (  # noqa: F401
+    NOLOC,
+    Node,
+    Program,
+    SourceLoc,
+    renumber_nids,
+)
 from .builder import ast_equal, clone  # noqa: F401
 from .lexer import Token, tokenize  # noqa: F401
 from .parser import parse  # noqa: F401
@@ -23,6 +29,7 @@ __all__ = [
     "Token",
     "tokenize",
     "parse",
+    "renumber_nids",
     "print_program",
     "print_stmt",
     "print_expr",

@@ -25,6 +25,25 @@ def _next_nid() -> int:
     return next(_NODE_COUNTER)
 
 
+def renumber_nids(root: "Node") -> "Node":
+    """Reassign node ids in pre-order, starting from 1.
+
+    Node ids are drawn from a process-global counter, so a program's ids
+    depend on everything parsed before it in the same process.  That is
+    fine within one run, but any consumer that must produce identical
+    artifacts across process restarts — the campaign service resumes a
+    journaled submission in a *new* server process and must finish it
+    byte-identical — needs ids that are a pure function of the program
+    text.  Pre-order renumbering gives exactly that.
+
+    Must be applied before any nid-keyed analysis touches the tree.
+    Returns ``root`` for call-site convenience.
+    """
+    for nid, node in enumerate(root.walk(), start=1):
+        node.nid = nid
+    return root
+
+
 @dataclass(frozen=True)
 class SourceLoc:
     """A (line, column) position in mini-language source text."""

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..errors import MPIUsageError, RankCrashFault, SimAbort
 from ..events import ErrorHandlerEvent, FaultEvent, MonitoredWrite, MPICall, MPIErrorEvent
+from ..faults.injector import kill_worker_process
 from ..events.event import MonitoredKind
 from ..mpi.collectives import apply_reduce
 from ..mpi.constants import (
@@ -168,6 +169,16 @@ def _crash_gate(interp, ctx, op: str) -> None:
         interp.emit(FaultEvent, ctx, kind=spec.kind, detail=detail, op=op)
         interp.note(f"fault injected: {detail}")
         raise RankCrashFault(detail)
+    spec = faults.worker_kill_due(rank)
+    if spec is not None:
+        # poison-cell drill: SIGKILL the hosting worker process (or, in
+        # a non-disposable process, unwind as an ordinary cell error)
+        detail = (
+            f"worker-kill drill at rank {rank}'s MPI call "
+            f"#{spec.at_call} ({op})"
+        )
+        interp.faults.record(spec, rank, detail)
+        kill_worker_process(detail)
 
 
 def _post_send_faulted(

@@ -7,6 +7,7 @@ import pytest
 from repro.campaign import (
     CHECKPOINT_FORMAT,
     CHECKPOINT_SCHEMA_VERSION,
+    CORRUPT_SUFFIX,
     RunOutcome,
     load_checkpoint,
     save_checkpoint,
@@ -127,3 +128,86 @@ class TestCheckpointFile:
     def test_missing_file_is_filenotfound(self, tmp_path):
         with pytest.raises(AnalysisError, match="cannot read"):
             load_checkpoint(str(tmp_path / "absent.json"))
+
+
+class TestCheckpointDurability:
+    """v3 hardening: payload CRC, fsync'd writes, corrupt-file quarantine."""
+
+    def outcomes(self):
+        return [RunOutcome(seed=s, plan="none", events=s * 10) for s in range(3)]
+
+    def test_payload_carries_matching_crc(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        save_checkpoint(path, {"program": "p"}, self.outcomes())
+        payload = json.loads((tmp_path / "c.json").read_text())
+        assert isinstance(payload["crc"], int)
+        state = load_checkpoint(path)
+        assert len(state["outcomes"]) == 3
+
+    def test_bit_flip_fails_crc(self, tmp_path):
+        path = tmp_path / "c.json"
+        save_checkpoint(str(path), {"program": "p"}, self.outcomes())
+        text = path.read_text()
+        # flip one character inside the outcomes payload
+        path.write_text(text.replace('"events": 10', '"events": 11', 1))
+        with pytest.raises(AnalysisError, match="CRC mismatch"):
+            load_checkpoint(str(path))
+
+    def test_missing_crc_rejected(self, tmp_path):
+        path = tmp_path / "c.json"
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "schema_version": CHECKPOINT_SCHEMA_VERSION,
+            "meta": {},
+            "outcomes": [],
+        }
+        path.write_text(json.dumps(payload))
+        with pytest.raises(AnalysisError, match="CRC mismatch"):
+            load_checkpoint(str(path))
+
+    def test_quarantine_moves_corrupt_file_aside(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text('{"torn write')
+        with pytest.raises(AnalysisError, match="quarantined to"):
+            load_checkpoint(str(path), quarantine=True)
+        assert not path.exists()
+        moved = tmp_path / ("c.json" + CORRUPT_SUFFIX)
+        assert moved.exists()
+        assert moved.read_text() == '{"torn write'
+        # the path is now free: a fresh save works and loads
+        save_checkpoint(str(path), {}, self.outcomes())
+        assert len(load_checkpoint(str(path))["outcomes"]) == 3
+
+    def test_quarantine_on_crc_failure(self, tmp_path):
+        path = tmp_path / "c.json"
+        save_checkpoint(str(path), {}, self.outcomes())
+        text = path.read_text()
+        path.write_text(text.replace('"events": 20', '"events": 21', 1))
+        with pytest.raises(AnalysisError, match="CRC mismatch"):
+            load_checkpoint(str(path), quarantine=True)
+        assert (tmp_path / ("c.json" + CORRUPT_SUFFIX)).exists()
+
+    def test_wrong_format_not_quarantined(self, tmp_path):
+        # structurally valid files of another format are somebody's
+        # good data: never move them aside
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"format": "other"}))
+        with pytest.raises(AnalysisError, match="not a campaign checkpoint"):
+            load_checkpoint(str(path), quarantine=True)
+        assert path.exists()
+
+    def test_runner_resumes_cold_after_quarantine(self, tmp_path):
+        # integration: CampaignRunner._load_resume must warn and cold
+        # start on a corrupt checkpoint, not crash
+        from repro.campaign import CampaignConfig, run_campaign
+        from repro.workloads.case_studies import safe_funneled
+
+        path = tmp_path / "c.json"
+        path.write_text('{"torn write')
+        config = CampaignConfig(
+            seeds=[0], plans={"none": None}, checkpoint=str(path),
+            resume=True, record_timing=False,
+        )
+        result = run_campaign(safe_funneled(), config)
+        assert len(result.outcomes) == 1
+        assert (tmp_path / ("c.json" + CORRUPT_SUFFIX)).exists()

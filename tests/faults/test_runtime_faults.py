@@ -4,9 +4,10 @@ import pytest
 
 from helpers import run_src
 
-from repro.errors import StepLimitError
+from repro.errors import StepLimitError, WorkerKillFault
 from repro.events import FaultEvent
 from repro.faults import (
+    DRILL_KINDS,
     EAGER_RENDEZVOUS,
     LOCK_JITTER,
     MESSAGE_DELAY,
@@ -193,8 +194,19 @@ class TestPartialCapture:
 
 
 class TestBuiltinPlansRunEverywhere:
-    @pytest.mark.parametrize("name", sorted(builtin_plans(2)))
+    @pytest.mark.parametrize("name", sorted(
+        name for name, plan in builtin_plans(2).items()
+        if not any(spec.kind in DRILL_KINDS for spec in plan.specs)
+    ))
     def test_plan_never_raises_on_pingpong(self, name):
         plan = builtin_plans(2)[name]
         result = run_pingpong(plan or None, seed=5, capture_partial=True)
         assert result is not None  # completed or recorded, never raised
+
+    def test_drill_plan_raises_outside_disposable_workers(self):
+        # the worker-kill drill models the host process dying, so it
+        # must escape the interpreter (the campaign layer catches it
+        # per cell); only real fault kinds are absorbed in-run
+        with pytest.raises(WorkerKillFault, match="worker-kill drill"):
+            run_pingpong(builtin_plans(2)["killworker"], seed=5,
+                         capture_partial=True)
