@@ -17,7 +17,7 @@ import os
 import time
 
 from repro.campaign import CampaignConfig, default_plan_matrix, run_campaign
-from repro.runtime import Interpreter, RunConfig
+from repro.runtime import RunConfig, make_interpreter
 from repro.workloads import BENCHMARKS
 
 _SEEDS = 16
@@ -93,19 +93,24 @@ def test_parallel_speedup_16x3(benchmark, bench_campaign_stats, tmp_path):
 
 def test_interpreter_stepping_rate(bench_campaign_stats):
     """Raw scheduler stepping rate on fault-free LU (best of 3): the
-    single-run hot-path number CI gates on."""
+    single-run hot-path number CI gates on.  Uses the configured engine
+    (``REPRO_ENGINE``, bytecode by default) so the gated number tracks
+    what campaigns actually run."""
     program = BENCHMARKS["lu"](inject=False)
+    config = RunConfig(nprocs=2, num_threads=2)
     best_rate = 0.0
     steps = 0
     for _ in range(3):
         start = time.perf_counter()
-        result = Interpreter(
-            program, RunConfig(nprocs=2, num_threads=2)
-        ).run()
+        result = make_interpreter(program, config).run()
         elapsed = time.perf_counter() - start
         steps = result.stats["scheduler_steps"]
         best_rate = max(best_rate, steps / elapsed)
-    print(f"\nstepping rate: {best_rate:,.0f} steps/s ({steps} steps)")
+    print(
+        f"\nstepping rate ({config.engine}): "
+        f"{best_rate:,.0f} steps/s ({steps} steps)"
+    )
+    bench_campaign_stats["engine"] = config.engine
     bench_campaign_stats["scheduler_steps"] = steps
     bench_campaign_stats["stepping_rate"] = round(best_rate, 1)
     assert best_rate > 0

@@ -19,7 +19,7 @@ from ..analysis.dynamic_.hybrid import ConcurrencyReport, MPICallRecord
 from ..events import EventLog, MPICall
 from ..events.event import COLLECTIVE_OPS, MonitoredKind
 from ..minilang import ast_nodes as A
-from ..runtime import ExecutionResult, Interpreter, RunConfig
+from ..runtime import ExecutionResult, RunConfig, make_interpreter
 from ..runtime.costmodel import NO_INSTRUMENTATION, InstrumentationCharge
 from ..violations import ViolationReport
 
@@ -110,7 +110,7 @@ class CheckingTool(abc.ABC):
     ) -> ToolReport:
         to_run, static = self.prepare(program)
         config = self.run_config(nprocs, num_threads, seed, static=static, **overrides)
-        result = Interpreter(to_run, config).run()
+        result = make_interpreter(to_run, config).run()
         t0 = _time.perf_counter()
         violations = self.analyze(result, static)
         elapsed = _time.perf_counter() - t0

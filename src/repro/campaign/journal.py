@@ -140,6 +140,8 @@ class JournalReplay:
     records: List[Dict] = field(default_factory=list)
     #: lines dropped from a damaged tail (0 for a clean journal)
     dropped: int = 0
+    #: byte offset where the damaged tail starts (-1 for a clean journal)
+    corrupt_byte_offset: int = -1
 
     @property
     def truncated(self) -> bool:
@@ -179,4 +181,5 @@ def replay_journal(path: str) -> JournalReplay:
         meta=dict(header.get("meta", {})),
         records=records[1:],
         dropped=truncation.dropped if truncation else 0,
+        corrupt_byte_offset=truncation.byte_offset if truncation else -1,
     )

@@ -48,7 +48,7 @@ from ..errors import AnalysisError
 from ..faults import FaultPlan, builtin_plans
 from ..home.pipeline import Home, static_only_violations
 from ..minilang import ast_nodes as A
-from ..runtime import Interpreter
+from ..runtime import make_interpreter
 from ..runtime.scheduler import DEFAULT_MAX_STEPS
 from ..violations.matcher import ViolationReport
 from .checkpoint import load_checkpoint, save_checkpoint
@@ -304,7 +304,7 @@ class CellExecutor:
                     max_wall_seconds=cfg.budget_seconds,
                     capture_partial=True,
                 )
-                result = Interpreter(self.to_run, run_config).run()
+                result = make_interpreter(self.to_run, run_config).run()
             except Exception as err:  # noqa: BLE001 - cell isolation:
                 # one diseased run must never take down the campaign
                 last_error = f"{type(err).__name__}: {err}"

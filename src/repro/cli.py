@@ -21,6 +21,16 @@ Subcommands
     durable crash-safe service path.
 ``serve SPOOL``
     Durable campaign server over a spool directory of submissions.
+``bench``
+    Interpreter stepping-rate micro-benchmark (N reps, best-of), with
+    JSON output compatible with ``BENCH_campaign.json`` so the CI
+    regression gate (``benchmarks/check_campaign_regression.py``) can
+    consume it directly.
+
+Every execution subcommand takes ``--engine {ast,bytecode}``; the flag
+is exported as ``REPRO_ENGINE`` so campaign worker processes inherit
+it.  The two engines produce byte-identical traces (see
+``docs/PERFORMANCE.md``).
 
 Exit codes: 0 success, 1 findings/degraded, 2 usage or input error,
 3 interrupted (SIGTERM/SIGINT landed and a partial result was saved).
@@ -30,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 import threading
@@ -88,10 +99,25 @@ def _load_program(path: str):
     return program
 
 
+#: valid ``--engine`` values (mirrors :data:`repro.runtime.config.ENGINES`;
+#: kept literal here so ``--help`` doesn't import the runtime package)
+_ENGINE_CHOICES = ("ast", "bytecode")
+
+
 def _add_run_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--procs", type=int, default=2, help="MPI processes (default 2)")
     p.add_argument("--threads", type=int, default=2, help="OpenMP threads per process")
     p.add_argument("--seed", type=int, default=0, help="scheduler seed")
+    _add_engine_arg(p)
+
+
+def _add_engine_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--engine", choices=_ENGINE_CHOICES, default=None,
+        help="execution engine: 'bytecode' (compiled dispatch loop, the "
+             "default) or 'ast' (reference tree-walk); traces are "
+             "byte-identical either way",
+    )
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -430,6 +456,69 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 1 if service.failed else 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Local stepping-rate micro-bench: best-of-N per engine.
+
+    The JSON written by ``--json`` carries the same ``stepping_rate``
+    key as the CI benchmark session's ``BENCH_campaign.json``, so
+    ``benchmarks/check_campaign_regression.py`` accepts either file.
+    """
+    import time
+
+    from .runtime import RunConfig, make_interpreter
+    from .workloads.npb import BENCHMARKS
+
+    if args.reps < 1:
+        print("error: --reps must be >= 1", file=sys.stderr)
+        return 2
+    program = BENCHMARKS[args.npb](inject=False)
+    engines = _ENGINE_CHOICES if args.engine == "both" else (args.engine,)
+    best = {}
+    steps = {}
+    for engine in engines:
+        config = RunConfig(
+            nprocs=args.procs, num_threads=args.threads, seed=args.seed,
+            engine=engine,
+        )
+        rate = 0.0
+        for _ in range(args.reps):
+            start = time.perf_counter()
+            result = make_interpreter(program, config).run()
+            elapsed = time.perf_counter() - start
+            steps[engine] = result.stats["scheduler_steps"]
+            rate = max(rate, steps[engine] / elapsed)
+        best[engine] = rate
+        print(f"{engine:>8}: {rate:>12,.0f} steps/s  "
+              f"({steps[engine]} steps, best of {args.reps})")
+    # the gated number is the default engine's rate when both were run
+    primary = "bytecode" if "bytecode" in best else args.engine
+    out = {
+        "benchmark": args.npb,
+        "nprocs": args.procs,
+        "num_threads": args.threads,
+        "seed": args.seed,
+        "reps": args.reps,
+        "engine": primary,
+        "scheduler_steps": steps[primary],
+        "stepping_rate": round(best[primary], 1),
+    }
+    if len(best) == 2:
+        speedup = best["bytecode"] / best["ast"]
+        out["stepping_rate_ast"] = round(best["ast"], 1)
+        out["vm_speedup"] = round(speedup, 2)
+        print(f"bytecode vs ast: {speedup:.2f}x")
+        if steps["ast"] != steps["bytecode"]:
+            print(f"error: engines disagree on step count "
+                  f"(ast={steps['ast']}, bytecode={steps['bytecode']})",
+                  file=sys.stderr)
+            return 1
+    if args.json:
+        Path(args.json).write_text(json.dumps(out, indent=2,
+                                              sort_keys=True) + "\n")
+        print(f"bench stats written to {args.json}")
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     from .experiments import run_table1, table1_data
 
@@ -669,6 +758,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print per-run progress lines")
     p.add_argument("--procs", type=int, default=2)
     p.add_argument("--threads", type=int, default=2)
+    _add_engine_arg(p)
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
@@ -687,7 +777,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="incoming/ scan period (default 0.5)")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print per-submission progress lines")
+    _add_engine_arg(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "bench",
+        help="interpreter stepping-rate micro-benchmark (best-of-N)",
+    )
+    p.add_argument("--npb", choices=("lu", "bt", "sp"), default="lu",
+                   help="NPB multi-zone workload to step (default lu; "
+                        "always the fault-free variant)")
+    p.add_argument("--reps", type=int, default=3,
+                   help="timed repetitions per engine; the best rate is "
+                        "reported (default 3)")
+    p.add_argument("--engine", choices=_ENGINE_CHOICES + ("both",),
+                   default="both",
+                   help="engine(s) to time (default both, printing the "
+                        "bytecode-over-ast speedup)")
+    p.add_argument("--procs", type=int, default=2)
+    p.add_argument("--threads", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", metavar="PATH",
+                   help="write stats JSON compatible with "
+                        "BENCH_campaign.json (stepping_rate key)")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("table1", help="regenerate the detection-count table")
     _add_run_args(p)
@@ -720,6 +833,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    engine = getattr(args, "engine", None)
+    if engine in _ENGINE_CHOICES:
+        # export rather than thread through call sites: RunConfig's
+        # default engine reads the env, so campaign/serve worker
+        # *processes* inherit the choice too
+        os.environ["REPRO_ENGINE"] = engine
     try:
         return args.func(args)
     except errors.MiniLangError as err:

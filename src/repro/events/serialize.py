@@ -138,11 +138,13 @@ def load_log(source: Union[str, Path, TextIO], strict: bool = True):
             )
         meta = dict(header.get("meta", {}))
         events, truncation = read_json_lines(
-            fh, lambda line: _event_from_dict(json.loads(line)), start_lineno=2
+            fh, lambda line: _event_from_dict(json.loads(line)), start_lineno=2,
+            start_offset=len(header_line.encode("utf-8")),
         )
         if truncation is not None and strict:
             raise AnalysisError(
                 f"corrupt trace line {truncation.lineno} "
+                f"at byte offset {truncation.byte_offset} "
                 f"(truncated write or damaged file): {truncation.error}"
             )
         log = EventLog()
@@ -152,9 +154,11 @@ def load_log(source: Union[str, Path, TextIO], strict: bool = True):
             max_seq = max(max_seq, event.seq)
         if truncation is not None:
             # Tolerant mode: everything from the first bad line on is
-            # suspect — salvage the valid prefix only.
+            # suspect — salvage the valid prefix only, and record where
+            # the damage starts so operators can inspect/truncate it.
             meta["salvaged"] = True
             meta["dropped_lines"] = truncation.dropped
+            meta["corrupt_byte_offset"] = truncation.byte_offset
         # keep the seq allocator consistent for appended events
         log.reserve_seqs(max_seq)
         return log, meta

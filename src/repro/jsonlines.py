@@ -13,7 +13,9 @@ once:
 
 Callers pick strictness themselves: raise on truncation (a trace the
 user asked to analyze verbatim) or salvage the valid prefix (a journal
-being replayed after ``kill -9``).
+being replayed after ``kill -9``).  A truncation report carries the byte
+offset of the first corrupt record so operators can inspect (or
+``truncate(2)``) the damaged file without re-deriving the position.
 """
 
 from __future__ import annotations
@@ -35,12 +37,16 @@ class TailTruncation:
     dropped: int
     #: the decode failure, as text
     error: str
+    #: byte offset (from the caller's ``start_offset``) where the first
+    #: undecodable line begins; -1 when the caller didn't track offsets
+    byte_offset: int = -1
 
 
 def read_json_lines(
     fh: TextIO,
     decode: Callable[[str], Any],
     start_lineno: int = 1,
+    start_offset: int = 0,
 ) -> Tuple[List[Any], Optional[TailTruncation]]:
     """Decode *fh* line by line until EOF or the first bad line.
 
@@ -49,11 +55,18 @@ def read_json_lines(
     :class:`~repro.errors.AnalysisError` marks the line undecodable.
     Blank lines are skipped.  Returns ``(records, truncation)`` where
     *truncation* is ``None`` for a clean file.
+
+    *start_offset* is the byte position of the first line handed to this
+    call (a caller that already consumed a header passes its encoded
+    length); offsets are accumulated in UTF-8 bytes so the reported
+    position matches what ``seek``/``truncate`` on the binary file mean.
     """
     records: List[Any] = []
-    for lineno, line in enumerate(fh, start=start_lineno):
-        line = line.strip()
+    offset = start_offset
+    for lineno, raw in enumerate(fh, start=start_lineno):
+        line = raw.strip()
         if not line:
+            offset += len(raw.encode("utf-8"))
             continue
         try:
             records.append(decode(line))
@@ -61,6 +74,8 @@ def read_json_lines(
             # the bad line plus the unread remainder are all suspect
             dropped = 1 + sum(1 for _ in fh)
             return records, TailTruncation(
-                lineno=lineno, dropped=dropped, error=str(err)
+                lineno=lineno, dropped=dropped, error=str(err),
+                byte_offset=offset,
             )
+        offset += len(raw.encode("utf-8"))
     return records, None

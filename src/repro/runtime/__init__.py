@@ -15,6 +15,19 @@ from .scheduler import Block, Scheduler, Step, Task  # noqa: F401
 from .values import ArrayValue, BinOps, Cell, Scope, as_int, truthy  # noqa: F401
 
 
+def make_interpreter(program, config: RunConfig) -> Interpreter:
+    """Build the interpreter selected by ``config.engine``.
+
+    Both engines produce byte-identical traces; "bytecode" runs the
+    compile-once closure-array VM, "ast" the reference tree-walk.
+    """
+    if config.engine == "bytecode":
+        from .bytecode import BytecodeInterpreter
+
+        return BytecodeInterpreter(program, config)
+    return Interpreter(program, config)
+
+
 def run_program(program, config: RunConfig | None = None, **kwargs) -> ExecutionResult:
     """Convenience: run *program* under a fresh interpreter.
 
@@ -25,7 +38,7 @@ def run_program(program, config: RunConfig | None = None, **kwargs) -> Execution
         config = RunConfig(**kwargs)
     elif kwargs:
         raise TypeError("pass either a RunConfig or keyword overrides, not both")
-    return Interpreter(program, config).run()
+    return make_interpreter(program, config).run()
 
 
 __all__ = [
@@ -51,5 +64,6 @@ __all__ = [
     "BinOps",
     "truthy",
     "as_int",
+    "make_interpreter",
     "run_program",
 ]

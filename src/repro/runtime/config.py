@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -23,6 +24,22 @@ from .scheduler import DEFAULT_MAX_STEPS
 #: * ``permissive`` — the call executes anyway; the breach is recorded.
 #: * ``strict``     — the run aborts (a strict MPI implementation).
 THREAD_LEVEL_MODES = ("skip", "permissive", "strict")
+
+#: Available execution engines.
+#:
+#: * ``bytecode`` — compile-once closure-array VM (the default): programs
+#:   are lowered to flat instruction lists, shared across campaign cells
+#:   and serve workers; traces are byte-identical to the tree-walk.
+#: * ``ast``      — the original recursive generator tree-walk, kept as a
+#:   reference implementation and differential-testing oracle.
+ENGINES = ("ast", "bytecode")
+
+
+def _default_engine() -> str:
+    """Engine default, overridable by the REPRO_ENGINE environment
+    variable (how the ``--engine`` CLI flag reaches campaign worker
+    processes and the CI engine matrix)."""
+    return os.environ.get("REPRO_ENGINE", "bytecode")
 
 
 @dataclass
@@ -73,10 +90,17 @@ class RunConfig:
     #: :class:`ExecutionResult` (with ``failure`` set) instead of
     #: raising — the campaign runner's partial-trace recovery
     capture_partial: bool = False
+    #: execution engine: "bytecode" (compiled closure arrays) or "ast"
+    #: (tree-walk reference); both produce byte-identical traces
+    engine: str = field(default_factory=_default_engine)
 
     def __post_init__(self) -> None:
         if self.thread_level_mode not in THREAD_LEVEL_MODES:
             raise ValueError(f"bad thread_level_mode {self.thread_level_mode!r}")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"bad engine {self.engine!r} (expected one of {ENGINES})"
+            )
         if self.nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         if self.num_threads < 1:

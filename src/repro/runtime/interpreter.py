@@ -29,6 +29,7 @@ from ..events import (
     ThreadJoin,
 )
 from ..events.event import COLLECTIVE_OPS
+from ..events.intern import intern_loc
 from ..faults import FaultInjector
 from ..minilang import ast_nodes as A
 from ..mpi import LANGUAGE_CONSTANTS, MPIWorld
@@ -254,7 +255,7 @@ class Interpreter:
             # funneled MPI collective under master/single: one arrival
             # on behalf of the whole team, the sanctioned pattern
             return
-        loc = f"{node.loc.line}:{node.loc.col}"
+        loc = intern_loc(node.loc)
         sites = config.collective_sites
         if sites is not None and loc not in sites:
             return

@@ -21,6 +21,7 @@ from ..errors import MPIUsageError, RankCrashFault, SimAbort
 from ..events import ErrorHandlerEvent, FaultEvent, MonitoredWrite, MPICall, MPIErrorEvent
 from ..faults.injector import kill_worker_process
 from ..events.event import MonitoredKind
+from ..events.intern import intern_loc
 from ..mpi.collectives import apply_reduce
 from ..mpi.constants import (
     MPI_THREAD_FUNNELED,
@@ -46,7 +47,7 @@ Gen = Generator
 
 
 def _loc(node) -> str:
-    return f"{node.loc.line}:{node.loc.col}"
+    return intern_loc(node.loc)
 
 
 def _payload(buf: Any, count: int) -> np.ndarray:

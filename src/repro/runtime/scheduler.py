@@ -265,8 +265,130 @@ class Scheduler:
         """Run all tasks to completion; raises DeadlockError on deadlock."""
         if self.max_wall_seconds > 0:
             self._deadline = _time.monotonic() + self.max_wall_seconds
-        while self.step_one():
-            pass
+        if self.policy != "random":
+            while self.step_one():
+                pass
+            return
+        self._run_random()
+
+    def _run_random(self) -> None:
+        """Inlined hot loop for the default random policy.
+
+        Byte-identical to ``while step_one(): pass``: one RNG draw per
+        step over the same runnable list (spawn order, blocked tasks
+        re-evaluated in place), StopIteration not counted as a step, the
+        same limit/deadlock error messages.  The win is structural: a
+        blocked-task counter lets the common all-ready iteration pick
+        straight from the live list without rebuilding it, and done
+        tasks are pruned immediately instead of rescanned.
+        """
+        live = self._live = [t for t in self._live if t.state != _DONE]
+        nblocked = sum(1 for t in live if t.state == _BLOCKED)
+        rng_draw = self.rng.randrange
+        # Inline random.Random's _randbelow_with_getrandbits: the same
+        # getrandbits consumption as randrange(n) (so seed-for-seed
+        # schedules stay identical to step_one and the ast engine)
+        # without the randrange/_randbelow call frames on every step.
+        # A subclassed RNG keeps the portable randrange call.
+        getrandbits = (
+            self.rng.getrandbits if type(self.rng) is random.Random else None
+        )
+        max_steps = self.max_steps
+        deadline = self._deadline
+        total = self.total_steps
+        try:
+            while True:
+                if not nblocked:
+                    if not live:
+                        return
+                    runnable = live
+                else:
+                    runnable = [
+                        t for t in live
+                        if t.state == _READY or t.block.is_ready()
+                    ]
+                    if not runnable:
+                        blocked = [t for t in live if t.state == _BLOCKED]
+                        while (not runnable and self.stall_handler
+                               and self.stall_handler()):
+                            runnable = self._runnable()
+                        if not runnable:
+                            infos = [
+                                BlockedInfo(
+                                    t.name, t.proc, t.thread,
+                                    t.block.reason if t.block else "?",
+                                )
+                                for t in blocked
+                            ]
+                            raise DeadlockError(
+                                f"deadlock: {len(blocked)} task(s) blocked "
+                                f"with no runnable task; "
+                                f"{_blocked_by_rank(infos)}",
+                                blocked=infos,
+                            )
+                        # the stall handler may have pruned/rebound _live
+                        live = self._live
+                        nblocked = sum(
+                            1 for t in live if t.state == _BLOCKED
+                        )
+                n = len(runnable)
+                if getrandbits is not None:
+                    k = n.bit_length()
+                    r = getrandbits(k)
+                    while r >= n:
+                        r = getrandbits(k)
+                    task = runnable[r]
+                else:
+                    task = runnable[rng_draw(n)]
+                if task.state == _BLOCKED:
+                    nblocked -= 1
+                    task.state = _READY
+                    task.block = None
+                try:
+                    yielded = next(task.gen)
+                except StopIteration:
+                    task.state = _DONE
+                    live.remove(task)
+                    continue
+                task.steps += 1
+                total += 1
+                if total > max_steps:
+                    raise StepLimitError(
+                        f"scheduler exceeded {self.max_steps} steps; "
+                        "simulated program is probably in an infinite loop "
+                        f"({self._busiest_tasks()})",
+                        task_steps={t.name: t.steps for t in self.tasks},
+                    )
+                if (
+                    deadline is not None
+                    and not total % _WALL_CHECK_INTERVAL
+                    and _time.monotonic() > deadline
+                ):
+                    raise WallClockLimitError(
+                        f"scheduler exceeded its {self.max_wall_seconds:.1f}s "
+                        f"wall-clock budget after {total} steps"
+                    )
+                cls = type(yielded)
+                if cls is Step:
+                    task.clock += yielded.cost
+                elif cls is Block:
+                    task.state = _BLOCKED
+                    task.block = yielded
+                    nblocked += 1
+                elif isinstance(yielded, Step):
+                    task.clock += yielded.cost
+                elif isinstance(yielded, Block):
+                    task.state = _BLOCKED
+                    task.block = yielded
+                    nblocked += 1
+                else:
+                    raise SchedulerError(
+                        f"task {task.name} yielded {yielded!r}"
+                    )
+        finally:
+            # keep the public counter accurate however the loop exits
+            # (done, limit raise, a fault propagating out of a task)
+            self.total_steps = total
 
     # -- results ------------------------------------------------------------
 

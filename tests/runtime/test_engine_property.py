@@ -1,0 +1,140 @@
+"""Property-based engine equivalence: random terminating programs.
+
+Hypothesis generates small mini-language programs from a terminating
+grammar (loops only over literal bounds, recursion-free calls) plus a
+random seed and thread count, and both engines must produce the same
+serialized trace byte for byte.  This sweeps construct *combinations*
+the hand-written equivalence cases cannot enumerate.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from runtime.test_engine_equivalence import assert_src_equivalent
+
+# -- expression grammar (always defined: only declared names, no division) --
+
+_VARS = ("a", "b", "c")
+
+_atoms = st.one_of(
+    st.integers(min_value=0, max_value=9).map(str),
+    st.sampled_from(_VARS),
+)
+
+
+def _binop(children):
+    return st.builds(
+        lambda l, op, r: f"({l} {op} {r})",
+        children,
+        st.sampled_from(["+", "-", "*", "<", "==", "%"]),
+        children,
+    )
+
+
+_exprs = st.recursive(_atoms, _binop, max_leaves=6).map(
+    # a % expression may divide by zero; force a safe modulus
+    lambda e: e.replace("% 0", "% 7")
+)
+
+# -- statement grammar ------------------------------------------------------
+
+
+def _assign(expr):
+    return st.builds(lambda v, e: f"{v} = {e};", st.sampled_from(_VARS), expr)
+
+
+def _print(expr):
+    return st.builds(lambda e: f"print({e});", expr)
+
+
+def _compute():
+    return st.builds(
+        lambda n: f"compute({n});", st.integers(min_value=0, max_value=3)
+    )
+
+
+def _if(stmts, expr):
+    return st.builds(
+        lambda cond, then, els: (
+            f"if ({cond}) {{ {then} }} else {{ {els} }}"
+        ),
+        expr,
+        stmts,
+        stmts,
+    )
+
+
+def _for(stmts):
+    return st.builds(
+        lambda bound, body: (
+            f"for (var i = 0; i < {bound}; i = i + 1) {{ {body} }}"
+        ),
+        st.integers(min_value=0, max_value=4),
+        stmts,
+    )
+
+
+def _critical(stmts):
+    return st.builds(lambda body: f"omp critical {{ {body} }}", stmts)
+
+
+def _atomic():
+    return st.builds(
+        lambda v, n: f"omp atomic {v} = {v} + {n};",
+        st.sampled_from(_VARS),
+        st.integers(min_value=1, max_value=3),
+    )
+
+
+_stmt_lists = st.recursive(
+    st.lists(
+        st.one_of(_assign(_exprs), _print(_exprs), _compute(), _atomic()),
+        min_size=1,
+        max_size=3,
+    ).map(" ".join),
+    lambda stmts: st.lists(
+        st.one_of(
+            _assign(_exprs),
+            _print(_exprs),
+            _compute(),
+            _atomic(),
+            _if(stmts, _exprs),
+            _for(stmts),
+            _critical(stmts),
+        ),
+        min_size=1,
+        max_size=3,
+    ).map(" ".join),
+    max_leaves=8,
+)
+
+
+@st.composite
+def programs(draw):
+    decls = " ".join(f"var {v} = {draw(st.integers(0, 5))};" for v in _VARS)
+    body = draw(_stmt_lists)
+    parallel = draw(st.booleans())
+    if parallel:
+        body = f"omp parallel num_threads(2) {{ {body} }}"
+    return f"""
+program fuzz;
+{decls}
+func main() {{
+    {body}
+}}
+"""
+
+
+class TestEnginePropertyEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        source=programs(),
+        seed=st.integers(min_value=0, max_value=31),
+        threads=st.integers(min_value=1, max_value=3),
+    )
+    def test_random_programs_byte_identical(self, source, seed, threads):
+        assert_src_equivalent(
+            source, nprocs=1, num_threads=threads, seed=seed
+        )
