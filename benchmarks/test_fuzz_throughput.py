@@ -1,0 +1,55 @@
+"""Benchmark: differential-fuzzing throughput.
+
+Measures end-to-end fuzzing throughput — generate, run under every
+oracle (each program executes under BOTH engines via the engine
+oracle), triage — over a fixed-seed corpus, and exports programs/s
+plus the per-engine stepping rates observed inside the oracle harness
+via ``bench_campaign_stats`` into ``BENCH_campaign.json`` for CI
+archival alongside the campaign numbers.
+
+The sweep itself is also an assertion: the fixed-seed corpus must
+come back clean (zero divergences, zero crashes) — a regression here
+is a correctness bug surfacing as a benchmark failure.
+"""
+
+import time
+
+from repro.fuzz import FuzzConfig, run_fuzz
+
+_SEEDS = 30
+
+
+def test_fuzz_throughput(benchmark, bench_campaign_stats):
+    config = FuzzConfig(seeds=_SEEDS, reduce=False)
+    holder = {}
+
+    def sweep():
+        start = time.perf_counter()
+        report = run_fuzz(config)
+        holder["wall"] = time.perf_counter() - start
+        holder["report"] = report
+        return report
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    report = holder["report"]
+    assert report.clean, report.summary()
+    assert len(report.outcomes) == _SEEDS
+
+    data = report.as_dict()
+    throughput = data["throughput"]
+    assert throughput["programs_per_second"] > 0
+    bench_campaign_stats["fuzz"] = {
+        "seeds": _SEEDS,
+        "wall_seconds": round(holder["wall"], 3),
+        "programs_per_second": throughput["programs_per_second"],
+        "engines": throughput["engines"],
+    }
+    print(
+        f"\n[fuzz] {_SEEDS} programs in {holder['wall']:.2f}s "
+        f"({throughput['programs_per_second']:.1f}/s); engines: "
+        + ", ".join(
+            f"{name} {stats['steps_per_second']:.0f} steps/s"
+            for name, stats in sorted(throughput["engines"].items())
+        )
+    )

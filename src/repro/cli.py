@@ -329,6 +329,7 @@ def cmd_static(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     from .runtime import run_program
+    from .runtime.scheduler import DEFAULT_MAX_STEPS
 
     program = _load_program(args.file)
     result = run_program(
@@ -336,6 +337,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         nprocs=args.procs,
         num_threads=args.threads,
         seed=args.seed,
+        max_steps=args.max_steps or DEFAULT_MAX_STEPS,
+        max_wall_seconds=args.max_wall_seconds or 0.0,
         thread_level_mode="permissive" if args.permissive else "skip",
     )
     for proc, thread, text in result.outputs:
@@ -454,6 +457,97 @@ def cmd_serve(args: argparse.Namespace) -> int:
               "and resume on the next start", file=sys.stderr)
         return EXIT_INTERRUPTED
     return 1 if service.failed else 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Corpus-scale differential fuzzing over generated programs."""
+    from .fuzz import GeneratorConfig, FuzzConfig, ORACLES, run_fuzz
+    from .fuzz.oracles import INJECT_KINDS
+
+    oracle_names = tuple(
+        name.strip() for name in args.oracles.split(",") if name.strip()
+    )
+    unknown = [name for name in oracle_names if name not in ORACLES]
+    if unknown:
+        print(
+            f"error: unknown oracle(s): {', '.join(unknown)} "
+            f"(available: {', '.join(ORACLES)})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.inject is not None and args.inject not in INJECT_KINDS:
+        print(
+            f"error: unknown --inject kind {args.inject!r} "
+            f"(available: {', '.join(INJECT_KINDS)})",
+            file=sys.stderr,
+        )
+        return 2
+    jobs = args.jobs
+    if jobs != "auto":
+        try:
+            jobs = int(jobs)
+            if jobs < 1:
+                raise ValueError
+        except ValueError:
+            print(f"error: --jobs must be a positive integer or 'auto', "
+                  f"got {args.jobs!r}", file=sys.stderr)
+            return 2
+    generator = GeneratorConfig()
+    if args.max_stmts is not None:
+        if args.max_stmts < 2:
+            print("error: --max-stmts must be >= 2", file=sys.stderr)
+            return 2
+        generator = GeneratorConfig(max_stmts=args.max_stmts)
+    config = FuzzConfig(
+        seeds=args.seeds,
+        seed_base=args.seed_base,
+        oracles=oracle_names,
+        generator=generator,
+        nprocs=args.procs,
+        num_threads=args.threads,
+        max_steps=args.budget_steps,
+        max_wall_seconds=args.budget_seconds,
+        jobs_every=args.jobs_oracle_every,
+        inject=args.inject,
+        reduce=not args.no_reduce,
+        jobs=jobs,
+        journal=args.journal,
+        resume=args.resume,
+        lease_seconds=args.lease_seconds,
+        poison_retries=args.poison_retries,
+    )
+    progress = print if args.verbose else None
+    stop = _graceful_stop_event()
+    report = run_fuzz(config, progress=progress, stop=stop)
+    print(report.summary())
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"fuzz report written to {args.report}")
+    if args.corpus:
+        from .fuzz import generate_source
+
+        corpus = Path(args.corpus)
+        corpus.mkdir(parents=True, exist_ok=True)
+        for i in range(config.seeds):
+            seed = config.seed_base + i
+            (corpus / f"seed-{seed:05d}.mini").write_text(
+                generate_source(seed, config.generator)
+            )
+        written = config.seeds
+        for entry in report.bank.entries.values():
+            if entry.reduced_source is None:
+                continue
+            slug = str(entry.signature).replace(":", "_").replace("/", "_")
+            (corpus / f"reduced-{slug}.mini").write_text(entry.reduced_source)
+            written += 1
+        print(f"{written} program(s) written to {corpus}/")
+    if report.interrupted:
+        print("fuzz interrupted: partial results reported; rerun with "
+              "--journal + --resume for exact continuation", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    return 0 if report.clean else 1
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -687,6 +781,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="execute thread-level-breaching MPI calls instead of skipping them",
     )
+    p.add_argument("--max-steps", type=int, default=None,
+                   help="scheduler step budget; exhausting it exits 2 with "
+                        "a one-line step-limit diagnostic")
+    p.add_argument("--max-wall-seconds", type=float, default=None,
+                   help="wall-clock budget in seconds; exhausting it exits "
+                        "2 with a one-line wall-clock diagnostic")
     _add_run_args(p)
     p.set_defaults(func=cmd_run)
 
@@ -781,6 +881,62 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
+        "fuzz",
+        help="corpus-scale differential fuzzing (generated programs, "
+             "cross-engine/cross-tool oracles, triage + reduction)",
+    )
+    p.add_argument("--seeds", type=int, default=100, metavar="N",
+                   help="number of generated programs (default 100); "
+                        "generator seeds are SEED_BASE..SEED_BASE+N-1")
+    p.add_argument("--seed-base", type=int, default=0,
+                   help="first generator seed (default 0); together with "
+                        "the grammar version this makes every program "
+                        "bit-reproducible")
+    p.add_argument("--oracles", default="engine,jobs,narrowing,coherence",
+                   help="comma-separated differential oracles to run "
+                        "(default: all four)")
+    p.add_argument("--corpus", metavar="DIR",
+                   help="write every generated program (plus reduced "
+                        "reproducers) under DIR as .mini sources")
+    p.add_argument("--report", metavar="PATH",
+                   help="write the LLOV-style JSON fuzz report to PATH")
+    p.add_argument("--no-reduce", action="store_true",
+                   help="skip automatic delta-debugging of reproducers")
+    p.add_argument("--max-stmts", type=int, default=None,
+                   help="generator size budget per program (default 14)")
+    p.add_argument("--budget-steps", type=int, default=200_000,
+                   help="per-run scheduler step budget (default 200000)")
+    p.add_argument("--budget-seconds", type=float, default=20.0,
+                   help="per-run wall-clock budget in seconds (default 20)")
+    p.add_argument("--jobs-oracle-every", type=int, default=25, metavar="N",
+                   help="run the (expensive) jobs oracle on every Nth "
+                        "program (default 25; skips are counted in the "
+                        "report, never silent)")
+    p.add_argument("--inject", default=None, metavar="KIND",
+                   help="drill hook: inject a synthetic failure "
+                        "('engine-divergence') to exercise triage + "
+                        "reduction end-to-end")
+    p.add_argument("--jobs", default=1, metavar="N",
+                   help="parallel fuzz-cell workers (positive int or "
+                        "'auto'; default 1)")
+    p.add_argument("--journal", metavar="PATH",
+                   help="append-only journal; turns on the durable "
+                        "campaign-service path (leases, supervised "
+                        "workers, poison-program quarantine)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume a journaled fuzz session")
+    p.add_argument("--lease-seconds", type=float, default=60.0,
+                   help="durable path: worker heartbeat lease (default 60)")
+    p.add_argument("--poison-retries", type=int, default=2,
+                   help="durable path: crash-reclaims before a generated "
+                        "program is quarantined as poison (default 2)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print per-program progress lines")
+    p.add_argument("--procs", type=int, default=2)
+    p.add_argument("--threads", type=int, default=2)
+    p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
         "bench",
         help="interpreter stepping-rate micro-benchmark (best-of-N)",
     )
@@ -849,6 +1005,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
         else:
             print(f"error: {err}", file=sys.stderr)
+        return 2
+    except errors.ReproError as err:
+        # every typed SimError-family diagnostic (runtime budgets, MPI
+        # usage, analysis failures...) exits 2 as one line — raw Python
+        # tracebacks never escape for malformed or pathological inputs
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except RecursionError:
+        print("error: program exceeds the interpreter recursion limit",
+              file=sys.stderr)
         return 2
     except FileNotFoundError as err:
         print(f"error: {err}", file=sys.stderr)

@@ -1,0 +1,63 @@
+"""Corpus-scale differential fuzzing for the whole checker stack.
+
+The fuzzer closes the loop the roadmap calls "campaign-as-a-service +
+corpus-scale differential fuzzing": instead of exercising HOME only on
+the hand-built NPB workloads, a grammar-directed generator
+(:mod:`.generator`) produces arbitrary hybrid MPI/OpenMP mini-language
+programs, a differential oracle harness (:mod:`.oracles`) runs each one
+under paired configurations that must agree (ast vs bytecode engine,
+``--jobs 1`` vs ``--jobs N``, HOME narrowing vs monitor-everything,
+static-candidate vs dynamic-confirmation coherence), crash triage
+(:mod:`.triage`) dedups anything that goes wrong into signatures with
+``(grammar_version, seed)`` reproducers, and an automatic reducer
+(:mod:`.reduce`) delta-debugs a failing program down to a minimal one
+that still reproduces the signature.
+
+Fuzz cells ride the durable campaign service: with a journal they are
+queue items with leases, supervised workers and poison-program
+quarantine, exactly like campaign cells (see ``docs/FUZZING.md``).
+"""
+
+from .generator import (  # noqa: F401
+    GRAMMAR_VERSION,
+    GeneratorConfig,
+    generate_program,
+    generate_source,
+    program_stmt_count,
+)
+from .oracles import (  # noqa: F401
+    ORACLES,
+    OracleFinding,
+    run_oracles,
+)
+from .reduce import reduce_source  # noqa: F401
+from .runner import (  # noqa: F401
+    FuzzConfig,
+    FuzzReport,
+    run_fuzz,
+)
+from .triage import (  # noqa: F401
+    Signature,
+    TriageBank,
+    crash_signature,
+    oracle_signature,
+)
+
+__all__ = [
+    "GRAMMAR_VERSION",
+    "GeneratorConfig",
+    "generate_program",
+    "generate_source",
+    "program_stmt_count",
+    "ORACLES",
+    "OracleFinding",
+    "run_oracles",
+    "reduce_source",
+    "FuzzConfig",
+    "FuzzReport",
+    "run_fuzz",
+    "Signature",
+    "TriageBank",
+    "crash_signature",
+    "oracle_signature",
+]

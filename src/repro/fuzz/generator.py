@@ -1,0 +1,425 @@
+"""Grammar-directed mini-language program generator.
+
+Programs are grown from weighted production rules over the constructs
+the checker cares about — parallel regions, worksharing loops, locks
+(critical/atomic), MPI point-to-point, collectives and fault-tolerance
+ops — seeded from the same structural skeletons as the NPB workload
+templates (rank/peer setup, exchange-then-region phases, reduction
+folds).  Two hard guarantees:
+
+* **Reproducibility** — every program is a pure function of
+  ``(GRAMMAR_VERSION, seed, GeneratorConfig)``; the RNG is a private
+  :class:`random.Random` derived from those and nothing else.
+* **Well-formedness** — generated programs always pass
+  :func:`repro.minilang.validate` (worksharing nesting is tracked while
+  growing, loop headers are always complete) and always terminate under
+  a modest step budget on a healthy library: loop bounds are small
+  literals and every ``mpi_recv`` is matched by construction.
+
+The canonical artifact is *source text*: the AST built through
+:mod:`repro.minilang.builder` is printed and re-parsed, so corpus files
+carry real source locations and the printer round-trip is exercised on
+every generated program.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from ..minilang import ast_nodes as A
+from ..minilang import builder as B
+from ..minilang import parse, print_program, validate
+
+#: Bump whenever a grammar change can alter the program produced for an
+#: existing seed — reproducers record (grammar_version, seed).
+GRAMMAR_VERSION = 1
+
+#: Default production weights at main (sequential) level.
+_MAIN_WEIGHTS: Dict[str, int] = {
+    "assign": 5,
+    "compute": 3,
+    "print": 2,
+    "if": 3,
+    "for": 3,
+    "parallel": 8,
+    "exchange": 4,
+    "collective": 4,
+    "helper-call": 3,
+    "ft-ops": 1,
+}
+
+#: Default production weights inside a parallel region.
+_REGION_WEIGHTS: Dict[str, int] = {
+    "omp-for": 5,
+    "critical": 4,
+    "atomic": 3,
+    "barrier": 2,
+    "single": 3,
+    "master": 3,
+    "shared-update": 3,
+    "private-work": 4,
+    "helper-call": 2,
+}
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Size/nesting budgets and production weights (the grammar knobs)."""
+
+    #: statement budget for main's body (structured statements count 1)
+    max_stmts: int = 14
+    #: nesting budget for if/for/parallel bodies
+    max_depth: int = 3
+    #: statements per nested block
+    max_block_stmts: int = 4
+    #: upper bound on literal loop trip counts
+    max_loop_iters: int = 4
+    #: helper functions available for calls (0..n generated)
+    max_helpers: int = 2
+    #: shared arrays declared as globals
+    array_size: int = 8
+    #: thread counts a parallel region may request
+    thread_choices: tuple = (2, 3)
+    #: production weights at main level (missing keys fall back to the
+    #: defaults; weight 0 disables a production)
+    main_weights: Mapping[str, int] = field(default_factory=dict)
+    #: production weights inside parallel regions
+    region_weights: Mapping[str, int] = field(default_factory=dict)
+    #: include MPI fault-tolerance ops (errhandlers, failure ack)
+    ft_ops: bool = True
+
+
+def _merged(defaults: Mapping[str, int], overrides: Mapping[str, int]) -> Dict[str, int]:
+    out = dict(defaults)
+    out.update(overrides)
+    return {k: v for k, v in out.items() if v > 0}
+
+
+class _Grower:
+    """One program growth; all randomness flows through ``self.rng``."""
+
+    def __init__(self, seed: int, config: GeneratorConfig) -> None:
+        self.cfg = config
+        self.rng = random.Random((GRAMMAR_VERSION << 32) ^ (seed & 0xFFFFFFFF))
+        self.fresh = 0
+        self.helpers: List[A.FuncDef] = []
+        self.main_weights = _merged(_MAIN_WEIGHTS, config.main_weights)
+        self.region_weights = _merged(_REGION_WEIGHTS, config.region_weights)
+        if not config.ft_ops:
+            self.main_weights.pop("ft-ops", None)
+        #: scalars known to exist at main scope (after the prologue)
+        self.scalars = ["rank", "size", "peer", "acc"]
+
+    # -- small helpers -------------------------------------------------------
+
+    def _name(self, stem: str) -> str:
+        self.fresh += 1
+        return f"{stem}{self.fresh}"
+
+    def _pick(self, weights: Dict[str, int]) -> str:
+        total = sum(weights.values())
+        roll = self.rng.randrange(total)
+        for key, weight in weights.items():
+            roll -= weight
+            if roll < 0:
+                return key
+        return next(iter(weights))  # pragma: no cover - unreachable
+
+    def _scalar(self) -> A.Expr:
+        return B.name(self.rng.choice(self.scalars))
+
+    def _small(self) -> int:
+        return self.rng.randrange(1, self.cfg.max_loop_iters + 1)
+
+    def _arith(self, depth: int = 0) -> A.Expr:
+        """A small side-effect-free integer expression."""
+        roll = self.rng.random()
+        if depth >= 2 or roll < 0.35:
+            return B.lit(self.rng.randrange(0, 8))
+        if roll < 0.7:
+            return self._scalar()
+        op = self.rng.choice(["+", "-", "*", "%"])
+        left = self._arith(depth + 1)
+        right = self._arith(depth + 1)
+        if op == "%":
+            # keep the divisor a positive literal: no div-by-zero aborts
+            right = B.lit(self.rng.randrange(1, 8))
+        return B.binop(op, left, right)
+
+    def _index(self, var: A.Expr) -> A.Expr:
+        """An always-in-bounds index into a global array."""
+        return B.mod(var, self.cfg.array_size)
+
+    # -- main-level productions ----------------------------------------------
+
+    def _stmt_assign(self, depth: int) -> List[A.Stmt]:
+        if self.rng.random() < 0.4:
+            array = self.rng.choice(["data", "buf"])
+            tgt = B.idx(array, self._index(self._arith()))
+            return [B.assign(tgt, self._arith())]
+        name = self._name("v")
+        self.scalars.append(name)
+        return [B.decl(name, self._arith())]
+
+    def _stmt_compute(self, depth: int) -> List[A.Stmt]:
+        return [B.callstmt("compute", self.rng.randrange(1, 4))]
+
+    def _stmt_print(self, depth: int) -> List[A.Stmt]:
+        return [A.Print([B.lit("v"), self._scalar()])]
+
+    def _stmt_if(self, depth: int) -> List[A.Stmt]:
+        cond = B.binop(
+            self.rng.choice(["==", "<", "!="]),
+            self.rng.choice([B.name("rank"), self._scalar()]),
+            B.lit(self.rng.randrange(0, 3)),
+        )
+        then = self._block(depth + 1, region=False)
+        els = self._block(depth + 1, region=False) if self.rng.random() < 0.4 else None
+        return [B.if_(cond, then, els)]
+
+    def _stmt_for(self, depth: int) -> List[A.Stmt]:
+        var = self._name("i")
+        body = self._block(depth + 1, region=False)
+        return [B.for_range(var, 0, self._small(), body)]
+
+    def _stmt_parallel(self, depth: int) -> List[A.Stmt]:
+        nthreads = self.rng.choice(self.cfg.thread_choices)
+        body: List[A.Stmt] = []
+        if self.rng.random() < 0.7:
+            tid = self._name("t")
+            body.append(B.decl(tid, B.call("omp_get_thread_num")))
+        else:
+            tid = None
+        count = self.rng.randrange(1, self.cfg.max_block_stmts + 1)
+        for _ in range(count):
+            body.extend(self._region_stmt(depth + 1, tid))
+        return [B.parallel(body, num_threads=nthreads)]
+
+    def _stmt_exchange(self, depth: int) -> List[A.Stmt]:
+        """A matched send/recv phase: every receive has a sender.
+
+        Shapes (picked per call):
+
+        * eager ring — send to ``peer`` then receive from ``peer``;
+        * nonblocking — irecv + send + wait;
+        * threaded recv — sends up front, receives inside a 2-thread
+          region, envelopes disambiguated by thread-id tags (safe) or
+          deliberately shared (a detection opportunity, still matched).
+        """
+        tag = self.rng.randrange(5, 12)
+        shape = self.rng.choice(["ring", "nonblocking", "threaded"])
+        if shape == "ring":
+            return [
+                B.callstmt("mpi_send", "buf", 1, "peer", tag, "MPI_COMM_WORLD"),
+                B.callstmt("mpi_recv", "buf", 1, "peer", tag, "MPI_COMM_WORLD"),
+            ]
+        if shape == "nonblocking":
+            req = self._name("req")
+            src = "peer" if self.rng.random() < 0.7 else "MPI_ANY_SOURCE"
+            return [
+                B.decl(req, B.call("mpi_irecv", "buf", 1, src, tag,
+                                   "MPI_COMM_WORLD")),
+                B.callstmt("mpi_send", "buf", 1, "peer", tag, "MPI_COMM_WORLD"),
+                B.callstmt("mpi_wait", B.name(req)),
+            ]
+        # threaded: two sends per rank, two threaded receives
+        safe = self.rng.random() < 0.5
+        if safe:
+            recv_tag: A.Expr = B.add(tag, B.call("omp_get_thread_num"))
+            send_tags = [B.add(tag, 0), B.add(tag, 1)]
+        else:
+            recv_tag = B.lit(tag)
+            send_tags = [B.lit(tag), B.lit(tag)]
+        return [
+            B.callstmt("mpi_send", "buf", 1, "peer", send_tags[0],
+                       "MPI_COMM_WORLD"),
+            B.callstmt("mpi_send", "buf", 1, "peer", send_tags[1],
+                       "MPI_COMM_WORLD"),
+            B.parallel(
+                [B.callstmt("mpi_recv", "buf", 1, "peer", recv_tag,
+                            "MPI_COMM_WORLD")],
+                num_threads=2,
+            ),
+        ]
+
+    def _stmt_collective(self, depth: int) -> List[A.Stmt]:
+        kind = self.rng.choice(["barrier", "allreduce", "bcast"])
+        if kind == "barrier":
+            return [B.callstmt("mpi_barrier", "MPI_COMM_WORLD")]
+        out = self._name("v")
+        self.scalars.append(out)
+        if kind == "allreduce":
+            op = self.rng.choice(["MPI_SUM", "MPI_MAX", "MPI_MIN"])
+            return [B.decl(out, B.call("mpi_allreduce", self._scalar(), op,
+                                       "MPI_COMM_WORLD"))]
+        return [B.decl(out, B.call("mpi_bcast", self._scalar(), 0,
+                                   "MPI_COMM_WORLD"))]
+
+    def _stmt_helper_call(self, depth: int) -> List[A.Stmt]:
+        helper = self._ensure_helper()
+        if self.rng.random() < 0.5:
+            out = self._name("v")
+            self.scalars.append(out)
+            return [B.decl(out, B.call(helper, self._arith()))]
+        return [B.callstmt(helper, self._arith())]
+
+    def _stmt_ft_ops(self, depth: int) -> List[A.Stmt]:
+        handler = self.rng.choice(["MPI_ERRORS_RETURN", "MPI_ERRORS_ARE_FATAL"])
+        stmts: List[A.Stmt] = [
+            B.callstmt("mpi_comm_set_errhandler", "MPI_COMM_WORLD", handler),
+        ]
+        if self.rng.random() < 0.5:
+            stmts.append(B.callstmt("mpi_comm_failure_ack", "MPI_COMM_WORLD"))
+        return stmts
+
+    # -- parallel-region productions -----------------------------------------
+
+    def _region_stmt(self, depth: int, tid) -> List[A.Stmt]:
+        key = self._pick(self.region_weights)
+        if key == "omp-for":
+            return self._region_omp_for(depth)
+        if key == "critical":
+            name = "" if self.rng.random() < 0.6 else "guard"
+            body = [B.assign("acc", B.add("acc", 1))]
+            if self.rng.random() < 0.4:
+                body.append(B.callstmt("compute", 1))
+            return [B.critical(body, name=name)]
+        if key == "atomic":
+            return [A.OmpAtomic(B.assign("acc", B.add("acc", 1)))]
+        if key == "barrier":
+            return [B.barrier()]
+        if key == "single":
+            return [B.single([B.assign(B.idx("data", 0), self._arith())],
+                             nowait=self.rng.random() < 0.3)]
+        if key == "master":
+            return [B.master([B.callstmt("compute", 1)])]
+        if key == "shared-update":
+            # unsynchronized shared write: a race for the checker to find
+            value = B.add("acc", tid) if tid else self._arith()
+            return [B.assign("acc", value)]
+        if key == "helper-call":
+            helper = self._ensure_helper()
+            return [B.callstmt(helper, B.name(tid) if tid else self._arith())]
+        # private-work
+        local = self._name("p")
+        return [
+            B.decl(local, self._arith()),
+            B.callstmt("compute", 1),
+        ]
+
+    def _region_omp_for(self, depth: int) -> List[A.Stmt]:
+        var = self._name("i")
+        schedule = "static" if self.rng.random() < 0.7 else "dynamic"
+        chunk = self.rng.choice([None, 1, 2])
+        body: List[A.Stmt] = [
+            B.assign(
+                B.idx("data", self._index(B.name(var))),
+                B.add(B.idx("data", self._index(B.name(var))), 1),
+            )
+        ]
+        reductions = []
+        if self.rng.random() < 0.3:
+            reductions = [("+", "acc")]
+            body.append(B.assign("acc", B.add("acc", B.name(var))))
+        loop = B.for_range(var, 0, self._small() * 2, body)
+        return [A.OmpFor(
+            loop,
+            schedule=schedule,
+            chunk=B.lit(chunk) if chunk is not None else None,
+            nowait=self.rng.random() < 0.2,
+            reductions=reductions,
+        )]
+
+    # -- assembly ------------------------------------------------------------
+
+    def _block(self, depth: int, region: bool) -> List[A.Stmt]:
+        if depth >= self.cfg.max_depth:
+            return [B.callstmt("compute", 1)]
+        weights = dict(self.main_weights)
+        # nested blocks stay sequential: no new regions or comms phases
+        for key in ("parallel", "exchange", "collective", "ft-ops"):
+            weights.pop(key, None)
+        out: List[A.Stmt] = []
+        for _ in range(self.rng.randrange(1, self.cfg.max_block_stmts + 1)):
+            out.extend(self._dispatch_main(self._pick(weights), depth))
+        return out
+
+    def _dispatch_main(self, key: str, depth: int) -> List[A.Stmt]:
+        return {
+            "assign": self._stmt_assign,
+            "compute": self._stmt_compute,
+            "print": self._stmt_print,
+            "if": self._stmt_if,
+            "for": self._stmt_for,
+            "parallel": self._stmt_parallel,
+            "exchange": self._stmt_exchange,
+            "collective": self._stmt_collective,
+            "helper-call": self._stmt_helper_call,
+            "ft-ops": self._stmt_ft_ops,
+        }[key](depth)
+
+    def _ensure_helper(self) -> str:
+        if self.helpers and (
+            len(self.helpers) >= self.cfg.max_helpers or self.rng.random() < 0.6
+        ):
+            return self.rng.choice(self.helpers).name
+        name = f"helper{len(self.helpers) + 1}"
+        body: List[A.Stmt] = [B.callstmt("compute", 1)]
+        roll = self.rng.random()
+        if roll < 0.4:
+            body.append(B.critical([B.assign("acc", B.add("acc", "x"))]))
+        elif roll < 0.7:
+            body.append(B.assign(B.idx("data", B.mod("x", self.cfg.array_size)),
+                                 B.name("x")))
+        body.append(A.Return(B.add("x", 1)))
+        self.helpers.append(B.func(name, ["x"], body))
+        return name
+
+    def grow(self) -> A.Program:
+        level = self.rng.choice(
+            ["MPI_THREAD_MULTIPLE", "MPI_THREAD_MULTIPLE",
+             "MPI_THREAD_MULTIPLE", "MPI_THREAD_SERIALIZED",
+             "MPI_THREAD_FUNNELED"]
+        )
+        main_body: List[A.Stmt] = [
+            B.decl("provided", B.call("mpi_init_thread", level)),
+            B.decl("rank", B.call("mpi_comm_rank", "MPI_COMM_WORLD")),
+            B.decl("size", B.call("mpi_comm_size", "MPI_COMM_WORLD")),
+            B.decl("peer", B.mod(B.add("rank", 1), "size")),
+        ]
+        budget = self.rng.randrange(max(2, self.cfg.max_stmts // 2),
+                                    self.cfg.max_stmts + 1)
+        for _ in range(budget):
+            main_body.extend(self._dispatch_main(self._pick(self.main_weights), 0))
+        main_body.append(B.callstmt("mpi_finalize"))
+        functions = list(self.helpers) + [B.func("main", [], main_body)]
+        globals_ = [
+            B.decl("acc", 0),
+            A.VarDecl("data", size=B.lit(self.cfg.array_size)),
+            A.VarDecl("buf", size=B.lit(4)),
+        ]
+        return B.program("fuzzed", functions, globals_)
+
+
+def generate_source(seed: int, config: GeneratorConfig = GeneratorConfig()) -> str:
+    """The canonical artifact for *(GRAMMAR_VERSION, seed, config)*."""
+    raw = _Grower(seed, config).grow()
+    source = print_program(raw)
+    header = (
+        f"// repro-fuzz grammar={GRAMMAR_VERSION} seed={seed}\n"
+    )
+    return header + source
+
+
+def generate_program(seed: int, config: GeneratorConfig = GeneratorConfig()) -> A.Program:
+    """Parse-validated program for *seed* (locs are real source locations)."""
+    program = parse(generate_source(seed, config))
+    validate(program)
+    return program
+
+
+def program_stmt_count(program: A.Program) -> int:
+    """Number of statement nodes — the reducer's minimality metric."""
+    return sum(1 for node in program.walk() if isinstance(node, A.Stmt))

@@ -1,0 +1,287 @@
+"""Automatic test-case reduction: delta debugging over the program AST.
+
+Given a failing program and a *predicate* ("does this source still
+reproduce the original failure signature?"), :func:`reduce_source`
+shrinks the program through a fixed pass list:
+
+* **drop-stmts** — remove statement chunks from every block
+  (ddmin-style: halves first, then singles);
+* **unwrap-regions** — replace an OpenMP construct / ``if`` / loop with
+  its body, peeling structure that is not load-bearing;
+* **shrink-loops** — clamp literal loop bounds to one iteration and
+  parallel team sizes to two threads;
+* **simplify-exprs** — replace binary expressions with one operand and
+  assignment right-hand sides with a literal;
+* **drop-toplevel** — remove unused helper functions and globals.
+
+Every candidate is re-parsed and re-validated before the predicate
+runs, so the reducer can never hand back an ill-formed program.  Passes
+run greedily to a global fixpoint: the result is 1-minimal with respect
+to the pass list — no single remaining pass application still
+reproduces the signature.
+
+The predicate sees source *text*, not ASTs: callers rebuild whatever
+pipeline they need (engines, oracles, campaign cells) from the text,
+which keeps the reducer decoupled from what "failure" means.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import MiniLangError
+from ..minilang import ast_nodes as A
+from ..minilang import parse, print_program, validate
+
+#: hard cap on full pass-list sweeps; generated programs converge in a
+#: handful, the cap only guards against a pathological predicate
+_MAX_ROUNDS = 25
+
+
+def _all_slots(node: A.Node):
+    for klass in type(node).__mro__:
+        yield from getattr(klass, "__slots__", ())
+
+
+def _reparse(source: str) -> Optional[A.Program]:
+    """Parse + validate a candidate; ``None`` when ill-formed."""
+    try:
+        program = parse(source)
+        validate(program)
+    except MiniLangError:
+        return None
+    return program
+
+
+def _emit(program: A.Program) -> str:
+    return print_program(program)
+
+
+def _nodes(program: A.Program) -> List[A.Node]:
+    return list(program.walk())
+
+
+class _Session:
+    """One reduction run: memoized predicate + candidate bookkeeping."""
+
+    def __init__(self, predicate: Callable[[str], bool]) -> None:
+        self.predicate = predicate
+        self.memo: Dict[str, bool] = {}
+        self.evaluated = 0
+
+    def reproduces(self, source: str) -> bool:
+        cached = self.memo.get(source)
+        if cached is not None:
+            return cached
+        self.evaluated += 1
+        verdict = bool(self.predicate(source))
+        self.memo[source] = verdict
+        return verdict
+
+    def accept(self, program: A.Program) -> Optional[str]:
+        """Print a mutated candidate; return its source if it is
+        well-formed and still reproduces."""
+        source = _emit(program)
+        if _reparse(source) is None:
+            return None
+        if self.reproduces(source):
+            return source
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Passes.  Each takes (current_source, session) and returns the improved
+# source for the FIRST accepted mutation, or None when no mutation of
+# this kind helps.  The driver re-invokes a pass until it returns None.
+# ---------------------------------------------------------------------------
+
+
+def _pass_drop_stmts(source: str, session: _Session) -> Optional[str]:
+    ref = parse(source)
+    block_idx = [
+        i for i, n in enumerate(_nodes(ref)) if isinstance(n, A.Block) and n.stmts
+    ]
+    for bi in block_idx:
+        n = len(_nodes(ref)[bi].stmts)
+        chunk = n
+        while chunk >= 1:
+            for start in range(0, n, chunk):
+                candidate = parse(source)
+                block = _nodes(candidate)[bi]
+                del block.stmts[start : start + chunk]
+                accepted = session.accept(candidate)
+                if accepted is not None:
+                    return accepted
+            chunk //= 2
+    return None
+
+
+#: constructs whose body-block statements can replace the construct
+_SPLICE_BODIES = {
+    A.OmpParallel: lambda n: n.body.stmts,
+    A.OmpCritical: lambda n: n.body.stmts,
+    A.OmpSingle: lambda n: n.body.stmts,
+    A.OmpMaster: lambda n: n.body.stmts,
+    A.OmpSections: lambda n: [s for sec in n.sections for s in sec.stmts],
+    A.While: lambda n: n.body.stmts,
+    A.For: lambda n: n.body.stmts,
+    A.If: lambda n: n.then.stmts + (n.els.stmts if n.els else []),
+}
+
+
+def _pass_unwrap_regions(source: str, session: _Session) -> Optional[str]:
+    ref = parse(source)
+    nodes = _nodes(ref)
+    block_idx = [i for i, n in enumerate(nodes) if isinstance(n, A.Block)]
+    for bi in block_idx:
+        for si, stmt in enumerate(nodes[bi].stmts):
+            replacement = None
+            if isinstance(stmt, A.OmpFor):
+                replacement = [stmt.loop]
+            elif isinstance(stmt, A.OmpAtomic):
+                replacement = [stmt.stmt]
+            else:
+                for klass, splice in _SPLICE_BODIES.items():
+                    if type(stmt) is klass:
+                        replacement = splice(stmt)
+                        break
+            if replacement is None:
+                continue
+            candidate = parse(source)
+            block = _nodes(candidate)[bi]
+            # rebuild the replacement from the candidate's own tree so
+            # node identity stays consistent
+            stmt_c = block.stmts[si]
+            if isinstance(stmt_c, A.OmpFor):
+                new_stmts = [stmt_c.loop]
+            elif isinstance(stmt_c, A.OmpAtomic):
+                new_stmts = [stmt_c.stmt]
+            else:
+                new_stmts = _SPLICE_BODIES[type(stmt_c)](stmt_c)
+            block.stmts[si : si + 1] = new_stmts
+            accepted = session.accept(candidate)
+            if accepted is not None:
+                return accepted
+    return None
+
+
+def _pass_shrink_loops(source: str, session: _Session) -> Optional[str]:
+    ref = parse(source)
+    for i, node in enumerate(_nodes(ref)):
+        mutation = None
+        if isinstance(node, A.For):
+            cond = node.cond
+            if (
+                isinstance(cond, A.Binary)
+                and cond.op in ("<", "<=")
+                and isinstance(cond.right, A.IntLit)
+                and cond.right.value > 1
+            ):
+                mutation = ("bound", 1)
+        elif isinstance(node, A.OmpParallel):
+            if isinstance(node.num_threads, A.IntLit) and node.num_threads.value > 2:
+                mutation = ("threads", 2)
+        if mutation is None:
+            continue
+        candidate = parse(source)
+        target = _nodes(candidate)[i]
+        kind, value = mutation
+        if kind == "bound":
+            target.cond.right.value = value
+        else:
+            target.num_threads.value = value
+        accepted = session.accept(candidate)
+        if accepted is not None:
+            return accepted
+    return None
+
+
+def _pass_simplify_exprs(source: str, session: _Session) -> Optional[str]:
+    ref = parse(source)
+    for i, node in enumerate(_nodes(ref)):
+        for slot in _all_slots(node):
+            if slot in ("nid", "loc"):
+                continue
+            value = getattr(node, slot, None)
+            mutations = []
+            if isinstance(value, A.Binary):
+                mutations = [("left",), ("right",)]
+            elif isinstance(node, A.Assign) and slot == "value" and not isinstance(
+                value, A.IntLit
+            ):
+                mutations = [("literal",)]
+            for mutation in mutations:
+                candidate = parse(source)
+                target = _nodes(candidate)[i]
+                old = getattr(target, slot)
+                if mutation[0] == "left":
+                    setattr(target, slot, old.left)
+                elif mutation[0] == "right":
+                    setattr(target, slot, old.right)
+                else:
+                    setattr(target, slot, A.IntLit(0, loc=old.loc))
+                accepted = session.accept(candidate)
+                if accepted is not None:
+                    return accepted
+    return None
+
+
+def _pass_drop_toplevel(source: str, session: _Session) -> Optional[str]:
+    ref = parse(source)
+    for fi, func in enumerate(ref.functions):
+        if func.name == "main":
+            continue
+        candidate = parse(source)
+        del candidate.functions[fi]
+        accepted = session.accept(candidate)
+        if accepted is not None:
+            return accepted
+    for gi in range(len(ref.globals)):
+        candidate = parse(source)
+        del candidate.globals[gi]
+        accepted = session.accept(candidate)
+        if accepted is not None:
+            return accepted
+    return None
+
+
+#: the reducer's pass list; minimality is relative to exactly these
+PASSES = (
+    ("drop-stmts", _pass_drop_stmts),
+    ("unwrap-regions", _pass_unwrap_regions),
+    ("shrink-loops", _pass_shrink_loops),
+    ("simplify-exprs", _pass_simplify_exprs),
+    ("drop-toplevel", _pass_drop_toplevel),
+)
+
+
+def reduce_source(
+    source: str,
+    predicate: Callable[[str], bool],
+    max_rounds: int = _MAX_ROUNDS,
+) -> str:
+    """Shrink *source* while ``predicate(source)`` stays true.
+
+    Raises :class:`ValueError` when the original program does not
+    satisfy the predicate (nothing to reduce — the caller's reproducer
+    is broken, better to fail loudly than to "reduce" noise).
+    """
+    session = _Session(predicate)
+    if _reparse(source) is None:
+        raise ValueError("original program does not parse/validate")
+    if not session.reproduces(source):
+        raise ValueError("original program does not reproduce the failure")
+
+    current = source
+    for _ in range(max_rounds):
+        progress = False
+        for _name, pass_fn in PASSES:
+            while True:
+                improved = pass_fn(current, session)
+                if improved is None:
+                    break
+                current = improved
+                progress = True
+        if not progress:
+            break
+    return current

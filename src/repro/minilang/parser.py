@@ -57,9 +57,26 @@ _PRECEDENCE = {
 class Parser:
     """Parses a token stream into a :class:`repro.minilang.ast_nodes.Program`."""
 
+    #: maximum block/expression nesting depth.  Recursive-descent
+    #: parsing burns one Python stack frame per level, so a generated
+    #: (or adversarial) deeply nested program would die with an opaque
+    #: ``RecursionError`` traceback instead of a diagnostic; cap well
+    #: below the interpreter stack limit and report a normal ParseError.
+    MAX_NESTING = 200
+
     def __init__(self, tokens: List[Token]) -> None:
         self.tokens = tokens
         self.pos = 0
+        self.depth = 0
+
+    def _descend(self, tok: Token) -> None:
+        self.depth += 1
+        if self.depth > self.MAX_NESTING:
+            raise ParseError(
+                f"nesting too deep (max {self.MAX_NESTING} levels)",
+                tok.line,
+                tok.col,
+            )
 
     # -- token helpers ------------------------------------------------------
 
@@ -135,13 +152,19 @@ class Parser:
 
     def _parse_block(self) -> A.Block:
         start = self._expect("punct", "{")
-        stmts: List[A.Stmt] = []
-        while not self._check("punct", "}"):
-            if self._check("eof"):
-                raise ParseError("unterminated block", start.line, start.col)
-            stmts.append(self._parse_stmt())
-        self._expect("punct", "}")
-        return A.Block(stmts, loc=self._loc(start))
+        self._descend(start)
+        try:
+            stmts: List[A.Stmt] = []
+            while not self._check("punct", "}"):
+                if self._check("eof"):
+                    raise ParseError(
+                        "unterminated block", start.line, start.col
+                    )
+                stmts.append(self._parse_stmt())
+            self._expect("punct", "}")
+            return A.Block(stmts, loc=self._loc(start))
+        finally:
+            self.depth -= 1
 
     def _parse_stmt(self) -> A.Stmt:
         tok = self._peek()
@@ -468,7 +491,11 @@ class Parser:
         tok = self._peek()
         if tok.kind == "op" and tok.text in ("-", "!"):
             self._advance()
-            operand = self._parse_unary()
+            self._descend(tok)
+            try:
+                operand = self._parse_unary()
+            finally:
+                self.depth -= 1
             return A.Unary(tok.text, operand, loc=self._loc(tok))
         return self._parse_postfix()
 
@@ -511,7 +538,11 @@ class Parser:
             return A.Name(tok.text, loc=self._loc(tok))
         if tok.kind == "punct" and tok.text == "(":
             self._advance()
-            expr = self._parse_expr()
+            self._descend(tok)
+            try:
+                expr = self._parse_expr()
+            finally:
+                self.depth -= 1
             self._expect("punct", ")")
             return expr
         raise ParseError(f"unexpected token {tok.text or tok.kind!r}", tok.line, tok.col)

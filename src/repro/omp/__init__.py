@@ -7,6 +7,7 @@ from .team import (  # noqa: F401
     SectionsState,
     SingleState,
     Team,
+    check_iteration_budget,
     static_chunks,
 )
 
@@ -16,6 +17,7 @@ __all__ = [
     "ForState",
     "SectionsState",
     "SingleState",
+    "check_iteration_budget",
     "static_chunks",
     "LockTable",
     "SimLock",

@@ -11,9 +11,30 @@ unit-testable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..errors import SimAbort
+from ..errors import SimAbort, StepLimitError
+
+
+def check_iteration_budget(count: int, max_steps: int, loc) -> None:
+    """Refuse an ``omp for`` whose iteration count exceeds the step
+    budget.
+
+    Both engines evaluate worksharing-loop headers into an iteration
+    space before running a single body statement, and an *empty* body
+    consumes no scheduler steps at all — so a generated
+    ``for (i = 0; i < 1000000000; ...)`` would spin (or allocate) for
+    minutes without the step or wall budget ever firing.  Each of those
+    iterations could never complete within ``max_steps`` anyway, so
+    refuse up front with the same :class:`StepLimitError` the scheduler
+    itself would raise.  Shared by both engines so the failure string
+    is byte-identical.
+    """
+    if count > max_steps > 0:
+        raise StepLimitError(
+            f"omp for at {loc} spans {count} iterations, beyond the "
+            f"{max_steps}-step budget; refusing the loop up front"
+        )
 
 
 @dataclass
@@ -47,9 +68,14 @@ class BarrierState:
 
 @dataclass
 class ForState:
-    """Shared state of one ``omp for`` instance (dynamic scheduling)."""
+    """Shared state of one ``omp for`` instance (dynamic scheduling).
 
-    iterations: Tuple[int, ...]
+    *iterations* may be any indexable sequence — engines pass lazy
+    ``range`` objects so huge iteration spaces are never materialized;
+    :meth:`grab` only ever allocates one chunk.
+    """
+
+    iterations: Sequence[int]
     next_index: int = 0
 
     def grab(self, chunk: int) -> List[int]:

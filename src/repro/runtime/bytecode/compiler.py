@@ -43,7 +43,14 @@ from ...events import ThreadBegin, ThreadEnd, ThreadFork, ThreadJoin
 from ...events.event import COLLECTIVE_OPS
 from ...minilang import ast_nodes as A
 from ...mpi import LANGUAGE_CONSTANTS
-from ...omp import ForState, SectionsState, SingleState, Team, static_chunks
+from ...omp import (
+    ForState,
+    SectionsState,
+    SingleState,
+    Team,
+    check_iteration_budget,
+    static_chunks,
+)
 from ..interpreter import (
     _REDUCTION_SEMANTICS,
     _SIMPLE_BUILTINS,
@@ -1219,14 +1226,20 @@ class _Compiler:
                 raise SimAbort(zero_msg)
             start = as_int(start, "loop start")
             bound = as_int(bound, "loop bound")
+            # lazy ranges, as in the ast engine: guard before anything
+            # proportional to the (possibly enormous) iteration span
+            empty = range(0)
             if cond_op == "<":
-                iterations = list(range(start, bound, inc)) if inc > 0 else []
+                iterations = range(start, bound, inc) if inc > 0 else empty
             elif cond_op == "<=":
-                iterations = list(range(start, bound + 1, inc)) if inc > 0 else []
+                iterations = range(start, bound + 1, inc) if inc > 0 else empty
             elif cond_op == ">":
-                iterations = list(range(start, bound, inc)) if inc < 0 else []
+                iterations = range(start, bound, inc) if inc < 0 else empty
             else:  # >=
-                iterations = list(range(start, bound - 1, inc)) if inc < 0 else []
+                iterations = range(start, bound - 1, inc) if inc < 0 else empty
+            check_iteration_budget(
+                len(iterations), vm.config.max_steps, node.loc
+            )
 
             team = ctx.team
             chunk = None
@@ -1278,7 +1291,7 @@ class _Compiler:
                 else:  # dynamic
                     key = (nid, ctx.visit(nid))
                     state = team.construct_state(
-                        key, lambda: ForState(tuple(iterations))
+                        key, lambda: ForState(iterations)
                     )
                     grab = chunk or 1
                     while True:

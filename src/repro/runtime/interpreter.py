@@ -34,7 +34,15 @@ from ..faults import FaultInjector
 from ..minilang import ast_nodes as A
 from ..mpi import LANGUAGE_CONSTANTS, MPIWorld
 from ..mpi.deadlock import diagnose
-from ..omp import ForState, LockTable, SectionsState, SingleState, Team, static_chunks
+from ..omp import (
+    ForState,
+    LockTable,
+    SectionsState,
+    SingleState,
+    Team,
+    check_iteration_budget,
+    static_chunks,
+)
 from .config import ExecutionResult, RunConfig
 from .scheduler import Block, Scheduler, Step
 from .values import ArrayValue, BinOps, Cell, Scope, as_int, truthy
@@ -635,19 +643,26 @@ class Interpreter:
             raise SimAbort(f"omp for at {loop.loc}: zero loop step")
         start = as_int(start, "loop start")
         bound = as_int(bound, "loop bound")
+        # lazy ranges, not materialized lists: a generated loop header
+        # may span billions of iterations, and the budget guard below
+        # must fire before any allocation proportional to the span
+        empty = range(0)
         if cond.op == "<":
-            iters = list(range(start, bound, inc)) if inc > 0 else []
+            iters = range(start, bound, inc) if inc > 0 else empty
         elif cond.op == "<=":
-            iters = list(range(start, bound + 1, inc)) if inc > 0 else []
+            iters = range(start, bound + 1, inc) if inc > 0 else empty
         elif cond.op == ">":
-            iters = list(range(start, bound, inc)) if inc < 0 else []
+            iters = range(start, bound, inc) if inc < 0 else empty
         else:  # >=
-            iters = list(range(start, bound - 1, inc)) if inc < 0 else []
+            iters = range(start, bound - 1, inc) if inc < 0 else empty
         return var, iters
 
     def _exec_omp_for(self, node: A.OmpFor, ctx: ThreadCtx) -> Gen:
         self._collective_arrive(ctx, node, "for")
         var, iterations = yield from self._loop_header(node.loop, ctx)
+        check_iteration_budget(
+            len(iterations), self.config.max_steps, node.loc
+        )
         team = ctx.team
         chunk = None
         if node.chunk is not None:
@@ -687,7 +702,7 @@ class Interpreter:
                     yield from run_iteration(i)
             else:  # dynamic
                 key = (node.nid, ctx.visit(node.nid))
-                state = team.construct_state(key, lambda: ForState(tuple(iterations)))
+                state = team.construct_state(key, lambda: ForState(iterations))
                 grab = chunk or 1
                 while True:
                     batch = state.grab(grab)

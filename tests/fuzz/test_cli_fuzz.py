@@ -1,0 +1,117 @@
+"""CLI surface: ``repro fuzz`` and hardened error reporting."""
+
+import json
+
+from repro.cli import main
+
+INFINITE_LOOP = """
+program spin;
+func main() {
+    var x = 0;
+    while (x < 10) {
+        x = x * 1;
+    }
+}
+"""
+
+HUGE_OMP_FOR = """
+program hugefor;
+func main() {
+    omp parallel num_threads(2) {
+        omp for
+        for (i = 0; i < 1000000000; i = i + 1) {
+        }
+    }
+}
+"""
+
+
+def _deep_program(depth):
+    body = "x = 1;"
+    for _ in range(depth):
+        body = "{ " + body + " }"
+    return "program deep;\nfunc main() {\nvar x = 0;\n" + body + "\n}\n"
+
+
+class TestFuzzCommand:
+    def test_smoke_run_clean(self, capsys):
+        rc = main(["fuzz", "--seeds", "4", "--jobs-oracle-every", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "divergences: 0" in out
+        assert "crashes: 0" in out
+
+    def test_report_and_corpus_written(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        corpus = tmp_path / "corpus"
+        rc = main([
+            "fuzz", "--seeds", "3", "--no-reduce",
+            "--report", str(report), "--corpus", str(corpus),
+        ])
+        assert rc == 0
+        data = json.loads(report.read_text())
+        assert data["programs"]["run"] == 3
+        assert data["divergences"] == 0
+        files = sorted(p.name for p in corpus.iterdir())
+        assert files == [
+            "seed-00000.mini", "seed-00001.mini", "seed-00002.mini",
+        ]
+        capsys.readouterr()
+
+    def test_drill_exits_nonzero_and_reports_signature(self, capsys):
+        rc = main([
+            "fuzz", "--seeds", "3", "--inject", "engine-divergence",
+            "--no-reduce",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "InjectedDivergence" in out
+
+    def test_bad_oracle_name_rejected(self, capsys):
+        rc = main(["fuzz", "--oracles", "nonsense"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown oracle(s): nonsense" in err
+
+
+class TestHardenedDiagnostics:
+    """Malformed/pathological inputs become one-line diagnostics (exit 2)."""
+
+    def _run(self, capsys, argv):
+        rc = main(argv)
+        captured = capsys.readouterr()
+        return rc, captured.out, captured.err
+
+    def test_nesting_bomb_is_single_line_parse_error(self, tmp_path, capsys):
+        path = tmp_path / "deep.mini"
+        path.write_text(_deep_program(400))
+        rc, _out, err = self._run(capsys, ["check", str(path)])
+        assert rc == 2
+        lines = [line for line in err.strip().splitlines() if line]
+        assert len(lines) == 1
+        assert "nesting too deep (max 200 levels)" in lines[0]
+        assert "Traceback" not in err
+
+    def test_infinite_loop_hits_step_budget_one_liner(self, tmp_path, capsys):
+        path = tmp_path / "spin.mini"
+        path.write_text(INFINITE_LOOP)
+        rc, _out, err = self._run(
+            capsys, ["run", str(path), "--max-steps", "2000"]
+        )
+        assert rc == 2
+        assert err.count("\n") <= 1
+        assert "2000 steps" in err
+        assert "Traceback" not in err
+
+    def test_huge_omp_for_refused_up_front(self, tmp_path, capsys):
+        path = tmp_path / "huge.mini"
+        path.write_text(HUGE_OMP_FOR)
+        for engine in ("ast", "bytecode"):
+            rc, _out, err = self._run(
+                capsys,
+                ["run", str(path), "--engine", engine,
+                 "--max-steps", "5000"],
+            )
+            assert rc == 2
+            assert "refusing the loop up front" in err
+            assert "Traceback" not in err

@@ -1,0 +1,29 @@
+"""The checked-in seed corpus stays in sync with the grammar."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.generator import generate_source
+from repro.minilang import parse, validate
+
+CORPUS = Path(__file__).resolve().parents[2] / "examples" / "fuzz_corpus"
+FILES = sorted(CORPUS.glob("seed-*.mini"))
+
+
+def test_corpus_is_present():
+    assert len(FILES) >= 8
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.name)
+def test_corpus_matches_generator(path):
+    seed = int(path.stem.split("-")[1])
+    assert path.read_text() == generate_source(seed), (
+        "grammar output changed: bump GRAMMAR_VERSION and regenerate "
+        "examples/fuzz_corpus (see its README)"
+    )
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.name)
+def test_corpus_parses_and_validates(path):
+    validate(parse(path.read_text()))

@@ -1,0 +1,69 @@
+"""Oracle harness: clean corpus passes, injected divergence is caught."""
+
+import pytest
+
+from repro.fuzz.generator import generate_program
+from repro.fuzz.oracles import ORACLES, OracleContext, run_oracles
+
+
+def _ctx(**overrides):
+    ctx = OracleContext()
+    ctx.jobs_every = 1
+    for key, value in overrides.items():
+        setattr(ctx, key, value)
+    return ctx
+
+
+class TestCleanCorpus:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+    def test_all_oracles_silent_on_generated_program(self, seed):
+        program = generate_program(seed)
+        findings = run_oracles(program, seed, _ctx())
+        assert findings == []
+
+    def test_coverage_is_counted(self):
+        ctx = _ctx()
+        run_oracles(generate_program(0), 0, ctx)
+        for name in ORACLES:
+            slot = ctx.coverage.get(name, {"ran": 0, "skipped": 0})
+            assert slot["ran"] + slot["skipped"] >= 1
+
+    def test_jobs_oracle_sampling(self):
+        ctx = _ctx(jobs_every=10)
+        for seed in range(3):
+            run_oracles(generate_program(seed), seed, ctx)
+        slot = ctx.coverage["jobs"]
+        # only seed 0 divides evenly
+        assert slot["ran"] == 1 and slot["skipped"] == 2
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(ValueError):
+            run_oracles(generate_program(0), 0, _ctx(), oracles=("bogus",))
+
+
+class TestInjectedDivergence:
+    def test_engine_oracle_catches_injected_trace_event(self):
+        # pick a seed whose program contains an omp critical (the drill
+        # hook only fires there); seed 1 does by construction
+        seed = 1
+        ctx = _ctx(inject="engine-divergence")
+        findings = run_oracles(generate_program(seed), seed, ctx,
+                               oracles=("engine",))
+        assert findings, "drill divergence went undetected"
+        details = {f.detail for f in findings}
+        assert details == {"trace-mismatch:eof/InjectedDivergence"}
+
+    def test_injection_off_means_no_findings(self):
+        findings = run_oracles(generate_program(1), 1, _ctx(),
+                               oracles=("engine",))
+        assert findings == []
+
+
+class TestEngineAccounting:
+    def test_wall_and_steps_recorded_per_engine(self):
+        ctx = _ctx()
+        run_oracles(generate_program(0), 0, ctx, oracles=("engine",))
+        assert set(ctx.engine_steps) == {"ast", "bytecode"}
+        # identical programs must schedule identically
+        assert ctx.engine_steps["ast"] == ctx.engine_steps["bytecode"]
+        assert all(w >= 0 for w in ctx.engine_wall.values())

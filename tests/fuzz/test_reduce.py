@@ -1,0 +1,61 @@
+"""Reducer properties: validity, reproduction, 1-minimality, shrinkage."""
+
+import pytest
+
+from repro.fuzz.generator import generate_source
+from repro.fuzz.reduce import PASSES, _Session, reduce_source
+from repro.minilang import ast_nodes as A
+from repro.minilang import parse, validate
+from repro.fuzz.generator import program_stmt_count
+
+
+def _has_critical(source):
+    try:
+        program = parse(source)
+        validate(program)
+    except Exception:
+        return False
+    return any(isinstance(n, A.OmpCritical) for n in program.walk())
+
+
+class TestReduceSource:
+    def test_rejects_non_reproducing_original(self):
+        src = generate_source(0)  # seed 0 has no omp critical
+        with pytest.raises(ValueError):
+            reduce_source(src, _has_critical)
+
+    def test_rejects_unparsable_original(self):
+        with pytest.raises(ValueError):
+            reduce_source("not a program", _has_critical)
+
+    @pytest.mark.parametrize("seed", [1, 2, 7])
+    def test_reduced_program_still_reproduces_and_shrinks(self, seed):
+        src = generate_source(seed)
+        reduced = reduce_source(src, _has_critical)
+        # property 1: the reduced program is valid and still triggers
+        assert _has_critical(reduced)
+        # property 2: it actually shrank, substantially
+        before = program_stmt_count(parse(src))
+        after = program_stmt_count(parse(reduced))
+        assert after < before
+        assert after <= max(4, before // 4)
+
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_one_minimal_with_respect_to_pass_list(self, seed):
+        """No single pass can shrink the fixpoint any further."""
+        reduced = reduce_source(generate_source(seed), _has_critical)
+        session = _Session(_has_critical)
+        for name, pass_fn in PASSES:
+            assert pass_fn(reduced, session) is None, (
+                f"pass {name} still makes progress on the fixpoint"
+            )
+
+    def test_idempotent(self):
+        reduced = reduce_source(generate_source(1), _has_critical)
+        assert reduce_source(reduced, _has_critical) == reduced
+
+    def test_deterministic(self):
+        src = generate_source(2)
+        assert reduce_source(src, _has_critical) == reduce_source(
+            src, _has_critical
+        )

@@ -1,0 +1,81 @@
+"""End-to-end fuzz campaigns: clean sweep, drill, durability, report."""
+
+import json
+
+from repro.campaign.runner import STATUS_OK
+from repro.fuzz.generator import generate_program, program_stmt_count
+from repro.fuzz.runner import FuzzConfig, run_fuzz
+
+
+def _small(**overrides):
+    base = dict(seeds=6, jobs_every=1, reduce=False)
+    base.update(overrides)
+    return FuzzConfig(**base)
+
+
+class TestCleanSweep:
+    def test_clean_corpus_zero_findings(self):
+        report = run_fuzz(_small())
+        assert report.clean
+        assert report.divergences == 0
+        assert report.crashes == 0
+        assert all(o.status == STATUS_OK for o in report.outcomes)
+
+    def test_report_dict_shape_and_determinism(self):
+        first = run_fuzz(_small()).as_dict()
+        second = run_fuzz(_small()).as_dict()
+        assert first["fuzz_report_version"] == 1
+        assert first["programs"]["run"] == 6
+        for blob in (first, second):
+            blob["throughput"] = None  # wall-clock varies
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_oracle_coverage_reported(self):
+        data = run_fuzz(_small()).as_dict()
+        for name in ("engine", "jobs", "narrowing", "coherence"):
+            assert data["oracles"][name]["ran"] >= 1
+            assert data["oracles"][name]["divergences"] == 0
+
+
+class TestDrill:
+    def test_injected_divergence_caught_deduped_and_reduced(self):
+        report = run_fuzz(_small(inject="engine-divergence", reduce=True))
+        assert not report.clean
+        assert report.divergences >= 1
+        # dedup: every hit shares one root cause, so exactly one entry
+        assert len(report.bank) == 1
+        (entry,) = report.bank.entries.values()
+        assert entry.signature.kind == "oracle"
+        assert "InjectedDivergence" in entry.signature.key
+        assert entry.count == report.divergences
+        # reproducer pins grammar version + seed + config
+        assert entry.reproducer["grammar_version"] == 1
+        assert entry.reproducer["seed"] == entry.first_seed
+        # automatic reduction: <= 25% of the original statement count
+        assert entry.reduced_source is not None
+        original = program_stmt_count(generate_program(entry.first_seed))
+        assert entry.original_stmts == original
+        assert entry.reduced_stmts <= max(3, original // 4)
+
+
+class TestDurable:
+    def test_journaled_run_matches_pool_run(self, tmp_path):
+        journal = str(tmp_path / "fuzz.journal")
+        durable = run_fuzz(_small(journal=journal))
+        plain = run_fuzz(_small())
+        assert durable.clean and plain.clean
+        assert [o.seed for o in durable.outcomes] == [
+            o.seed for o in plain.outcomes
+        ]
+        assert [o.status for o in durable.outcomes] == [
+            o.status for o in plain.outcomes
+        ]
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        journal = str(tmp_path / "fuzz.journal")
+        run_fuzz(_small(journal=journal))
+        resumed = run_fuzz(_small(journal=journal, resume=True))
+        assert resumed.clean
+        assert len(resumed.outcomes) == 6

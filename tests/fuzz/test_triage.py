@@ -1,0 +1,84 @@
+"""Crash/finding triage: stable signatures, dedup, reproducers."""
+
+from repro.fuzz.oracles import OracleFinding
+from repro.fuzz.triage import (
+    Signature,
+    TriageBank,
+    crash_signature,
+    oracle_signature,
+)
+
+
+def _boom():
+    raise ValueError("boom")
+
+
+def _capture():
+    try:
+        _boom()
+    except ValueError as err:
+        return err
+
+
+class TestSignatures:
+    def test_crash_signature_keys_on_type_and_frames(self):
+        sig_a = crash_signature(_capture())
+        sig_b = crash_signature(_capture())
+        assert sig_a == sig_b
+        assert sig_a.kind == "crash"
+        assert sig_a.key.startswith("ValueError@")
+        assert "_boom" in sig_a.key
+
+    def test_different_exception_types_differ(self):
+        try:
+            raise KeyError("k")
+        except KeyError as err:
+            other = crash_signature(err)
+        assert other != crash_signature(_capture())
+
+    def test_oracle_signature_keys_on_oracle_and_detail(self):
+        finding = OracleFinding("engine", 3, "trace-mismatch:eof/X", "ev")
+        sig = oracle_signature(finding)
+        assert sig == Signature("oracle", "engine:trace-mismatch:eof/X")
+        assert str(sig) == "oracle:engine:trace-mismatch:eof/X"
+
+
+class TestBank:
+    def test_dedup_counts_and_keeps_first_seed(self):
+        bank = TriageBank()
+        finding = OracleFinding("engine", 7, "trace-mismatch:eof/X", "ev")
+        bank.record_finding(finding, {"seed": 7})
+        bank.record_finding(
+            OracleFinding("engine", 9, "trace-mismatch:eof/X", "other"),
+            {"seed": 9},
+        )
+        assert len(bank) == 1
+        (entry,) = bank.entries.values()
+        assert entry.count == 2
+        assert entry.first_seed == 7
+        assert entry.seeds[:2] == [7, 9]
+
+    def test_distinct_signatures_stay_distinct(self):
+        bank = TriageBank()
+        bank.record_finding(OracleFinding("engine", 1, "a", ""), {})
+        bank.record_finding(OracleFinding("jobs", 1, "a", ""), {})
+        assert len(bank) == 2
+
+    def test_crash_recorded_with_reproducer(self):
+        bank = TriageBank()
+        repro = {"grammar_version": 1, "seed": 4}
+        bank.record_crash(4, _capture(), repro)
+        (entry,) = bank.entries.values()
+        assert entry.reproducer == repro
+        assert entry.signature.kind == "crash"
+
+    def test_as_dict_shape(self):
+        bank = TriageBank()
+        bank.record_finding(OracleFinding("engine", 1, "a", "ev"), {"seed": 1})
+        data = bank.as_dict()
+        assert data["distinct"] == 1
+        assert data["total"] == 1
+        (item,) = data["entries"]
+        assert item["kind"] == "oracle"
+        assert item["signature"] == "engine:a"
+        assert item["count"] == 1

@@ -23,9 +23,7 @@ from repro.errors import WorkerKillFault
 from repro.events.serialize import dump_log
 from repro.faults.plan import builtin_plans
 from repro.minilang import ast_nodes, parse, validate
-from repro.mpi import communicator as mpi_communicator
-from repro.mpi import message as mpi_message
-from repro.runtime import RunConfig, make_interpreter, values
+from repro.runtime import RunConfig, make_interpreter, reset_sim_counters
 from repro.runtime.bytecode.compiler import clear_compile_cache
 from repro.runtime.bytecode.vm import BytecodeInterpreter
 from repro.runtime.interpreter import Interpreter
@@ -43,10 +41,8 @@ def _fresh_program(build):
     identity) before each build makes the two engine runs start from
     bit-identical worlds.
     """
-    values._CELL_COUNTER = itertools.count(1)
     ast_nodes._NODE_COUNTER = itertools.count(1)
-    mpi_message._MSG_COUNTER = itertools.count(1)
-    mpi_communicator._COMM_COUNTER = itertools.count(1)
+    reset_sim_counters()
     clear_compile_cache()
     return build()
 
